@@ -1,0 +1,558 @@
+(* routing_lab: command-line laboratory for the Fraigniaud-Gavoille
+   (1996) reproduction. Every experiment of DESIGN.md is reachable from
+   here; `routing_lab --help` lists the commands. *)
+
+open Cmdliner
+open Umrs_graph
+open Umrs_routing
+open Umrs_core
+
+let pf fmt = Format.printf fmt
+
+(* ---------- shared converters ---------- *)
+
+let graph_of_family ~seed family size =
+  let st = Random.State.make [| seed; size; 0xF00 |] in
+  match family with
+  | "path" -> Generators.path size
+  | "cycle" | "ring" -> Generators.cycle size
+  | "complete" -> Generators.complete size
+  | "star" -> Generators.star size
+  | "wheel" -> Generators.wheel size
+  | "hypercube" ->
+    let rec dim d = if 1 lsl d >= size then d else dim (d + 1) in
+    Generators.hypercube (dim 0)
+  | "grid" ->
+    let side = max 2 (int_of_float (sqrt (float_of_int size))) in
+    Generators.grid side side
+  | "torus" ->
+    let side = max 3 (int_of_float (sqrt (float_of_int size))) in
+    Generators.torus side side
+  | "petersen" -> Generators.petersen ()
+  | f when String.length f > 5 && String.sub f 0 5 = "file:" ->
+    Graph_io.load ~path:(String.sub f 5 (String.length f - 5))
+  | "tree" -> Generators.random_tree st size
+  | "caterpillar" ->
+    Generators.caterpillar st ~spine:(max 1 (size / 2)) ~legs:(size / 2)
+  | "ktree" -> Generators.k_tree st ~k:3 (max 4 size)
+  | "outerplanar" -> Generators.maximal_outerplanar st (max 3 size)
+  | "debruijn" ->
+    let rec dim d = if 1 lsl d >= size then d else dim (d + 1) in
+    Generators.de_bruijn_like (max 1 (dim 0))
+  | "globe" ->
+    let m = max 2 (int_of_float (sqrt (float_of_int size))) in
+    Generators.globe ~meridians:m ~parallels:(max 1 ((size - 2) / m))
+  | "random" ->
+    Generators.random_connected st ~n:size
+      ~m:(min (size * (size - 1) / 2) (2 * size))
+  | "dense" ->
+    Generators.random_connected st ~n:size
+      ~m:(min (size * (size - 1) / 2) (size * size / 4))
+  | "regular" ->
+    Generators.random_regular st ~n:(size + (size mod 2)) ~d:3
+  | other -> invalid_arg (Printf.sprintf "unknown graph family %S" other)
+
+let scheme_of_name ~seed name =
+  match name with
+  | "tables" -> Table_scheme.scheme
+  | "tables-rle" -> Compressed_tables.scheme
+  | "tree-cover" -> Tree_cover_scheme.scheme
+  | "interval" -> Interval_routing.scheme
+  | "interval-id" -> Interval_routing.scheme_identity
+  | "landmark" -> Landmark_scheme.scheme
+  | "spanner3" -> Spanner_scheme.scheme ~k:2
+  | "spanner5" -> Spanner_scheme.scheme ~k:3
+  | "ecube" ->
+    { Scheme.name = "ecube"; stretch_bound = Some 1.0;
+      build = Specialized.build_ecube }
+  | "ring" ->
+    { Scheme.name = "ring"; stretch_bound = Some 1.0;
+      build = Specialized.build_ring }
+  | "hierarchical" -> Hierarchical_scheme.scheme
+  | "kn-adversarial" ->
+    {
+      Scheme.name = "kn-adversarial";
+      stretch_bound = Some 1.0;
+      build =
+        (fun g ->
+          Specialized.build_complete_adversarial
+            (Random.State.make [| seed |])
+            g);
+    }
+  | other -> invalid_arg (Printf.sprintf "unknown scheme %S" other)
+
+let family_arg =
+  let doc =
+    "Graph family: path, cycle, complete, star, wheel, hypercube, grid, \
+     torus, petersen, tree, caterpillar, ktree, outerplanar, debruijn, \
+     globe, random, dense, regular - or file:PATH for a saved graph."
+  in
+  Arg.(value & opt string "petersen" & info [ "g"; "graph" ] ~docv:"FAMILY" ~doc)
+
+let size_arg default =
+  Arg.(value & opt int default & info [ "n"; "size" ] ~docv:"N"
+         ~doc:"Target graph order.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let scheme_arg =
+  let doc =
+    "Routing scheme: tables, tables-rle, interval, interval-id, landmark, \
+     spanner3, spanner5, hierarchical, tree-cover, ecube, ring, \
+     kn-adversarial."
+  in
+  Arg.(value & opt string "tables" & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
+
+let matrix_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MATRIX"
+         ~doc:"Matrix like \"[1 2; 1 1]\" (rows ;-separated).")
+
+let variant_arg =
+  let variant_conv =
+    Arg.enum [ ("full", Canonical.Full); ("positional", Canonical.Positional) ]
+  in
+  Arg.(value & opt variant_conv Canonical.Full & info [ "variant" ] ~docv:"VARIANT"
+         ~doc:"Equivalence variant: full (Definition 2) or positional \
+               (rows+columns only).")
+
+(* ---------- commands ---------- *)
+
+let evaluate_cmd =
+  let run family size seed scheme_name =
+    let g = graph_of_family ~seed family size in
+    let scheme = scheme_of_name ~seed scheme_name in
+    let e = Scheme.evaluate scheme ~graph_name:family g in
+    pf "%a@." Scheme.pp_evaluation e
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Run a scheme on a graph; report memory and stretch.")
+    Term.(const run $ family_arg $ size_arg 16 $ seed_arg $ scheme_arg)
+
+let route_cmd =
+  let run family size seed scheme_name src dst =
+    let g = graph_of_family ~seed family size in
+    let scheme = scheme_of_name ~seed scheme_name in
+    let b = scheme.Scheme.build g in
+    let t = Routing_function.route b.Scheme.rf src dst in
+    pf "route %d -> %d (%d hops): %a@." src dst t.Routing_function.hops
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f " -> ")
+         Format.pp_print_int)
+      t.Routing_function.path;
+    pf "headers: %a@."
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+         Routing_function.pp_header)
+      t.Routing_function.headers;
+    pf "distance: %d (stretch %.3f)@."
+      (Bfs.dist (b.Scheme.rf).Routing_function.graph src dst)
+      (float_of_int t.Routing_function.hops
+      /. float_of_int (Bfs.dist (b.Scheme.rf).Routing_function.graph src dst))
+  in
+  let src = Arg.(value & opt int 0 & info [ "src" ] ~docv:"U" ~doc:"Source.") in
+  let dst = Arg.(value & opt int 1 & info [ "dst" ] ~docv:"V" ~doc:"Destination.") in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Trace a single routing path.")
+    Term.(const run $ family_arg $ size_arg 16 $ seed_arg $ scheme_arg $ src $ dst)
+
+let simulate_cmd =
+  let run family size seed scheme_name pairs loss dead =
+    let g = graph_of_family ~seed family size in
+    let scheme = scheme_of_name ~seed scheme_name in
+    let b = scheme.Scheme.build g in
+    let rf = b.Scheme.rf in
+    let st = Random.State.make [| seed; 0x51 |] in
+    let n = Umrs_graph.Graph.order rf.Routing_function.graph in
+    let packet_pairs =
+      match pairs with
+      | 0 ->
+        let acc = ref [] in
+        for u = n - 1 downto 0 do
+          for v = n - 1 downto 0 do
+            if u <> v then acc := (u, v) :: !acc
+          done
+        done;
+        !acc
+      | k ->
+        List.init k (fun _ ->
+            let u = Random.State.int st n in
+            let rec draw () =
+              let v = Random.State.int st n in
+              if v = u then draw () else v
+            in
+            (u, draw ()))
+    in
+    let dead_links =
+      List.filter_map
+        (fun s ->
+          match String.split_on_char '-' s with
+          | [ a; b ] -> Some (int_of_string a, int_of_string b)
+          | _ -> None)
+        dead
+    in
+    let stats =
+      if dead_links <> [] then
+        Simulator.run_with_dead_links ~dead:dead_links rf ~pairs:packet_pairs
+      else if loss > 0.0 then
+        Simulator.run_flaky st ~loss rf ~pairs:packet_pairs
+      else Simulator.run rf ~pairs:packet_pairs
+    in
+    pf "%a@." Simulator.pp_stats stats
+  in
+  let pairs =
+    Arg.(value & opt int 0 & info [ "pairs" ] ~docv:"K"
+           ~doc:"Random packet count (0 = full total exchange).")
+  in
+  let loss =
+    Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"P"
+           ~doc:"Transient per-crossing loss probability.")
+  in
+  let dead =
+    Arg.(value & opt_all string [] & info [ "dead" ] ~docv:"U-V"
+           ~doc:"Dead link, e.g. --dead 0-1 (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Synchronous store-and-forward simulation with contention, \
+             optional loss and dead links.")
+    Term.(const run $ family_arg $ size_arg 16 $ seed_arg $ scheme_arg $ pairs
+          $ loss $ dead)
+
+let canon_cmd =
+  let run s variant =
+    let m = Matrix.of_string s in
+    pf "input:     %s@." (Matrix.to_string m);
+    pf "canonical: %s@." (Matrix.to_string (Canonical.canonical ~variant m))
+  in
+  Cmd.v
+    (Cmd.info "canon" ~doc:"Canonical representative of a matrix (Definition 2).")
+    Term.(const run $ matrix_arg $ variant_arg)
+
+let enumerate_cmd =
+  let run p q d variant =
+    let set = Enumerate.canonical_set ~variant ~p ~q ~d () in
+    pf "|%dM(%d,%d)| = %d@." d p q (List.length set);
+    List.iter
+      (fun m ->
+        pf "%-20s class size %d@." (Matrix.to_string m)
+          (Enumerate.class_size ~variant ~p ~q ~d m))
+      set
+  in
+  let p = Arg.(value & opt int 2 & info [ "p" ] ~doc:"Rows.") in
+  let q = Arg.(value & opt int 2 & info [ "q" ] ~doc:"Columns.") in
+  let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Entry bound.") in
+  Cmd.v
+    (Cmd.info "enumerate" ~doc:"Enumerate the canonical set dM(p,q).")
+    Term.(const run $ p $ q $ d $ variant_arg)
+
+let cgraph_cmd =
+  let run s pad =
+    let m = Matrix.create ((Matrix.of_string s).Matrix.entries) in
+    let t = Cgraph.of_matrix m in
+    let t = if pad > 0 then Cgraph.pad_to_order t ~n:pad else t in
+    pf "%a@." Graph.pp t.Cgraph.graph;
+    pf "constrained: %a@."
+      (Format.pp_print_array ~pp_sep:(fun f () -> Format.pp_print_char f ' ')
+         Format.pp_print_int)
+      t.Cgraph.constrained;
+    pf "targets:     %a@."
+      (Format.pp_print_array ~pp_sep:(fun f () -> Format.pp_print_char f ' ')
+         Format.pp_print_int)
+      t.Cgraph.targets;
+    (match Verify.check_cgraph t ~bound:Verify.below_two with
+    | Ok () -> pf "forced-port property below stretch 2: OK@."
+    | Error vs ->
+      List.iter
+        (fun v ->
+          pf "VIOLATION at (%d,%d): expected %d, usable {%a}@." v.Verify.row
+            v.Verify.col v.Verify.expected
+            (Format.pp_print_list
+               ~pp_sep:(fun f () -> Format.pp_print_char f ' ')
+               Format.pp_print_int)
+            v.Verify.usable)
+        vs)
+  in
+  let pad =
+    Arg.(value & opt int 0 & info [ "pad" ] ~docv:"N"
+           ~doc:"Pad to order N with an attached path (Theorem 1).")
+  in
+  Cmd.v
+    (Cmd.info "cgraph"
+       ~doc:"Build and verify the graph of constraints of a matrix (Lemma 2).")
+    Term.(const run $ matrix_arg $ pad)
+
+let lemma1_cmd =
+  let run p q d =
+    pf "d^(pq)                    = %s@." (Bignat.to_string (Count.total_raw ~p ~q ~d));
+    pf "bound d^(pq)/(p!q!(d!)^p) = %s@."
+      (Bignat.to_string (Count.lemma1_bound ~p ~q ~d));
+    pf "log2 bound                = %.2f bits@." (Count.log2_lemma1_bound ~p ~q ~d);
+    match Enumerate.count ~p ~q ~d () with
+    | exact -> pf "exact |dM(p,q)|           = %d@." exact
+    | exception Invalid_argument _ ->
+      pf "exact |dM(p,q)|           = (too large to enumerate)@."
+  in
+  let p = Arg.(value & opt int 2 & info [ "p" ] ~doc:"Rows.") in
+  let q = Arg.(value & opt int 2 & info [ "q" ] ~doc:"Columns.") in
+  let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Entry bound.") in
+  Cmd.v
+    (Cmd.info "lemma1" ~doc:"Lemma 1 counting bound vs the exact count.")
+    Term.(const run $ p $ q $ d)
+
+let theorem1_cmd =
+  let run ns epss =
+    List.iter
+      (fun b -> pf "%a@." Lower_bound.pp_bound b)
+      (Lower_bound.sweep ~ns ~epss)
+  in
+  let ns =
+    Arg.(value & opt (list int) [ 1024; 16384; 262144 ]
+         & info [ "ns" ] ~docv:"N,..." ~doc:"Orders to sweep.")
+  in
+  let epss =
+    Arg.(value & opt (list float) [ 0.25; 0.5; 0.75 ]
+         & info [ "eps" ] ~docv:"E,..." ~doc:"Epsilons to sweep.")
+  in
+  Cmd.v
+    (Cmd.info "theorem1"
+       ~doc:"Theorem 1: per-router lower bound vs the table upper bound.")
+    Term.(const run $ ns $ epss)
+
+let reconstruct_cmd =
+  let run p q d pad =
+    let pad_to = if pad > 0 then Some pad else None in
+    let o =
+      Reconstruct.run_experiment ?pad_to ~p ~q ~d ~scheme:Table_scheme.build ()
+    in
+    pf "classes=%d injective=%b forced=%b recovered=%b@." o.Reconstruct.classes
+      o.Reconstruct.injective o.Reconstruct.all_forced
+      o.Reconstruct.all_recovered;
+    pf "information=%.2f bits, side=%.2f bits, net=%.2f bits@."
+      o.Reconstruct.bits_information o.Reconstruct.bits_side
+      o.Reconstruct.bits_net
+  in
+  let p = Arg.(value & opt int 2 & info [ "p" ] ~doc:"Rows.") in
+  let q = Arg.(value & opt int 2 & info [ "q" ] ~doc:"Columns.") in
+  let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Entry bound.") in
+  let pad = Arg.(value & opt int 0 & info [ "pad" ] ~doc:"Pad graphs to order N.") in
+  Cmd.v
+    (Cmd.info "reconstruct"
+       ~doc:"Theorem 1 end-to-end: build, route, rebuild every matrix of dM(p,q).")
+    Term.(const run $ p $ q $ d $ pad)
+
+let compare_cmd =
+  let run family size seed csv =
+    let g = graph_of_family ~seed family size in
+    let evals =
+      Registry.compare_on ~graph_name:family g (Registry.universal ())
+    in
+    if csv then print_string (Registry.to_csv evals)
+    else List.iter (fun e -> pf "%a@." Scheme.pp_evaluation e) evals
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV.") in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run every universal scheme on one graph; table or CSV.")
+    Term.(const run $ family_arg $ size_arg 16 $ seed_arg $ csv)
+
+let broadcast_cmd =
+  let run family size seed root =
+    let g = graph_of_family ~seed family size in
+    let rf = (Table_scheme.build g).Scheme.rf in
+    let uni = Collective.broadcast_unicast rf ~root in
+    let tree = Collective.broadcast_tree g ~root in
+    pf "unicast: %d rounds, %d messages, %d reached@." uni.Collective.rounds
+      uni.Collective.messages uni.Collective.reached;
+    pf "tree:    %d rounds, %d messages, %d reached@." tree.Collective.rounds
+      tree.Collective.messages tree.Collective.reached
+  in
+  let root = Arg.(value & opt int 0 & info [ "root" ] ~doc:"Broadcast root.") in
+  Cmd.v
+    (Cmd.info "broadcast" ~doc:"Unicast-storm vs BFS-tree broadcast costs.")
+    Term.(const run $ family_arg $ size_arg 16 $ seed_arg $ root)
+
+let check_cmd =
+  let run () =
+    let results = Spec.all () in
+    let ok = ref true in
+    List.iter
+      (fun (name, passed) ->
+        if not passed then ok := false;
+        pf "%-45s %s@." name (if passed then "OK" else "FAILED"))
+      results;
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the executable checklist of every claim of the paper.")
+    Term.(const run $ const ())
+
+let deadlock_cmd =
+  let run family size seed scheme_name =
+    let g = graph_of_family ~seed family size in
+    let scheme = scheme_of_name ~seed scheme_name in
+    let b = scheme.Scheme.build g in
+    match Deadlock.find_cycle b.Scheme.rf with
+    | None -> pf "deadlock-free: channel dependency graph is acyclic@."
+    | Some cycle ->
+      pf "NOT deadlock-free; dependency cycle (%d channels):@."
+        (List.length cycle);
+      List.iter (fun (v, k) -> pf "  channel (vertex %d, port %d)@." v k) cycle
+  in
+  Cmd.v
+    (Cmd.info "deadlock"
+       ~doc:"Dally-Seitz deadlock-freedom check via channel dependencies.")
+    Term.(const run $ family_arg $ size_arg 16 $ seed_arg $ scheme_arg)
+
+let save_cmd =
+  let run family size seed path =
+    let g = graph_of_family ~seed family size in
+    Graph_io.save g ~path;
+    pf "saved %s (n=%d, m=%d, ports preserved) to %s@." family
+      (Umrs_graph.Graph.order g)
+      (Umrs_graph.Graph.size g)
+      path
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH"
+           ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "save" ~doc:"Serialize a graph family to a file (load with file:PATH).")
+    Term.(const run $ family_arg $ size_arg 16 $ seed_arg $ path)
+
+let global_cmd =
+  let run ns =
+    List.iter
+      (fun b -> pf "%a@." Lower_bound.pp_global b)
+      (Lower_bound.global_sweep ~ns)
+  in
+  let ns =
+    Arg.(value & opt (list int) [ 1024; 16384; 262144 ]
+         & info [ "ns" ] ~docv:"N,..." ~doc:"Orders to sweep.")
+  in
+  Cmd.v
+    (Cmd.info "global"
+       ~doc:"The companion Omega(n^2) global bound for stretch < 2 ([6]).")
+    Term.(const run $ ns)
+
+let optimize_cmd =
+  let run family size seed steps =
+    let g = graph_of_family ~seed family size in
+    let st = Random.State.make [| seed; 0x0b7 |] in
+    let dfs = Interval_routing.compile ~labelling:Interval_routing.Dfs g in
+    let opt = Interval_routing.optimize_labelling ~steps st g in
+    pf "DFS labelling:       %d intervals/arc max, %d total@."
+      (Interval_routing.compactness dfs)
+      (Interval_routing.total_intervals dfs);
+    pf "optimized labelling: %d intervals/arc max, %d total@."
+      (Interval_routing.compactness opt)
+      (Interval_routing.total_intervals opt)
+  in
+  let steps =
+    Arg.(value & opt int 1000 & info [ "steps" ] ~doc:"Local-search steps.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Optimize the interval-routing vertex labelling ([5]).")
+    Term.(const run $ family_arg $ size_arg 16 $ seed_arg $ steps)
+
+let orbit_cmd =
+  let run s d positional =
+    let m = Matrix.of_string s in
+    if positional then
+      pf "positional orbit size: %d@." (Orbit.size_positional m)
+    else pf "full-group orbit size: %d@." (Orbit.size ~d m)
+  in
+  let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Entry bound.") in
+  let positional =
+    Arg.(value & flag & info [ "positional" ] ~doc:"Rows+columns group only.")
+  in
+  Cmd.v
+    (Cmd.info "orbit" ~doc:"Orbit size of a matrix under the Definition-2 group.")
+    Term.(const run $ matrix_arg $ d $ positional)
+
+let burnside_cmd =
+  let run p q d =
+    pf "positional |%dM(%d,%d)| (Burnside) = %s@." d p q
+      (Bignat.to_string (Count.positional_exact ~p ~q ~d))
+  in
+  let p = Arg.(value & opt int 2 & info [ "p" ] ~doc:"Rows.") in
+  let q = Arg.(value & opt int 2 & info [ "q" ] ~doc:"Columns.") in
+  let d = Arg.(value & opt int 2 & info [ "d" ] ~doc:"Entry bound.") in
+  Cmd.v
+    (Cmd.info "burnside"
+       ~doc:"Exact positional class count via Burnside's lemma (any d).")
+    Term.(const run $ p $ q $ d)
+
+let estimate_cmd =
+  let run p q d samples seed positional =
+    let st = Random.State.make [| seed |] in
+    let e = Orbit.estimate_classes ~positional st ~samples ~p ~q ~d in
+    pf "estimated |%dM(%d,%d)| = %.2f +- %.2f (%d samples)@." d p q
+      e.Orbit.mean e.Orbit.std_error e.Orbit.samples
+  in
+  let p = Arg.(value & opt int 3 & info [ "p" ] ~doc:"Rows (<= 4).") in
+  let q = Arg.(value & opt int 3 & info [ "q" ] ~doc:"Columns (<= 4).") in
+  let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Entry bound (<= 4).") in
+  let samples = Arg.(value & opt int 200 & info [ "samples" ] ~doc:"Samples.") in
+  let positional =
+    Arg.(value & flag & info [ "positional" ] ~doc:"Rows+columns group only.")
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Monte-Carlo estimate of |dM(p,q)| by orbit sampling.")
+    Term.(const run $ p $ q $ d $ samples $ seed_arg $ positional)
+
+let dot_cmd =
+  let run family size seed ports =
+    let g = graph_of_family ~seed family size in
+    print_string (Umrs_graph.Dot.to_dot ~name:family ~show_ports:ports g)
+  in
+  let ports =
+    Arg.(value & flag & info [ "ports" ] ~doc:"Annotate arcs with local ports.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a Graphviz rendering of a graph family.")
+    Term.(const run $ family_arg $ size_arg 16 $ seed_arg $ ports)
+
+let figure1_cmd =
+  let run () =
+    let t = Petersen.instance () in
+    pf "Petersen graph, A = {0..4} (outer), B = {5..9} (inner)@.";
+    pf "%a@." Graph.pp t.Petersen.graph;
+    pf "matrix of constraints (shortest path):@.%a@." Matrix.pp
+      t.Petersen.matrix;
+    pf "verified: %b@." (Petersen.verify t)
+  in
+  Cmd.v
+    (Cmd.info "figure1" ~doc:"Figure 1: the Petersen-graph matrix of constraints.")
+    Term.(const run $ const ())
+
+let table1_cmd =
+  let run n =
+    Bounds_table.print ~n Format.std_formatter ();
+    Format.print_newline ()
+  in
+  let n = Arg.(value & opt int 4096 & info [ "n" ] ~doc:"Evaluate formulas at order N.") in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Table 1: memory bounds vs stretch factor.")
+    Term.(const run $ n)
+
+let () =
+  let doc =
+    "Laboratory for 'Local Memory Requirement of Universal Routing Schemes' \
+     (Fraigniaud & Gavoille, 1996)."
+  in
+  let info = Cmd.info "routing_lab" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            evaluate_cmd; route_cmd; simulate_cmd; canon_cmd; enumerate_cmd;
+            cgraph_cmd; lemma1_cmd; theorem1_cmd; reconstruct_cmd; figure1_cmd;
+            table1_cmd; orbit_cmd; burnside_cmd; estimate_cmd; dot_cmd; global_cmd;
+            optimize_cmd; deadlock_cmd; save_cmd; check_cmd; compare_cmd;
+            broadcast_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/adversarial_ports.ml: Format Generators List Random Routing_function Scheme Specialized Umrs_bitcode Umrs_graph Umrs_routing

@@ -1,0 +1,1 @@
+examples/deadlock_tour.ml: Deadlock Format Generators List Printf Scheme Specialized String Table_scheme Umrs_graph Umrs_routing

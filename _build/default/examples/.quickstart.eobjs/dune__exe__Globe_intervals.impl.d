@@ -1,0 +1,1 @@
+examples/globe_intervals.ml: Format Generators Graph Interval_routing List Printf Random Scheme Umrs_graph Umrs_routing

@@ -1,0 +1,1 @@
+examples/globe_intervals.mli:

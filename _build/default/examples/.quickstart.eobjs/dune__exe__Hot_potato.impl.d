@@ -1,0 +1,1 @@
+examples/hot_potato.ml: Format Generators List Random Scheme Simulator Table_scheme Umrs_graph Umrs_routing

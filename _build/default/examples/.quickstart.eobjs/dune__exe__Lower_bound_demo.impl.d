@@ -1,0 +1,1 @@
+examples/lower_bound_demo.ml: Bignat Canonical Cgraph Count Enumerate Format List Lower_bound Matrix Reconstruct Umrs_core Umrs_graph Umrs_routing Verify

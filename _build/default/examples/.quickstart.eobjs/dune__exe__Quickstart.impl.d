@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bfs Format Generators Graph Interval_routing Routing_function Scheme Simulator Table_scheme Umrs_graph Umrs_routing

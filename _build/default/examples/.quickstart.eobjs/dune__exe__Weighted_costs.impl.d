@@ -1,0 +1,1 @@
+examples/weighted_costs.ml: Format Generators List Random Routing_function Scheme Table_scheme Umrs_graph Umrs_routing Weighted Weighted_tables

@@ -1,0 +1,1 @@
+examples/weighted_costs.mli:

@@ -1,0 +1,1 @@
+lib/bitcode/bitbuf.ml: Array Bytes Char Format List

@@ -1,0 +1,1 @@
+lib/bitcode/bitbuf.mli: Format

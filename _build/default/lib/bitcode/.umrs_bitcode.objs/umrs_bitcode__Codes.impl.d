@@ -1,0 +1,1 @@
+lib/bitcode/codes.ml: Array Bitbuf Lazy List

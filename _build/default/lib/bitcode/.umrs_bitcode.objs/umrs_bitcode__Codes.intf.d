@@ -1,0 +1,1 @@
+lib/bitcode/codes.mli: Bitbuf

@@ -1,0 +1,1 @@
+lib/bitcode/rank.ml: Array Bitbuf Codes Float Umrs_graph

@@ -1,0 +1,1 @@
+lib/bitcode/rank.mli: Bitbuf Umrs_graph

@@ -1,0 +1,77 @@
+type t = { mutable bits : Bytes.t; mutable len : int }
+
+let create () = { bits = Bytes.make 16 '\000'; len = 0 }
+
+let length b = b.len
+
+let ensure b extra =
+  let need = (b.len + extra + 7) / 8 in
+  if need > Bytes.length b.bits then begin
+    let cap = max need (2 * Bytes.length b.bits) in
+    let fresh = Bytes.make cap '\000' in
+    Bytes.blit b.bits 0 fresh 0 (Bytes.length b.bits);
+    b.bits <- fresh
+  end
+
+let add_bit b bit =
+  ensure b 1;
+  if bit then begin
+    let byte = b.len / 8 and off = b.len mod 8 in
+    Bytes.set b.bits byte
+      (Char.chr (Char.code (Bytes.get b.bits byte) lor (1 lsl off)))
+  end;
+  b.len <- b.len + 1
+
+let add_bits b x ~width =
+  if width < 0 || width > 62 then invalid_arg "Bitbuf.add_bits: width";
+  if x < 0 || (width < 62 && x lsr width <> 0) then
+    invalid_arg "Bitbuf.add_bits: value does not fit";
+  for i = width - 1 downto 0 do
+    add_bit b ((x lsr i) land 1 = 1)
+  done
+
+let get b i =
+  if i < 0 || i >= b.len then invalid_arg "Bitbuf: index out of range";
+  Char.code (Bytes.get b.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let append dst src =
+  for i = 0 to src.len - 1 do
+    add_bit dst (get src i)
+  done
+
+let to_bool_array b = Array.init b.len (get b)
+
+let of_bool_array a =
+  let b = create () in
+  Array.iter (add_bit b) a;
+  b
+
+let concat l =
+  let b = create () in
+  List.iter (append b) l;
+  b
+
+type reader = { buf : t; mutable pos : int }
+
+let reader buf = { buf; pos = 0 }
+
+let read_bit r =
+  if r.pos >= r.buf.len then invalid_arg "Bitbuf.read_bit: past end";
+  let bit = get r.buf r.pos in
+  r.pos <- r.pos + 1;
+  bit
+
+let read_bits r ~width =
+  if width < 0 || width > 62 then invalid_arg "Bitbuf.read_bits: width";
+  let x = ref 0 in
+  for _ = 1 to width do
+    x := (!x lsl 1) lor if read_bit r then 1 else 0
+  done;
+  !x
+
+let remaining r = r.buf.len - r.pos
+
+let pp fmt b =
+  for i = 0 to b.len - 1 do
+    Format.pp_print_char fmt (if get b i then '1' else '0')
+  done

@@ -1,0 +1,44 @@
+(** Append-only bit buffers and sequential bit readers.
+
+    The paper measures routing memory in bits (its [MEM] is Kolmogorov
+    complexity relative to a fixed coding). Every scheme in this suite
+    encodes its per-router state into a [Bitbuf.t]; [length] is the
+    exact bit count charged to that router. Decoders use [reader]. *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+(** Number of bits written so far. *)
+
+val add_bit : t -> bool -> unit
+
+val add_bits : t -> int -> width:int -> unit
+(** [add_bits b x ~width] appends the [width] low bits of [x], most
+    significant first. Requires [0 <= width <= 62] and [x] to fit. *)
+
+val append : t -> t -> unit
+(** [append dst src] appends all bits of [src] to [dst]. *)
+
+val to_bool_array : t -> bool array
+
+val of_bool_array : bool array -> t
+
+val concat : t list -> t
+
+(** {1 Reading} *)
+
+type reader
+
+val reader : t -> reader
+
+val read_bit : reader -> bool
+(** Raises [Invalid_argument] past the end. *)
+
+val read_bits : reader -> width:int -> int
+
+val remaining : reader -> int
+
+val pp : Format.formatter -> t -> unit
+(** Bits as a ['0'/'1'] string (for tests and debugging). *)

@@ -1,0 +1,96 @@
+let binomial n k =
+  if k < 0 || n < 0 || k > n then invalid_arg "Rank.binomial";
+  let k = min k (n - k) in
+  let c = ref 1 in
+  for i = 1 to k do
+    (* c := c * (n - k + i) / i, exact at every step *)
+    let next = !c * (n - k + i) in
+    if next / (n - k + i) <> !c then invalid_arg "Rank.binomial: overflow";
+    c := next / i
+  done;
+  !c
+
+let log2_binomial n k =
+  if k < 0 || n < 0 || k > n then invalid_arg "Rank.log2_binomial";
+  let k = min k (n - k) in
+  let acc = ref 0.0 in
+  for i = 1 to k do
+    acc :=
+      !acc
+      +. (Float.log (float_of_int (n - k + i)) -. Float.log (float_of_int i))
+  done;
+  !acc /. Float.log 2.0
+
+let log2_factorial n =
+  if n < 0 then invalid_arg "Rank.log2_factorial";
+  let acc = ref 0.0 in
+  for i = 2 to n do
+    acc := !acc +. Float.log (float_of_int i)
+  done;
+  !acc /. Float.log 2.0
+
+let check_combination ~n c =
+  let k = Array.length c in
+  for i = 0 to k - 1 do
+    if c.(i) < 0 || c.(i) >= n then invalid_arg "Rank: element out of range";
+    if i > 0 && c.(i) <= c.(i - 1) then
+      invalid_arg "Rank: combination not strictly increasing"
+  done
+
+(* Standard combinadic: rank of {c_0 < ... < c_{k-1}} among k-subsets of
+   {0..n-1} in lexicographic order of the sorted tuples. *)
+let rank_combination ~n c =
+  check_combination ~n c;
+  let k = Array.length c in
+  let r = ref 0 in
+  let prev = ref (-1) in
+  for i = 0 to k - 1 do
+    for x = !prev + 1 to c.(i) - 1 do
+      r := !r + binomial (n - x - 1) (k - i - 1)
+    done;
+    prev := c.(i)
+  done;
+  !r
+
+let unrank_combination ~n ~k r =
+  if k < 0 || k > n then invalid_arg "Rank.unrank_combination";
+  if r < 0 || r >= binomial n k then
+    invalid_arg "Rank.unrank_combination: rank out of range";
+  let c = Array.make k 0 in
+  let r = ref r in
+  let x = ref 0 in
+  for i = 0 to k - 1 do
+    let rec advance () =
+      let block = binomial (n - !x - 1) (k - i - 1) in
+      if !r >= block then begin
+        r := !r - block;
+        incr x;
+        advance ()
+      end
+    in
+    advance ();
+    c.(i) <- !x;
+    incr x
+  done;
+  c
+
+let combination_length ~n ~k = Codes.ceil_log2 (binomial n k)
+
+let write_combination b ~n c =
+  let k = Array.length c in
+  let width = combination_length ~n ~k in
+  Bitbuf.add_bits b (rank_combination ~n c) ~width
+
+let read_combination r ~n ~k =
+  let width = combination_length ~n ~k in
+  unrank_combination ~n ~k (Bitbuf.read_bits r ~width)
+
+let permutation_length n =
+  Codes.ceil_log2 (Umrs_graph.Perm.factorial n)
+
+let write_permutation b p =
+  let n = Array.length p in
+  Bitbuf.add_bits b (Umrs_graph.Perm.rank p) ~width:(permutation_length n)
+
+let read_permutation r ~n =
+  Umrs_graph.Perm.unrank n (Bitbuf.read_bits r ~width:(permutation_length n))

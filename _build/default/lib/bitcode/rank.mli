@@ -1,0 +1,44 @@
+(** Combinatorial ranking codes.
+
+    The paper charges [log C(n,q)] bits for the set of target labels
+    (its [MB]) and [log (n-1)!] bits for an adversarial port permutation
+    on [K_n]. These are exactly combination and permutation ranks. Exact
+    codecs work in the machine-int regime; [log2_*] variants give exact
+    real-valued lengths for the asymptotic sweeps. *)
+
+val binomial : int -> int -> int
+(** [binomial n k] = C(n,k). Raises [Invalid_argument] on overflow or
+    bad arguments ([0 <= k <= n]). *)
+
+val log2_binomial : int -> int -> float
+(** [log2_binomial n k] = log2 C(n,k), computed in log space (no
+    overflow). *)
+
+val log2_factorial : int -> float
+(** log2 (n!). *)
+
+(** {1 Combinations} — sorted [k]-subsets of [{0..n-1}]. *)
+
+val rank_combination : n:int -> int array -> int
+(** Rank of a strictly increasing array in [0 .. C(n,k)-1]
+    (colexicographic-free, standard combinadic order). *)
+
+val unrank_combination : n:int -> k:int -> int -> int array
+
+val write_combination : Bitbuf.t -> n:int -> int array -> unit
+(** Encodes in [ceil(log2 C(n,k))] bits. *)
+
+val read_combination : Bitbuf.reader -> n:int -> k:int -> int array
+
+val combination_length : n:int -> k:int -> int
+(** [ceil(log2 C(n,k))] — the paper's [MB] for [q = k] targets. *)
+
+(** {1 Permutations} *)
+
+val write_permutation : Bitbuf.t -> Umrs_graph.Perm.t -> unit
+(** Lehmer rank in [ceil(log2 n!)] bits; requires [n <= 20]. *)
+
+val read_permutation : Bitbuf.reader -> n:int -> Umrs_graph.Perm.t
+
+val permutation_length : int -> int
+(** [ceil(log2 n!)] for [n <= 20]. *)

@@ -1,0 +1,1 @@
+lib/core/bignat.ml: Array Buffer Char Float Format Stdlib String

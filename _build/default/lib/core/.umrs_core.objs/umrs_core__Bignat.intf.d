@@ -1,0 +1,1 @@
+lib/core/bignat.mli: Format

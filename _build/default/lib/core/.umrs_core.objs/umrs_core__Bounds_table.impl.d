@@ -1,0 +1,1 @@
+lib/core/bounds_table.ml: Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/brute.ml: Array Bfs Cgraph Graph Hashtbl Matrix Routing_function Table_scheme Umrs_graph Umrs_routing

@@ -1,0 +1,1 @@
+lib/core/canonical.ml: Array Hashtbl Matrix Perm Umrs_graph

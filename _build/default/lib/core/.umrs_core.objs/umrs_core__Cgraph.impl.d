@@ -1,0 +1,1 @@
+lib/core/cgraph.ml: Array Graph Matrix Umrs_graph

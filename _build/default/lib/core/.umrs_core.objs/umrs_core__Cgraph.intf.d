@@ -1,0 +1,1 @@
+lib/core/cgraph.mli: Graph Matrix Umrs_graph

@@ -1,0 +1,1 @@
+lib/core/count.ml: Bignat Enumerate Float Hashtbl List Option Perm Umrs_bitcode Umrs_graph

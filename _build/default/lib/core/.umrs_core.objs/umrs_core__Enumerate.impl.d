@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Array Canonical Hashtbl List Matrix

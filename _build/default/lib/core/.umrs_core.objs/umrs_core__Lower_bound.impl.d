@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: Cgraph Count Float Format List Umrs_bitcode

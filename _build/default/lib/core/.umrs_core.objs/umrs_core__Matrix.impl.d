@@ -1,0 +1,1 @@
+lib/core/matrix.ml: Array Bignat Format List Printf String Umrs_graph

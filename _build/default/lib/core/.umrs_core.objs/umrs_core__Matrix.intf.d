@@ -1,0 +1,1 @@
+lib/core/matrix.mli: Bignat Format Umrs_graph

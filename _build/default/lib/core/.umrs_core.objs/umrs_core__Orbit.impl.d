@@ -1,0 +1,1 @@
+lib/core/orbit.ml: Array Float Hashtbl List Matrix Perm Random Umrs_graph

@@ -1,0 +1,1 @@
+lib/core/orbit.mli: Matrix Random

@@ -1,0 +1,1 @@
+lib/core/petersen.ml: Array Bfs Canonical Generators Graph List Matrix Perm Printf Umrs_graph Verify

@@ -1,0 +1,1 @@
+lib/core/petersen.mli: Graph Matrix Umrs_graph

@@ -1,0 +1,1 @@
+lib/core/reconstruct.ml: Array Bignat Canonical Cgraph Enumerate Float Hashtbl List Matrix Orbit Routing_function Scheme Umrs_bitcode Umrs_graph Umrs_routing Verify

@@ -1,0 +1,1 @@
+lib/core/reconstruct.mli: Cgraph Graph Matrix Random Umrs_graph Umrs_routing Verify

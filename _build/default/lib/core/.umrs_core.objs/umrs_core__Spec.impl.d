@@ -1,0 +1,1 @@
+lib/core/spec.ml: Bounds_table Cgraph Count Enumerate Fun List Lower_bound Matrix Petersen Reconstruct Umrs_graph Umrs_routing Verify

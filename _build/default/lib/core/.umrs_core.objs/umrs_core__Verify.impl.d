@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Bfs Cgraph Graph List Matrix Umrs_graph

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Cgraph Graph Matrix Umrs_graph

@@ -1,0 +1,242 @@
+(* Little-endian base-2^31 limbs; no leading zero limb except for 0
+   itself, which is the empty array. *)
+
+let base_bits = 31
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let is_zero x = Array.length x = 0
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int x =
+  if x < 0 then invalid_arg "Bignat.of_int: negative";
+  let rec limbs x = if x = 0 then [] else (x land mask) :: limbs (x lsr base_bits) in
+  Array.of_list (limbs x)
+
+let one = of_int 1
+
+let to_int_opt x =
+  let rec go i acc shift =
+    if i >= Array.length x then Some acc
+    else if shift >= 62 then None
+    else begin
+      let v = x.(i) lsl shift in
+      if v lsr shift <> x.(i) then None
+      else go (i + 1) (acc lor v) (shift + base_bits)
+    end
+  in
+  (* reject values with limbs beyond the 62-bit range *)
+  if Array.length x > 3 then None
+  else if Array.length x = 3 && x.(2) lsr (62 - (2 * base_bits)) <> 0 then None
+  else go 0 0 0
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = max la lb + 1 in
+  let r = Array.make l 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s =
+      !carry
+      + (if i < la then a.(i) else 0)
+      + if i < lb then b.(i) else 0
+    in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bignat.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - !borrow - if i < lb then b.(i) else 0 in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+let mul_int a x =
+  if x < 0 then invalid_arg "Bignat.mul_int: negative";
+  if x = 0 || is_zero a then zero
+  else if x land mask = x then begin
+    let la = Array.length a in
+    let r = Array.make (la + 2) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let p = (a.(i) * x) + !carry in
+      r.(i) <- p land mask;
+      carry := p lsr base_bits
+    done;
+    let i = ref la in
+    while !carry <> 0 do
+      r.(!i) <- !carry land mask;
+      carry := !carry lsr base_bits;
+      incr i
+    done;
+    normalize r
+  end
+  else invalid_arg "Bignat.mul_int: factor too large (use mul)"
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        (* a.(i) * b.(j) < 2^62: fits. Accumulate with existing limb and
+           carry, both < 2^31: still fits. *)
+        let p = (a.(i) * b.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- p land mask;
+        carry := p lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let p = r.(!k) + !carry in
+        r.(!k) <- p land mask;
+        carry := p lsr base_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let rec pow b e =
+  if e < 0 then invalid_arg "Bignat.pow: negative exponent"
+  else if e = 0 then one
+  else begin
+    let h = pow b (e / 2) in
+    let h2 = mul h h in
+    if e land 1 = 1 then mul h2 b else h2
+  end
+
+let div_int a x =
+  if x <= 0 then invalid_arg "Bignat.div_int: need positive divisor";
+  if x land mask <> x then invalid_arg "Bignat.div_int: divisor too large";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / x;
+    rem := cur mod x
+  done;
+  (normalize q, !rem)
+
+let shift_limbs a k =
+  if is_zero a then zero
+  else Array.append (Array.make k 0) a
+
+let div a b =
+  if is_zero b then invalid_arg "Bignat.div: division by zero";
+  if compare a b < 0 then zero
+  else begin
+    (* Schoolbook binary long division on limbs: find quotient by
+       repeated doubling per bit. Adequate for the sizes used here. *)
+    let bits x =
+      if is_zero x then 0
+      else begin
+        let top = x.(Array.length x - 1) in
+        let rec msb i = if top lsr i <> 0 then i + 1 else msb (i - 1) in
+        ((Array.length x - 1) * base_bits) + msb (base_bits - 1)
+      end
+    in
+    let shift_bits x k =
+      (* multiply by 2^k *)
+      let limb = k / base_bits and off = k mod base_bits in
+      let x = shift_limbs x limb in
+      if off = 0 then x
+      else begin
+        let r = ref zero in
+        let m = 1 lsl off in
+        r := mul_int x m;
+        !r
+      end
+    in
+    let delta = bits a - bits b in
+    let q = ref zero and r = ref a in
+    for k = delta downto 0 do
+      let shifted = shift_bits b k in
+      if compare shifted !r <= 0 then begin
+        r := sub !r shifted;
+        q := add !q (shift_bits one k)
+      end
+    done;
+    !q
+  end
+
+let factorial n =
+  if n < 0 then invalid_arg "Bignat.factorial";
+  let r = ref one in
+  for i = 2 to n do
+    r := mul_int !r i
+  done;
+  !r
+
+let log2 x =
+  if is_zero x then invalid_arg "Bignat.log2: zero";
+  let l = Array.length x in
+  (* Use the top three limbs for the mantissa. *)
+  let take i = if i >= 0 && i < l then float_of_int x.(i) else 0.0 in
+  let b = float_of_int base in
+  let top = (((take (l - 1) *. b) +. take (l - 2)) *. b) +. take (l - 3) in
+  (Float.log top /. Float.log 2.0)
+  +. (float_of_int ((l - 3) * base_bits) *. 1.0)
+
+let to_string x =
+  if is_zero x then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go x =
+      if not (is_zero x) then begin
+        let q, r = div_int x 10 in
+        go q;
+        Buffer.add_char buf (Char.chr (Char.code '0' + r))
+      end
+    in
+    go x;
+    Buffer.contents buf
+  end
+
+let of_string s =
+  if s = "" then invalid_arg "Bignat.of_string: empty";
+  String.fold_left
+    (fun acc c ->
+      if c < '0' || c > '9' then invalid_arg "Bignat.of_string: bad digit";
+      add (mul_int acc 10) (of_int (Char.code c - Char.code '0')))
+    zero s
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

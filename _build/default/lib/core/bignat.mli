@@ -1,0 +1,47 @@
+(** Arbitrary-precision natural numbers.
+
+    Vendored minimal implementation (zarith is not available in the
+    sealed build environment): just enough arithmetic for the exact
+    evaluation of Lemma 1's counting bound
+    [d^(pq) / (p! q! (d!)^p)] on enumerable parameters. Numbers are
+    little-endian arrays of base-[2^31] limbs. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+(** Requires a non-negative argument. *)
+
+val to_int_opt : t -> int option
+(** [None] when the value exceeds [max_int]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Truncated subtraction: raises [Invalid_argument] if the result
+    would be negative. *)
+
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+val pow : t -> int -> t
+val div_int : t -> int -> t * int
+(** [div_int a b = (quotient, remainder)] for [b > 0]. *)
+
+val div : t -> t -> t
+(** Floor division (schoolbook; fine at the scale used here). *)
+
+val factorial : int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val log2 : t -> float
+(** [log2 x] for [x > 0], accurate to double precision. *)
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val of_string : string -> t
+(** Parses a decimal string of digits. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,162 @@
+type formula = { text : string; bits : n:int -> float }
+
+type row = {
+  stretch : string;
+  applies : s:float -> bool;
+  local_lower : formula;
+  local_upper : formula;
+  global_lower : formula;
+  global_upper : formula;
+  source : string;
+  from_cited_work : bool;
+}
+
+let log2 x = Float.log x /. Float.log 2.0
+let fn ~n = float_of_int n
+
+let f text bits = { text; bits }
+
+let n_log_n = f "Theta(n log n)" (fun ~n -> fn ~n *. log2 (fn ~n))
+let n2_log_n = f "Theta(n^2 log n)" (fun ~n -> fn ~n *. fn ~n *. log2 (fn ~n))
+let n2 = f "Omega(n^2)" (fun ~n -> fn ~n *. fn ~n)
+let o_n_log_n = f "O(n log n)" (fun ~n -> fn ~n *. log2 (fn ~n))
+let o_n2_log_n = f "O(n^2 log n)" (fun ~n -> fn ~n *. fn ~n *. log2 (fn ~n))
+
+(* Peleg-Upfal global lower bound Omega(n^(1 + 1/(2s+4))) for stretch
+   s; evaluated with the row's smallest s. The dagger rows derive the
+   local bound as global/n. *)
+let pu_global s0 =
+  f
+    (Printf.sprintf "Omega(n^(1+1/(2s+4))), s=%g" s0)
+    (fun ~n -> Float.pow (fn ~n) (1.0 +. (1.0 /. ((2.0 *. s0) +. 4.0))))
+
+let pu_local s0 =
+  f
+    (Printf.sprintf "Omega(n^(1/(2s+4))) (dagger), s=%g" s0)
+    (fun ~n -> Float.pow (fn ~n) (1.0 /. ((2.0 *. s0) +. 4.0)))
+
+(* Awerbuch-Peleg style tradeoff: for stretch O(k), global
+   O(n^(1+1/k) log n); local follows via balanced hierarchies. *)
+let ap_global k =
+  f
+    (Printf.sprintf "O(n^(1+1/%d) log n)" k)
+    (fun ~n -> Float.pow (fn ~n) (1.0 +. (1.0 /. float_of_int k)) *. log2 (fn ~n))
+
+let ap_local k =
+  f
+    (Printf.sprintf "O(n^(1/%d) log^2 n)" k)
+    (fun ~n ->
+      Float.pow (fn ~n) (1.0 /. float_of_int k) *. log2 (fn ~n) *. log2 (fn ~n))
+
+let rows =
+  [
+    {
+      stretch = "s = 1";
+      applies = (fun ~s -> s = 1.0);
+      local_lower = n_log_n;
+      local_upper = o_n_log_n;
+      global_lower = n2_log_n;
+      global_upper = o_n2_log_n;
+      source = "[9] Gavoille & Perennes; tables";
+      from_cited_work = false;
+    };
+    {
+      stretch = "1 <= s < 2";
+      applies = (fun ~s -> 1.0 <= s && s < 2.0);
+      local_lower =
+        f "Theta(n log n)  <- THEOREM 1 (this paper)" (fun ~n ->
+            fn ~n *. log2 (fn ~n));
+      local_upper = o_n_log_n;
+      global_lower = n2;
+      global_upper = o_n2_log_n;
+      source = "Theorem 1; [6] Fraigniaud & Gavoille PODC'96; tables";
+      from_cited_work = false;
+    };
+    {
+      stretch = "2 <= s < 3";
+      applies = (fun ~s -> 2.0 <= s && s < 3.0);
+      local_lower = pu_local 2.0;
+      local_upper = o_n_log_n;
+      global_lower = pu_global 2.0;
+      global_upper = o_n2_log_n;
+      source = "[13] Peleg & Upfal (dagger: global/n); tables";
+      from_cited_work = true;
+    };
+    {
+      stretch = "3 <= s < 5";
+      applies = (fun ~s -> 3.0 <= s && s < 5.0);
+      local_lower = pu_local 3.0;
+      local_upper = o_n_log_n;
+      global_lower = pu_global 3.0;
+      global_upper = ap_global 2;
+      source = "[13]; [2] Awerbuch & Peleg";
+      from_cited_work = true;
+    };
+    {
+      stretch = "s >= 5";
+      applies = (fun ~s -> s >= 5.0);
+      local_lower = pu_local 5.0;
+      local_upper =
+        f "O(sqrt(s) n^(2/sqrt(s)) log n)" (fun ~n ->
+            let s = 5.0 in
+            sqrt s *. Float.pow (fn ~n) (2.0 /. sqrt s) *. log2 (fn ~n));
+      global_lower = pu_global 5.0;
+      global_upper = ap_global 3;
+      source = "[13]; [1] Awerbuch, Bar-Noy, Linial & Peleg; [2]";
+      from_cited_work = true;
+    };
+    {
+      stretch = "s = O(log n)";
+      applies = (fun ~s -> s > 5.0);
+      local_lower = f "Omega(log n) (dagger)" (fun ~n -> log2 (fn ~n));
+      local_upper =
+        f "O(exp(sqrt(log n log log n)))" (fun ~n ->
+            Float.exp (sqrt (log2 (fn ~n) *. log2 (log2 (fn ~n) +. 2.0))));
+      global_lower = f "Omega(n)" (fun ~n -> fn ~n);
+      global_upper =
+        f "O(n log^2 n)" (fun ~n -> fn ~n *. log2 (fn ~n) *. log2 (fn ~n));
+      source = "[2] Awerbuch & Peleg";
+      from_cited_work = true;
+    };
+    {
+      stretch = "s = O(sqrt(n))";
+      applies = (fun ~s -> s > 5.0);
+      local_lower = f "Omega(log n) (dagger)" (fun ~n -> log2 (fn ~n));
+      local_upper = ap_local 2;
+      global_lower = f "Omega(n)" (fun ~n -> fn ~n);
+      global_upper = f "O(n log n)" (fun ~n -> fn ~n *. log2 (fn ~n));
+      source = "[2] Awerbuch & Peleg";
+      from_cited_work = true;
+    };
+  ]
+
+let row_for ~s =
+  match List.find_opt (fun r -> r.applies ~s) rows with
+  | Some r -> r
+  | None -> invalid_arg "Bounds_table.row_for: stretch below 1"
+
+let print ?n fmt () =
+  Format.fprintf fmt
+    "@[<v>Table 1: memory requirement of universal routing schemes vs stretch@,";
+  Format.fprintf fmt
+    "%-14s | %-42s | %-42s@," "stretch" "local memory (lower / upper)"
+    "global memory (lower / upper)";
+  Format.fprintf fmt "%s@," (String.make 104 '-');
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-14s | %-42s | %-42s@," r.stretch
+        (r.local_lower.text ^ " / " ^ r.local_upper.text)
+        (r.global_lower.text ^ " / " ^ r.global_upper.text);
+      (match n with
+      | Some n ->
+        Format.fprintf fmt "%-14s |   @ n=%d: %.3e / %.3e bits | %.3e / %.3e bits@,"
+          "" n
+          (r.local_lower.bits ~n)
+          (r.local_upper.bits ~n)
+          (r.global_lower.bits ~n)
+          (r.global_upper.bits ~n)
+      | None -> ());
+      Format.fprintf fmt "%-14s |   source: %s%s@," "" r.source
+        (if r.from_cited_work then " (reconstructed from cited work)" else ""))
+    rows;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,37 @@
+(** Table 1 — the state of the art on local and global memory
+    requirements of universal routing schemes, as a function of the
+    stretch factor [s], with Theorem 1's improvement applied to the
+    [1 <= s < 2] row.
+
+    Each row carries the asymptotic formulas (as printable strings) and
+    float evaluators at a concrete [n] (constants taken as 1, [log] =
+    [log2]) so the benchmark can print the table alongside the memory
+    this suite's schemes actually measure. Rows quoting the paper's own
+    results are exact; rows quoting the cited literature ([1,2,12,13])
+    reconstruct the formulas from those papers and are marked
+    [from_cited_work] (see EXPERIMENTS.md). *)
+
+type formula = {
+  text : string;                  (** e.g. ["Theta(n log n)"] *)
+  bits : n:int -> float;          (** evaluated at order [n] *)
+}
+
+type row = {
+  stretch : string;               (** e.g. ["1 <= s < 2"] *)
+  applies : s:float -> bool;      (** does a concrete stretch fall in this row *)
+  local_lower : formula;
+  local_upper : formula;
+  global_lower : formula;
+  global_upper : formula;
+  source : string;                (** citation keys *)
+  from_cited_work : bool;         (** true when not provable from this paper *)
+}
+
+val rows : row list
+(** The seven stretch regimes of Table 1, post-Theorem 1. *)
+
+val row_for : s:float -> row
+(** The regime a concrete stretch factor falls into. *)
+
+val print : ?n:int -> Format.formatter -> unit -> unit
+(** Render the table; when [n] is given, formulas are also evaluated. *)

@@ -1,0 +1,96 @@
+open Umrs_graph
+open Umrs_routing
+
+type census = {
+  total : int;
+  delivering : int;
+  within_stretch : int;
+  matching : int;
+}
+
+let census (t : Cgraph.t) ~num ~den ~strict =
+  let g = t.Cgraph.graph in
+  let p, q = Matrix.dims t.Cgraph.matrix in
+  let base = Table_scheme.next_hop_matrix g in
+  let dist = Bfs.all_pairs g in
+  let n = Graph.order g in
+  (* which (vertex, dst) cells are free, and their index *)
+  let cell = Hashtbl.create (p * q) in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b -> Hashtbl.replace cell (a, b) ((i * q) + j))
+        t.Cgraph.targets;
+      ignore a)
+    t.Cgraph.constrained;
+  let radix =
+    Array.init (p * q) (fun idx ->
+        Graph.degree g t.Cgraph.constrained.(idx / q))
+  in
+  let digits = Array.make (p * q) 0 in
+  let next_hop u v =
+    match Hashtbl.find_opt cell (u, v) with
+    | Some idx -> digits.(idx) + 1
+    | None -> base.(u).(v)
+  in
+  let evaluate () =
+    (* returns (delivers, within_bound) *)
+    let rf = Routing_function.of_next_hop g next_hop in
+    try
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v then begin
+            let dr = Routing_function.route_length ~max_hops:(4 * n) rf u v in
+            let lhs = den * dr and rhs = num * dist.(u).(v) in
+            if not (if strict then lhs < rhs else lhs <= rhs) then ok := false
+          end
+        done
+      done;
+      (true, !ok)
+    with Routing_function.Routing_loop _ | Invalid_argument _ -> (false, false)
+  in
+  let matches_m () =
+    let ok = ref true in
+    for i = 0 to p - 1 do
+      for j = 0 to q - 1 do
+        if digits.((i * q) + j) + 1 <> Matrix.get t.Cgraph.matrix i j then
+          ok := false
+      done
+    done;
+    !ok
+  in
+  let total = ref 0 and delivering = ref 0 in
+  let within = ref 0 and matching = ref 0 in
+  let rec bump k =
+    if k < 0 then false
+    else if digits.(k) + 1 < radix.(k) then begin
+      digits.(k) <- digits.(k) + 1;
+      true
+    end
+    else begin
+      digits.(k) <- 0;
+      bump (k - 1)
+    end
+  in
+  let continue = ref true in
+  while !continue do
+    incr total;
+    let delivers, ok = evaluate () in
+    if delivers then incr delivering;
+    if ok then begin
+      incr within;
+      if matches_m () then incr matching
+    end;
+    continue := bump ((p * q) - 1)
+  done;
+  {
+    total = !total;
+    delivering = !delivering;
+    within_stretch = !within;
+    matching = !matching;
+  }
+
+let definition1_holds t =
+  let c = census t ~num:2 ~den:1 ~strict:true in
+  c.within_stretch = 1 && c.matching = 1

@@ -1,0 +1,33 @@
+(** Brute-force verification of Definition 1's universal quantifier.
+
+    {!Verify} decides the forced-port property analytically (an arc is
+    usable iff it starts a short-enough path). This module validates
+    that analysis independently: enumerate {e every} assignment of
+    output ports at the constrained vertices toward the targets, build
+    the corresponding destination-based routing function (all other
+    decisions fixed to shortest paths), and test it for delivery and
+    stretch. Definition 1 holds iff exactly the assignments agreeing
+    with [M] on every [(i,j)] survive.
+
+    Cost: [prod_i deg(a_i)^q] routing functions — fine for the small
+    canonical sets the test-suite uses. *)
+
+
+type census = {
+  total : int;        (** assignments enumerated *)
+  delivering : int;   (** assignments that deliver all pairs *)
+  within_stretch : int;  (** ... and meet the stretch bound *)
+  matching : int;     (** ... and agree with [M] on every cell *)
+}
+
+val census :
+  Cgraph.t -> num:int -> den:int -> strict:bool -> census
+(** Enumerate assignments on the graph of constraints; an assignment is
+    [within_stretch] when every source-target pair meets
+    [den * route <= num * dist] ([<] if [strict]) {e and} all other
+    ordered pairs are delivered at all. Definition 1 for the bound
+    holds iff [within_stretch = matching = 1] (only [M] itself). *)
+
+val definition1_holds : Cgraph.t -> bool
+(** [census] at the [s < 2] bound confirms the unique survivor is
+    [M]. *)

@@ -1,0 +1,66 @@
+open Umrs_graph
+
+type variant = Full | Positional
+
+let normalize_row row =
+  let next = ref 0 in
+  let rename = Hashtbl.create 8 in
+  Array.map
+    (fun v ->
+      match Hashtbl.find_opt rename v with
+      | Some r -> r
+      | None ->
+        incr next;
+        Hashtbl.add rename v !next;
+        !next)
+    row
+
+let candidate ~variant entries sigma_c =
+  let q = Array.length sigma_c in
+  let rows =
+    Array.map
+      (fun row ->
+        let permuted = Array.init q (fun j -> row.(sigma_c.(j))) in
+        match variant with
+        | Full -> normalize_row permuted
+        | Positional -> permuted)
+      entries
+  in
+  Array.sort compare rows;
+  rows
+
+let canonical ?(variant = Full) m =
+  let entries = (m : Matrix.t).entries in
+  let q = m.Matrix.q in
+  let best = ref None in
+  Perm.iter_all q (fun sigma_c ->
+      let c = candidate ~variant entries sigma_c in
+      match !best with
+      | None -> best := Some c
+      | Some b -> if compare c b < 0 then best := Some c);
+  match !best with
+  | Some b ->
+    (match variant with
+    | Full -> Matrix.create b
+    | Positional -> Matrix.create_relaxed b)
+  | None -> assert false
+
+let is_canonical ?variant m = Matrix.equal m (canonical ?variant m)
+
+let equivalent ?variant a b =
+  let pa, qa = Matrix.dims a and pb, qb = Matrix.dims b in
+  pa = pb && qa = qb
+  && Matrix.equal (canonical ?variant a) (canonical ?variant b)
+
+let random_equivalent st m =
+  let p, q = Matrix.dims m in
+  let m = Matrix.permute_rows m (Perm.random st p) in
+  let m = Matrix.permute_cols m (Perm.random st q) in
+  let rec per_row m i =
+    if i >= p then m
+    else begin
+      let k = Matrix.row_alphabet m i in
+      per_row (Matrix.permute_row_entries m i (Perm.random st k)) (i + 1)
+    end
+  in
+  per_row m 0

@@ -1,0 +1,47 @@
+(** Canonical representatives of the equivalence [~] (Definition 2).
+
+    Two matrices are equivalent when one maps to the other by a row
+    permutation [sigma_r], a column permutation [sigma_c], and per-row
+    alphabet permutations [pi_i]. The canonical representative is the
+    [compare_lex]-minimal member of the class (the paper's
+    minimal-index matrix).
+
+    Exact algorithm: for each of the [q!] column orders, resolve the
+    per-row alphabet freedom by first-occurrence relabelling (the unique
+    lex-minimal relabelling of a row read left to right), then resolve
+    the row freedom by sorting rows lexicographically; take the minimum
+    over column orders. Cost [O(q! * p q log p)] — exact in the
+    enumerable regime ([q <= 8]). *)
+
+type variant =
+  | Full
+      (** Definition 2 as stated: row permutations, column permutations,
+          and per-row alphabet permutations — the group the Theorem-1
+          decoder must quotient out (port labels at each [a_i] are the
+          scheme's to choose). *)
+  | Positional
+      (** Row and column permutations only. The paper's worked example
+          of a canonical set displays 7 matrices for [2M(2,2)], which is
+          the class count of this variant (the full group gives 3); both
+          variants satisfy Lemma 1, whose denominator [(d!)^p] dominates
+          either group's row-relabelling factor. See EXPERIMENTS.md. *)
+
+val normalize_row : int array -> int array
+(** First-occurrence relabelling: values renamed to [1, 2, ...] in
+    order of first appearance — e.g. [3 1 3 2] becomes [1 2 1 3]. The
+    result always uses a prefix alphabet. *)
+
+val canonical : ?variant:variant -> Matrix.t -> Matrix.t
+(** The class representative (default [Full]). Idempotent; invariant
+    under the variant's permutations of the input. Accepts relaxed
+    matrices; the [Full] result always has normalized rows. *)
+
+val is_canonical : ?variant:variant -> Matrix.t -> bool
+
+val equivalent : ?variant:variant -> Matrix.t -> Matrix.t -> bool
+(** Same equivalence class (compares canonical forms). *)
+
+val random_equivalent : Random.State.t -> Matrix.t -> Matrix.t
+(** A uniformly-drawn combination of row, column, and alphabet
+    permutations applied to the input — the property-test oracle for
+    [canonical]. The input must have normalized rows. *)

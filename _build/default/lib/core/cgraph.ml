@@ -1,0 +1,75 @@
+open Umrs_graph
+
+type t = {
+  graph : Graph.t;
+  matrix : Matrix.t;
+  constrained : Graph.vertex array;
+  targets : Graph.vertex array;
+  middle : Graph.vertex array array;
+}
+
+let order_bound ~p ~q ~d = (p * (d + 1)) + q
+
+let of_matrix m =
+  let p, q = Matrix.dims m in
+  (* Reject non-normalized rows up front: port k of a_i must be the arc
+     to c_{i,k}, which needs the row alphabet to be {1..k_i}. *)
+  let alphabets = Array.init p (fun i -> Matrix.row_alphabet m i) in
+  for i = 0 to p - 1 do
+    for j = 0 to q - 1 do
+      if Matrix.get m i j > alphabets.(i) then
+        invalid_arg "Cgraph.of_matrix: rows must use prefix alphabets"
+    done
+  done;
+  let constrained = Array.init p (fun i -> i) in
+  let targets = Array.init q (fun j -> p + j) in
+  let next_free = ref (p + q) in
+  let middle =
+    Array.init p (fun i ->
+        Array.init alphabets.(i) (fun _ ->
+            let v = !next_free in
+            incr next_free;
+            v))
+  in
+  let n = !next_free in
+  (* Adjacency built directly to control port order: at a_i, the arc to
+     c_{i,k} must sit on port k. *)
+  let adj = Array.make n [||] in
+  Array.iteri (fun i ai -> adj.(ai) <- Array.copy middle.(i)) constrained;
+  (* c_{i,k}: first the arc back to a_i, then arcs to the b_j with
+     m_ij = k (port order at middles and targets is irrelevant). *)
+  Array.iteri
+    (fun i cs ->
+      Array.iteri
+        (fun k_minus_1 c ->
+          let k = k_minus_1 + 1 in
+          let bs = ref [] in
+          for j = q - 1 downto 0 do
+            if Matrix.get m i j = k then bs := targets.(j) :: !bs
+          done;
+          adj.(c) <- Array.of_list (constrained.(i) :: !bs))
+        cs)
+    middle;
+  Array.iteri
+    (fun j bj ->
+      let cs = ref [] in
+      for i = p - 1 downto 0 do
+        let k = Matrix.get m i j in
+        cs := middle.(i).(k - 1) :: !cs
+      done;
+      adj.(bj) <- Array.of_list !cs)
+    targets;
+  let graph = Graph.of_adjacency adj in
+  { graph; matrix = m; constrained; targets; middle }
+
+let pad_to_order t ~n =
+  let order = Graph.order t.graph in
+  if n < order then invalid_arg "Cgraph.pad_to_order: n below current order";
+  if n = order then t
+  else begin
+    (* anchor on a middle vertex: neither constrained nor a target *)
+    let anchor = t.middle.(0).(0) in
+    { t with graph = Graph.attach_path t.graph ~anchor ~len:(n - order) }
+  end
+
+let forced_port t i j = Matrix.get t.matrix i j

@@ -1,0 +1,41 @@
+(** Generalized graphs of constraints (Section 3, Lemma 2).
+
+    For a matrix [M] with normalized rows, the 3-level graph [G]:
+    - level A: constrained vertices [a_1 .. a_p];
+    - level C: middle vertices [c_{i,k}] for every row [i] and every
+      value [k] in row [i]'s alphabet;
+    - level B: target vertices [b_1 .. b_q];
+    - edges [a_i - c_{i,k}] for all [k <= k_i], with the port of
+      [a_i] on that arc equal to [k] (this is the arc-naming [phi_i]);
+    - edges [c_{i,k} - b_j] iff [m_ij = k].
+
+    Then [dist(a_i, b_j) = 2], the path [a_i, c_{i,m_ij}, b_j] is the
+    unique one of length [< 4], and hence [M] is a matrix of
+    constraints of [G] for every stretch factor [s < 2]. The order of
+    [G] is at most [p(d+1) + q]. *)
+
+open Umrs_graph
+
+type t = {
+  graph : Graph.t;
+  matrix : Matrix.t;
+  constrained : Graph.vertex array;  (** [a_1 .. a_p] = vertices [0 .. p-1] *)
+  targets : Graph.vertex array;      (** [b_1 .. b_q] = vertices [p .. p+q-1] *)
+  middle : Graph.vertex array array; (** [middle.(i).(k-1)] is [c_{i,k}] *)
+}
+
+val of_matrix : Matrix.t -> t
+(** Requires normalized rows ({!Matrix.create} acceptance). *)
+
+val order_bound : p:int -> q:int -> d:int -> int
+(** [p * (d+1) + q], the Lemma 2 bound. *)
+
+val pad_to_order : t -> n:int -> t
+(** Theorem 1's transformation [G -> G_n]: attach a path of
+    [n - order] fresh vertices to a middle vertex (neither constrained
+    nor target), leaving the constraint structure intact. Raises
+    [Invalid_argument] if [n < order]. *)
+
+val forced_port : t -> int -> int -> Graph.port
+(** [forced_port t i j] is [m_ij] — the port every stretch-[<2] routing
+    function must use from [a_i] toward [b_j]. *)

@@ -1,0 +1,161 @@
+let total_raw ~p ~q ~d =
+  if p < 1 || q < 1 || d < 1 then invalid_arg "Count.total_raw";
+  Bignat.pow (Bignat.of_int d) (p * q)
+
+let lemma1_bound ~p ~q ~d =
+  if p > 20 || q > 20 || d > 20 then
+    invalid_arg "Count.lemma1_bound: use log2_lemma1_bound at this scale";
+  let numerator = total_raw ~p ~q ~d in
+  let denominator =
+    Bignat.mul
+      (Bignat.mul (Bignat.factorial p) (Bignat.factorial q))
+      (Bignat.pow (Bignat.factorial d) p)
+  in
+  Bignat.div numerator denominator
+
+let log2_fact n = Umrs_bitcode.Rank.log2_factorial n
+
+let log2_lemma1_bound ~p ~q ~d =
+  if p < 1 || q < 1 || d < 1 then invalid_arg "Count.log2_lemma1_bound";
+  (float_of_int (p * q) *. (Float.log (float_of_int d) /. Float.log 2.0))
+  -. log2_fact p -. log2_fact q
+  -. (float_of_int p *. log2_fact d)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let rec gcd_ a b = if b = 0 then a else gcd_ b (a mod b)
+let lcm_ a b = a / gcd_ a b * b
+
+(* integer partitions of n, each as a descending list *)
+let partitions n =
+  let rec go n maxpart =
+    if n = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun k -> List.map (fun rest -> k :: rest) (go (n - k) k))
+        (List.init (min n maxpart) (fun i -> i + 1) |> List.rev)
+  in
+  go n n
+
+(* number of permutations of S_n with the given cycle type *)
+let perms_with_type n lambda =
+  let denom =
+    let part_product = List.fold_left ( * ) 1 lambda in
+    let mult_fact =
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun a ->
+          Hashtbl.replace tbl a
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl a)))
+        lambda;
+      Hashtbl.fold
+        (fun _ m acc -> acc * Umrs_graph.Perm.factorial m)
+        tbl 1
+    in
+    part_product * mult_fact
+  in
+  Umrs_graph.Perm.factorial n / denom
+
+(* Fix(tau^k) for tau of cycle type nu: cycles of length c contribute c
+   fixed points when c divides k *)
+let fix_power_of_type nu k =
+  List.fold_left (fun acc c -> if k mod c = 0 then acc + c else acc) 0 nu
+
+let full_exact ~p ~q ~d =
+  if p < 1 || q < 1 || d < 1 then invalid_arg "Count.full_exact";
+  if p > 10 || q > 10 || d > 10 then
+    invalid_arg "Count.full_exact: keep p, q, d <= 10";
+  let fact_d = Umrs_graph.Perm.factorial d in
+  let parts_p = partitions p
+  and parts_q = partitions q
+  and parts_d = partitions d in
+  let counts_d = List.map (fun nu -> (nu, perms_with_type d nu)) parts_d in
+  (* per (row-cycle length a, column type mu):
+     S(a, mu) = sum_{tau in S_d} prod_{b in mu}
+                  Fix(tau^(lcm(a,b)/a))^gcd(a,b) *)
+  let s_factor a mu =
+    List.fold_left
+      (fun acc (nu, cnt) ->
+        let term = ref Bignat.one in
+        List.iter
+          (fun b ->
+            let k = lcm_ a b / a in
+            let fix = fix_power_of_type nu k in
+            if fix = 0 then term := Bignat.zero
+            else
+              for _ = 1 to gcd_ a b do
+                term := Bignat.mul_int !term fix
+              done)
+          mu;
+        Bignat.add acc (Bignat.mul_int !term cnt))
+      Bignat.zero counts_d
+  in
+  let total = ref Bignat.zero in
+  List.iter
+    (fun lambda ->
+      let cl = perms_with_type p lambda in
+      List.iter
+        (fun mu ->
+          let cm = perms_with_type q mu in
+          let contrib = ref (Bignat.of_int cl) in
+          contrib := Bignat.mul_int !contrib cm;
+          List.iter
+            (fun a ->
+              let factor = ref (s_factor a mu) in
+              for _ = 1 to a - 1 do
+                factor := Bignat.mul_int !factor fact_d
+              done;
+              contrib := Bignat.mul !contrib !factor)
+            lambda;
+          total := Bignat.add !total !contrib)
+        parts_q)
+    parts_p;
+  (* divide by |G| = p! q! (d!)^p, checking exactness *)
+  let order =
+    let o = ref (Bignat.of_int (Umrs_graph.Perm.factorial p)) in
+    o := Bignat.mul_int !o (Umrs_graph.Perm.factorial q);
+    for _ = 1 to p do
+      o := Bignat.mul_int !o fact_d
+    done;
+    !o
+  in
+  let quotient = Bignat.div !total order in
+  if not (Bignat.equal (Bignat.mul quotient order) !total) then
+    invalid_arg "Count.full_exact: internal error (inexact division)";
+  quotient
+
+let positional_exact ~p ~q ~d =
+  if p < 1 || q < 1 || d < 1 then invalid_arg "Count.positional_exact";
+  if p > 10 || q > 10 then
+    invalid_arg "Count.positional_exact: keep p, q <= 10";
+  let open Umrs_graph in
+  let total = ref Bignat.zero in
+  List.iter
+    (fun lambda ->
+      let cl = perms_with_type p lambda in
+      List.iter
+        (fun mu ->
+          let cm = perms_with_type q mu in
+          let grid_cycles =
+            List.fold_left
+              (fun acc a ->
+                List.fold_left (fun acc b -> acc + gcd a b) acc mu)
+              0 lambda
+          in
+          let term = Bignat.pow (Bignat.of_int d) grid_cycles in
+          let term = Bignat.mul_int term cl in
+          let term = Bignat.mul_int term cm in
+          total := Bignat.add !total term)
+        (partitions q))
+    (partitions p);
+  let t, r = Bignat.div_int !total (Perm.factorial p) in
+  assert (r = 0);
+  let t, r = Bignat.div_int t (Perm.factorial q) in
+  assert (r = 0);
+  t
+
+let holds_exactly ~p ~q ~d =
+  let exact = Enumerate.count ~p ~q ~d () in
+  match Bignat.to_int_opt (lemma1_bound ~p ~q ~d) with
+  | Some bound -> bound <= exact
+  | None -> false (* a bound beyond max_int cannot be below an int count *)

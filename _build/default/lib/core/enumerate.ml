@@ -1,0 +1,64 @@
+(* Overflow-safe power with a cap: returns [cap + 1] as soon as the
+   true value exceeds [cap]. *)
+let pow_capped b e ~cap =
+  if e < 0 then invalid_arg "pow_capped";
+  let rec go acc e =
+    if e = 0 then acc
+    else if acc > cap / b then cap + 1
+    else go (acc * b) (e - 1)
+  in
+  go 1 e
+
+let iter_matrices ~p ~q ~d f =
+  if p < 1 || q < 1 || d < 1 then invalid_arg "Enumerate.iter_matrices";
+  let cells = p * q in
+  let digits = Array.make cells 0 in
+  (* digits in {0..d-1}, row-major; entry = digit + 1 *)
+  let emit () =
+    let entries =
+      Array.init p (fun i -> Array.init q (fun j -> digits.((i * q) + j) + 1))
+    in
+    f (Matrix.create_relaxed entries)
+  in
+  let rec bump i =
+    if i < 0 then false
+    else if digits.(i) + 1 < d then begin
+      digits.(i) <- digits.(i) + 1;
+      true
+    end
+    else begin
+      digits.(i) <- 0;
+      bump (i - 1)
+    end
+  in
+  let continue = ref true in
+  while !continue do
+    emit ();
+    continue := bump (cells - 1)
+  done
+
+let guard ~p ~q ~d =
+  let cells = p * q in
+  let cap = 1 lsl 22 in
+  if d > 1 && pow_capped d cells ~cap > cap then
+    invalid_arg "Enumerate: d^(pq) too large to enumerate"
+
+let canonical_set ?variant ~p ~q ~d () =
+  guard ~p ~q ~d;
+  let seen = Hashtbl.create 256 in
+  iter_matrices ~p ~q ~d (fun m ->
+      let c = Canonical.canonical ?variant m in
+      let key = Matrix.to_string c in
+      if not (Hashtbl.mem seen key) then Hashtbl.add seen key c);
+  Hashtbl.fold (fun _ c acc -> c :: acc) seen []
+  |> List.sort Matrix.compare_lex
+
+let count ?variant ~p ~q ~d () = List.length (canonical_set ?variant ~p ~q ~d ())
+
+let class_size ?variant ~p ~q ~d m =
+  guard ~p ~q ~d;
+  let target = Canonical.canonical ?variant m in
+  let count = ref 0 in
+  iter_matrices ~p ~q ~d (fun m' ->
+      if Matrix.equal (Canonical.canonical ?variant m') target then incr count);
+  !count

@@ -1,0 +1,28 @@
+(** Exhaustive enumeration of [dM(p,q)] — the canonical representatives
+    of all [p x q] matrices with entries in [{1..d}] (the paper's
+    notation for the set whose cardinality drives Theorem 1).
+
+    Only feasible for small parameters ([d^(pq)] inputs); this is the
+    ground truth against which Lemma 1's counting bound is tested, and
+    the instance generator for the end-to-end Theorem-1 reconstruction
+    experiment. *)
+
+val iter_matrices : p:int -> q:int -> d:int -> (Matrix.t -> unit) -> unit
+(** All [d^(pq)] raw matrices (relaxed form), row-major counting
+    order. *)
+
+val canonical_set :
+  ?variant:Canonical.variant -> p:int -> q:int -> d:int -> unit -> Matrix.t list
+(** [dM(p,q)] for entry bound [d], sorted by [Matrix.compare_lex].
+    Defaults to the [Full] Definition-2 group; [Positional] reproduces
+    the paper's displayed 7-element example for [p = q = d = 2].
+    Raises [Invalid_argument] when [d^(pq)] exceeds [2^22] (guard
+    against accidental blow-up). *)
+
+val count : ?variant:Canonical.variant -> p:int -> q:int -> d:int -> unit -> int
+(** [|dM(p,q)|] = length of [canonical_set]. *)
+
+val class_size :
+  ?variant:Canonical.variant -> p:int -> q:int -> d:int -> Matrix.t -> int
+(** Number of raw matrices (entries in [{1..d}]) equivalent to the
+    given one. Summing over [canonical_set] recovers [d^(pq)]. *)

@@ -1,0 +1,92 @@
+open Umrs_graph
+
+(* All injective renamings of a row's distinct values into {1..d},
+   applied to the row: returns the list of renamed rows. *)
+let row_variants ~d row =
+  let distinct = List.sort_uniq compare (Array.to_list row) in
+  let k = List.length distinct in
+  if k > d then invalid_arg "Orbit: row uses more than d values";
+  (* choose an ordered arrangement (v_1..v_k) of targets in {1..d} *)
+  let variants = ref [] in
+  let rec choose chosen used =
+    if List.length chosen = k then begin
+      let map = List.combine distinct (List.rev chosen) in
+      let renamed = Array.map (fun x -> List.assoc x map) row in
+      variants := renamed :: !variants
+    end
+    else
+      for v = 1 to d do
+        if not (List.mem v used) then choose (v :: chosen) (v :: used)
+      done
+  in
+  choose [] [];
+  !variants
+
+let check_dims m =
+  let p, q = Matrix.dims m in
+  if p > 4 || q > 4 then invalid_arg "Orbit: keep p, q <= 4";
+  (p, q)
+
+let size ~d m =
+  let p, q = check_dims m in
+  if d > 4 then invalid_arg "Orbit: keep d <= 4";
+  let seen = Hashtbl.create 256 in
+  let variants =
+    Array.init p (fun i ->
+        row_variants ~d (Array.init q (fun j -> Matrix.get m i j)))
+  in
+  (* choose a renaming per row, then all row orders, all column orders *)
+  let rec rows_choice i acc =
+    if i = p then begin
+      let rows = Array.of_list (List.rev acc) in
+      Perm.iter_all p (fun sr ->
+          let permuted_rows = Array.map (fun r -> rows.(r)) sr in
+          Perm.iter_all q (fun sc ->
+              let key =
+                Array.map
+                  (fun row -> Array.init q (fun j -> row.(sc.(j))))
+                  permuted_rows
+              in
+              Hashtbl.replace seen key ()))
+    end
+    else List.iter (fun r -> rows_choice (i + 1) (r :: acc)) variants.(i)
+  in
+  rows_choice 0 [];
+  Hashtbl.length seen
+
+let size_positional m =
+  let p, q = check_dims m in
+  let seen = Hashtbl.create 64 in
+  let rows = Array.init p (fun i -> Array.init q (fun j -> Matrix.get m i j)) in
+  Perm.iter_all p (fun sr ->
+      let permuted = Array.map (fun r -> rows.(r)) sr in
+      Perm.iter_all q (fun sc ->
+          let key =
+            Array.map (fun row -> Array.init q (fun j -> row.(sc.(j)))) permuted
+          in
+          Hashtbl.replace seen key ()));
+  Hashtbl.length seen
+
+let random_raw st ~p ~q ~d =
+  if p < 1 || q < 1 || d < 1 then invalid_arg "Orbit.random_raw";
+  Matrix.create_relaxed
+    (Array.init p (fun _ ->
+         Array.init q (fun _ -> 1 + Random.State.int st d)))
+
+type estimate = { samples : int; mean : float; std_error : float }
+
+let estimate_classes ?(positional = false) st ~samples ~p ~q ~d =
+  if samples < 2 then invalid_arg "Orbit.estimate_classes: need >= 2 samples";
+  let total = Float.pow (float_of_int d) (float_of_int (p * q)) in
+  let xs =
+    Array.init samples (fun _ ->
+        let m = random_raw st ~p ~q ~d in
+        let orbit = if positional then size_positional m else size ~d m in
+        total /. float_of_int orbit)
+  in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int samples in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
+    /. float_of_int (samples - 1)
+  in
+  { samples; mean; std_error = sqrt (var /. float_of_int samples) }

@@ -1,0 +1,38 @@
+(** Orbits of the Definition-2 group action, and a Monte-Carlo
+    estimator of [|dM(p,q)|] beyond the exhaustive-enumeration regime.
+
+    The group acting on raw [p x q] matrices over [{1..d}] combines row
+    permutations, column permutations, and per-row injective renamings
+    of the row's values within [{1..d}] (the value-relabelling freedom
+    behind Definition 2's [pi_i]; on normalized rows it restricts to
+    alphabet permutations). Orbits partition the [d^(pq)] raw matrices,
+    and [|dM(p,q)|] is the number of orbits.
+
+    By orbit counting, [|dM(p,q)| = sum_raw 1/|orbit(raw)|], so
+    sampling raw matrices uniformly and averaging [1/|orbit|] gives an
+    unbiased estimator — usable where [d^(pq)] is far beyond
+    enumeration but orbits are still small enough to generate. *)
+
+val size : d:int -> Matrix.t -> int
+(** Exact orbit cardinality of a raw matrix under the full group, by
+    explicit generation ([q! p!] times the row-renaming arrangements;
+    keep [p, q <= 4] and [d <= 4]). *)
+
+val size_positional : Matrix.t -> int
+(** Orbit under row and column permutations only. *)
+
+val random_raw : Random.State.t -> p:int -> q:int -> d:int -> Matrix.t
+(** Uniform raw matrix (relaxed form). *)
+
+type estimate = {
+  samples : int;
+  mean : float;          (** estimated [|dM(p,q)|] *)
+  std_error : float;     (** standard error of the estimate *)
+}
+
+val estimate_classes :
+  ?positional:bool ->
+  Random.State.t -> samples:int -> p:int -> q:int -> d:int -> estimate
+(** Monte-Carlo estimate of the number of classes. With enumerable
+    parameters it converges to {!Enumerate.count} (tested); elsewhere it
+    extends the Lemma-1 validation. *)

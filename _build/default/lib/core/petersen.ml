@@ -1,0 +1,88 @@
+open Umrs_graph
+
+type t = {
+  graph : Graph.t;
+  constrained : Graph.vertex array;
+  targets : Graph.vertex array;
+  matrix : Matrix.t;
+}
+
+let unique_shortest_paths g =
+  let n = Graph.order g in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Bfs.count_shortest_paths g u v <> 1 then ok := false
+    done
+  done;
+  !ok
+
+let instance () =
+  let g = Generators.petersen () in
+  let constrained = Array.init 5 (fun i -> i) in
+  let targets = Array.init 5 (fun j -> 5 + j) in
+  let dist = Bfs.all_pairs g in
+  (* forced port of a_i toward b_j under stretch 1 — unique by girth 5
+     and diameter 2 *)
+  let forced src dst =
+    match
+      Verify.usable_ports g ~dist ~src ~dst ~bound:Verify.shortest_paths_only
+    with
+    | [ k ] -> k
+    | ports ->
+      invalid_arg
+        (Printf.sprintf "Petersen: %d usable ports for (%d,%d)"
+           (List.length ports) src dst)
+  in
+  let raw =
+    Array.map
+      (fun a -> Array.map (fun b -> forced a b) targets)
+      constrained
+  in
+  (* Renumber ports at each a_i so its row reads 1, 2, ... in first-
+     occurrence order ("it is possible to fix the labels of the
+     incident arcs of the vertices of A"). *)
+  let perms =
+    Array.init (Graph.order g) (fun v ->
+        if v >= 5 then Perm.identity (Graph.degree g v)
+        else begin
+          let row = raw.(v) in
+          let normalized = Canonical.normalize_row row in
+          (* old 0-based port index -> new 0-based index *)
+          let deg = Graph.degree g v in
+          let mapping = Array.make deg (-1) in
+          Array.iteri (fun j old_port -> mapping.(old_port - 1) <- normalized.(j) - 1) row;
+          (* ports not used by any target keep the leftover slots *)
+          let used = Array.to_list mapping |> List.filter (fun x -> x >= 0) in
+          let free =
+            List.filter
+              (fun s -> not (List.mem s used))
+              (List.init deg (fun s -> s))
+          in
+          let free = ref free in
+          Array.iteri
+            (fun idx x ->
+              if x < 0 then begin
+                match !free with
+                | s :: rest ->
+                  mapping.(idx) <- s;
+                  free := rest
+                | [] -> assert false
+              end)
+            mapping;
+          mapping
+        end)
+  in
+  let graph = Graph.relabel_ports g perms in
+  let matrix =
+    Matrix.create (Array.map Canonical.normalize_row raw)
+  in
+  { graph; constrained; targets; matrix }
+
+let verify t =
+  match
+    Verify.check t.graph ~constrained:t.constrained ~targets:t.targets
+      t.matrix ~bound:Verify.shortest_paths_only
+  with
+  | Ok () -> true
+  | Error _ -> false

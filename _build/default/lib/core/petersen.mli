@@ -1,0 +1,31 @@
+(** Figure 1 — a 5x5 shortest-path matrix of constraints on the
+    Petersen graph.
+
+    The Petersen graph has diameter 2 and girth 5, so between any two
+    distinct vertices there is a {e unique} shortest path; with
+    constrained vertices [A] = the outer cycle and targets [B] = the
+    inner star, every entry of the forced-port matrix is therefore well
+    defined, and port labels at [A] can be chosen so the matrix is
+    normalized — exactly the situation the figure depicts (e.g. every
+    shortest path from [a_1] to [b_1] must leave on arc [(a_1, b_1)]). *)
+
+open Umrs_graph
+
+type t = {
+  graph : Graph.t;            (** Petersen, ports at [A] renumbered *)
+  constrained : Graph.vertex array;  (** [a_1..a_5] = outer vertices 0-4 *)
+  targets : Graph.vertex array;      (** [b_1..b_5] = inner vertices 5-9 *)
+  matrix : Matrix.t;          (** the 5x5 forced-port matrix *)
+}
+
+val instance : unit -> t
+(** Builds the figure: computes the forced shortest-path ports, then
+    relabels each constrained vertex's ports so rows are normalized. *)
+
+val verify : t -> bool
+(** Machine check of Definition 1 at stretch 1
+    ({!Verify.shortest_paths_only}). *)
+
+val unique_shortest_paths : Graph.t -> bool
+(** True iff every vertex pair of the graph has exactly one shortest
+    path (holds for Petersen; the property behind the figure). *)

@@ -1,0 +1,99 @@
+open Umrs_routing
+
+let from_routing (t : Cgraph.t) (rf : Routing_function.t) =
+  let p, q = Matrix.dims t.Cgraph.matrix in
+  let entries =
+    Array.init p (fun i ->
+        Array.init q (fun j ->
+            let a = t.Cgraph.constrained.(i) and b = t.Cgraph.targets.(j) in
+            let h = rf.Routing_function.init a b in
+            match rf.Routing_function.port a h with
+            | Some k -> k
+            | None -> invalid_arg "Reconstruct: routing delivered at source"))
+  in
+  Matrix.create_relaxed entries
+
+let reconstruct t rf = Canonical.canonical (from_routing t rf)
+
+type sampled = {
+  s_samples : int;
+  s_all_forced : bool;
+  s_all_recovered : bool;
+}
+
+let run_sampled ?(bound = Verify.below_two) st ~samples ~p ~q ~d ~scheme () =
+  if samples < 1 then invalid_arg "Reconstruct.run_sampled";
+  let all_forced = ref true and all_recovered = ref true in
+  for _ = 1 to samples do
+    let raw = Orbit.random_raw st ~p ~q ~d in
+    (* normalize rows so the cgraph construction applies; this is the
+       port-relabelling step the proof performs "w.l.o.g." *)
+    let m =
+      Matrix.create
+        (Array.init p (fun i ->
+             Canonical.normalize_row
+               (Array.init q (fun j -> Matrix.get raw i j))))
+    in
+    let t = Cgraph.of_matrix m in
+    (match Verify.check_cgraph t ~bound with
+    | Ok () -> ()
+    | Error _ -> all_forced := false);
+    let built = scheme t.Cgraph.graph in
+    let recovered = Canonical.canonical (from_routing t built.Scheme.rf) in
+    if not (Matrix.equal recovered (Canonical.canonical m)) then
+      all_recovered := false
+  done;
+  {
+    s_samples = samples;
+    s_all_forced = !all_forced;
+    s_all_recovered = !all_recovered;
+  }
+
+type outcome = {
+  classes : int;
+  injective : bool;
+  all_forced : bool;
+  all_recovered : bool;
+  bits_information : float;
+  bits_side : float;
+  bits_net : float;
+}
+
+let run_experiment ?pad_to ?(bound = Verify.below_two) ~p ~q ~d ~scheme () =
+  let set = Enumerate.canonical_set ~p ~q ~d () in
+  let classes = List.length set in
+  let seen = Hashtbl.create classes in
+  let all_forced = ref true in
+  let all_recovered = ref true in
+  let order = ref 0 in
+  List.iter
+    (fun m ->
+      let t = Cgraph.of_matrix m in
+      let t =
+        match pad_to with Some n -> Cgraph.pad_to_order t ~n | None -> t
+      in
+      order := max !order (Umrs_graph.Graph.order t.Cgraph.graph);
+      (match Verify.check_cgraph t ~bound with
+      | Ok () -> ()
+      | Error _ -> all_forced := false);
+      let built = scheme t.Cgraph.graph in
+      let recovered = reconstruct t built.Scheme.rf in
+      if not (Matrix.equal recovered (Canonical.canonical m)) then
+        all_recovered := false;
+      Hashtbl.replace seen (Matrix.to_string recovered) ())
+    set;
+  let injective = Hashtbl.length seen = classes in
+  let n = max 2 !order in
+  let bits_information = Bignat.log2 (Bignat.of_int classes) in
+  let mb = Umrs_bitcode.Rank.log2_binomial n (min q n) in
+  let mc = 3.0 *. float_of_int (Umrs_bitcode.Codes.ceil_log2 n) in
+  let bits_side = mb +. mc in
+  {
+    classes;
+    injective;
+    all_forced = !all_forced;
+    all_recovered = !all_recovered;
+    bits_information;
+    bits_side;
+    bits_net = Float.max 0.0 (bits_information -. bits_side);
+  }

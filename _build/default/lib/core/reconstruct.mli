@@ -1,0 +1,66 @@
+(** The Theorem-1 argument, run end to end.
+
+    The proof's key step: the routers of the constrained vertices of
+    [G(M)] can jointly {e rebuild} [M] — query each router [a_i] with
+    the label of each target [b_j], record the answering output port,
+    and canonicalize. Because any stretch-[<2] routing function is
+    forced onto port [m_ij], this map is well defined; because it is
+    injective on [dM(p,q)], the routers' total memory must be at least
+    [log2 |dM(p,q)|] minus the side information ([MB] for the target
+    labels, [MC] + [O(log n)] for the canonicalization procedure and
+    parameters) — Equation (1) of the paper. *)
+
+open Umrs_graph
+
+val from_routing : Cgraph.t -> Umrs_routing.Routing_function.t -> Matrix.t
+(** Interrogate a routing function on a graph of constraints: entry
+    [(i,j)] is the first port it uses from [a_i] toward [b_j]. Raw
+    (non-canonicalized) result. *)
+
+val reconstruct : Cgraph.t -> Umrs_routing.Routing_function.t -> Matrix.t
+(** [canonical (from_routing ...)] — the decoder of the proof. *)
+
+type sampled = {
+  s_samples : int;
+  s_all_forced : bool;
+  s_all_recovered : bool;
+}
+
+val run_sampled :
+  ?bound:Verify.stretch_bound ->
+  Random.State.t ->
+  samples:int ->
+  p:int -> q:int -> d:int ->
+  scheme:(Graph.t -> Umrs_routing.Scheme.built) ->
+  unit -> sampled
+(** The same pipeline on uniformly sampled raw matrices instead of the
+    whole canonical set — scales the mechanism check to parameter
+    ranges whose [dM(p,q)] is too large to enumerate (injectivity is
+    meaningless on a sample, so only forcing and recovery are
+    reported). Recovery compares canonical forms. *)
+
+type outcome = {
+  classes : int;             (** [|dM(p,q)|] *)
+  injective : bool;          (** distinct matrices gave distinct reconstructions *)
+  all_forced : bool;         (** every instance passed {!Verify.below_two} *)
+  all_recovered : bool;      (** reconstruction = canonical of original *)
+  bits_information : float;  (** [log2 |dM(p,q)|] *)
+  bits_side : float;         (** [MB + MC + O(log n)] charged *)
+  bits_net : float;          (** information minus side bits (>= 0 clamp) *)
+}
+
+val run_experiment :
+  ?pad_to:int ->
+  ?bound:Verify.stretch_bound ->
+  p:int -> q:int -> d:int ->
+  scheme:(Graph.t -> Umrs_routing.Scheme.built) ->
+  unit -> outcome
+(** For every [M] in [dM(p,q)]: build [G(M)] (optionally padded to
+    order [pad_to]), run [scheme] on it, reconstruct, and check
+    recovery and global injectivity. [scheme] must produce a
+    stretch-[<2] routing function (e.g. routing tables). [bound]
+    (default {!Verify.below_two}) selects the forcing regime checked on
+    each instance — {!Verify.shortest_paths_only} runs the [s = 1]
+    variant of the argument (the Gavoille-Perennes regime of Table 1's
+    first row). The side-bit charge uses [MB = log2 C(n,q)] and
+    [MC + params = 3 ceil(log2 n)] as in Section 4. *)

@@ -1,0 +1,48 @@
+(** The paper as an executable checklist.
+
+    Each function mechanically checks one numbered claim of Fraigniaud
+    & Gavoille (1996) at a configurable (finite) scale and returns
+    whether it held. [all ()] runs the default instantiations — the
+    single entry point for "is the reproduction intact?"
+    ([routing_lab check] on the command line). *)
+
+val definition1_figure1 : unit -> bool
+(** Figure 1's instance satisfies Definition 1 on the Petersen graph at
+    stretch 1, with every row a full prefix alphabet. *)
+
+val lemma1 : p:int -> q:int -> d:int -> bool
+(** [|dM(p,q)| >= d^(pq) / (p! q! (d!)^p)], exact count vs exact
+    bound. *)
+
+val lemma2 : Matrix.t -> bool
+(** The graph of constraints of [M] has order at most [p(d+1)+q], is
+    connected, and forces port [m_ij] for every routing function of
+    stretch below 2. *)
+
+val lemma2_universal : p:int -> q:int -> d:int -> bool
+(** {!lemma2} over the whole canonical set [dM(p,q)]. *)
+
+val theorem1_mechanism : p:int -> q:int -> d:int -> bool
+(** The decoder of Section 4: any shortest-path routing functions on
+    the graphs of constraints determine the matrices, injectively over
+    [dM(p,q)], including after padding. *)
+
+val theorem1_asymptotics : n:int -> eps:float -> bool
+(** The calculator's sanity: the per-router lower bound is positive,
+    below the table upper bound, and its ratio to [n log n] does not
+    vanish as [n] doubles. *)
+
+val global_bound_quadratic : n:int -> bool
+(** The companion [Omega(n^2)] global bound ([6]) evaluates to at least
+    [n^2/32] net bits at order [n]. *)
+
+val table1_consistency : n:int -> bool
+(** Every Table-1 row evaluates with lower bounds at most the matching
+    upper bounds at order [n]. *)
+
+val stretch_two_phase_transition : unit -> bool
+(** Forcing is total below stretch 2 and collapses at 2 on a reference
+    graph of constraints (the conclusion's open-question boundary). *)
+
+val all : unit -> (string * bool) list
+(** Default instantiations of everything above, labelled. *)

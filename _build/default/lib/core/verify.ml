@@ -1,0 +1,57 @@
+open Umrs_graph
+
+type stretch_bound = { num : int; den : int; strict : bool }
+
+let shortest_paths_only = { num = 1; den = 1; strict = false }
+let below_two = { num = 2; den = 1; strict = true }
+
+let usable_ports g ~dist ~src ~dst ~bound =
+  if src = dst then invalid_arg "Verify.usable_ports: src = dst";
+  let d = dist.(src).(dst) in
+  if d = Bfs.infinity then invalid_arg "Verify.usable_ports: unreachable";
+  let ok k =
+    let w = Graph.neighbor g src ~port:k in
+    let dw = dist.(w).(dst) in
+    dw <> Bfs.infinity
+    &&
+    let lhs = bound.den * (1 + dw) and rhs = bound.num * d in
+    if bound.strict then lhs < rhs else lhs <= rhs
+  in
+  List.filter ok (List.init (Graph.degree g src) (fun k -> k + 1))
+
+type violation = {
+  row : int;
+  col : int;
+  expected : Graph.port;
+  usable : Graph.port list;
+}
+
+let check g ~constrained ~targets m ~bound =
+  let p, q = Matrix.dims m in
+  if Array.length constrained <> p || Array.length targets <> q then
+    invalid_arg "Verify.check: dimension mismatch";
+  let dist = Bfs.all_pairs g in
+  let violations = ref [] in
+  for i = p - 1 downto 0 do
+    for j = q - 1 downto 0 do
+      let usable =
+        usable_ports g ~dist ~src:constrained.(i) ~dst:targets.(j) ~bound
+      in
+      let expected = Matrix.get m i j in
+      if usable <> [ expected ] then
+        violations := { row = i; col = j; expected; usable } :: !violations
+    done
+  done;
+  match !violations with [] -> Ok () | vs -> Error vs
+
+let check_cgraph (t : Cgraph.t) ~bound =
+  check t.Cgraph.graph ~constrained:t.Cgraph.constrained
+    ~targets:t.Cgraph.targets t.Cgraph.matrix ~bound
+
+let forced_fraction (t : Cgraph.t) ~bound =
+  let p, q = Matrix.dims t.Cgraph.matrix in
+  match check_cgraph t ~bound with
+  | Ok () -> 1.0
+  | Error vs ->
+    let bad = List.length vs in
+    float_of_int ((p * q) - bad) /. float_of_int (p * q)

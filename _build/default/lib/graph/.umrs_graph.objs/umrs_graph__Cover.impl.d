@@ -1,0 +1,1 @@
+lib/graph/cover.ml: Array Bfs Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Float Fun Graph Hashtbl Int List Perm Random Set

@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Array Buffer Fun Graph List String

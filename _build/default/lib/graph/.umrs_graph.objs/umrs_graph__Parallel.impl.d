@@ -1,0 +1,1 @@
+lib/graph/parallel.ml: Array Bfs Domain Graph List Weighted

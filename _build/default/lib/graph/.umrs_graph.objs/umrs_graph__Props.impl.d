@@ -1,0 +1,1 @@
+lib/graph/props.ml: Array Fun Graph Hashtbl List Option Queue

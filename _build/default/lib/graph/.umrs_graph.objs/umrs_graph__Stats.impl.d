@@ -1,0 +1,1 @@
+lib/graph/stats.ml: Array Float List Printf

@@ -1,0 +1,1 @@
+lib/graph/weighted.ml: Array Bfs Graph Hashtbl Heap Random

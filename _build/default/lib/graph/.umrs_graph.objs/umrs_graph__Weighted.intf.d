@@ -1,0 +1,1 @@
+lib/graph/weighted.mli: Graph Random

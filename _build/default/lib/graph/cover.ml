@@ -1,0 +1,71 @@
+type cluster = {
+  center : Graph.vertex;
+  radius : int;
+  members : Graph.vertex array;
+}
+
+type t = { r : int; clusters : cluster array; home : int array }
+
+let ball_members dist limit =
+  let acc = ref [] in
+  Array.iteri (fun v d -> if d <= limit then acc := v :: !acc) dist;
+  Array.of_list (List.rev !acc)
+
+let build g ~r =
+  if r < 0 then invalid_arg "Cover.build: negative radius";
+  if not (Graph.is_connected g) then
+    invalid_arg "Cover.build: need a connected graph";
+  let n = Graph.order g in
+  let home = Array.make n (-1) in
+  let clusters = ref [] in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if home.(v) = -1 then begin
+      let dist = Bfs.distances g v in
+      (* grow: rho += r while the (rho+r)-ball more than doubles the
+         rho-ball *)
+      let size limit =
+        Array.fold_left (fun acc d -> if d <= limit then acc + 1 else acc) 0 dist
+      in
+      let rho = ref 0 in
+      while size (!rho + r) > 2 * size !rho do
+        rho := !rho + r
+      done;
+      let c =
+        { center = v; radius = !rho + r; members = ball_members dist (!rho + r) }
+      in
+      let idx = !count in
+      incr count;
+      clusters := c :: !clusters;
+      (* serve the unserved core: their r-balls fit inside the cluster *)
+      Array.iteri
+        (fun u d -> if d <= !rho && home.(u) = -1 then home.(u) <- idx)
+        dist
+    end
+  done;
+  { r; clusters = Array.of_list (List.rev !clusters); home }
+
+let max_cluster_radius t =
+  Array.fold_left (fun acc c -> max acc c.radius) 0 t.clusters
+
+let max_membership g t =
+  let n = Graph.order g in
+  let count = Array.make n 0 in
+  Array.iter
+    (fun c -> Array.iter (fun v -> count.(v) <- count.(v) + 1) c.members)
+    t.clusters;
+  Array.fold_left max 0 count
+
+let covers_balls g t =
+  let n = Graph.order g in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    let c = t.clusters.(t.home.(v)) in
+    let inside = Hashtbl.create (Array.length c.members) in
+    Array.iter (fun m -> Hashtbl.replace inside m ()) c.members;
+    let dist = Bfs.distances g v in
+    for u = 0 to n - 1 do
+      if dist.(u) <= t.r && not (Hashtbl.mem inside u) then ok := false
+    done
+  done;
+  !ok

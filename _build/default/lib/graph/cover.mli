@@ -1,0 +1,32 @@
+(** Sparse neighbourhood covers (Awerbuch & Peleg — reference [2] of
+    the paper), by region growing.
+
+    A radius-[r] cover is a set of connected clusters such that every
+    vertex [v] has a {e home} cluster containing its whole ball
+    [B(v, r)]. Region growing keeps cluster radii within
+    [r * (log2 n + 2)]: grow a ball around an unserved vertex, doubling
+    as long as the next [r]-annulus at least doubles the population
+    (possible at most [log2 n] times), then serve its core. *)
+
+type cluster = {
+  center : Graph.vertex;
+  radius : int;              (** ball radius in the host graph *)
+  members : Graph.vertex array;  (** sorted *)
+}
+
+type t = {
+  r : int;
+  clusters : cluster array;
+  home : int array;  (** [home.(v)] = index of the cluster containing [B(v,r)] *)
+}
+
+val build : Graph.t -> r:int -> t
+(** Requires a connected graph and [r >= 0]. *)
+
+val max_cluster_radius : t -> int
+val max_membership : Graph.t -> t -> int
+(** Largest number of clusters any single vertex belongs to. *)
+
+val covers_balls : Graph.t -> t -> bool
+(** Check the defining property: [B(v, r)] inside [v]'s home cluster,
+    for every [v] (exhaustive; used by the test-suite). *)

@@ -1,0 +1,49 @@
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_dot ?(name = "g") ?(highlight = []) ?labels ?(show_ports = false) g =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  if show_ports then add "digraph \"%s\" {\n" (escape name)
+  else add "graph \"%s\" {\n" (escape name);
+  add "  node [shape=circle];\n";
+  for v = 0 to Graph.order g - 1 do
+    let label =
+      match labels with Some f -> f v | None -> string_of_int v
+    in
+    let style =
+      if List.mem v highlight then " style=filled fillcolor=lightblue" else ""
+    in
+    add "  %d [label=\"%s\"%s];\n" v (escape label) style
+  done;
+  if show_ports then
+    Graph.iter_arcs g (fun u k v ->
+        add "  %d -> %d [taillabel=\"%d\"];\n" u v k)
+  else
+    List.iter (fun (u, v) -> add "  %d -- %d;\n" u v) (Graph.edges g);
+  add "}\n";
+  Buffer.contents buf
+
+let path_to_dot ?(name = "route") g path =
+  let on_path = Hashtbl.create 16 in
+  let rec mark = function
+    | u :: (v :: _ as rest) ->
+      Hashtbl.replace on_path (min u v, max u v) ();
+      mark rest
+    | _ -> ()
+  in
+  mark path;
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "graph \"%s\" {\n  node [shape=circle];\n" (escape name);
+  List.iter
+    (fun v ->
+      add "  %d [style=filled fillcolor=lightyellow];\n" v)
+    path;
+  List.iter
+    (fun (u, v) ->
+      if Hashtbl.mem on_path (u, v) then
+        add "  %d -- %d [penwidth=3 color=red];\n" u v
+      else add "  %d -- %d;\n" u v)
+    (Graph.edges g);
+  add "}\n";
+  Buffer.contents buf

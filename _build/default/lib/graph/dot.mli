@@ -1,0 +1,16 @@
+(** Graphviz export for graphs and routing artifacts. *)
+
+val to_dot :
+  ?name:string ->
+  ?highlight:Graph.vertex list ->
+  ?labels:(Graph.vertex -> string) ->
+  ?show_ports:bool ->
+  Graph.t ->
+  string
+(** Render as an undirected [graph]. [highlight] vertices are filled;
+    [labels] overrides node labels; [show_ports] annotates each edge
+    end with its local port number (as [taillabel]/[headlabel] on a
+    directed rendering). *)
+
+val path_to_dot : ?name:string -> Graph.t -> Graph.vertex list -> string
+(** The graph with a routing path's edges emphasized. *)

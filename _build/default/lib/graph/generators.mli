@@ -1,0 +1,100 @@
+(** Graph families.
+
+    The corpus matches the families cited in Section 1 and Table 1 of
+    the paper: hypercubes (e-cube routing, [O(log n)] bits), trees /
+    outerplanar / unit circular-arc graphs (interval routing,
+    [O(d log n)] bits), chordal graphs, complete graphs (the adversarial
+    port-labelling example), plus standard path/cycle/grid/random
+    families used by the benchmarks. *)
+
+val path : int -> Graph.t
+(** [path n]: vertices [0 - 1 - ... - n-1]. *)
+
+val cycle : int -> Graph.t
+(** [cycle n], [n >= 3]. *)
+
+val complete : int -> Graph.t
+(** [complete n] is [K_n]; port [k] of vertex [v] leads to the [k]-th
+    other vertex in increasing order. *)
+
+val complete_bipartite : int -> int -> Graph.t
+(** [complete_bipartite a b] is [K_{a,b}] with the left part
+    [0 .. a-1]. *)
+
+val star : int -> Graph.t
+(** [star n]: center [0] joined to [1 .. n-1]. *)
+
+val wheel : int -> Graph.t
+(** [wheel n], [n >= 4]: a cycle on [1 .. n-1] plus center [0]. *)
+
+val hypercube : int -> Graph.t
+(** [hypercube dim] is [H_{2^dim}]. Port [k] of vertex [v] flips bit
+    [k-1] of [v] — the labelling assumed by e-cube routing. *)
+
+val grid : int -> int -> Graph.t
+(** [grid w h]: the [w x h] mesh; vertex [(x,y)] is [y*w + x]. *)
+
+val torus : int -> int -> Graph.t
+(** [torus w h]: the wrapped mesh; needs [w >= 3] and [h >= 3]. *)
+
+val torus_nd : int list -> Graph.t
+(** [torus_nd [d1; ...; dk]]: the k-dimensional torus, each [di >= 3].
+    Vertex ids are mixed-radix (dimension 0 varies fastest). Ports of
+    every vertex: [2i+1] steps [+1] and [2i+2] steps [-1] along
+    dimension [i] — the convention assumed by
+    {!Umrs_routing.Specialized.build_torus_dor}. *)
+
+val petersen : unit -> Graph.t
+(** The Petersen graph: outer 5-cycle [0..4], inner 5-star [5..9],
+    spokes [i - i+5]. (Figure 1 of the paper uses a specific relabelled
+    copy, built in [Umrs_core.Petersen].) *)
+
+val generalized_petersen : int -> int -> Graph.t
+(** [generalized_petersen n k]: outer [n]-cycle, inner [n]-circulant of
+    step [k], spokes. [petersen () = generalized_petersen 5 2]. *)
+
+val random_tree : Random.State.t -> int -> Graph.t
+(** Uniform labelled tree on [n] vertices (Pruefer sequence). *)
+
+val caterpillar : Random.State.t -> spine:int -> legs:int -> Graph.t
+(** Spine path of [spine] vertices with [legs] extra leaves attached to
+    uniformly random spine vertices. *)
+
+val k_tree : Random.State.t -> k:int -> int -> Graph.t
+(** Random [k]-tree on [n >= k+1] vertices: start from [K_{k+1}], each
+    new vertex is joined to a random existing [k]-clique. [k]-trees are
+    chordal (Table 1's [O(n log^2 n)] global-memory family). *)
+
+val maximal_outerplanar : Random.State.t -> int -> Graph.t
+(** Random maximal outerplanar graph: a cycle on [n >= 3] vertices plus
+    a uniformly random triangulation of the inside of the polygon. *)
+
+val unit_circular_arc : Random.State.t -> n:int -> arc:float -> Graph.t option
+(** Intersection graph of [n] uniformly placed circular arcs, all of
+    angular length [arc] (unit circular-arc graph). [None] when the
+    sample is disconnected. *)
+
+val random_connected : Random.State.t -> n:int -> m:int -> Graph.t
+(** Uniform-ish connected graph: a random spanning tree plus [m - (n-1)]
+    further uniform non-edges. Requires [n-1 <= m <= n(n-1)/2]. *)
+
+val random_regular : Random.State.t -> n:int -> d:int -> Graph.t
+(** Random [d]-regular graph by the pairing model (resampled until
+    simple and connected). Requires [n * d] even, [d < n]. *)
+
+val globe : meridians:int -> parallels:int -> Graph.t
+(** The globe graph of Gavoille & Guevremont's worst-case interval-
+    routing bounds (reference [8]): two poles joined by [meridians]
+    disjoint paths of [parallels] internal vertices each. Pole 0 is
+    vertex 0, pole 1 is vertex 1; meridian [i]'s internal vertices are
+    [2 + i*parallels ..]. Needs [meridians >= 2], [parallels >= 1]. *)
+
+val de_bruijn_like : int -> Graph.t
+(** Undirected binary de Bruijn graph [UB(dim)] on [2^dim] vertices:
+    edges [v ~ (2v mod n)] and [v ~ (2v+1 mod n)], loops and duplicates
+    dropped. Diameter [dim] with degree [<= 4]. *)
+
+val corpus : Random.State.t -> size:int -> (string * Graph.t) list
+(** A named sample of every family above, each of order approximately
+    [size] — the workload set for the Table-1 benchmarks. All graphs
+    returned are connected. *)

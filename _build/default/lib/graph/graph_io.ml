@@ -1,0 +1,50 @@
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (string_of_int (Graph.order g));
+  Buffer.add_char buf '\n';
+  for v = 0 to Graph.order g - 1 do
+    let row = Graph.neighbors g v in
+    Buffer.add_string buf
+      (String.concat " " (List.map string_of_int (Array.to_list row)));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let of_string s =
+  (* keep blank lines: an isolated vertex has an empty row; only strip
+     comment lines and a trailing newline *)
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> String.length l = 0 || l.[0] <> '#')
+  in
+  match lines with
+  | [] -> invalid_arg "Graph_io.of_string: empty input"
+  | header :: rest ->
+    let n =
+      try int_of_string (String.trim header)
+      with Failure _ -> invalid_arg "Graph_io.of_string: bad header"
+    in
+    let rows = Array.of_list rest in
+    if Array.length rows < n then
+      invalid_arg "Graph_io.of_string: missing adjacency rows";
+    let adj =
+      Array.init n (fun v ->
+          String.split_on_char ' ' rows.(v)
+          |> List.filter (( <> ) "")
+          |> List.map int_of_string
+          |> Array.of_list)
+    in
+    Graph.of_adjacency adj
+
+let save g ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

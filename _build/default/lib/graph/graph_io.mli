@@ -1,0 +1,14 @@
+(** Plain-text serialization of graphs, ports included.
+
+    Format: first line ["n"], then one line per vertex listing its
+    neighbours in port order (possibly empty); lines starting with
+    ['#'] are comments. Because the paper's model gives meaning to the
+    local port numbering, the adjacency-row format is used so a
+    round-trip reproduces the graph {e exactly}, ports included
+    (tested). *)
+
+val to_string : Graph.t -> string
+val of_string : string -> Graph.t
+
+val save : Graph.t -> path:string -> unit
+val load : path:string -> Graph.t

@@ -1,0 +1,73 @@
+type 'a t = {
+  mutable keys : int array;
+  mutable data : 'a option array;
+  mutable len : int;
+}
+
+let create () = { keys = Array.make 16 0; data = Array.make 16 None; len = 0 }
+
+let is_empty h = h.len = 0
+let size h = h.len
+
+let swap h i j =
+  let k = h.keys.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.keys.(j) <- k;
+  let d = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- d
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.keys.(parent) > h.keys.(i) then begin
+      swap h parent i;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+  if r < h.len && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h ~priority x =
+  if h.len = Array.length h.keys then begin
+    let cap = 2 * h.len in
+    let keys = Array.make cap 0 and data = Array.make cap None in
+    Array.blit h.keys 0 keys 0 h.len;
+    Array.blit h.data 0 data 0 h.len;
+    h.keys <- keys;
+    h.data <- data
+  end;
+  h.keys.(h.len) <- priority;
+  h.data.(h.len) <- Some x;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let key = h.keys.(0) in
+    let value =
+      match h.data.(0) with Some v -> v | None -> assert false
+    in
+    h.len <- h.len - 1;
+    h.keys.(0) <- h.keys.(h.len);
+    h.data.(0) <- h.data.(h.len);
+    h.data.(h.len) <- None;
+    if h.len > 0 then sift_down h 0;
+    Some (key, value)
+  end
+
+let peek_min h =
+  if h.len = 0 then None
+  else
+    match h.data.(0) with
+    | Some v -> Some (h.keys.(0), v)
+    | None -> assert false

@@ -1,0 +1,18 @@
+(** Minimal binary min-heap on integer priorities, for Dijkstra.
+
+    Supports decrease-key implicitly through lazy deletion: push the
+    same element again with a smaller priority and ignore stale pops. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> priority:int -> 'a -> unit
+
+val pop_min : 'a t -> (int * 'a) option
+(** Removes and returns the (priority, element) pair with the smallest
+    priority; [None] on an empty heap. Ties broken arbitrarily. *)
+
+val peek_min : 'a t -> (int * 'a) option

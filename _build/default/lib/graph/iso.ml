@@ -1,0 +1,73 @@
+(* Backtracking isomorphism with an invariant-based candidate filter:
+   vertices are compatible when their degrees match and the sorted
+   degree multisets of their neighbourhoods match. Vertices of g are
+   assigned in descending-degree order (most constrained first). *)
+
+let neighbour_degree_signature g v =
+  let sig_ = Array.map (Graph.degree g) (Graph.neighbors g v) in
+  Array.sort compare sig_;
+  sig_
+
+let find g h =
+  let n = Graph.order g in
+  if Graph.order h <> n || Graph.size g <> Graph.size h then None
+  else begin
+    let sig_g = Array.init n (neighbour_degree_signature g) in
+    let sig_h = Array.init n (neighbour_degree_signature h) in
+    let compatible u x =
+      Graph.degree g u = Graph.degree h x && sig_g.(u) = sig_h.(x)
+    in
+    (* quick rejection: degree sequences must agree *)
+    let degs gr = List.sort compare (List.init n (Graph.degree gr)) in
+    if degs g <> degs h then None
+    else begin
+      let order =
+        let vs = Array.init n (fun i -> i) in
+        Array.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) vs;
+        vs
+      in
+      let mapping = Array.make n (-1) in
+      let used = Array.make n false in
+      let ok u x =
+        (* adjacency with already-mapped vertices must be preserved *)
+        Array.for_all
+          (fun w ->
+            mapping.(w) = -1 || Graph.mem_edge h x mapping.(w))
+          (Graph.neighbors g u)
+        && Array.for_all
+             (fun y ->
+               let pre = ref true in
+               (* x's mapped neighbours must come from u's neighbours *)
+               Array.iteri
+                 (fun w img ->
+                   if img = y && not (Graph.mem_edge g u w) then pre := false)
+                 mapping;
+               !pre)
+             (Graph.neighbors h x)
+      in
+      let rec assign i =
+        if i = n then true
+        else begin
+          let u = order.(i) in
+          let rec try_candidates x =
+            if x >= n then false
+            else if (not used.(x)) && compatible u x && ok u x then begin
+              mapping.(u) <- x;
+              used.(x) <- true;
+              if assign (i + 1) then true
+              else begin
+                mapping.(u) <- -1;
+                used.(x) <- false;
+                try_candidates (x + 1)
+              end
+            end
+            else try_candidates (x + 1)
+          in
+          try_candidates 0
+        end
+      in
+      if assign 0 then Some (Array.copy mapping) else None
+    end
+  end
+
+let are_isomorphic g h = find g h <> None

@@ -1,0 +1,12 @@
+(** Graph isomorphism for small graphs (backtracking with degree and
+    neighbourhood pruning; fine up to a few dozen vertices).
+
+    Used to validate constructions against independent ones (e.g. the
+    hypercube generator vs a product of [K_2]'s) — port labels are
+    ignored, only the adjacency structure matters. *)
+
+val find : Graph.t -> Graph.t -> Perm.t option
+(** [find g h] is a vertex bijection [f] with
+    [u ~ v  <=>  f u ~ f v], if one exists. *)
+
+val are_isomorphic : Graph.t -> Graph.t -> bool

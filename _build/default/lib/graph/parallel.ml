@@ -1,0 +1,34 @@
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map_range ?domains n f =
+  if n < 0 then invalid_arg "Parallel.map_range";
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  if n < 2 || domains <= 1 then Array.init n f
+  else begin
+    let domains = min domains n in
+    let results = Array.make n None in
+    let chunk = (n + domains - 1) / domains in
+    let worker d () =
+      let lo = d * chunk in
+      let hi = min n (lo + chunk) - 1 in
+      for i = lo to hi do
+        results.(i) <- Some (f i)
+      done
+    in
+    let handles =
+      List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+    in
+    worker 0 ();
+    List.iter Domain.join handles;
+    Array.map
+      (function Some x -> x | None -> invalid_arg "Parallel: missing result")
+      results
+  end
+
+let all_pairs ?domains g =
+  map_range ?domains (Graph.order g) (fun src -> Bfs.distances g src)
+
+let all_pairs_weighted ?domains w =
+  map_range ?domains (Graph.order (Weighted.graph w)) (Weighted.dijkstra w)

@@ -1,0 +1,21 @@
+(** Multicore helpers (OCaml 5 domains) for the embarrassingly parallel
+    parts of the suite — all-pairs BFS dominates every experiment's
+    runtime, and each source is independent.
+
+    No external dependency: plain [Domain.spawn] over contiguous source
+    slices. Results are deterministic and equal to the sequential
+    versions (tested). *)
+
+val default_domains : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]. *)
+
+val map_range : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** [map_range ~domains n f] is [Array.init n f] computed on [domains]
+    domains ([f] must be thread-safe; indices are split into contiguous
+    chunks). Falls back to sequential for [n < 2] or [domains <= 1]. *)
+
+val all_pairs : ?domains:int -> Graph.t -> int array array
+(** Parallel {!Bfs.all_pairs}. *)
+
+val all_pairs_weighted : ?domains:int -> Weighted.t -> int array array
+(** Parallel {!Weighted.all_pairs}. *)

@@ -1,0 +1,152 @@
+type t = int array
+
+let identity n = Array.init n (fun i -> i)
+
+let is_valid p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let x = p.(i) in
+    if x < 0 || x >= n || seen.(x) then ok := false else seen.(x) <- true
+  done;
+  !ok
+
+let inverse p =
+  let n = Array.length p in
+  let q = Array.make n 0 in
+  for i = 0 to n - 1 do
+    q.(p.(i)) <- i
+  done;
+  q
+
+let compose p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Perm.compose: size mismatch";
+  Array.map (fun i -> p.(i)) q
+
+let apply p i =
+  if i < 0 || i >= Array.length p then invalid_arg "Perm.apply: out of range";
+  p.(i)
+
+let of_list l =
+  let p = Array.of_list l in
+  if not (is_valid p) then invalid_arg "Perm.of_list: not a permutation";
+  p
+
+let random st n =
+  let p = identity n in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- tmp
+  done;
+  p
+
+let swap p i j =
+  let tmp = p.(i) in
+  p.(i) <- p.(j);
+  p.(j) <- tmp
+
+let reverse_suffix p from =
+  let i = ref from and j = ref (Array.length p - 1) in
+  while !i < !j do
+    swap p !i !j;
+    incr i;
+    decr j
+  done
+
+(* Classic Dijkstra next-permutation: find the longest non-increasing
+   suffix, swap its pivot with the smallest larger element, reverse. *)
+let next p =
+  let n = Array.length p in
+  if n <= 1 then false
+  else begin
+    let i = ref (n - 2) in
+    while !i >= 0 && p.(!i) >= p.(!i + 1) do
+      decr i
+    done;
+    if !i < 0 then begin
+      reverse_suffix p 0;
+      false
+    end
+    else begin
+      let j = ref (n - 1) in
+      while p.(!j) <= p.(!i) do
+        decr j
+      done;
+      swap p !i !j;
+      reverse_suffix p (!i + 1);
+      true
+    end
+  end
+
+let iter_all n f =
+  let p = identity n in
+  let continue = ref true in
+  while !continue do
+    f p;
+    continue := next p
+  done
+
+let fold_all n f init =
+  let acc = ref init in
+  iter_all n (fun p -> acc := f !acc p);
+  !acc
+
+let factorial n =
+  if n < 0 || n > 20 then invalid_arg "Perm.factorial: need 0 <= n <= 20";
+  let r = ref 1 in
+  for i = 2 to n do
+    r := !r * i
+  done;
+  !r
+
+let rank p =
+  let n = Array.length p in
+  if n > 20 then invalid_arg "Perm.rank: n too large";
+  let r = ref 0 in
+  for i = 0 to n - 1 do
+    (* count elements after position i that are smaller than p.(i) *)
+    let smaller = ref 0 in
+    for j = i + 1 to n - 1 do
+      if p.(j) < p.(i) then incr smaller
+    done;
+    r := (!r * (n - i)) + !smaller
+  done;
+  !r
+
+let unrank n r =
+  if n > 20 then invalid_arg "Perm.unrank: n too large";
+  if r < 0 || r >= factorial n then invalid_arg "Perm.unrank: rank out of range";
+  let digits = Array.make n 0 in
+  let r = ref r in
+  for i = n - 1 downto 0 do
+    digits.(i) <- !r mod (n - i);
+    r := !r / (n - i)
+  done;
+  let avail = ref (List.init n (fun i -> i)) in
+  Array.map
+    (fun d ->
+      let x = List.nth !avail d in
+      avail := List.filter (fun y -> y <> x) !avail;
+      x)
+    digits
+
+let count_inversions p =
+  let n = Array.length p in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if p.(i) > p.(j) then incr c
+    done
+  done;
+  !c
+
+let pp fmt p =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_array
+       ~pp_sep:(fun f () -> Format.pp_print_string f ";")
+       Format.pp_print_int)
+    p

@@ -1,0 +1,60 @@
+(** Permutations of [{0, ..., n-1}], represented as arrays [p] where
+    [p.(i)] is the image of [i].
+
+    Used throughout the suite: port relabellings of graphs, the row /
+    column / entry permutations defining the equivalence of matrices of
+    constraints, and Lehmer-code ranking for bit-exact permutation
+    encodings. *)
+
+type t = int array
+
+val identity : int -> t
+(** [identity n] is the identity permutation on [{0..n-1}]. *)
+
+val is_valid : t -> bool
+(** [is_valid p] checks that [p] is a bijection of [{0..n-1}]. *)
+
+val inverse : t -> t
+(** [inverse p] is the permutation [q] with [q.(p.(i)) = i]. *)
+
+val compose : t -> t -> t
+(** [compose p q] maps [i] to [p.(q.(i))] (apply [q] first). *)
+
+val apply : t -> int -> int
+(** [apply p i] is [p.(i)]; raises [Invalid_argument] out of range. *)
+
+val of_list : int list -> t
+(** [of_list l] builds a permutation, validating it. *)
+
+val random : Random.State.t -> int -> t
+(** [random st n] draws a uniform permutation (Fisher-Yates). *)
+
+val next : t -> bool
+(** [next p] advances [p] in place to the lexicographically next
+    permutation, returning [false] (and leaving [p] sorted ascending)
+    when [p] was the last one. Start from [identity n] to enumerate all
+    [n!] permutations. *)
+
+val iter_all : int -> (t -> unit) -> unit
+(** [iter_all n f] calls [f] on every permutation of [{0..n-1}] in
+    lexicographic order. The array passed to [f] is reused; copy it if
+    you keep it. *)
+
+val fold_all : int -> ('a -> t -> 'a) -> 'a -> 'a
+(** [fold_all n f init] folds [f] over all permutations of [{0..n-1}]. *)
+
+val rank : t -> int
+(** [rank p] is the Lehmer rank of [p] in [0 .. n!-1] (lexicographic).
+    Requires [n <= 20] to fit in an [int]. *)
+
+val unrank : int -> int -> t
+(** [unrank n r] is the permutation of [{0..n-1}] with Lehmer rank [r]. *)
+
+val factorial : int -> int
+(** [factorial n] for [n <= 20]. *)
+
+val count_inversions : t -> int
+(** [count_inversions p] is the number of pairs [i < j] with
+    [p.(i) > p.(j)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+let cartesian g h =
+  let ng = Graph.order g and nh = Graph.order h in
+  if ng = 0 || nh = 0 then invalid_arg "Product.cartesian: empty factor";
+  let id a b = (b * ng) + a in
+  let adj =
+    Array.init (ng * nh) (fun v ->
+        let a = v mod ng and b = v / ng in
+        Array.append
+          (Array.map (fun a' -> id a' b) (Graph.neighbors g a))
+          (Array.map (fun b' -> id a b') (Graph.neighbors h b)))
+  in
+  Graph.of_adjacency adj
+
+let rec power g k =
+  if k < 1 then invalid_arg "Product.power: need k >= 1"
+  else if k = 1 then g
+  else cartesian (power g (k - 1)) g

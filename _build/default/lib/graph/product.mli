@@ -1,0 +1,15 @@
+(** Cartesian graph products.
+
+    Hypercubes, meshes and tori are all cartesian products of paths /
+    cycles / [K_2] — used by the test suite to validate the dedicated
+    generators against an independent construction. *)
+
+val cartesian : Graph.t -> Graph.t -> Graph.t
+(** [cartesian g h]: vertex [(a, b)] is the integer [b * order g + a];
+    [(a,b) ~ (a',b')] iff ([a = a'] and [b ~ b']) or ([b = b'] and
+    [a ~ a']). Ports: the [g]-dimension arcs first (in [g]'s port
+    order), then the [h]-dimension arcs. *)
+
+val power : Graph.t -> int -> Graph.t
+(** [power g k] is the [k]-fold cartesian product of [g] with itself
+    ([k >= 1]). [power (complete 2) k] is the [k]-cube. *)

@@ -1,0 +1,173 @@
+let is_tree g = Graph.is_connected g && Graph.size g = Graph.order g - 1
+
+let is_regular g =
+  let n = Graph.order g in
+  n = 0
+  ||
+  let d = Graph.degree g 0 in
+  let rec go v = v >= n || (Graph.degree g v = d && go (v + 1)) in
+  go 1
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  for v = 0 to Graph.order g - 1 do
+    let d = Graph.degree g v in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [])
+
+let girth g =
+  (* BFS from every vertex; a non-tree arc closing at depth levels d and
+     d' gives a cycle of length d + d' + 1. *)
+  let n = Graph.order g in
+  let best = ref max_int in
+  for src = 0 to n - 1 do
+    let dist = Array.make n (-1) in
+    let parent = Array.make n (-1) in
+    let queue = Queue.create () in
+    dist.(src) <- 0;
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun w ->
+          if dist.(w) = -1 then begin
+            dist.(w) <- dist.(v) + 1;
+            parent.(w) <- v;
+            Queue.add w queue
+          end
+          else if parent.(v) <> w && w <> v then
+            best := min !best (dist.(v) + dist.(w) + 1))
+        (Graph.neighbors g v)
+    done
+  done;
+  if !best = max_int then None else Some !best
+
+let is_bipartite g =
+  let n = Graph.order g in
+  let color = Array.make n (-1) in
+  let ok = ref true in
+  for src = 0 to n - 1 do
+    if color.(src) = -1 then begin
+      color.(src) <- 0;
+      let queue = Queue.create () in
+      Queue.add src queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        Array.iter
+          (fun w ->
+            if color.(w) = -1 then begin
+              color.(w) <- 1 - color.(v);
+              Queue.add w queue
+            end
+            else if color.(w) = color.(v) then ok := false)
+          (Graph.neighbors g v)
+      done
+    end
+  done;
+  !ok
+
+let average_degree g =
+  let n = Graph.order g in
+  if n = 0 then 0.0 else 2.0 *. float_of_int (Graph.size g) /. float_of_int n
+
+(* Tarjan's low-link DFS, iterative-free (graphs here are small enough
+   for recursion). Returns (disc, low, parent). *)
+let lowlink g =
+  let n = Graph.order g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let timer = ref 0 in
+  let rec dfs v =
+    disc.(v) <- !timer;
+    low.(v) <- !timer;
+    incr timer;
+    Array.iter
+      (fun w ->
+        if disc.(w) = -1 then begin
+          parent.(w) <- v;
+          dfs w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if w <> parent.(v) then low.(v) <- min low.(v) disc.(w))
+      (Graph.neighbors g v)
+  in
+  for v = 0 to n - 1 do
+    if disc.(v) = -1 then dfs v
+  done;
+  (disc, low, parent)
+
+let bridges g =
+  let disc, low, parent = lowlink g in
+  let acc = ref [] in
+  for v = 0 to Graph.order g - 1 do
+    let p = parent.(v) in
+    if p >= 0 && low.(v) > disc.(p) then
+      acc := (min p v, max p v) :: !acc
+  done;
+  List.sort compare !acc
+
+let articulation_points g =
+  let disc, low, parent = lowlink g in
+  let n = Graph.order g in
+  let result = Array.make n false in
+  (* root: articulation iff it has >= 2 DFS children *)
+  let children = Array.make n 0 in
+  for v = 0 to n - 1 do
+    if parent.(v) >= 0 then children.(parent.(v)) <- children.(parent.(v)) + 1
+  done;
+  for v = 0 to n - 1 do
+    if parent.(v) = -1 then result.(v) <- children.(v) >= 2
+    else
+      Array.iter
+        (fun w ->
+          if parent.(w) = v && low.(w) >= disc.(v) then result.(v) <- true)
+        (Graph.neighbors g v)
+  done;
+  List.filter (fun v -> result.(v)) (List.init n Fun.id)
+
+let is_biconnected g =
+  Graph.order g >= 3 && Graph.is_connected g && articulation_points g = []
+
+let is_chordal g =
+  let n = Graph.order g in
+  if n = 0 then true
+  else begin
+    (* Maximum cardinality search produces a reverse perfect elimination
+       ordering iff the graph is chordal. *)
+    let weight = Array.make n 0 in
+    let placed = Array.make n false in
+    let order = Array.make n (-1) in
+    for i = n - 1 downto 0 do
+      let v = ref (-1) in
+      for u = 0 to n - 1 do
+        if (not placed.(u)) && (!v = -1 || weight.(u) > weight.(!v)) then v := u
+      done;
+      order.(i) <- !v;
+      placed.(!v) <- true;
+      Array.iter (fun w -> if not placed.(w) then weight.(w) <- weight.(w) + 1) (Graph.neighbors g !v)
+    done;
+    let pos = Array.make n 0 in
+    Array.iteri (fun i v -> pos.(v) <- i) order;
+    (* Check: for each v, its later neighbours' earliest one is adjacent
+       to the rest (standard PEO verification). *)
+    let adjacent u w = Graph.mem_edge g u w in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      let v = order.(i) in
+      let later =
+        Array.to_list (Graph.neighbors g v)
+        |> List.filter (fun w -> pos.(w) > i)
+      in
+      match later with
+      | [] -> ()
+      | _ ->
+        let u =
+          List.fold_left (fun a w -> if pos.(w) < pos.(a) then w else a)
+            (List.hd later) later
+        in
+        List.iter (fun w -> if w <> u && not (adjacent u w) then ok := false) later
+    done;
+    !ok
+  end

@@ -1,0 +1,31 @@
+(** Structural predicates and statistics on graphs. *)
+
+val is_tree : Graph.t -> bool
+(** Connected with exactly [n - 1] edges. *)
+
+val is_regular : Graph.t -> bool
+
+val degree_histogram : Graph.t -> (int * int) list
+(** [(degree, count)] pairs, sorted by degree. *)
+
+val girth : Graph.t -> int option
+(** Length of a shortest cycle, [None] for forests. *)
+
+val is_bipartite : Graph.t -> bool
+
+val average_degree : Graph.t -> float
+
+val is_chordal : Graph.t -> bool
+(** Chordality test via maximum-cardinality search and perfect
+    elimination ordering verification. *)
+
+val bridges : Graph.t -> (Graph.vertex * Graph.vertex) list
+(** Edges whose removal disconnects their component (Tarjan low-link),
+    as [(u, v)] with [u < v]. A dead link on a bridge necessarily
+    strands traffic — see {!Umrs_routing.Simulator.run_with_dead_links}. *)
+
+val articulation_points : Graph.t -> Graph.vertex list
+(** Vertices whose removal disconnects their component, ascending. *)
+
+val is_biconnected : Graph.t -> bool
+(** Connected, at least 3 vertices, and no articulation point. *)

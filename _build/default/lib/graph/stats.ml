@@ -1,0 +1,65 @@
+let require_nonempty xs =
+  if Array.length xs = 0 then invalid_arg "Stats: empty input"
+
+let mean xs =
+  require_nonempty xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  require_nonempty xs;
+  let n = Array.length xs in
+  if n = 1 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let sorted xs =
+  let c = Array.copy xs in
+  Array.sort compare c;
+  c
+
+let percentile xs ~p =
+  require_nonempty xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: range";
+  let s = sorted xs in
+  let n = Array.length s in
+  let rank =
+    int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1
+  in
+  s.(max 0 (min (n - 1) rank))
+
+let median xs = percentile xs ~p:50.0
+
+let minimum xs =
+  require_nonempty xs;
+  Array.fold_left min xs.(0) xs
+
+let maximum xs =
+  require_nonempty xs;
+  Array.fold_left max xs.(0) xs
+
+let histogram xs ~buckets =
+  require_nonempty xs;
+  if buckets < 1 then invalid_arg "Stats.histogram: need buckets >= 1";
+  let lo = minimum xs and hi = maximum xs in
+  let width =
+    if hi > lo then (hi -. lo) /. float_of_int buckets else 1.0
+  in
+  let counts = Array.make buckets 0 in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = max 0 (min (buckets - 1) b) in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  List.init buckets (fun b ->
+      ( lo +. (float_of_int b *. width),
+        lo +. (float_of_int (b + 1) *. width),
+        counts.(b) ))
+
+let summary xs =
+  Printf.sprintf "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p99=%.2f max=%.2f"
+    (Array.length xs) (mean xs) (stddev xs) (minimum xs) (median xs)
+    (percentile xs ~p:99.0) (maximum xs)

@@ -1,0 +1,24 @@
+(** Small summary-statistics helpers used by the simulator and the
+    benchmark reports. All functions tolerate unsorted input. *)
+
+val mean : float array -> float
+(** Raises [Invalid_argument] on empty input. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0 for singletons. *)
+
+val percentile : float array -> p:float -> float
+(** [percentile xs ~p] for [0 <= p <= 100], nearest-rank on the sorted
+    copy. *)
+
+val median : float array -> float
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val histogram : float array -> buckets:int -> (float * float * int) list
+(** [(lo, hi, count)] per bucket over the value range; the last bucket
+    is closed. Requires [buckets >= 1]. *)
+
+val summary : float array -> string
+(** One line: [n mean stddev min p50 p99 max]. *)

@@ -1,0 +1,108 @@
+type t = { g : Graph.t; costs : int array array }
+
+let of_graph g cost =
+  let n = Graph.order g in
+  let costs =
+    Array.init n (fun v ->
+        Array.init (Graph.degree g v) (fun k ->
+            let c = cost v (k + 1) in
+            if c <= 0 then invalid_arg "Weighted: costs must be positive";
+            c))
+  in
+  (* symmetry: cost of (u -> v) equals cost of (v -> u) *)
+  Graph.iter_arcs g (fun u k v ->
+      let back =
+        match Graph.port_to g ~src:v ~dst:u with
+        | Some kb -> kb
+        | None -> assert false
+      in
+      if costs.(u).(k - 1) <> costs.(v).(back - 1) then
+        invalid_arg "Weighted: asymmetric edge cost");
+  { g; costs }
+
+let uniform g = of_graph g (fun _ _ -> 1)
+
+let random st ~max_cost g =
+  if max_cost < 1 then invalid_arg "Weighted.random";
+  (* draw one cost per undirected edge *)
+  let tbl = Hashtbl.create (Graph.size g) in
+  let cost v k =
+    let w = Graph.neighbor g v ~port:k in
+    let key = if v < w then (v, w) else (w, v) in
+    match Hashtbl.find_opt tbl key with
+    | Some c -> c
+    | None ->
+      let c = 1 + Random.State.int st max_cost in
+      Hashtbl.add tbl key c;
+      c
+  in
+  of_graph g cost
+
+let graph t = t.g
+
+let cost t v k =
+  if k < 1 || k > Graph.degree t.g v then invalid_arg "Weighted.cost: port";
+  t.costs.(v).(k - 1)
+
+let edge_cost t u v =
+  match Graph.port_to t.g ~src:u ~dst:v with
+  | Some k -> t.costs.(u).(k - 1)
+  | None -> invalid_arg "Weighted.edge_cost: not adjacent"
+
+let dijkstra t src =
+  let n = Graph.order t.g in
+  if src < 0 || src >= n then invalid_arg "Weighted.dijkstra: source";
+  let dist = Array.make n Bfs.infinity in
+  let heap = Heap.create () in
+  dist.(src) <- 0;
+  Heap.push heap ~priority:0 src;
+  let rec drain () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (d, v) ->
+      if d = dist.(v) then
+        Array.iteri
+          (fun k w ->
+            let nd = d + t.costs.(v).(k) in
+            if nd < dist.(w) then begin
+              dist.(w) <- nd;
+              Heap.push heap ~priority:nd w
+            end)
+          (Graph.neighbors t.g v);
+      drain ()
+  in
+  drain ();
+  dist
+
+let all_pairs t = Array.init (Graph.order t.g) (dijkstra t)
+
+let path_cost t path =
+  let rec go acc = function
+    | [] | [ _ ] -> acc
+    | u :: (v :: _ as rest) -> go (acc + edge_cost t u v) rest
+  in
+  go 0 path
+
+let shortest_path t src dst =
+  let dist = dijkstra t src in
+  if dist.(dst) = Bfs.infinity then None
+  else begin
+    (* walk back greedily from dst *)
+    let rec back v acc =
+      if v = src then v :: acc
+      else begin
+        let pred = ref (-1) in
+        Array.iteri
+          (fun k w ->
+            if
+              !pred = -1
+              && dist.(w) + t.costs.(v).(k) = dist.(v)
+              && dist.(w) < dist.(v)
+            then pred := w)
+          (Graph.neighbors t.g v);
+        assert (!pred >= 0);
+        back !pred (v :: acc)
+      end
+    in
+    Some (back dst [])
+  end

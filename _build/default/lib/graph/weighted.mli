@@ -1,0 +1,36 @@
+(** Graphs with positive integer arc costs.
+
+    The paper's model is uniform-cost, but two of Table 1's cited
+    schemes (Awerbuch et al. [1]; Awerbuch & Peleg [2]) "allow
+    non-uniform cost on the arcs"; this module provides the weighted
+    substrate for those comparisons. Costs are symmetric per edge. *)
+
+type t
+
+val of_graph : Graph.t -> (Graph.vertex -> Graph.port -> int) -> t
+(** [of_graph g cost] attaches [cost v k > 0] to the arc on port [k] of
+    [v]. Raises [Invalid_argument] if costs are not positive or the two
+    arcs of an edge disagree. *)
+
+val uniform : Graph.t -> t
+(** All edges cost 1 — distances coincide with BFS hop counts. *)
+
+val random : Random.State.t -> max_cost:int -> Graph.t -> t
+(** Uniform edge costs in [1 .. max_cost]. *)
+
+val graph : t -> Graph.t
+val cost : t -> Graph.vertex -> Graph.port -> int
+
+val edge_cost : t -> Graph.vertex -> Graph.vertex -> int
+(** Cost of the edge between two adjacent vertices. *)
+
+val dijkstra : t -> Graph.vertex -> int array
+(** Single-source weighted distances ([Bfs.infinity] when
+    unreachable). *)
+
+val all_pairs : t -> int array array
+
+val path_cost : t -> Graph.vertex list -> int
+(** Total cost along a path of adjacent vertices. *)
+
+val shortest_path : t -> Graph.vertex -> Graph.vertex -> Graph.vertex list option

@@ -1,0 +1,1 @@
+lib/routing/collective.ml: Array Bfs Fun Graph List Routing_function Simulator Umrs_graph

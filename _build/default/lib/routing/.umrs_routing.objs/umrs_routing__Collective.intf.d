@@ -1,0 +1,1 @@
+lib/routing/collective.mli: Graph Routing_function Umrs_graph

@@ -1,0 +1,1 @@
+lib/routing/compressed_tables.ml: Array Bitbuf Codes Graph List Routing_function Scheme Table_scheme Umrs_bitcode Umrs_graph

@@ -1,0 +1,1 @@
+lib/routing/compressed_tables.mli: Graph Scheme Umrs_bitcode Umrs_graph

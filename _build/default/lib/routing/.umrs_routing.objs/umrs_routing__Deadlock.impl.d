@@ -1,0 +1,1 @@
+lib/routing/deadlock.ml: Graph Hashtbl List Option Routing_function Umrs_graph

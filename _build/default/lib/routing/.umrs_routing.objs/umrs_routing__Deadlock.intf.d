@@ -1,0 +1,1 @@
+lib/routing/deadlock.mli: Graph Routing_function Umrs_graph

@@ -1,0 +1,1 @@
+lib/routing/hierarchical_scheme.ml: Array Bfs Bitbuf Codes Float Graph Hashtbl List Printf Routing_function Scheme Umrs_bitcode Umrs_graph

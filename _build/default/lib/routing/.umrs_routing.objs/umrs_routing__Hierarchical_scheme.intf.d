@@ -1,0 +1,1 @@
+lib/routing/hierarchical_scheme.mli: Graph Scheme Umrs_graph

@@ -1,0 +1,1 @@
+lib/routing/interval_routing.ml: Array Bitbuf Codes Graph List Perm Printf Random Routing_function Scheme Table_scheme Umrs_bitcode Umrs_graph

@@ -1,0 +1,1 @@
+lib/routing/interval_routing.mli: Graph Random Scheme Umrs_bitcode Umrs_graph

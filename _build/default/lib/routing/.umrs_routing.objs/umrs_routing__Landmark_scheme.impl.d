@@ -1,0 +1,1 @@
+lib/routing/landmark_scheme.ml: Array Bfs Bitbuf Codes Float Graph List Perm Printf Queue Random Routing_function Scheme Umrs_bitcode Umrs_graph

@@ -1,0 +1,1 @@
+lib/routing/landmark_scheme.mli: Graph Scheme Umrs_bitcode Umrs_graph

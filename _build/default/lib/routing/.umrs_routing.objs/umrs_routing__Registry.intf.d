@@ -1,0 +1,1 @@
+lib/routing/registry.mli: Scheme Umrs_graph

@@ -1,0 +1,1 @@
+lib/routing/routing_function.ml: Array Bfs Format Graph List Printf Random Umrs_bitcode Umrs_graph

@@ -1,0 +1,1 @@
+lib/routing/routing_function.mli: Format Graph Random Umrs_graph

@@ -1,0 +1,1 @@
+lib/routing/scheme.ml: Array Format Graph Routing_function Umrs_bitcode Umrs_graph

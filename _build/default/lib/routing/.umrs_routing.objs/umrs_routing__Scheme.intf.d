@@ -1,0 +1,1 @@
+lib/routing/scheme.mli: Format Graph Routing_function Umrs_bitcode Umrs_graph

@@ -1,0 +1,1 @@
+lib/routing/simulator.ml: Array Format Fun Graph Hashtbl List Option Perm Random Routing_function Stats Umrs_graph

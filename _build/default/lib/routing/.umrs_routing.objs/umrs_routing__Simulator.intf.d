@@ -1,0 +1,1 @@
+lib/routing/simulator.mli: Format Graph Random Routing_function Umrs_graph

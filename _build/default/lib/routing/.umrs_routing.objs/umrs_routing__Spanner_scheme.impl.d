@@ -1,0 +1,1 @@
+lib/routing/spanner_scheme.ml: Array Bitbuf Codes Graph Printf Routing_function Scheme Table_scheme Umrs_bitcode Umrs_graph Umrs_spanner

@@ -1,0 +1,1 @@
+lib/routing/spanner_scheme.mli: Graph Scheme Umrs_graph

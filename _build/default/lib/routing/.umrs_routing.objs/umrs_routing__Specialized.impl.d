@@ -1,0 +1,1 @@
+lib/routing/specialized.ml: Array Bitbuf Codes Deadlock Graph Hashtbl List Perm Printf Rank Routing_function Scheme String Umrs_bitcode Umrs_graph

@@ -1,0 +1,1 @@
+lib/routing/specialized.mli: Graph Random Scheme Umrs_graph

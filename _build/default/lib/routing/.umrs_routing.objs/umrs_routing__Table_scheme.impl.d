@@ -1,0 +1,1 @@
+lib/routing/table_scheme.ml: Array Bfs Bitbuf Codes Graph Parallel Routing_function Scheme Umrs_bitcode Umrs_graph

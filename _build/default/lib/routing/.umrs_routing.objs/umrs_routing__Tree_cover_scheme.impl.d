@@ -1,0 +1,1 @@
+lib/routing/tree_cover_scheme.ml: Array Bfs Bitbuf Codes Cover Float Graph Hashtbl List Option Printf Queue Routing_function Scheme Umrs_bitcode Umrs_graph

@@ -1,0 +1,1 @@
+lib/routing/tree_cover_scheme.mli: Graph Scheme Umrs_graph

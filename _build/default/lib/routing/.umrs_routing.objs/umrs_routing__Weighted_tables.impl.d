@@ -1,0 +1,1 @@
+lib/routing/weighted_tables.ml: Array Bfs Bitbuf Codes Graph Routing_function Scheme Umrs_bitcode Umrs_graph Weighted

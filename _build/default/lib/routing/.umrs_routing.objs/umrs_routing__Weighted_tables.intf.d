@@ -1,0 +1,1 @@
+lib/routing/weighted_tables.mli: Graph Routing_function Scheme Umrs_graph Weighted

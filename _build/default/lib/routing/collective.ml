@@ -1,0 +1,39 @@
+open Umrs_graph
+
+type broadcast_result = { rounds : int; messages : int; reached : int }
+
+let broadcast_unicast ?round_limit rf ~root =
+  let n = Graph.order rf.Routing_function.graph in
+  let pairs =
+    List.filter_map
+      (fun v -> if v = root then None else Some (root, v))
+      (List.init n Fun.id)
+  in
+  let s = Simulator.run ?round_limit rf ~pairs in
+  {
+    rounds = s.Simulator.rounds;
+    messages = s.Simulator.total_hops;
+    reached = s.Simulator.delivered + 1;
+  }
+
+let tree_depths g root =
+  let dist, parent = Bfs.distances_with_parents g root in
+  let n = Graph.order g in
+  for v = 0 to n - 1 do
+    if v <> root && parent.(v) = -1 then
+      invalid_arg "Collective: graph is not connected"
+  done;
+  dist
+
+let broadcast_tree g ~root =
+  let dist = tree_depths g root in
+  let n = Graph.order g in
+  {
+    rounds = Array.fold_left max 0 dist;
+    messages = n - 1;
+    reached = n;
+  }
+
+let convergecast_tree g ~root =
+  (* symmetric cost: the deepest leaf bounds the schedule *)
+  broadcast_tree g ~root

@@ -1,0 +1,34 @@
+(** Collective communication on top of routing functions — the
+    parallel-network workloads of the paper's venue.
+
+    Two ways to broadcast from a root:
+    - {e unicast}: the root sends one packet per destination through the
+      routing function (memory-free but floods the root's links);
+    - {e tree}: flood along a BFS tree (each vertex forwards to its
+      children once), the classical collective.
+
+    Both run on the contention simulator, so the cost difference is
+    measured in rounds, not asserted. *)
+
+open Umrs_graph
+
+type broadcast_result = {
+  rounds : int;          (** rounds until the last vertex is reached *)
+  messages : int;        (** total link crossings *)
+  reached : int;         (** vertices reached (= n on success) *)
+}
+
+val broadcast_unicast :
+  ?round_limit:int -> Routing_function.t -> root:Graph.vertex -> broadcast_result
+(** One simulator packet per destination, all injected at round 0. *)
+
+val broadcast_tree : Graph.t -> root:Graph.vertex -> broadcast_result
+(** Synchronous flood on the BFS tree: a vertex reached in round [r]
+    forwards to all its tree children in round [r+1] (one message per
+    child link — links are distinct, so no contention). [rounds] equals
+    the root's eccentricity and [messages] is [n - 1]. *)
+
+val convergecast_tree : Graph.t -> root:Graph.vertex -> broadcast_result
+(** The reverse collective (leaves toward the root): [rounds] is again
+    the eccentricity — depth-limited by the deepest leaf — and
+    [messages] is [n - 1]. *)

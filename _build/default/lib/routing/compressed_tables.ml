@@ -1,0 +1,65 @@
+open Umrs_graph
+open Umrs_bitcode
+
+let runs_of table ~skip =
+  (* the port sequence over destinations <> skip, as (port, length) runs *)
+  let runs = ref [] in
+  Array.iteri
+    (fun dst port ->
+      if dst <> skip then begin
+        match !runs with
+        | (p, len) :: rest when p = port -> runs := (p, len + 1) :: rest
+        | _ -> runs := (port, 1) :: !runs
+      end)
+    table;
+  List.rev !runs
+
+let encode_table ~degree table ~skip =
+  let buf = Bitbuf.create () in
+  let runs = runs_of table ~skip in
+  Codes.write_gamma buf (List.length runs + 1);
+  let width = Codes.ceil_log2 (max 2 degree) in
+  List.iter
+    (fun (port, len) ->
+      Codes.write_fixed buf (port - 1) ~width;
+      Codes.write_gamma buf len)
+    runs;
+  buf
+
+let decode_table buf ~order ~degree ~self =
+  let r = Bitbuf.reader buf in
+  let nruns = Codes.read_gamma r - 1 in
+  let width = Codes.ceil_log2 (max 2 degree) in
+  let table = Array.make order 0 in
+  let dst = ref 0 in
+  let skip () = if !dst = self then incr dst in
+  for _ = 1 to nruns do
+    let port = 1 + Codes.read_fixed r ~width in
+    let len = Codes.read_gamma r in
+    for _ = 1 to len do
+      skip ();
+      table.(!dst) <- port;
+      incr dst
+    done
+  done;
+  skip ();
+  if !dst <> order then invalid_arg "Compressed_tables.decode_table: length";
+  table
+
+let build g =
+  let m = Table_scheme.next_hop_matrix g in
+  let rf = Routing_function.of_next_hop g (fun u v -> m.(u).(v)) in
+  {
+    Scheme.rf;
+    local_encoding =
+      (fun v -> encode_table ~degree:(Graph.degree g v) m.(v) ~skip:v);
+    description = "run-length-compressed shortest-path tables";
+  }
+
+let scheme =
+  { Scheme.name = "tables-rle"; stretch_bound = Some 1.0; build }
+
+let compression_ratio g =
+  let rle = Scheme.mem_global (build g) in
+  let plain = Scheme.mem_global (Table_scheme.build g) in
+  if plain = 0 then 1.0 else float_of_int rle /. float_of_int plain

@@ -1,0 +1,34 @@
+(** Run-length-compressed routing tables — Theorem 1 made tangible.
+
+    The table of router [v] is the sequence of next-hop ports indexed
+    by destination. On structured networks (rings, hypercubes, grids)
+    long runs of equal ports make that sequence highly compressible; on
+    the paper's graphs of constraints the port sequence at a
+    constrained vertex {e is} the (incompressible) row of a random
+    matrix of constraints, so run-length coding buys nothing — which is
+    exactly what "routing tables cannot be locally compressed" predicts
+    an encoder will experience.
+
+    Encoding per router: runs of [(port, length)] with gamma-coded
+    lengths, fixed-width ports, and a gamma-coded run count. Decodes
+    back to the exact table (tested). *)
+
+open Umrs_graph
+
+val encode_table : degree:int -> Graph.port array -> skip:Graph.vertex -> Umrs_bitcode.Bitbuf.t
+(** Compress one router's next-hop column ([skip] = the router itself,
+    whose entry is meaningless and omitted). *)
+
+val decode_table :
+  Umrs_bitcode.Bitbuf.t -> order:int -> degree:int -> self:Graph.vertex -> Graph.port array
+(** Inverse of [encode_table]; entry [self] is 0. *)
+
+val build : Graph.t -> Scheme.built
+(** Same routing behaviour as {!Table_scheme}, RLE-compressed state. *)
+
+val scheme : Scheme.t
+(** ["tables-rle"], stretch 1. *)
+
+val compression_ratio : Graph.t -> float
+(** [mem_global(tables-rle) / mem_global(tables)] — below 1 when
+    structure helps, around or above 1 on incompressible tables. *)

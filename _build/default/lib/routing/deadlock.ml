@@ -1,0 +1,95 @@
+open Umrs_graph
+
+type channel = Graph.vertex * Graph.port
+
+let dependencies rf =
+  let g = rf.Routing_function.graph in
+  let n = Graph.order g in
+  let seen = Hashtbl.create 256 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        let trace = Routing_function.route rf u v in
+        (* channels along the path *)
+        let rec walk = function
+          | x :: (y :: _ as rest) ->
+            let port x y =
+              match Graph.port_to g ~src:x ~dst:y with
+              | Some k -> k
+              | None -> assert false
+            in
+            (match rest with
+            | y' :: z :: _ ->
+              ignore y';
+              Hashtbl.replace seen ((x, port x y), (y, port y z)) ()
+            | _ -> ());
+            walk rest
+          | _ -> ()
+        in
+        walk trace.Routing_function.path
+      end
+    done
+  done;
+  List.sort compare (Hashtbl.fold (fun dep () acc -> dep :: acc) seen [])
+
+let adjacency deps =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl a) in
+      Hashtbl.replace tbl a (b :: cur))
+    deps;
+  tbl
+
+let find_cycle rf =
+  let deps = dependencies rf in
+  let adj = adjacency deps in
+  (* DFS with colors; reconstruct the cycle from the stack *)
+  let color = Hashtbl.create 64 in
+  let result = ref None in
+  let rec dfs stack c =
+    match Hashtbl.find_opt color c with
+    | Some `Done -> ()
+    | Some `Active ->
+      if !result = None then begin
+        (* stack is most-recent-first and starts with this revisit of
+           [c]; the cycle is everything down to the previous [c] *)
+        let rec collect = function
+          | [] -> []
+          | x :: rest -> if x = c then [ x ] else x :: collect rest
+        in
+        match stack with
+        | _ :: tl -> result := Some (List.rev (collect tl))
+        | [] -> ()
+      end
+    | None ->
+      Hashtbl.replace color c `Active;
+      List.iter
+        (fun next -> if !result = None then dfs (next :: stack) next)
+        (Option.value ~default:[] (Hashtbl.find_opt adj c));
+      Hashtbl.replace color c `Done
+  in
+  List.iter
+    (fun (a, _) -> if !result = None then dfs [ a ] a)
+    deps;
+  !result
+
+let is_deadlock_free rf = find_cycle rf = None
+
+let acyclic deps =
+  let adj = adjacency deps in
+  let color = Hashtbl.create 64 in
+  let cyclic = ref false in
+  let rec dfs c =
+    match Hashtbl.find_opt color c with
+    | Some `Done -> ()
+    | Some `Active -> cyclic := true
+    | None ->
+      Hashtbl.replace color c `Active;
+      List.iter
+        (fun next -> if not !cyclic then dfs next)
+        (Option.value ~default:[] (Hashtbl.find_opt adj c));
+      Hashtbl.replace color c `Done
+  in
+  List.iter (fun (a, _) -> if not !cyclic then dfs a) deps;
+  not !cyclic

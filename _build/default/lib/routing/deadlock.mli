@@ -1,0 +1,34 @@
+(** Deadlock analysis after Dally & Seitz (the paper's reference [3],
+    "Deadlock-free message routing in multiprocessor interconnection
+    networks").
+
+    A routing function is deadlock-free for wormhole/store-and-forward
+    switching with one buffer per channel iff its {e channel dependency
+    graph} — arcs as nodes, with an edge from channel [c1] to [c2]
+    whenever some route uses [c2] immediately after [c1] — is acyclic.
+
+    Classical facts reproduced by the test-suite:
+    - e-cube on the hypercube is deadlock-free (dimension order);
+    - dimension-order routing on a {e mesh} is deadlock-free;
+    - shortest-path routing on a {e ring} (and dimension-order on a
+      {e torus}) is not — the wrap-around closes a dependency cycle,
+      which is exactly why virtual channels were invented. *)
+
+open Umrs_graph
+
+type channel = Graph.vertex * Graph.port
+(** A directed channel: the arc leaving a vertex on a local port. *)
+
+val dependencies : Routing_function.t -> (channel * channel) list
+(** All immediate channel dependencies induced by routing every ordered
+    pair (exhaustive route replay), deduplicated, sorted. *)
+
+val is_deadlock_free : Routing_function.t -> bool
+(** Acyclicity of the channel dependency graph. *)
+
+val find_cycle : Routing_function.t -> channel list option
+(** A witness dependency cycle ([c1 -> c2 -> ... -> c1]), if any. *)
+
+val acyclic : ('c * 'c) list -> bool
+(** Generic acyclicity of a dependency relation (used by the
+    virtual-channel analyses, whose channels carry extra structure). *)

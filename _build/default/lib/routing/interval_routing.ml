@@ -1,0 +1,297 @@
+open Umrs_graph
+open Umrs_bitcode
+
+type labelling = Identity | Dfs
+
+type interval = { lo : int; hi : int }
+
+let mem_interval ~n iv x =
+  if x < 0 || x >= n then invalid_arg "mem_interval: label out of range";
+  if iv.lo <= iv.hi then iv.lo <= x && x <= iv.hi
+  else x >= iv.lo || x <= iv.hi
+
+let intervals_of_labels ~n labels =
+  match List.sort_uniq compare labels with
+  | [] -> []
+  | sorted ->
+    List.iter
+      (fun x ->
+        if x < 0 || x >= n then invalid_arg "intervals_of_labels: range")
+      sorted;
+    let s = List.length sorted in
+    if s = n then [ { lo = 0; hi = n - 1 } ]
+    else begin
+      (* Split into maximal runs of consecutive labels. *)
+      let runs =
+        List.fold_left
+          (fun runs x ->
+            match runs with
+            | (lo, hi) :: rest when x = hi + 1 -> (lo, x) :: rest
+            | _ -> (x, x) :: runs)
+          []
+          sorted
+        |> List.rev
+      in
+      (* Merge a wrap-around: last run ending at n-1 with first starting
+         at 0 becomes one cyclic interval. *)
+      match runs with
+      | [ _ ] -> List.map (fun (lo, hi) -> { lo; hi }) runs
+      | (first_lo, first_hi) :: _ ->
+        let rec last = function
+          | [ x ] -> x
+          | _ :: tl -> last tl
+          | [] -> assert false
+        in
+        let last_lo, last_hi = last runs in
+        if first_lo = 0 && last_hi = n - 1 then begin
+          let middle =
+            runs |> List.tl
+            |> List.filter (fun r -> r <> (last_lo, last_hi))
+          in
+          { lo = last_lo; hi = first_hi }
+          :: List.map (fun (lo, hi) -> { lo; hi }) middle
+        end
+        else List.map (fun (lo, hi) -> { lo; hi }) runs
+      | [] -> assert false
+    end
+
+let dfs_preorder g =
+  let n = Graph.order g in
+  let label = Array.make n (-1) in
+  let counter = ref 0 in
+  let rec visit v =
+    label.(v) <- !counter;
+    incr counter;
+    Array.iter (fun w -> if label.(w) = -1 then visit w) (Graph.neighbors g v)
+  in
+  visit 0;
+  if !counter <> n then invalid_arg "Interval_routing: disconnected graph";
+  label
+
+type t = {
+  graph : Graph.t;
+  label : int array;        (* vertex -> label *)
+  unlabel : int array;      (* label -> vertex *)
+  next_hop : Graph.port array array;
+  arcs : interval list array array;  (* arcs.(v).(port-1) *)
+}
+
+let of_labels g next_hop label =
+  let n = Graph.order g in
+  let unlabel = Array.make n (-1) in
+  Array.iteri (fun v l -> unlabel.(l) <- v) label;
+  if Array.exists (fun x -> x = -1) unlabel then
+    invalid_arg "Interval_routing: labels must be a permutation";
+  let arcs =
+    Array.init n (fun v ->
+        let deg = Graph.degree g v in
+        let dests = Array.make deg [] in
+        for dst = 0 to n - 1 do
+          if dst <> v then begin
+            let k = next_hop.(v).(dst) in
+            dests.(k - 1) <- label.(dst) :: dests.(k - 1)
+          end
+        done;
+        Array.map (intervals_of_labels ~n) dests)
+  in
+  { graph = g; label; unlabel; next_hop; arcs }
+
+let compile ?(labelling = Dfs) g =
+  let n = Graph.order g in
+  let label =
+    match labelling with
+    | Identity -> Array.init n (fun v -> v)
+    | Dfs -> dfs_preorder g
+  in
+  of_labels g (Table_scheme.next_hop_matrix g) label
+
+let compactness t =
+  Array.fold_left
+    (fun acc per_arc ->
+      Array.fold_left (fun acc ivs -> max acc (List.length ivs)) acc per_arc)
+    0 t.arcs
+
+let linear_compactness t =
+  let n = Graph.order t.graph in
+  let worst = ref 0 in
+  for v = 0 to n - 1 do
+    let deg = Graph.degree t.graph v in
+    let dests = Array.make deg [] in
+    for dst = 0 to n - 1 do
+      if dst <> v then begin
+        let k = t.next_hop.(v).(dst) in
+        dests.(k - 1) <- t.label.(dst) :: dests.(k - 1)
+      end
+    done;
+    Array.iter
+      (fun labels ->
+        (* number of maximal runs, no wrap merge *)
+        let sorted = List.sort_uniq compare labels in
+        let runs =
+          List.fold_left
+            (fun (count, prev) x ->
+              match prev with
+              | Some p when x = p + 1 -> (count, Some x)
+              | _ -> (count + 1, Some x))
+            (0, None) sorted
+          |> fst
+        in
+        worst := max !worst runs)
+      dests
+  done;
+  !worst
+
+let arc_intervals t v port =
+  if port < 1 || port > Graph.degree t.graph v then
+    invalid_arg "arc_intervals: bad port";
+  t.arcs.(v).(port - 1)
+
+let label_of t v = t.label.(v)
+let vertex_of t l = t.unlabel.(l)
+
+let port_for t v dst_label =
+  let n = Graph.order t.graph in
+  let deg = Graph.degree t.graph v in
+  let rec scan k =
+    if k > deg then
+      invalid_arg
+        (Printf.sprintf "Interval_routing: label %d unassigned at %d"
+           dst_label v)
+    else if
+      List.exists (fun iv -> mem_interval ~n iv dst_label) t.arcs.(v).(k - 1)
+    then k
+    else scan (k + 1)
+  in
+  scan 1
+
+let encode_vertex t v =
+  let n = Graph.order t.graph in
+  let buf = Bitbuf.create () in
+  let width = Codes.ceil_log2 (max 2 n) in
+  (* own label, then per arc: interval count (gamma, shifted) + bounds *)
+  Codes.write_fixed buf t.label.(v) ~width;
+  Array.iter
+    (fun ivs ->
+      Codes.write_gamma buf (List.length ivs + 1);
+      List.iter
+        (fun iv ->
+          Codes.write_fixed buf iv.lo ~width;
+          Codes.write_fixed buf iv.hi ~width)
+        ivs)
+    t.arcs.(v);
+  buf
+
+let decode_vertex buf ~order ~degree =
+  let width = Codes.ceil_log2 (max 2 order) in
+  let r = Bitbuf.reader buf in
+  let own = Codes.read_fixed r ~width in
+  let arcs =
+    Array.init degree (fun _ ->
+        let count = Codes.read_gamma r - 1 in
+        List.init count (fun _ ->
+            let lo = Codes.read_fixed r ~width in
+            let hi = Codes.read_fixed r ~width in
+            { lo; hi }))
+  in
+  (own, arcs)
+
+let build_of_compiled t =
+  let rf =
+    {
+      Routing_function.graph = t.graph;
+      init = (fun _ dst -> Routing_function.Dest t.label.(dst));
+      port =
+        (fun v h ->
+          match h with
+          | Routing_function.Dest l ->
+            if t.label.(v) = l then None else Some (port_for t v l)
+          | Routing_function.Packed _ ->
+            invalid_arg "interval routing: unexpected header");
+      next_header = (fun _ h -> h);
+    }
+  in
+  {
+    Scheme.rf;
+    local_encoding = encode_vertex t;
+    description =
+      Printf.sprintf "interval routing (%d interval(s) per arc max)"
+        (compactness t);
+  }
+
+let scheme_of = build_of_compiled
+
+let build ?labelling g = build_of_compiled (compile ?labelling g)
+
+let scheme =
+  {
+    Scheme.name = "interval-dfs";
+    stretch_bound = Some 1.0;
+    build = (fun g -> build ~labelling:Dfs g);
+  }
+
+let scheme_identity =
+  {
+    Scheme.name = "interval-identity";
+    stretch_bound = Some 1.0;
+    build = (fun g -> build ~labelling:Identity g);
+  }
+
+let total_intervals t =
+  Array.fold_left
+    (fun acc per_arc ->
+      Array.fold_left (fun acc ivs -> acc + List.length ivs) acc per_arc)
+    0 t.arcs
+
+let objective t = (compactness t, total_intervals t)
+
+let optimize_labelling ?steps st g =
+  let n = Graph.order g in
+  let steps = match steps with Some s -> s | None -> 20 * n in
+  let next_hop = Table_scheme.next_hop_matrix g in
+  let label = Array.copy (dfs_preorder g) in
+  let best = ref (of_labels g next_hop label) in
+  let best_obj = ref (objective !best) in
+  for _ = 1 to steps do
+    if n >= 2 then begin
+      let i = Random.State.int st n in
+      let j = Random.State.int st n in
+      if i <> j then begin
+        let tmp = label.(i) in
+        label.(i) <- label.(j);
+        label.(j) <- tmp;
+        let cand = of_labels g next_hop label in
+        let obj = objective cand in
+        if obj <= !best_obj then begin
+          best := cand;
+          best_obj := obj
+        end
+        else begin
+          (* revert *)
+          let tmp = label.(i) in
+          label.(i) <- label.(j);
+          label.(j) <- tmp
+        end
+      end
+    end
+  done;
+  !best
+
+let min_compactness_exhaustive g =
+  let n = Graph.order g in
+  if n > 8 then invalid_arg "Interval_routing: order <= 8 for exhaustive search";
+  let next_hop = Table_scheme.next_hop_matrix g in
+  let best = ref max_int in
+  Perm.iter_all n (fun label ->
+      let c = compactness (of_labels g next_hop (Array.copy label)) in
+      if c < !best then best := c);
+  !best
+
+let scheme_optimized ?steps ~seed () =
+  {
+    Scheme.name = "interval-opt";
+    stretch_bound = Some 1.0;
+    build =
+      (fun g ->
+        build_of_compiled
+          (optimize_labelling ?steps (Random.State.make [| seed |]) g));
+  }

@@ -1,0 +1,95 @@
+(** Shortest-path interval routing (Santoro & Khatib; van Leeuwen &
+    Tan) — the universal scheme behind Table 1's [O(d log n)] rows for
+    trees, outerplanar, and unit circular-arc graphs.
+
+    Destinations assigned to each output arc are grouped into cyclic
+    intervals of vertex labels; router [v] stores, per arc, its interval
+    boundaries. The number of intervals per arc depends on the vertex
+    labelling: a DFS labelling gives one interval per arc on every tree. *)
+
+open Umrs_graph
+
+type labelling =
+  | Identity  (** vertices keep their natural labels *)
+  | Dfs       (** DFS preorder labels from vertex 0 *)
+
+type interval = { lo : int; hi : int }
+(** Cyclic interval of labels: [lo <= hi] means [lo..hi]; [lo > hi]
+    wraps through [n-1] to [0]. *)
+
+val intervals_of_labels : n:int -> int list -> interval list
+(** Minimal cyclic-interval cover of a set of labels in [{0..n-1}]. *)
+
+val mem_interval : n:int -> interval -> int -> bool
+
+type t
+(** A compiled interval labelling scheme on a graph. *)
+
+val compile : ?labelling:labelling -> Graph.t -> t
+(** Compute vertex labels, the shortest-path next-hop assignment, and
+    per-arc interval sets. Requires a connected graph. *)
+
+val compactness : t -> int
+(** Maximum number of intervals on any arc (the IRS compactness
+    parameter [k] of [k]-IRS). *)
+
+val linear_compactness : t -> int
+(** Compactness when wrap-around (cyclic) intervals are forbidden —
+    the LIRS variant of the literature; always [>= compactness]. *)
+
+val arc_intervals : t -> Graph.vertex -> Graph.port -> interval list
+
+val label_of : t -> Graph.vertex -> int
+val vertex_of : t -> int -> Graph.vertex
+
+val scheme_of : t -> Scheme.built
+(** Scheme instance over an already-compiled labelling (e.g. the result
+    of {!optimize_labelling}). *)
+
+val build : ?labelling:labelling -> Graph.t -> Scheme.built
+(** Scheme instance. Headers carry the destination's {e label}; each
+    router stores its own label plus, per arc, a gamma-coded interval
+    count and fixed-width interval bounds. *)
+
+val decode_vertex :
+  Umrs_bitcode.Bitbuf.t -> order:int -> degree:int -> int * interval list array
+(** Inverse of the per-router encoding: [(own label, intervals per
+    arc)]. Round-trip tested against [build]'s encodings — the memory
+    numbers are real, decodable state. *)
+
+val scheme : Scheme.t
+(** DFS-labelled interval routing, stretch 1. *)
+
+val scheme_identity : Scheme.t
+(** Identity-labelled variant (usually needs more intervals). *)
+
+(** {1 Labelling optimization}
+
+    Fraigniaud & Gavoille's own earlier work (reference [5], "Optimal
+    interval routing") studies choosing the vertex labelling that
+    minimizes the number of intervals per arc. This is a local-search
+    heuristic for that objective. *)
+
+val total_intervals : t -> int
+(** Sum of interval counts over all arcs (the optimization
+    objective; [compactness] is its max-per-arc companion). *)
+
+val optimize_labelling :
+  ?steps:int -> Random.State.t -> Graph.t -> t
+(** Hill climbing over label transpositions from a DFS start: swap two
+    vertex labels, keep the swap when it does not increase
+    [(compactness, total_intervals)] lexicographically. [steps]
+    defaults to [20 * n]. The result never has worse compactness than
+    the DFS labelling. *)
+
+val scheme_optimized : ?steps:int -> seed:int -> unit -> Scheme.t
+(** ["interval-opt"]: interval routing under the optimized labelling. *)
+
+val min_compactness_exhaustive : Graph.t -> int
+(** Minimum compactness over {e all} [n!] vertex labellings, for the
+    canonical (smallest-port) shortest-path assignment — an exact
+    [8]-style lower-bound computation for tiny graphs (requires
+    [order <= 8]). E.g. no labelling makes the (3,2) globe a 1-IRS,
+    while every cycle and tree admits one. (The quantity is relative to
+    the fixed tie-break; minimizing additionally over shortest-path
+    choices could only be smaller.) *)

@@ -1,0 +1,330 @@
+open Umrs_graph
+open Umrs_bitcode
+
+let default_landmark_count n =
+  if n < 1 then invalid_arg "Landmark_scheme.default_landmark_count";
+  let f = float_of_int n in
+  let l = int_of_float (Float.ceil (sqrt (f *. (1.0 +. (Float.log f /. Float.log 2.0))))) in
+  max 1 (min n l)
+
+type tree_info = {
+  parent : int array;        (* -1 at the root *)
+  dfs_number : int array;
+  children : (int * int * int) array array;
+      (* children.(x) = (port at x, interval lo, interval hi) per child *)
+}
+
+let bfs_tree_info g root =
+  let n = Graph.order g in
+  let _, parent = Bfs.distances_with_parents g root in
+  let kids = Array.make n [] in
+  for v = n - 1 downto 0 do
+    if v <> root && parent.(v) >= 0 then kids.(parent.(v)) <- v :: kids.(parent.(v))
+  done;
+  (* order children by the port leading to them, for determinism *)
+  let port_of u w =
+    match Graph.port_to g ~src:u ~dst:w with Some k -> k | None -> assert false
+  in
+  let kids =
+    Array.mapi
+      (fun u l -> List.sort (fun a b -> compare (port_of u a) (port_of u b)) l)
+      kids
+  in
+  let dfs_number = Array.make n (-1) in
+  let subtree_hi = Array.make n (-1) in
+  let counter = ref 0 in
+  let rec visit x =
+    dfs_number.(x) <- !counter;
+    incr counter;
+    List.iter visit kids.(x);
+    subtree_hi.(x) <- !counter - 1
+  in
+  visit root;
+  let children =
+    Array.mapi
+      (fun u l ->
+        Array.of_list
+          (List.map (fun c -> (port_of u c, dfs_number.(c), subtree_hi.(c))) l))
+      kids
+  in
+  { parent; dfs_number; children }
+
+type data = {
+  graph : Graph.t;
+  landmark : int array;              (* the landmark set, sorted *)
+  landmark_index : int array;        (* vertex -> index in [landmark], -1 *)
+  home : int array;                  (* vertex -> index of nearest landmark *)
+  to_landmark : int array array;     (* to_landmark.(v).(i) = port toward landmark i *)
+  cluster : (int * int) array array; (* cluster.(v) = sorted (dst, port) *)
+  trees : tree_info array;           (* one per landmark *)
+}
+
+type strategy = Random_landmarks | High_degree | K_center
+
+let pick_landmarks ~strategy ~seed g l =
+  let n = Graph.order g in
+  match strategy with
+  | Random_landmarks ->
+    let st = Random.State.make [| seed; n; l |] in
+    Array.sub (Perm.random st n) 0 l
+  | High_degree ->
+    let vs = Array.init n (fun v -> v) in
+    Array.sort
+      (fun a b ->
+        match compare (Graph.degree g b) (Graph.degree g a) with
+        | 0 -> compare a b
+        | c -> c)
+      vs;
+    Array.sub vs 0 l
+  | K_center ->
+    (* greedy farthest-point: start from vertex 0, repeatedly add the
+       vertex furthest from the current set *)
+    let chosen = ref [ 0 ] in
+    let dist_to_set = Bfs.distances g 0 in
+    let dist_to_set = Array.copy dist_to_set in
+    for _ = 2 to l do
+      let far = ref 0 in
+      for v = 1 to n - 1 do
+        if dist_to_set.(v) > dist_to_set.(!far) then far := v
+      done;
+      chosen := !far :: !chosen;
+      let d = Bfs.distances g !far in
+      for v = 0 to n - 1 do
+        if d.(v) < dist_to_set.(v) then dist_to_set.(v) <- d.(v)
+      done
+    done;
+    Array.of_list !chosen
+
+let prepare ?(seed = 0xC0C0A) ?landmarks ?(strategy = Random_landmarks) g =
+  let n = Graph.order g in
+  if n < 1 || not (Graph.is_connected g) then
+    invalid_arg "Landmark_scheme: need a non-empty connected graph";
+  let l = match landmarks with Some l -> max 1 (min n l) | None -> default_landmark_count n in
+  let chosen = pick_landmarks ~strategy ~seed g l in
+  Array.sort compare chosen;
+  let landmark_index = Array.make n (-1) in
+  Array.iteri (fun i v -> landmark_index.(v) <- i) chosen;
+  (* distances from every landmark *)
+  let ldist = Array.map (fun v -> Bfs.distances g v) chosen in
+  let dist_to_l v =
+    Array.fold_left (fun acc d -> min acc d.(v)) max_int ldist
+  in
+  let home =
+    Array.init n (fun v ->
+        let best = ref 0 in
+        for i = 1 to l - 1 do
+          if ldist.(i).(v) < ldist.(!best).(v) then best := i
+        done;
+        !best)
+  in
+  (* port toward each landmark: neighbour one closer, smallest port *)
+  let to_landmark =
+    Array.init n (fun v ->
+        Array.init l (fun i ->
+            if chosen.(i) = v then 0
+            else begin
+              let deg = Graph.degree g v in
+              let rec find k =
+                if k > deg then assert false
+                else if ldist.(i).(Graph.neighbor g v ~port:k) = ldist.(i).(v) - 1
+                then k
+                else find (k + 1)
+              in
+              find 1
+            end))
+  in
+  (* cluster entries: w in cluster(u) iff 0 < d(u,w) < d(w, L);
+     computed from BFS out of each w limited by its landmark radius *)
+  let cluster_lists = Array.make n [] in
+  for w = 0 to n - 1 do
+    let radius = dist_to_l w in
+    if radius > 0 then begin
+      (* all u with d(u,w) < radius; BFS from w bounded by radius-1 *)
+      let dist = Array.make n (-1) in
+      let queue = Queue.create () in
+      dist.(w) <- 0;
+      Queue.add w queue;
+      while not (Queue.is_empty queue) do
+        let x = Queue.pop queue in
+        if dist.(x) < radius - 1 then
+          Array.iter
+            (fun y ->
+              if dist.(y) = -1 then begin
+                dist.(y) <- dist.(x) + 1;
+                Queue.add y queue
+              end)
+            (Graph.neighbors g x)
+      done;
+      (* next hop from u toward w: smallest port one closer *)
+      for u = 0 to n - 1 do
+        if u <> w && dist.(u) >= 0 then begin
+          let deg = Graph.degree g u in
+          let rec find k =
+            if k > deg then assert false
+            else begin
+              let y = Graph.neighbor g u ~port:k in
+              if dist.(y) = dist.(u) - 1 then k else find (k + 1)
+            end
+          in
+          cluster_lists.(u) <- (w, find 1) :: cluster_lists.(u)
+        end
+      done
+    end
+  done;
+  let cluster =
+    Array.map
+      (fun entries ->
+        let a = Array.of_list entries in
+        Array.sort compare a;
+        a)
+      cluster_lists
+  in
+  let trees = Array.map (bfs_tree_info g) chosen in
+  { graph = g; landmark = chosen; landmark_index; home; to_landmark; cluster; trees }
+
+let cluster_lookup d v dst =
+  let a = d.cluster.(v) in
+  let rec bin lo hi =
+    if lo > hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let w, p = a.(mid) in
+      if w = dst then Some p else if w < dst then bin (mid + 1) hi else bin lo (mid - 1)
+    end
+  in
+  bin 0 (Array.length a - 1)
+
+let routing_function d =
+  let g = d.graph in
+  let init _u v =
+    let li = d.home.(v) in
+    Routing_function.Packed [| v; li; d.trees.(li).dfs_number.(v) |]
+  in
+  let port x h =
+    match h with
+    | Routing_function.Dest _ -> invalid_arg "landmark: unexpected header"
+    | Routing_function.Packed [| v; li; dfs |] ->
+      if x = v then None
+      else begin
+        match cluster_lookup d x v with
+        | Some p -> Some p
+        | None ->
+          let tree = d.trees.(li) in
+          (* descend if v sits in one of my child subtrees of tree li *)
+          let rec scan i =
+            if i >= Array.length tree.children.(x) then None
+            else begin
+              let p, lo, hi = tree.children.(x).(i) in
+              if lo <= dfs && dfs <= hi then Some p else scan (i + 1)
+            end
+          in
+          (match scan 0 with
+          | Some p -> Some p
+          | None ->
+            (* head toward the landmark of v *)
+            Some d.to_landmark.(x).(li))
+      end
+    | Routing_function.Packed _ -> invalid_arg "landmark: malformed header"
+  in
+  {
+    Routing_function.graph = g;
+    init;
+    port;
+    next_header = (fun _ h -> h);
+  }
+
+let encode_vertex d v =
+  let g = d.graph in
+  let n = Graph.order g in
+  let l = Array.length d.landmark in
+  let deg = Graph.degree g v in
+  let pwidth = Codes.ceil_log2 (max 2 deg) in
+  let vwidth = Codes.ceil_log2 (max 2 n) in
+  let buf = Bitbuf.create () in
+  Codes.write_delta buf n;
+  Codes.write_fixed buf v ~width:vwidth;
+  Codes.write_gamma buf (l + 1);
+  (* ports to each landmark (0 if self) *)
+  Array.iter (fun p -> Codes.write_fixed buf p ~width:(pwidth + 1)) d.to_landmark.(v);
+  (* cluster table *)
+  Codes.write_gamma buf (Array.length d.cluster.(v) + 1);
+  Array.iter
+    (fun (w, p) ->
+      Codes.write_fixed buf w ~width:vwidth;
+      Codes.write_fixed buf (p - 1) ~width:pwidth)
+    d.cluster.(v);
+  (* child intervals in each landmark tree *)
+  Array.iter
+    (fun tree ->
+      Codes.write_gamma buf (Array.length tree.children.(v) + 1);
+      Array.iter
+        (fun (p, lo, hi) ->
+          Codes.write_fixed buf (p - 1) ~width:pwidth;
+          Codes.write_fixed buf lo ~width:vwidth;
+          Codes.write_fixed buf hi ~width:vwidth)
+        tree.children.(v))
+    d.trees;
+  buf
+
+type decoded = {
+  dec_order : int;
+  dec_self : Graph.vertex;
+  dec_landmark_ports : int array;
+  dec_cluster : (Graph.vertex * Graph.port) array;
+  dec_children : (Graph.port * int * int) array array;
+}
+
+let decode_vertex buf ~degree =
+  let r = Bitbuf.reader buf in
+  let n = Codes.read_delta r in
+  let vwidth = Codes.ceil_log2 (max 2 n) in
+  let pwidth = Codes.ceil_log2 (max 2 degree) in
+  let self = Codes.read_fixed r ~width:vwidth in
+  let l = Codes.read_gamma r - 1 in
+  let landmark_ports =
+    Array.init l (fun _ -> Codes.read_fixed r ~width:(pwidth + 1))
+  in
+  let csize = Codes.read_gamma r - 1 in
+  let cluster =
+    Array.init csize (fun _ ->
+        let w = Codes.read_fixed r ~width:vwidth in
+        let p = 1 + Codes.read_fixed r ~width:pwidth in
+        (w, p))
+  in
+  let children =
+    Array.init l (fun _ ->
+        let k = Codes.read_gamma r - 1 in
+        Array.init k (fun _ ->
+            let p = 1 + Codes.read_fixed r ~width:pwidth in
+            let lo = Codes.read_fixed r ~width:vwidth in
+            let hi = Codes.read_fixed r ~width:vwidth in
+            (p, lo, hi)))
+  in
+  {
+    dec_order = n;
+    dec_self = self;
+    dec_landmark_ports = landmark_ports;
+    dec_cluster = cluster;
+    dec_children = children;
+  }
+
+let build ?seed ?landmarks ?strategy g =
+  let d = prepare ?seed ?landmarks ?strategy g in
+  {
+    Scheme.rf = routing_function d;
+    local_encoding = encode_vertex d;
+    description =
+      Printf.sprintf "landmark routing, %d landmarks, stretch <= 3"
+        (Array.length d.landmark);
+  }
+
+let scheme =
+  {
+    Scheme.name = "landmark-3";
+    stretch_bound = Some 3.0;
+    build = (fun g -> build g);
+  }
+
+let cluster_sizes ?seed ?landmarks ?strategy g =
+  let d = prepare ?seed ?landmarks ?strategy g in
+  Array.map Array.length d.cluster

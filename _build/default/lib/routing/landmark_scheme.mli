@@ -1,0 +1,63 @@
+(** Landmark-based universal compact routing with worst-case stretch 3
+    (Cowen / Thorup-Zwick style).
+
+    This stands in for the hierarchical schemes cited in Table 1 for
+    stretch [s >= 3] (Awerbuch et al.; Awerbuch & Peleg; Peleg & Upfal):
+    sublinear local memory at the price of bounded stretch. Like the
+    scheme of reference [3] in the paper, it is a {e labelled} scheme —
+    headers carry an [O(log n)]-bit address [(id, landmark index, DFS
+    number in the landmark's BFS tree)].
+
+    Construction, for a landmark set [L]:
+    - every router stores a shortest-path port to each landmark;
+    - router [u] additionally stores a direct port for every [w] with
+      [dist(u,w) < dist(w,L)] (the "cluster" entries);
+    - every router stores, in each landmark's BFS tree, one DFS interval
+      per child arc, enabling descent from the landmark to the target.
+
+    Routing [u -> v]: deliver if local; use the direct entry if [v] is
+    in the cluster table; descend if [v] is in a child interval of the
+    current vertex in [ℓ(v)]'s tree; otherwise forward toward [ℓ(v)].
+
+    Stretch [<= 3]: either [dist(u,v) < dist(v,L)] and the cluster entry
+    routes on a shortest path, or the route via [ℓ(v)] costs at most
+    [dist(u,v) + 2 dist(v, ℓ(v)) <= 3 dist(u,v)]. *)
+
+open Umrs_graph
+
+val default_landmark_count : int -> int
+(** [ceil(sqrt(n * (1 + log2 n)))] clamped to [1..n] — balances the
+    landmark-port cost against the expected cluster size. *)
+
+type strategy =
+  | Random_landmarks   (** uniform sample (Cowen's analysis) *)
+  | High_degree        (** the [l] largest-degree vertices *)
+  | K_center           (** greedy farthest-point (2-approx k-center) *)
+
+val build :
+  ?seed:int -> ?landmarks:int -> ?strategy:strategy -> Graph.t -> Scheme.built
+(** Landmark set chosen by [strategy] (default [Random_landmarks], drawn
+    from [seed], default 0xC0C0A). *)
+
+val scheme : Scheme.t
+(** ["landmark-3"] with default parameters; stretch bound 3. *)
+
+val cluster_sizes :
+  ?seed:int -> ?landmarks:int -> ?strategy:strategy -> Graph.t -> int array
+(** Per-vertex cluster-table sizes (for the memory-balance ablation). *)
+
+(** {1 Decoding} *)
+
+type decoded = {
+  dec_order : int;
+  dec_self : Graph.vertex;
+  dec_landmark_ports : int array;  (** one per landmark; 0 = self *)
+  dec_cluster : (Graph.vertex * Graph.port) array;
+  dec_children : (Graph.port * int * int) array array;
+      (** per landmark tree: (port, dfs lo, dfs hi) per child *)
+}
+
+val decode_vertex : Umrs_bitcode.Bitbuf.t -> degree:int -> decoded
+(** Inverse of the per-router encoding (round-trip tested): everything
+    a landmark router stores is recoverable from its bits plus its
+    degree. *)

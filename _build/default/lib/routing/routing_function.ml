@@ -1,0 +1,195 @@
+open Umrs_graph
+
+type header = Dest of Graph.vertex | Packed of int array
+
+let pp_header fmt = function
+  | Dest v -> Format.fprintf fmt "dest(%d)" v
+  | Packed a ->
+    Format.fprintf fmt "packed(%a)"
+      (Format.pp_print_array
+         ~pp_sep:(fun f () -> Format.pp_print_char f ',')
+         Format.pp_print_int)
+      a
+
+type t = {
+  graph : Graph.t;
+  init : Graph.vertex -> Graph.vertex -> header;
+  port : Graph.vertex -> header -> Graph.port option;
+  next_header : Graph.vertex -> header -> header;
+}
+
+let of_next_hop graph f =
+  {
+    graph;
+    init = (fun _ v -> Dest v);
+    port =
+      (fun u h ->
+        match h with
+        | Dest v -> if u = v then None else Some (f u v)
+        | Packed _ -> invalid_arg "of_next_hop: unexpected header");
+    next_header = (fun _ h -> h);
+  }
+
+type trace = { path : Graph.vertex list; headers : header list; hops : int }
+
+exception Routing_loop of Graph.vertex * Graph.vertex
+
+let route ?max_hops rf src dst =
+  if src = dst then invalid_arg "Routing_function.route: src = dst";
+  let budget =
+    match max_hops with
+    | Some b -> b
+    | None -> (4 * Graph.order rf.graph) + 16
+  in
+  let rec go cur h hops rpath rheaders =
+    match rf.port cur h with
+    | None ->
+      if cur <> dst then
+        invalid_arg
+          (Printf.sprintf
+             "Routing_function.route: delivered at %d instead of %d" cur dst);
+      { path = List.rev rpath; headers = List.rev rheaders; hops }
+    | Some k ->
+      if hops >= budget then raise (Routing_loop (src, dst));
+      let next = Graph.neighbor rf.graph cur ~port:k in
+      let h' = rf.next_header cur h in
+      go next h' (hops + 1) (next :: rpath) (h' :: rheaders)
+  in
+  let h0 = rf.init src dst in
+  go src h0 0 [ src ] [ h0 ]
+
+let route_length ?max_hops rf src dst = (route ?max_hops rf src dst).hops
+
+let delivers_all rf =
+  let n = Graph.order rf.graph in
+  try
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if u <> v then ignore (route rf u v)
+      done
+    done;
+    true
+  with Routing_loop _ | Invalid_argument _ -> false
+
+type stretch_report = {
+  max_ratio : float;
+  worst_pair : Graph.vertex * Graph.vertex;
+  worst_route : int;
+  worst_dist : int;
+  mean_ratio : float;
+}
+
+let with_dist ?dist rf f =
+  let d = match dist with Some d -> d | None -> Bfs.all_pairs rf.graph in
+  f d
+
+let stretch ?dist rf =
+  with_dist ?dist rf (fun d ->
+      let n = Graph.order rf.graph in
+      if n < 2 then
+        {
+          max_ratio = 1.0;
+          worst_pair = (0, 0);
+          worst_route = 0;
+          worst_dist = 0;
+          mean_ratio = 1.0;
+        }
+      else begin
+        let worst = ref (0, 0) and wr = ref 0 and wd = ref 1 in
+        let sum = ref 0.0 and count = ref 0 in
+        for u = 0 to n - 1 do
+          for v = 0 to n - 1 do
+            if u <> v then begin
+              let dr = route_length rf u v in
+              let dg = d.(u).(v) in
+              if dg = Bfs.infinity then
+                invalid_arg "stretch: disconnected graph";
+              (* compare dr/dg > wr/wd without floats *)
+              if dr * !wd > !wr * dg then begin
+                worst := (u, v);
+                wr := dr;
+                wd := dg
+              end;
+              sum := !sum +. (float_of_int dr /. float_of_int dg);
+              incr count
+            end
+          done
+        done;
+        {
+          max_ratio = float_of_int !wr /. float_of_int !wd;
+          worst_pair = !worst;
+          worst_route = !wr;
+          worst_dist = !wd;
+          mean_ratio = !sum /. float_of_int !count;
+        }
+      end)
+
+let sampled_stretch st rf ~pairs =
+  let n = Graph.order rf.graph in
+  if n < 2 then 1.0
+  else begin
+    let worst = ref 1.0 in
+    for _ = 1 to pairs do
+      let u = Random.State.int st n in
+      let rec draw () =
+        let v = Random.State.int st n in
+        if v = u then draw () else v
+      in
+      let v = draw () in
+      let d = (Bfs.distances rf.graph u).(v) in
+      if d <> Bfs.infinity && d > 0 then begin
+        let dr = route_length rf u v in
+        let r = float_of_int dr /. float_of_int d in
+        if r > !worst then worst := r
+      end
+    done;
+    !worst
+  end
+
+let stretch_ratios ?dist rf =
+  with_dist ?dist rf (fun d ->
+      let n = Graph.order rf.graph in
+      let acc = ref [] in
+      for u = n - 1 downto 0 do
+        for v = n - 1 downto 0 do
+          if u <> v then begin
+            let dr = route_length rf u v in
+            acc := (float_of_int dr /. float_of_int d.(u).(v)) :: !acc
+          end
+        done
+      done;
+      Array.of_list !acc)
+
+let header_bits ~order h =
+  let width_of x = max 1 (Umrs_bitcode.Codes.bits_needed (max 1 x)) in
+  match h with
+  | Dest _ -> max 1 (Umrs_bitcode.Codes.ceil_log2 (max 2 order))
+  | Packed a -> Array.fold_left (fun acc x -> acc + width_of x) 0 a
+
+let max_header_bits rf =
+  let n = Graph.order rf.graph in
+  let worst = ref 0 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then
+        List.iter
+          (fun h -> worst := max !worst (header_bits ~order:n h))
+          (route rf u v).headers
+    done
+  done;
+  !worst
+
+let stretch_at_most ?dist rf ~num ~den =
+  with_dist ?dist rf (fun d ->
+      let n = Graph.order rf.graph in
+      try
+        for u = 0 to n - 1 do
+          for v = 0 to n - 1 do
+            if u <> v then begin
+              let dr = route_length rf u v in
+              if den * dr > num * d.(u).(v) then raise Exit
+            end
+          done
+        done;
+        true
+      with Exit | Routing_loop _ -> false)

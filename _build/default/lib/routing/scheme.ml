@@ -1,0 +1,50 @@
+open Umrs_graph
+
+type built = {
+  rf : Routing_function.t;
+  local_encoding : Graph.vertex -> Umrs_bitcode.Bitbuf.t;
+  description : string;
+}
+
+type t = {
+  name : string;
+  stretch_bound : float option;
+  build : Graph.t -> built;
+}
+
+let mem_at b v = Umrs_bitcode.Bitbuf.length (b.local_encoding v)
+
+let mem_profile b =
+  Array.init (Graph.order b.rf.Routing_function.graph) (mem_at b)
+
+let mem_local b = Array.fold_left max 0 (mem_profile b)
+let mem_global b = Array.fold_left ( + ) 0 (mem_profile b)
+
+type evaluation = {
+  scheme_name : string;
+  graph_name : string;
+  order : int;
+  edges : int;
+  mem_local_bits : int;
+  mem_global_bits : int;
+  stretch : Routing_function.stretch_report;
+}
+
+let evaluate ?dist scheme ~graph_name g =
+  let b = scheme.build g in
+  {
+    scheme_name = scheme.name;
+    graph_name;
+    order = Graph.order g;
+    edges = Graph.size g;
+    mem_local_bits = mem_local b;
+    mem_global_bits = mem_global b;
+    stretch = Routing_function.stretch ?dist b.rf;
+  }
+
+let pp_evaluation fmt e =
+  Format.fprintf fmt
+    "%-18s %-18s n=%-5d m=%-6d local=%-8d global=%-10d stretch=%.3f (mean %.3f)"
+    e.scheme_name e.graph_name e.order e.edges e.mem_local_bits
+    e.mem_global_bits e.stretch.Routing_function.max_ratio
+    e.stretch.Routing_function.mean_ratio

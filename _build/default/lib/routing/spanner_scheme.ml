@@ -1,0 +1,64 @@
+open Umrs_graph
+open Umrs_bitcode
+
+(* The scheme chooses the port labelling (Section 1: labelings are
+   picked to make the coding compact): relabel the host graph so each
+   vertex's spanner neighbours occupy its first ports, in the spanner's
+   port order. Routers then store only the spanner table — next-hop
+   entries of width ceil(log2 deg_H) — and no port translation map. *)
+let spanner_first_relabelling g h =
+  Array.init (Graph.order g) (fun v ->
+      let deg = Graph.degree g v in
+      let in_h = Array.make deg (-1) in
+      Array.iteri
+        (fun hk w ->
+          match Graph.port_to g ~src:v ~dst:w with
+          | Some gp -> in_h.(gp - 1) <- hk
+          | None -> assert false)
+        (Graph.neighbors h v);
+      let degh = Graph.degree h v in
+      let next_free = ref degh in
+      Array.mapi
+        (fun old hk ->
+          ignore old;
+          if hk >= 0 then hk
+          else begin
+            let slot = !next_free in
+            incr next_free;
+            slot
+          end)
+        in_h)
+
+let build ~k g =
+  let h = Umrs_spanner.Spanner.greedy g ~k in
+  let g' = Graph.relabel_ports g (spanner_first_relabelling g h) in
+  let m = Table_scheme.next_hop_matrix h in
+  (* In g', the spanner's port p at v is the host port p. *)
+  let next u v = m.(u).(v) in
+  let rf = Routing_function.of_next_hop g' next in
+  {
+    Scheme.rf;
+    local_encoding =
+      (fun v ->
+        let n = Graph.order g in
+        let degh = Graph.degree h v in
+        let buf = Bitbuf.create () in
+        Codes.write_gamma buf (degh + 1);
+        if degh > 0 then begin
+          let hw = Codes.ceil_log2 (max 2 degh) in
+          for dst = 0 to n - 1 do
+            if dst <> v then Codes.write_fixed buf (m.(v).(dst) - 1) ~width:hw
+          done
+        end;
+        buf);
+    description =
+      Printf.sprintf "tables over a greedy %d-spanner (%d of %d edges kept)"
+        ((2 * k) - 1) (Graph.size h) (Graph.size g);
+  }
+
+let scheme ~k =
+  {
+    Scheme.name = Printf.sprintf "spanner-%d" ((2 * k) - 1);
+    stretch_bound = Some (float_of_int ((2 * k) - 1));
+    build = (fun g -> build ~k g);
+  }

@@ -1,0 +1,19 @@
+(** Routing over a greedy [(2k-1)]-spanner: full next-hop tables are
+    kept only for the spanner subgraph, trading stretch [2k-1] for a
+    per-entry width of [ceil(log2 deg_H)] instead of
+    [ceil(log2 deg_G)] — the table-based end of the space/efficiency
+    tradeoff of Peleg & Upfal and Table 1's [s >= 3] rows.
+
+    Following Section 1 (the scheme picks the arc labelling), the host
+    graph's ports are relabelled so that each vertex's spanner
+    neighbours occupy its first ports in spanner order; routers then
+    store nothing but their spanner table. The returned routing function
+    runs on the relabelled (isomorphic) host graph. *)
+
+open Umrs_graph
+
+val build : k:int -> Graph.t -> Scheme.built
+(** Stretch at most [2k-1]; [k = 1] degenerates to plain tables. *)
+
+val scheme : k:int -> Scheme.t
+(** Named ["spanner-<2k-1>"]. *)

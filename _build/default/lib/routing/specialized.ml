@@ -1,0 +1,330 @@
+open Umrs_graph
+open Umrs_bitcode
+
+let log2_exact n =
+  let d = Codes.ceil_log2 n in
+  if 1 lsl d <> n then invalid_arg "not a power of two";
+  d
+
+(* ---------- e-cube on hypercubes ---------- *)
+
+let validate_hypercube g =
+  let n = Graph.order g in
+  if n < 1 then invalid_arg "ecube: empty graph";
+  let dim = log2_exact n in
+  for v = 0 to n - 1 do
+    if Graph.degree g v <> dim then invalid_arg "ecube: not a hypercube";
+    for k = 1 to dim do
+      if Graph.neighbor g v ~port:k <> v lxor (1 lsl (k - 1)) then
+        invalid_arg "ecube: ports must flip bit (port-1)"
+    done
+  done;
+  dim
+
+let lowest_bit_index x =
+  let rec go i = if (x lsr i) land 1 = 1 then i else go (i + 1) in
+  if x = 0 then invalid_arg "lowest_bit_index: zero" else go 0
+
+let build_ecube g =
+  let dim = validate_hypercube g in
+  let rf =
+    Routing_function.of_next_hop g (fun u v ->
+        1 + lowest_bit_index (u lxor v))
+  in
+  {
+    Scheme.rf;
+    local_encoding =
+      (fun v ->
+        let buf = Bitbuf.create () in
+        Codes.write_gamma buf (dim + 1);
+        if dim > 0 then Codes.write_fixed buf v ~width:dim;
+        buf);
+    description = "e-cube (dimension-order) hypercube routing";
+  }
+
+let ecube =
+  { Scheme.name = "ecube"; stretch_bound = Some 1.0; build = build_ecube }
+
+(* ---------- rings ---------- *)
+
+let validate_cycle g =
+  let n = Graph.order g in
+  if n < 3 then invalid_arg "ring: need a cycle";
+  for v = 0 to n - 1 do
+    if Graph.degree g v <> 2 then invalid_arg "ring: not a cycle";
+    let nb = Graph.neighbors g v in
+    let expect = [ (v + 1) mod n; (v + n - 1) mod n ] in
+    if List.sort compare (Array.to_list nb) <> List.sort compare expect then
+      invalid_arg "ring: vertices must be labelled consecutively"
+  done
+
+let build_ring g =
+  validate_cycle g;
+  let n = Graph.order g in
+  let next u v =
+    let cw = (v - u + n) mod n in
+    let target = if 2 * cw <= n then (u + 1) mod n else (u + n - 1) mod n in
+    match Graph.port_to g ~src:u ~dst:target with
+    | Some k -> k
+    | None -> assert false
+  in
+  let rf = Routing_function.of_next_hop g next in
+  {
+    Scheme.rf;
+    local_encoding =
+      (fun v ->
+        let buf = Bitbuf.create () in
+        Codes.write_delta buf n;
+        Codes.write_bounded buf v ~bound:n;
+        (* which local port leads clockwise: 1 bit *)
+        Bitbuf.add_bit buf
+          (Graph.neighbor g v ~port:1 = (v + 1) mod n);
+        buf);
+    description = "shorter-side ring routing";
+  }
+
+let ring = { Scheme.name = "ring"; stretch_bound = Some 1.0; build = build_ring }
+
+(* ---------- meshes ---------- *)
+
+let build_grid ~w ~h g =
+  if Graph.order g <> w * h then invalid_arg "grid: order mismatch";
+  let coord v = (v mod w, v / w) in
+  let id x y = (y * w) + x in
+  (* validate adjacency *)
+  Graph.iter_arcs g (fun u _ v ->
+      let ux, uy = coord u and vx, vy = coord v in
+      if abs (ux - vx) + abs (uy - vy) <> 1 then
+        invalid_arg "grid: not a mesh labelling");
+  if Graph.size g <> ((w - 1) * h) + ((h - 1) * w) then
+    invalid_arg "grid: wrong edge count";
+  let next u v =
+    let ux, uy = coord u and vx, vy = coord v in
+    let target =
+      if ux < vx then id (ux + 1) uy
+      else if ux > vx then id (ux - 1) uy
+      else if uy < vy then id ux (uy + 1)
+      else id ux (uy - 1)
+    in
+    match Graph.port_to g ~src:u ~dst:target with
+    | Some k -> k
+    | None -> assert false
+  in
+  let rf = Routing_function.of_next_hop g next in
+  {
+    Scheme.rf;
+    local_encoding =
+      (fun v ->
+        let buf = Bitbuf.create () in
+        Codes.write_delta buf w;
+        Codes.write_delta buf h;
+        Codes.write_bounded buf v ~bound:(w * h);
+        (* direction of each port: 2 bits per incident arc (<= 4) *)
+        Array.iter
+          (fun nb ->
+            let vx, vy = coord v and nx, ny = coord nb in
+            let dir =
+              if nx > vx then 0
+              else if nx < vx then 1
+              else if ny > vy then 2
+              else 3
+            in
+            Codes.write_fixed buf dir ~width:2)
+          (Graph.neighbors g v);
+        buf);
+    description = "dimension-order (X then Y) mesh routing";
+  }
+
+let grid ~w ~h =
+  {
+    Scheme.name = Printf.sprintf "grid-%dx%d" w h;
+    stretch_bound = Some 1.0;
+    build = build_grid ~w ~h;
+  }
+
+(* ---------- k-dimensional torus ---------- *)
+
+let build_torus_dor ~dims g =
+  if dims = [] then invalid_arg "torus_dor: no dimensions";
+  let dims_a = Array.of_list dims in
+  let k = Array.length dims_a in
+  let n = Array.fold_left ( * ) 1 dims_a in
+  if Graph.order g <> n then invalid_arg "torus_dor: order mismatch";
+  let coords v =
+    let c = Array.make k 0 in
+    let rest = ref v in
+    for i = 0 to k - 1 do
+      c.(i) <- !rest mod dims_a.(i);
+      rest := !rest / dims_a.(i)
+    done;
+    c
+  in
+  (* validate the port convention *)
+  for v = 0 to n - 1 do
+    if Graph.degree g v <> 2 * k then invalid_arg "torus_dor: wrong degree";
+    let c = coords v in
+    for i = 0 to k - 1 do
+      let fwd = Graph.neighbor g v ~port:((2 * i) + 1) in
+      let bwd = Graph.neighbor g v ~port:((2 * i) + 2) in
+      let cf = coords fwd and cb = coords bwd in
+      if cf.(i) <> (c.(i) + 1) mod dims_a.(i) || cb.(i) <> (c.(i) + dims_a.(i) - 1) mod dims_a.(i)
+      then invalid_arg "torus_dor: unexpected port wiring";
+      for j = 0 to k - 1 do
+        if j <> i && (cf.(j) <> c.(j) || cb.(j) <> c.(j)) then
+          invalid_arg "torus_dor: unexpected port wiring"
+      done
+    done
+  done;
+  let next u v =
+    let cu = coords u and cv = coords v in
+    let rec dim i =
+      if i >= k then invalid_arg "torus_dor: next on equal coords"
+      else if cu.(i) <> cv.(i) then i
+      else dim (i + 1)
+    in
+    let i = dim 0 in
+    let forward = (cv.(i) - cu.(i) + dims_a.(i)) mod dims_a.(i) in
+    if 2 * forward <= dims_a.(i) then (2 * i) + 1 else (2 * i) + 2
+  in
+  let rf = Routing_function.of_next_hop g next in
+  {
+    Scheme.rf;
+    local_encoding =
+      (fun v ->
+        let buf = Bitbuf.create () in
+        Codes.write_gamma buf (k + 1);
+        List.iter (fun d -> Codes.write_delta buf d) dims;
+        Codes.write_bounded buf v ~bound:n;
+        buf);
+    description =
+      Printf.sprintf "dimension-order routing on a %d-dimensional torus" k;
+  }
+
+let torus_dor_vc_dependencies ~dims g =
+  let b = build_torus_dor ~dims g in
+  let rf = b.Scheme.rf in
+  let dims_a = Array.of_list dims in
+  let k = Array.length dims_a in
+  let coords v =
+    let c = Array.make k 0 in
+    let rest = ref v in
+    for i = 0 to k - 1 do
+      c.(i) <- !rest mod dims_a.(i);
+      rest := !rest / dims_a.(i)
+    done;
+    c
+  in
+  let n = Graph.order g in
+  let deps = Hashtbl.create 256 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        let path = (Routing_function.route rf u v).Routing_function.path in
+        (* annotate each hop with (dimension, wrapped-before-this-hop) *)
+        let wrapped = Array.make k false in
+        let channel x y =
+          let cx = coords x and cy = coords y in
+          let rec dim i = if cx.(i) <> cy.(i) then i else dim (i + 1) in
+          let i = dim 0 in
+          let vc = if wrapped.(i) then 1 else 0 in
+          let is_wrap = abs (cx.(i) - cy.(i)) > 1 in
+          if is_wrap then wrapped.(i) <- true;
+          let port =
+            match Graph.port_to g ~src:x ~dst:y with
+            | Some p -> p
+            | None -> assert false
+          in
+          (x, port, vc)
+        in
+        let rec walk prev = function
+          | x :: (y :: _ as rest) ->
+            let c = channel x y in
+            (match prev with
+            | Some p -> Hashtbl.replace deps (p, c) ()
+            | None -> ());
+            walk (Some c) rest
+          | _ -> ()
+        in
+        walk None path
+      end
+    done
+  done;
+  List.sort compare (Hashtbl.fold (fun d () acc -> d :: acc) deps [])
+
+let torus_dor_vc_deadlock_free ~dims g =
+  Deadlock.acyclic (torus_dor_vc_dependencies ~dims g)
+
+let torus_dor ~dims =
+  {
+    Scheme.name =
+      "torus-dor-"
+      ^ String.concat "x" (List.map string_of_int dims);
+    stretch_bound = Some 1.0;
+    build = build_torus_dor ~dims;
+  }
+
+(* ---------- complete graphs ---------- *)
+
+let validate_complete_sorted g =
+  let n = Graph.order g in
+  for v = 0 to n - 1 do
+    if Graph.degree g v <> n - 1 then invalid_arg "complete: not K_n";
+    Array.iteri
+      (fun k w ->
+        let expect = if k < v then k else k + 1 in
+        if w <> expect then
+          invalid_arg "complete: ports must be sorted by neighbour label")
+      (Graph.neighbors g v)
+  done
+
+let build_complete_direct g =
+  validate_complete_sorted g;
+  let n = Graph.order g in
+  let next u v = if v < u then v + 1 else v in
+  let rf = Routing_function.of_next_hop g next in
+  {
+    Scheme.rf;
+    local_encoding =
+      (fun v ->
+        let buf = Bitbuf.create () in
+        Codes.write_delta buf n;
+        Codes.write_bounded buf v ~bound:n;
+        buf);
+    description = "direct K_n routing under sorted port labelling";
+  }
+
+let complete_direct =
+  {
+    Scheme.name = "complete-direct";
+    stretch_bound = Some 1.0;
+    build = build_complete_direct;
+  }
+
+let build_complete_adversarial st g =
+  validate_complete_sorted g;
+  let n = Graph.order g in
+  let perms = Array.init n (fun _ -> Perm.random st (n - 1)) in
+  let g' = Graph.relabel_ports g perms in
+  (* With sorted ports, neighbour v sat on 0-based index (v or v-1);
+     after relabelling it sits on perms.(u) applied to that index. *)
+  let next u v =
+    let sorted_index = if v < u then v else v - 1 in
+    perms.(u).(sorted_index) + 1
+  in
+  let rf = Routing_function.of_next_hop g' next in
+  {
+    Scheme.rf;
+    local_encoding =
+      (fun v ->
+        let buf = Bitbuf.create () in
+        Codes.write_delta buf n;
+        Codes.write_bounded buf v ~bound:n;
+        if n - 1 <= 20 then Rank.write_permutation buf perms.(v)
+        else begin
+          (* table fallback: (n-1) entries of ceil(log2 (n-1)) bits *)
+          let width = Codes.ceil_log2 (n - 1) in
+          Array.iter (fun x -> Codes.write_fixed buf x ~width) perms.(v)
+        end;
+        buf);
+    description = "K_n routing under adversarial port labelling";
+  }

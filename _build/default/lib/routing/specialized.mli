@@ -1,0 +1,67 @@
+(** Specialized (partial) routing schemes with [O(log n)] local memory,
+    witnessing Section 1's upper-bound examples: e-cube routing on the
+    hypercube ([MEM_local(H_n, 1) = O(log n)]), shortest-side routing on
+    rings, dimension-order routing on meshes, and direct routing on
+    [K_n] under a {e suitable} port labelling.
+
+    Each [build_*] validates that the graph really is the expected
+    family (raises [Invalid_argument] otherwise): these are partial
+    schemes in the paper's sense. *)
+
+open Umrs_graph
+
+val build_ecube : Graph.t -> Scheme.built
+(** Requires a hypercube with port [k] flipping bit [k-1]
+    (as produced by {!Umrs_graph.Generators.hypercube}). Routes by
+    correcting the lowest differing bit; stretch 1. Memory per router:
+    its own label + the dimension. *)
+
+val ecube : Scheme.t
+
+val build_ring : Graph.t -> Scheme.built
+(** Requires a cycle labelled consecutively
+    ({!Umrs_graph.Generators.cycle}). Routes the shorter way around. *)
+
+val ring : Scheme.t
+
+val build_grid : w:int -> h:int -> Graph.t -> Scheme.built
+(** Requires the [w x h] mesh of {!Umrs_graph.Generators.grid}.
+    Dimension-order (X then Y) routing. *)
+
+val grid : w:int -> h:int -> Scheme.t
+
+val build_torus_dor : dims:int list -> Graph.t -> Scheme.built
+(** Dimension-order routing on the k-dimensional torus of
+    {!Umrs_graph.Generators.torus_nd} (same port convention): correct
+    one coordinate at a time, the shorter way around. Stretch 1,
+    [O(log n)] bits per router. *)
+
+val torus_dor : dims:int list -> Scheme.t
+
+val torus_dor_vc_dependencies :
+  dims:int list -> Graph.t -> ((Graph.vertex * Graph.port * int) * (Graph.vertex * Graph.port * int)) list
+(** Channel dependencies of torus dimension-order routing under the
+    Dally-Seitz two-virtual-channel discipline: a packet uses virtual
+    channel 0 in each dimension until it crosses that dimension's
+    wrap-around edge, and virtual channel 1 afterwards. Channels are
+    [(vertex, port, vc)]. *)
+
+val torus_dor_vc_deadlock_free : dims:int list -> Graph.t -> bool
+(** Acyclicity of the virtual-channel dependency graph — true on every
+    torus, the Dally-Seitz theorem that motivated virtual channels
+    (whereas the plain channel graph of the same routing function is
+    cyclic). *)
+
+val build_complete_direct : Graph.t -> Scheme.built
+(** Requires [K_n] with the sorted port labelling of
+    {!Umrs_graph.Generators.complete}: the port to [w] from [v] is
+    computable from labels alone, so each router stores only [O(log n)]
+    bits. *)
+
+val complete_direct : Scheme.t
+
+val build_complete_adversarial : Random.State.t -> Graph.t -> Scheme.built
+(** [K_n] after an adversarial (random) relabelling of every router's
+    ports: each router must store the full port permutation —
+    [ceil(log2 (n-1)!)] ~ [n log n] bits (Section 1's example). The
+    returned routing function runs on the relabelled graph. *)

@@ -1,0 +1,65 @@
+open Umrs_graph
+open Umrs_bitcode
+
+let next_hop_matrix_with_dist g dist =
+  let n = Graph.order g in
+  let m = Array.make_matrix n n 0 in
+  for u = 0 to n - 1 do
+    let du = dist.(u) in
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        if du.(v) = Bfs.infinity then
+          invalid_arg "Table_scheme: disconnected graph";
+        (* smallest port whose head is one step closer to v *)
+        let deg = Graph.degree g u in
+        let rec find k =
+          if k > deg then assert false
+          else begin
+            let w = Graph.neighbor g u ~port:k in
+            if dist.(w).(v) = du.(v) - 1 then k else find (k + 1)
+          end
+        in
+        m.(u).(v) <- find 1
+      end
+    done
+  done;
+  m
+
+let next_hop_matrix g = next_hop_matrix_with_dist g (Bfs.all_pairs g)
+
+let next_hop_matrix_parallel ?domains g =
+  next_hop_matrix_with_dist g (Parallel.all_pairs ?domains g)
+
+let encode_vertex g table v =
+  let n = Graph.order g in
+  let deg = Graph.degree g v in
+  let buf = Bitbuf.create () in
+  if deg > 0 then begin
+    let width = Codes.ceil_log2 deg in
+    for dst = 0 to n - 1 do
+      if dst <> v then Codes.write_fixed buf (table.(dst) - 1) ~width
+    done
+  end;
+  buf
+
+let decode_table buf ~order ~degree ~self =
+  let table = Array.make order 0 in
+  if degree > 0 then begin
+    let width = Codes.ceil_log2 degree in
+    let r = Bitbuf.reader buf in
+    for dst = 0 to order - 1 do
+      if dst <> self then table.(dst) <- 1 + Codes.read_fixed r ~width
+    done
+  end;
+  table
+
+let build g =
+  let m = next_hop_matrix g in
+  let rf = Routing_function.of_next_hop g (fun u v -> m.(u).(v)) in
+  {
+    Scheme.rf;
+    local_encoding = (fun v -> encode_vertex g m.(v) v);
+    description = "full shortest-path next-hop tables";
+  }
+
+let scheme = { Scheme.name = "routing-tables"; stretch_bound = Some 1.0; build }

@@ -1,0 +1,31 @@
+(** Full shortest-path routing tables — the universal scheme whose
+    [O(n log n)]-bits-per-router cost Theorem 1 proves optimal for every
+    stretch [s < 2].
+
+    Each router [v] stores, for every destination, the local output port
+    of a shortest-path next hop (ties broken toward the smallest port),
+    [ceil(log2 deg v)] bits per entry. *)
+
+open Umrs_graph
+
+val next_hop_matrix : Graph.t -> Graph.port array array
+(** [m.(u).(v)] is the chosen shortest-path port at [u] toward [v]
+    (undefined 0 on the diagonal). Requires a connected graph. *)
+
+val next_hop_matrix_with_dist : Graph.t -> int array array -> Graph.port array array
+(** Same, reusing a precomputed distance matrix. *)
+
+val next_hop_matrix_parallel : ?domains:int -> Graph.t -> Graph.port array array
+(** [next_hop_matrix] with the all-pairs BFS spread over OCaml domains
+    ({!Umrs_graph.Parallel}); identical output (tested). *)
+
+val build : Graph.t -> Scheme.built
+(** Routing function + per-router table encodings. *)
+
+val scheme : Scheme.t
+(** Named scheme ["routing-tables"], stretch bound 1. *)
+
+val decode_table :
+  Umrs_bitcode.Bitbuf.t -> order:int -> degree:int -> self:Graph.vertex -> Graph.port array
+(** Decode a router's table back from its encoding: entry [v] is the
+    port for destination [v] (self entry is 0). Round-trip tested. *)

@@ -1,0 +1,204 @@
+open Umrs_graph
+open Umrs_bitcode
+
+(* Per-cluster tree data for one member vertex. *)
+type node = {
+  parent_port : Graph.port; (* 0 at the root *)
+  dfs : int;
+  children : (Graph.port * int * int) array; (* port, dfs lo, dfs hi *)
+}
+
+type cluster_tree = {
+  nodes : (Graph.vertex, node) Hashtbl.t;
+}
+
+type scale = {
+  cover : Cover.t;
+  trees : cluster_tree array; (* one per cluster *)
+}
+
+let log2_ceil n =
+  let rec go acc x = if x >= n then acc else go (acc + 1) (2 * x) in
+  go 0 1
+
+(* BFS tree of the subgraph induced by [members], rooted at [center];
+   children ordered by the port leading to them. *)
+let build_tree g center members =
+  let inside = Hashtbl.create (Array.length members) in
+  Array.iter (fun v -> Hashtbl.replace inside v ()) members;
+  let parent = Hashtbl.create (Array.length members) in
+  let kids = Hashtbl.create (Array.length members) in
+  let visited = Hashtbl.create (Array.length members) in
+  Hashtbl.replace visited center ();
+  let queue = Queue.create () in
+  Queue.add center queue;
+  while not (Queue.is_empty queue) do
+    let x = Queue.pop queue in
+    Array.iter
+      (fun y ->
+        if Hashtbl.mem inside y && not (Hashtbl.mem visited y) then begin
+          Hashtbl.replace visited y ();
+          Hashtbl.replace parent y x;
+          let cur = Option.value ~default:[] (Hashtbl.find_opt kids x) in
+          Hashtbl.replace kids x (y :: cur);
+          Queue.add y queue
+        end)
+      (Graph.neighbors g x)
+  done;
+  if Hashtbl.length visited <> Array.length members then
+    invalid_arg "Tree_cover: cluster is not connected";
+  let port x y =
+    match Graph.port_to g ~src:x ~dst:y with
+    | Some k -> k
+    | None -> assert false
+  in
+  let children_of x =
+    Option.value ~default:[] (Hashtbl.find_opt kids x)
+    |> List.sort (fun a b -> compare (port x a) (port x b))
+  in
+  (* DFS numbering *)
+  let dfs_no = Hashtbl.create (Array.length members) in
+  let hi = Hashtbl.create (Array.length members) in
+  let counter = ref 0 in
+  let rec visit x =
+    Hashtbl.replace dfs_no x !counter;
+    incr counter;
+    List.iter visit (children_of x);
+    Hashtbl.replace hi x (!counter - 1)
+  in
+  visit center;
+  let nodes = Hashtbl.create (Array.length members) in
+  Array.iter
+    (fun x ->
+      let parent_port =
+        match Hashtbl.find_opt parent x with
+        | Some p -> port x p
+        | None -> 0
+      in
+      let children =
+        children_of x
+        |> List.map (fun c ->
+               (port x c, Hashtbl.find dfs_no c, Hashtbl.find hi c))
+        |> Array.of_list
+      in
+      Hashtbl.replace nodes x
+        { parent_port; dfs = Hashtbl.find dfs_no x; children })
+    members;
+  { nodes }
+
+let prepare g =
+  if not (Graph.is_connected g) then
+    invalid_arg "Tree_cover: need a connected graph";
+  let diam = max 1 (Bfs.diameter g) in
+  let nscales = 1 + log2_ceil diam in
+  let scales =
+    Array.init nscales (fun i ->
+        let cover = Cover.build g ~r:(1 lsl i) in
+        let trees =
+          Array.map
+            (fun (c : Cover.cluster) -> build_tree g c.Cover.center c.Cover.members)
+            cover.Cover.clusters
+        in
+        { cover; trees })
+  in
+  scales
+
+let routing_function g scales =
+  let member_node i c v = Hashtbl.find_opt scales.(i).trees.(c).nodes v in
+  let init u v =
+    (* smallest scale at which u sits in v's home cluster *)
+    let rec pick i =
+      if i >= Array.length scales then
+        invalid_arg "Tree_cover: no common cluster (disconnected?)"
+      else begin
+        let hc = scales.(i).cover.Cover.home.(v) in
+        match member_node i hc u with
+        | Some _ -> (i, hc)
+        | None -> pick (i + 1)
+      end
+    in
+    let i, hc = pick 0 in
+    let dfs_v =
+      match member_node i hc v with
+      | Some node -> node.dfs
+      | None -> assert false (* home cluster contains v *)
+    in
+    Routing_function.Packed [| v; i; hc; dfs_v |]
+  in
+  let port x h =
+    match h with
+    | Routing_function.Packed [| v; i; hc; dfs_v |] ->
+      if x = v then None
+      else begin
+        match member_node i hc x with
+        | None -> invalid_arg "Tree_cover: left the cluster"
+        | Some node ->
+          let rec scan k =
+            if k >= Array.length node.children then None
+            else begin
+              let p, lo, hi = node.children.(k) in
+              if lo <= dfs_v && dfs_v <= hi then Some p else scan (k + 1)
+            end
+          in
+          (match scan 0 with
+          | Some p -> Some p
+          | None ->
+            assert (node.parent_port > 0);
+            Some node.parent_port)
+      end
+    | _ -> invalid_arg "Tree_cover: malformed header"
+  in
+  { Routing_function.graph = g; init; port; next_header = (fun _ h -> h) }
+
+let encode_vertex g scales v =
+  let n = Graph.order g in
+  let deg = Graph.degree g v in
+  let vwidth = Codes.ceil_log2 (max 2 n) in
+  let pwidth = Codes.ceil_log2 (max 2 deg) in
+  let buf = Bitbuf.create () in
+  Codes.write_delta buf n;
+  Codes.write_gamma buf (Array.length scales + 1);
+  Array.iter
+    (fun s ->
+      let ncl = Array.length s.cover.Cover.clusters in
+      let cwidth = Codes.ceil_log2 (max 2 ncl) in
+      let containing = ref [] in
+      Array.iteri
+        (fun c tree ->
+          match Hashtbl.find_opt tree.nodes v with
+          | Some node -> containing := (c, node) :: !containing
+          | None -> ())
+        s.trees;
+      let containing = List.rev !containing in
+      Codes.write_gamma buf (List.length containing + 1);
+      List.iter
+        (fun (c, node) ->
+          Codes.write_fixed buf c ~width:cwidth;
+          Codes.write_fixed buf node.parent_port ~width:(pwidth + 1);
+          Codes.write_fixed buf node.dfs ~width:vwidth;
+          Codes.write_gamma buf (Array.length node.children + 1);
+          Array.iter
+            (fun (p, lo, hi) ->
+              Codes.write_fixed buf (p - 1) ~width:pwidth;
+              Codes.write_fixed buf lo ~width:vwidth;
+              Codes.write_fixed buf hi ~width:vwidth)
+            node.children)
+        containing)
+    scales;
+  buf
+
+let build g =
+  let scales = prepare g in
+  {
+    Scheme.rf = routing_function g scales;
+    local_encoding = encode_vertex g scales;
+    description =
+      Printf.sprintf "tree-cover routing, %d scales" (Array.length scales);
+  }
+
+let scheme =
+  { Scheme.name = "tree-cover"; stretch_bound = None; build }
+
+let stretch_guarantee g =
+  let n = float_of_int (max 2 (Graph.order g)) in
+  4.0 *. ((Float.log n /. Float.log 2.0) +. 2.0)

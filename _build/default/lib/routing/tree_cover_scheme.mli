@@ -1,0 +1,31 @@
+(** Hierarchical tree-cover routing (Awerbuch & Peleg, reference [2]) —
+    the scheme behind Table 1's [s = O(log n)] row.
+
+    For each scale [2^i] (up to the diameter), build a sparse cover
+    ({!Umrs_graph.Cover}); every cluster carries a BFS tree of its
+    induced subgraph, DFS-numbered for interval descent. A vertex's
+    {e address} lists, per scale, its home cluster and its DFS number
+    in that cluster's tree — the [O(log^2 n)]-bit labels the paper
+    explicitly notes for this scheme. The sender picks the smallest
+    scale at which it belongs to the destination's home cluster
+    (guaranteed at scale [>= log2 dist]) and the packet follows the
+    tree: up toward the root until the destination's DFS number falls
+    into a child interval, then down.
+
+    Route length is at most twice the cluster radius, i.e.
+    [O(dist * log n)] — logarithmic stretch for polylogarithmic
+    per-router memory, the regime's trademark tradeoff (measured, not
+    assumed, by the benchmarks). *)
+
+open Umrs_graph
+
+val build : Graph.t -> Scheme.built
+
+val scheme : Scheme.t
+(** ["tree-cover"]; no constant stretch bound (logarithmic). *)
+
+val stretch_guarantee : Graph.t -> float
+(** The provable bound for this graph:
+    [4 * (log2 n + 2)] (choose scale [2^i < 2 dist], pay at most twice
+    a cluster radius of [2^i (log2 n + 2)]). The measured stretch is
+    checked against it in the tests. *)

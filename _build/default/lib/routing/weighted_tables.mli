@@ -1,0 +1,26 @@
+(** Shortest-path routing tables under non-uniform arc costs — the
+    weighted counterpart of {!Table_scheme}, covering the "non-uniform
+    cost" variants of Table 1's cited schemes.
+
+    The routing function runs on the underlying graph; optimality and
+    stretch are judged against the weighted metric. *)
+
+open Umrs_graph
+
+val next_hop_matrix : Weighted.t -> Graph.port array array
+(** [m.(u).(v)] is a port at [u] whose arc starts a minimum-cost path
+    toward [v] (smallest such port). *)
+
+val build : Weighted.t -> Scheme.built
+
+type weighted_stretch = {
+  max_ratio : float;
+  worst_pair : Graph.vertex * Graph.vertex;
+  mean_ratio : float;
+}
+
+val stretch : Weighted.t -> Routing_function.t -> weighted_stretch
+(** Ratio of routed cost to weighted distance over all ordered pairs. *)
+
+val stretch_at_most :
+  Weighted.t -> Routing_function.t -> num:int -> den:int -> bool

@@ -1,0 +1,1 @@
+lib/spanner/spanner.ml: Array Bfs Graph Hashtbl List Queue Umrs_graph

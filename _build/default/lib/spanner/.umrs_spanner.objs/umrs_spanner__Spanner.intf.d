@@ -1,0 +1,1 @@
+lib/spanner/spanner.mli: Graph Umrs_graph

@@ -1,0 +1,26 @@
+(** Graph spanners (Peleg & Schaffer; Althoefer et al.) — the sparse
+    substitutes that buy the memory/stretch tradeoffs of Table 1's
+    large-stretch rows.
+
+    A subgraph [H] of [G] is a [t]-spanner when
+    [dist_H(u,v) <= t * dist_G(u,v)] for all [u, v]. *)
+
+open Umrs_graph
+
+val greedy : Graph.t -> k:int -> Graph.t
+(** [greedy g ~k] is the greedy [(2k-1)]-spanner: scan the edges and
+    keep [(u,v)] unless the partial spanner already joins [u] and [v]
+    within [2k-1] hops. The result is connected, spans all vertices of
+    [g], has girth [> 2k], hence [O(n^(1+1/k))] edges, and is a
+    [(2k-1)]-spanner. Port order in the result follows [g]. Requires
+    [k >= 1] and [g] connected. *)
+
+val is_spanner : Graph.t -> sub:Graph.t -> t:int -> bool
+(** Exhaustively check the spanner inequality with factor [t]
+    (also verifies [sub]'s edges all exist in the host graph). *)
+
+val max_stretch : Graph.t -> sub:Graph.t -> float
+(** [max_{u<>v} dist_sub / dist_g]. *)
+
+val edge_ratio : Graph.t -> sub:Graph.t -> float
+(** [size sub / size g]. *)

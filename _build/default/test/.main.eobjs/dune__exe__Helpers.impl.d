@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Format Generators Graph QCheck QCheck_alcotest Random Umrs_core Umrs_graph

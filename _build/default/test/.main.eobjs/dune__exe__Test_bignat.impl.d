@@ -1,0 +1,1 @@
+test/test_bignat.ml: Alcotest Bignat Float Helpers List QCheck Umrs_core

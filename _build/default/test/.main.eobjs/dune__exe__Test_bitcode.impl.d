@@ -1,0 +1,1 @@
+test/test_bitcode.ml: Alcotest Array Bitbuf Codes Float Fun Helpers List Printf QCheck Random Rank String Umrs_bitcode Umrs_graph

@@ -1,0 +1,1 @@
+test/test_canonical.ml: Alcotest Array Canonical Fun Helpers List Matrix Umrs_core Umrs_graph

@@ -1,0 +1,1 @@
+test/test_cgraph_verify.ml: Alcotest Array Bfs Brute Canonical Cgraph Enumerate Graph Helpers List Matrix QCheck Random Umrs_core Umrs_graph Verify

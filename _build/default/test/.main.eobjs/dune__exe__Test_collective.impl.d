@@ -1,0 +1,1 @@
+test/test_collective.ml: Bfs Collective Generators Graph Helpers Routing_function Scheme Spanner_scheme Table_scheme Umrs_graph Umrs_routing

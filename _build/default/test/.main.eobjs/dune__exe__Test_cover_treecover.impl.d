@@ -1,0 +1,1 @@
+test/test_cover_treecover.ml: Array Cover Float Generators Graph Helpers List Random Routing_function Scheme Table_scheme Tree_cover_scheme Umrs_graph Umrs_routing

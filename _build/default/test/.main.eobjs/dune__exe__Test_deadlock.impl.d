@@ -1,0 +1,1 @@
+test/test_deadlock.ml: Alcotest Deadlock Generators Hashtbl Helpers List Scheme Specialized Table_scheme Umrs_graph Umrs_routing

@@ -1,0 +1,1 @@
+test/test_enumerate_count.ml: Alcotest Bignat Canonical Count Enumerate Float Helpers List Matrix Orbit Printf QCheck Umrs_core

@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest Array Bfs Generators Graph Helpers List Props Umrs_graph

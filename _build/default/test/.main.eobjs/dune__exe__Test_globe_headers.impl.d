@@ -1,0 +1,1 @@
+test/test_globe_headers.ml: Bfs Generators Graph Helpers Interval_routing Landmark_scheme Printf QCheck Routing_function Scheme Table_scheme Umrs_core Umrs_graph Umrs_routing

@@ -1,0 +1,1 @@
+test/test_graph.ml: Graph Helpers List Perm Umrs_graph

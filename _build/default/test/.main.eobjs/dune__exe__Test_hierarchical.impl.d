@@ -1,0 +1,1 @@
+test/test_hierarchical.ml: Array Bfs Generators Graph Helpers Hierarchical_scheme List Printf Random Routing_function Scheme Umrs_graph Umrs_routing

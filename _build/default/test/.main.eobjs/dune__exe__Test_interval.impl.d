@@ -1,0 +1,1 @@
+test/test_interval.ml: Array Fun Generators Graph Helpers Interval_routing List Routing_function Scheme Table_scheme Umrs_graph Umrs_routing

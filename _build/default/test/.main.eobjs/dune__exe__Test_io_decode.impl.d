@@ -1,0 +1,1 @@
+test/test_io_decode.ml: Array Filename Fun Generators Graph Graph_io Helpers Landmark_scheme Scheme Sys Table_scheme Umrs_bitcode Umrs_graph Umrs_routing

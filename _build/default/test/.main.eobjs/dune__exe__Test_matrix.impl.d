@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Array Bignat Helpers List Matrix Perm QCheck Umrs_core Umrs_graph

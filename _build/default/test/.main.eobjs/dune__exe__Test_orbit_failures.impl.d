@@ -1,0 +1,1 @@
+test/test_orbit_failures.ml: Array Bignat Canonical Count Dot Enumerate Float Generators Helpers List Matrix Orbit Printf Scheme Simulator String Table_scheme Umrs_core Umrs_graph Umrs_routing

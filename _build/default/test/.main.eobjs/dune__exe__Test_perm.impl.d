@@ -1,0 +1,1 @@
+test/test_perm.ml: Alcotest Array Format Hashtbl Helpers Perm QCheck Random Umrs_graph

@@ -1,0 +1,1 @@
+test/test_product_iso_hotpotato.ml: Alcotest Array Bfs Generators Graph Helpers Iso List Perm Product Scheme Simulator Table_scheme Umrs_graph Umrs_routing

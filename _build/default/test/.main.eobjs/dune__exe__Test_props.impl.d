@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Generators Graph Helpers List Props Umrs_graph

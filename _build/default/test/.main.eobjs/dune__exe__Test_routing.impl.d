@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Bfs Generators Graph Helpers List Registry Routing_function Scheme String Table_scheme Umrs_graph Umrs_routing

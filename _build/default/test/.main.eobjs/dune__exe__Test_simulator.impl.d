@@ -1,0 +1,1 @@
+test/test_simulator.ml: Array Generators Graph Helpers List Routing_function Scheme Simulator Table_scheme Umrs_graph Umrs_routing

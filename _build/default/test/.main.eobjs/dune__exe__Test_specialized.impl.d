@@ -1,0 +1,1 @@
+test/test_specialized.ml: Array Generators Graph Helpers Perm Routing_function Scheme Specialized Umrs_bitcode Umrs_graph Umrs_routing

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Generators Helpers List QCheck Stats String Umrs_graph Umrs_routing

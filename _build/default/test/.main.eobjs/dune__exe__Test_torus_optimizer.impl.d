@@ -1,0 +1,1 @@
+test/test_torus_optimizer.ml: Bfs Generators Graph Helpers Interval_routing List Props Routing_function Scheme Specialized Umrs_graph Umrs_routing

@@ -1,0 +1,1 @@
+test/test_weighted.ml: Alcotest Array Bfs Format Generators Graph Heap Helpers List QCheck Random Routing_function Scheme Table_scheme Umrs_graph Umrs_routing Weighted Weighted_tables

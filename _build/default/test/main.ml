@@ -1,0 +1,34 @@
+let () =
+  Alcotest.run "umrs"
+    [
+      ("perm", Test_perm.suite);
+      ("graph", Test_graph.suite);
+      ("bfs", Test_bfs.suite);
+      ("generators", Test_generators.suite);
+      ("props", Test_props.suite);
+      ("bitcode", Test_bitcode.suite);
+      ("routing", Test_routing.suite);
+      ("interval", Test_interval.suite);
+      ("specialized", Test_specialized.suite);
+      ("landmark+spanner", Test_landmark_spanner.suite);
+      ("simulator", Test_simulator.suite);
+      ("bignat", Test_bignat.suite);
+      ("matrix", Test_matrix.suite);
+      ("canonical", Test_canonical.suite);
+      ("enumerate+count", Test_enumerate_count.suite);
+      ("cgraph+verify", Test_cgraph_verify.suite);
+      ("paper-results", Test_paper_results.suite);
+      ("weighted", Test_weighted.suite);
+      ("hierarchical", Test_hierarchical.suite);
+      ("orbit+failures", Test_orbit_failures.suite);
+      ("globe+headers", Test_globe_headers.suite);
+      ("torus+optimizer", Test_torus_optimizer.suite);
+      ("product+iso+hotpotato", Test_product_iso_hotpotato.suite);
+      ("compression+parallel", Test_compression_parallel.suite);
+      ("cover+treecover", Test_cover_treecover.suite);
+      ("deadlock", Test_deadlock.suite);
+      ("io+decode", Test_io_decode.suite);
+      ("stats", Test_stats.suite);
+      ("collective", Test_collective.suite);
+      ("boundaries", Test_boundaries.suite);
+    ]

@@ -1,0 +1,112 @@
+open Umrs_graph
+open Helpers
+
+let test_path_distances () =
+  let g = Generators.path 5 in
+  let d = Bfs.distances g 0 in
+  check_true "line distances" (d = [| 0; 1; 2; 3; 4 |]);
+  check_int "dist endpoint" 4 (Bfs.dist g 0 4)
+
+let test_unreachable () =
+  let g = Graph.empty 3 in
+  let d = Bfs.distances g 0 in
+  check_int "self" 0 d.(0);
+  check_true "others infinite" (d.(1) = Bfs.infinity && d.(2) = Bfs.infinity)
+
+let test_cycle_metric () =
+  let g = Generators.cycle 6 in
+  check_int "antipodal" 3 (Bfs.dist g 0 3);
+  check_int "diameter" 3 (Bfs.diameter g);
+  check_int "radius" 3 (Bfs.radius g)
+
+let test_star_center () =
+  let g = Generators.star 7 in
+  check_int "center is hub" 0 (Bfs.center g);
+  check_int "radius" 1 (Bfs.radius g);
+  check_int "diameter" 2 (Bfs.diameter g)
+
+let test_shortest_path () =
+  let g = Generators.path 4 in
+  (match Bfs.shortest_path g 0 3 with
+  | Some p -> check_true "path" (p = [ 0; 1; 2; 3 ])
+  | None -> Alcotest.fail "expected a path");
+  check_true "no path" (Bfs.shortest_path (Graph.empty 2) 0 1 = None)
+
+let test_hypercube_distances_are_hamming () =
+  let g = Generators.hypercube 4 in
+  let d = Bfs.all_pairs g in
+  let popcount x =
+    let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+    go 0 x
+  in
+  for u = 0 to 15 do
+    for v = 0 to 15 do
+      check_int "hamming" (popcount (u lxor v)) d.(u).(v)
+    done
+  done
+
+let test_bfs_tree () =
+  let g = Generators.cycle 5 in
+  let t = Bfs.bfs_tree g 0 in
+  check_int "spanning tree edges" 4 (Graph.size t);
+  check_true "tree is connected" (Graph.is_connected t);
+  (* distances in the tree from the root equal graph distances *)
+  check_true "root distances preserved" (Bfs.distances t 0 = Bfs.distances g 0)
+
+let test_count_shortest_paths () =
+  check_int "cycle even antipodal" 2
+    (Bfs.count_shortest_paths (Generators.cycle 6) 0 3);
+  check_int "path unique" 1 (Bfs.count_shortest_paths (Generators.path 5) 0 4);
+  (* hypercube: k! shortest paths at distance k *)
+  check_int "cube diagonal" 6
+    (Bfs.count_shortest_paths (Generators.hypercube 3) 0 7);
+  check_int "disconnected" 0 (Bfs.count_shortest_paths (Graph.empty 2) 0 1)
+
+let symmetric_matrix d =
+  let n = Array.length d in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if d.(u).(v) <> d.(v).(u) then ok := false
+    done
+  done;
+  !ok
+
+let triangle_inequality g d =
+  let n = Graph.order g in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      Array.iter
+        (fun w -> if d.(u).(v) > d.(u).(w) + 1 then ok := false)
+        (Graph.neighbors g v)
+    done
+  done;
+  !ok
+
+let suite =
+  [
+    case "path distances" test_path_distances;
+    case "unreachable is infinity" test_unreachable;
+    case "cycle metric" test_cycle_metric;
+    case "star center" test_star_center;
+    case "shortest_path extraction" test_shortest_path;
+    case "hypercube = hamming" test_hypercube_distances_are_hamming;
+    case "bfs_tree" test_bfs_tree;
+    case "count_shortest_paths" test_count_shortest_paths;
+    prop "all_pairs symmetric" arbitrary_connected_graph (fun g ->
+        symmetric_matrix (Bfs.all_pairs g));
+    prop "adjacent distance relaxation" arbitrary_connected_graph (fun g ->
+        triangle_inequality g (Bfs.all_pairs g));
+    prop "diameter >= radius" arbitrary_connected_graph (fun g ->
+        Bfs.diameter g >= Bfs.radius g);
+    prop "shortest_path length = distance" arbitrary_connected_graph (fun g ->
+        let st = rng () in
+        let n = Graph.order g in
+        let u = Random.State.int st n and v = Random.State.int st n in
+        match Bfs.shortest_path g u v with
+        | Some p -> List.length p - 1 = Bfs.dist g u v
+        | None -> false);
+    prop "bfs tree preserves root distances" arbitrary_connected_graph
+      (fun g -> Bfs.distances (Bfs.bfs_tree g 0) 0 = Bfs.distances g 0);
+  ]

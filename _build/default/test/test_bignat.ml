@@ -1,0 +1,112 @@
+open Umrs_core
+open Helpers
+
+let nat = QCheck.make ~print:string_of_int QCheck.Gen.(map (fun x -> abs x mod 1000000000) int)
+
+let test_of_to_int () =
+  check_true "zero" (Bignat.to_int_opt Bignat.zero = Some 0);
+  check_true "one" (Bignat.to_int_opt Bignat.one = Some 1);
+  check_true "big" (Bignat.to_int_opt (Bignat.of_int 123456789012345) = Some 123456789012345)
+
+let test_to_string () =
+  Alcotest.(check string) "0" "0" (Bignat.to_string Bignat.zero);
+  Alcotest.(check string) "decimal" "123456789" (Bignat.to_string (Bignat.of_int 123456789));
+  Alcotest.(check string)
+    "2^100"
+    "1267650600228229401496703205376"
+    (Bignat.to_string (Bignat.pow (Bignat.of_int 2) 100))
+
+let test_of_string () =
+  check_true "roundtrip"
+    (Bignat.equal
+       (Bignat.of_string "987654321987654321987654321")
+       (let x = Bignat.of_string "987654321987654321987654321" in
+        Bignat.of_string (Bignat.to_string x)));
+  check_true "small" (Bignat.to_int_opt (Bignat.of_string "42") = Some 42)
+
+let test_factorial () =
+  Alcotest.(check string)
+    "20!" "2432902008176640000"
+    (Bignat.to_string (Bignat.factorial 20));
+  Alcotest.(check string)
+    "25!" "15511210043330985984000000"
+    (Bignat.to_string (Bignat.factorial 25))
+
+let test_sub () =
+  let a = Bignat.pow (Bignat.of_int 10) 20 in
+  check_true "a - a = 0" (Bignat.is_zero (Bignat.sub a a));
+  check_true "borrow chain"
+    (Bignat.equal
+       (Bignat.sub (Bignat.pow (Bignat.of_int 2) 64) Bignat.one)
+       (Bignat.of_string "18446744073709551615"));
+  check_true "negative raises"
+    (try ignore (Bignat.sub Bignat.zero Bignat.one); false
+     with Invalid_argument _ -> true)
+
+let test_div () =
+  let a = Bignat.factorial 30 in
+  let b = Bignat.factorial 20 in
+  (* 30!/20! = 21*22*...*30 *)
+  let expect =
+    List.fold_left (fun acc i -> Bignat.mul_int acc i) Bignat.one
+      [ 21; 22; 23; 24; 25; 26; 27; 28; 29; 30 ]
+  in
+  check_true "30!/20!" (Bignat.equal (Bignat.div a b) expect);
+  check_true "floor" (Bignat.equal (Bignat.div (Bignat.of_int 7) (Bignat.of_int 2)) (Bignat.of_int 3));
+  check_true "smaller / larger = 0" (Bignat.is_zero (Bignat.div b a))
+
+let test_div_int () =
+  let q, r = Bignat.div_int (Bignat.of_int 1000003) 10 in
+  check_true "q" (Bignat.to_int_opt q = Some 100000);
+  check_int "r" 3 r
+
+let test_log2 () =
+  Alcotest.(check (float 1e-6)) "log2 1" 0.0 (Bignat.log2 Bignat.one);
+  Alcotest.(check (float 1e-6)) "log2 2^80" 80.0 (Bignat.log2 (Bignat.pow (Bignat.of_int 2) 80));
+  Alcotest.(check (float 0.001))
+    "log2 10^30"
+    (30.0 *. Float.log 10.0 /. Float.log 2.0)
+    (Bignat.log2 (Bignat.pow (Bignat.of_int 10) 30))
+
+let test_compare () =
+  check_true "lt" (Bignat.compare (Bignat.of_int 5) (Bignat.of_int 9) < 0);
+  check_true "eq" (Bignat.compare (Bignat.factorial 15) (Bignat.factorial 15) = 0);
+  check_true "multi-limb"
+    (Bignat.compare (Bignat.pow (Bignat.of_int 2) 99) (Bignat.pow (Bignat.of_int 2) 100) < 0)
+
+let suite =
+  [
+    case "of/to int" test_of_to_int;
+    case "to_string" test_to_string;
+    case "of_string" test_of_string;
+    case "factorial" test_factorial;
+    case "sub" test_sub;
+    case "div" test_div;
+    case "div_int" test_div_int;
+    case "log2" test_log2;
+    case "compare" test_compare;
+    prop "add commutes with int addition" (QCheck.pair nat nat)
+      (fun (a, b) ->
+        Bignat.to_int_opt (Bignat.add (Bignat.of_int a) (Bignat.of_int b))
+        = Some (a + b));
+    prop "mul commutes with int multiplication" (QCheck.pair nat nat)
+      (fun (a, b) ->
+        let a = a mod 100000 and b = b mod 100000 in
+        Bignat.to_int_opt (Bignat.mul (Bignat.of_int a) (Bignat.of_int b))
+        = Some (a * b));
+    prop "sub inverts add" (QCheck.pair nat nat) (fun (a, b) ->
+        Bignat.to_int_opt
+          (Bignat.sub (Bignat.add (Bignat.of_int a) (Bignat.of_int b)) (Bignat.of_int b))
+        = Some a);
+    prop "div_int inverts mul_int" (QCheck.pair nat nat) (fun (a, b) ->
+        let b = 1 + (b mod 1000) in
+        let q, r = Bignat.div_int (Bignat.mul_int (Bignat.of_int a) b) b in
+        r = 0 && Bignat.to_int_opt q = Some a);
+    prop "string roundtrip" nat (fun a ->
+        Bignat.to_int_opt (Bignat.of_string (string_of_int a)) = Some a);
+    prop "pow matches repeated mul" nat (fun a ->
+        let a = a mod 50 in
+        let e = 5 in
+        let rec rep acc k = if k = 0 then acc else rep (Bignat.mul acc (Bignat.of_int a)) (k - 1) in
+        Bignat.equal (Bignat.pow (Bignat.of_int a) e) (rep Bignat.one e));
+  ]

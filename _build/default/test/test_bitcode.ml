@@ -1,0 +1,181 @@
+open Umrs_bitcode
+open Helpers
+
+let small_nat = QCheck.make ~print:string_of_int QCheck.Gen.(map abs int)
+let pos_nat =
+  QCheck.make ~print:string_of_int QCheck.Gen.(map (fun x -> 1 + (abs x mod 1000000)) int)
+
+let test_bitbuf_basics () =
+  let b = Bitbuf.create () in
+  check_int "empty" 0 (Bitbuf.length b);
+  Bitbuf.add_bit b true;
+  Bitbuf.add_bit b false;
+  Bitbuf.add_bit b true;
+  check_int "len 3" 3 (Bitbuf.length b);
+  check_true "array" (Bitbuf.to_bool_array b = [| true; false; true |]);
+  let r = Bitbuf.reader b in
+  check_true "read 1" (Bitbuf.read_bit r);
+  check_true "read 0" (not (Bitbuf.read_bit r));
+  check_int "remaining" 1 (Bitbuf.remaining r)
+
+let test_bitbuf_growth () =
+  let b = Bitbuf.create () in
+  for i = 0 to 999 do
+    Bitbuf.add_bit b (i mod 3 = 0)
+  done;
+  check_int "len 1000" 1000 (Bitbuf.length b);
+  let a = Bitbuf.to_bool_array b in
+  check_true "content preserved"
+    (Array.for_all Fun.id (Array.mapi (fun i x -> x = (i mod 3 = 0)) a))
+
+let test_add_bits_msb_first () =
+  let b = Bitbuf.create () in
+  Bitbuf.add_bits b 5 ~width:3;
+  check_true "101" (Bitbuf.to_bool_array b = [| true; false; true |]);
+  let r = Bitbuf.reader b in
+  check_int "roundtrip" 5 (Bitbuf.read_bits r ~width:3)
+
+let test_append_concat () =
+  let b1 = Bitbuf.of_bool_array [| true; true |] in
+  let b2 = Bitbuf.of_bool_array [| false |] in
+  let c = Bitbuf.concat [ b1; b2; b1 ] in
+  check_true "concat" (Bitbuf.to_bool_array c = [| true; true; false; true; true |])
+
+let test_reader_past_end () =
+  let b = Bitbuf.create () in
+  let r = Bitbuf.reader b in
+  check_true "raises"
+    (try ignore (Bitbuf.read_bit r); false with Invalid_argument _ -> true)
+
+let test_codes_explicit () =
+  check_int "bits_needed 0" 0 (Codes.bits_needed 0);
+  check_int "bits_needed 1" 1 (Codes.bits_needed 1);
+  check_int "bits_needed 255" 8 (Codes.bits_needed 255);
+  check_int "ceil_log2 1" 0 (Codes.ceil_log2 1);
+  check_int "ceil_log2 9" 4 (Codes.ceil_log2 9);
+  check_int "gamma length 1" 1 (Codes.gamma_length 1);
+  check_int "gamma length 4" 5 (Codes.gamma_length 4);
+  check_int "unary length" 6 (Codes.unary_length 5)
+
+let roundtrip write read lengthf x =
+  let b = Bitbuf.create () in
+  write b x;
+  let r = Bitbuf.reader b in
+  let y = read r in
+  y = x && Bitbuf.length b = lengthf x && Bitbuf.remaining r = 0
+
+let test_rank_binomial () =
+  check_int "C(5,2)" 10 (Rank.binomial 5 2);
+  check_int "C(10,0)" 1 (Rank.binomial 10 0);
+  check_int "C(10,10)" 1 (Rank.binomial 10 10);
+  check_int "C(52,5)" 2598960 (Rank.binomial 52 5);
+  Alcotest.(check (float 1e-6))
+    "log2 C(5,2)"
+    (Float.log (10.0) /. Float.log 2.0)
+    (Rank.log2_binomial 5 2);
+  Alcotest.(check (float 1e-6))
+    "log2 10!"
+    (Float.log 3628800.0 /. Float.log 2.0)
+    (Rank.log2_factorial 10)
+
+let test_combination_rank_order () =
+  (* first and last combinations *)
+  check_int "rank of prefix" 0 (Rank.rank_combination ~n:6 [| 0; 1; 2 |]);
+  check_int "rank of suffix"
+    (Rank.binomial 6 3 - 1)
+    (Rank.rank_combination ~n:6 [| 3; 4; 5 |]);
+  check_true "unrank 0" (Rank.unrank_combination ~n:6 ~k:3 0 = [| 0; 1; 2 |])
+
+let test_combination_exhaustive () =
+  (* all C(7,3) ranks round-trip and are distinct *)
+  let n = 7 and k = 3 in
+  let total = Rank.binomial n k in
+  for r = 0 to total - 1 do
+    let c = Rank.unrank_combination ~n ~k r in
+    check_int "roundtrip" r (Rank.rank_combination ~n c)
+  done
+
+let test_permutation_codec () =
+  let st = rng () in
+  for n = 1 to 8 do
+    let p = Umrs_graph.Perm.random st n in
+    let b = Bitbuf.create () in
+    Rank.write_permutation b p;
+    check_int "length" (Rank.permutation_length n) (Bitbuf.length b);
+    let r = Bitbuf.reader b in
+    check_true "roundtrip" (Rank.read_permutation r ~n = p)
+  done
+
+let combination_arb =
+  let gen =
+    QCheck.Gen.map
+      (fun (seed, n, k) ->
+        let n = 1 + (abs n mod 16) in
+        let k = abs k mod (n + 1) in
+        let st = Random.State.make [| seed |] in
+        let p = Umrs_graph.Perm.random st n in
+        let c = Array.sub p 0 k in
+        Array.sort compare c;
+        (n, c))
+      QCheck.Gen.(triple int small_nat small_nat)
+  in
+  QCheck.make
+    ~print:(fun (n, c) ->
+      Printf.sprintf "n=%d [%s]" n
+        (String.concat ";" (List.map string_of_int (Array.to_list c))))
+    gen
+
+let suite =
+  [
+    case "bitbuf basics" test_bitbuf_basics;
+    case "bitbuf growth" test_bitbuf_growth;
+    case "add_bits is MSB first" test_add_bits_msb_first;
+    case "append/concat" test_append_concat;
+    case "reader past end" test_reader_past_end;
+    case "codes explicit values" test_codes_explicit;
+    case "binomial" test_rank_binomial;
+    case "combination rank order" test_combination_rank_order;
+    case "combination exhaustive C(7,3)" test_combination_exhaustive;
+    case "permutation codec" test_permutation_codec;
+    prop "unary roundtrip" small_nat (fun x ->
+        let x = x mod 2000 in
+        roundtrip Codes.write_unary Codes.read_unary Codes.unary_length x);
+    prop "gamma roundtrip" pos_nat (fun x ->
+        roundtrip Codes.write_gamma Codes.read_gamma Codes.gamma_length x);
+    prop "delta roundtrip" pos_nat (fun x ->
+        roundtrip Codes.write_delta Codes.read_delta Codes.delta_length x);
+    prop "fibonacci roundtrip" pos_nat (fun x ->
+        roundtrip Codes.write_fibonacci Codes.read_fibonacci
+          Codes.fibonacci_length x);
+    prop "fibonacci code ends in 11" pos_nat (fun x ->
+        let b = Bitbuf.create () in
+        Codes.write_fibonacci b x;
+        let a = Bitbuf.to_bool_array b in
+        let n = Array.length a in
+        n >= 2 && a.(n - 1) && a.(n - 2));
+    prop "rice roundtrip" pos_nat (fun x ->
+        let k = x mod 8 in
+        roundtrip
+          (fun b x -> Codes.write_rice b x ~k)
+          (fun r -> Codes.read_rice r ~k)
+          (fun x -> Codes.rice_length x ~k)
+          (x mod 4096));
+    prop "bounded roundtrip" pos_nat (fun bound ->
+        let bound = 1 + (bound mod 100000) in
+        let x = bound - 1 in
+        let b = Bitbuf.create () in
+        Codes.write_bounded b x ~bound;
+        Codes.read_bounded (Bitbuf.reader b) ~bound = x);
+    prop "delta never longer than gamma + 1 for x >= 2" pos_nat (fun x ->
+        let x = x + 1 in
+        Codes.delta_length x <= Codes.gamma_length x + 1);
+    prop "combination roundtrip" combination_arb (fun (n, c) ->
+        Rank.unrank_combination ~n ~k:(Array.length c)
+          (Rank.rank_combination ~n c)
+        = c);
+    prop "combination code length" combination_arb (fun (n, c) ->
+        let b = Bitbuf.create () in
+        Rank.write_combination b ~n c;
+        Bitbuf.length b = Rank.combination_length ~n ~k:(Array.length c)
+        && Rank.read_combination (Bitbuf.reader b) ~n ~k:(Array.length c) = c);
+  ]

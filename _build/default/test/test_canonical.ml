@@ -1,0 +1,86 @@
+open Umrs_core
+open Helpers
+
+let test_normalize_row () =
+  check_true "example" (Canonical.normalize_row [| 3; 1; 3; 2 |] = [| 1; 2; 1; 3 |]);
+  check_true "already normal" (Canonical.normalize_row [| 1; 2; 3 |] = [| 1; 2; 3 |]);
+  check_true "constant" (Canonical.normalize_row [| 7; 7 |] = [| 1; 1 |]);
+  check_true "reversed" (Canonical.normalize_row [| 2; 1 |] = [| 1; 2 |])
+
+let test_canonical_explicit () =
+  (* the paper's worked pair: [1 2; 1 1] reduces to [1 1; 1 2] *)
+  let m = Matrix.create [| [| 1; 2 |]; [| 1; 1 |] |] in
+  let c = Canonical.canonical m in
+  Alcotest.(check string) "canonical" "[1 1; 1 2]" (Matrix.to_string c)
+
+let test_canonical_uses_column_perm () =
+  (* [2 1; 1 1] needs a column swap (after row relabel) to reach the
+     minimum *)
+  let m = Matrix.create_relaxed [| [| 2; 1 |]; [| 1; 1 |] |] in
+  Alcotest.(check string)
+    "canonical" "[1 1; 1 2]"
+    (Matrix.to_string (Canonical.canonical m))
+
+let test_canonical_full_relabels () =
+  (* opposite-direction rows merge under the Full variant only *)
+  let m = Matrix.create [| [| 1; 2 |]; [| 2; 1 |] |] in
+  Alcotest.(check string)
+    "full" "[1 2; 1 2]"
+    (Matrix.to_string (Canonical.canonical ~variant:Canonical.Full m));
+  Alcotest.(check string)
+    "positional" "[1 2; 2 1]"
+    (Matrix.to_string (Canonical.canonical ~variant:Canonical.Positional m))
+
+let test_equivalent () =
+  let a = Matrix.create [| [| 1; 2 |]; [| 1; 1 |] |] in
+  let b = Matrix.create [| [| 1; 1 |]; [| 2; 1 |] |] in
+  check_true "equivalent" (Canonical.equivalent a b);
+  let c = Matrix.create [| [| 1; 2 |]; [| 1; 2 |] |] in
+  check_true "not equivalent" (not (Canonical.equivalent a c))
+
+let test_is_canonical () =
+  check_true "min is canonical"
+    (Canonical.is_canonical (Matrix.create [| [| 1; 1 |]; [| 1; 2 |] |]));
+  check_true "non-min is not"
+    (not (Canonical.is_canonical (Matrix.create [| [| 1; 2 |]; [| 1; 1 |] |])))
+
+let suite =
+  [
+    case "normalize_row" test_normalize_row;
+    case "canonical (paper pair)" test_canonical_explicit;
+    case "canonical uses column perms" test_canonical_uses_column_perm;
+    case "full vs positional variants" test_canonical_full_relabels;
+    case "equivalent" test_equivalent;
+    case "is_canonical" test_is_canonical;
+    prop ~count:200 "canonical is idempotent" arbitrary_matrix (fun m ->
+        let c = Canonical.canonical m in
+        Matrix.equal c (Canonical.canonical c));
+    prop ~count:200 "canonical invariant under random group action"
+      arbitrary_matrix (fun m ->
+        let st = rng () in
+        let m' = Canonical.random_equivalent st m in
+        Matrix.equal (Canonical.canonical m) (Canonical.canonical m'));
+    prop ~count:200 "canonical result has normalized rows" arbitrary_matrix
+      (fun m ->
+        let c = Canonical.canonical m in
+        let p, q = Matrix.dims c in
+        List.for_all
+          (fun i ->
+            Canonical.normalize_row (Array.init q (Matrix.get c i))
+            = Array.init q (Matrix.get c i))
+          (List.init p Fun.id));
+    prop ~count:200 "canonical <= input in lex order" arbitrary_matrix
+      (fun m -> Matrix.compare_lex (Canonical.canonical m) m <= 0);
+    prop ~count:100 "positional canonical also idempotent/invariant"
+      arbitrary_matrix (fun m ->
+        let st = rng () in
+        let pc = Canonical.canonical ~variant:Canonical.Positional in
+        let m' =
+          (* positional group action: rows and columns only *)
+          let p, q = Matrix.dims m in
+          Matrix.permute_cols
+            (Matrix.permute_rows m (Umrs_graph.Perm.random st p))
+            (Umrs_graph.Perm.random st q)
+        in
+        Matrix.equal (pc m) (pc m') && Matrix.equal (pc m) (pc (pc m)));
+  ]

@@ -1,0 +1,115 @@
+open Umrs_graph
+open Umrs_routing
+open Helpers
+
+(* Classical results of Dally & Seitz (reference [3] of the paper),
+   machine-checked via channel dependency graphs. *)
+
+let test_ecube_deadlock_free () =
+  let g = Generators.hypercube 4 in
+  let b = Specialized.build_ecube g in
+  check_true "e-cube is deadlock-free (the classic result)"
+    (Deadlock.is_deadlock_free b.Scheme.rf)
+
+let test_mesh_dor_deadlock_free () =
+  let g = Generators.grid 4 4 in
+  let b = Specialized.build_grid ~w:4 ~h:4 g in
+  check_true "mesh dimension-order is deadlock-free"
+    (Deadlock.is_deadlock_free b.Scheme.rf)
+
+let test_ring_has_cycle () =
+  let g = Generators.cycle 6 in
+  let b = Specialized.build_ring g in
+  check_true "ring routing deadlocks (wrap-around cycle)"
+    (not (Deadlock.is_deadlock_free b.Scheme.rf));
+  match Deadlock.find_cycle b.Scheme.rf with
+  | Some cycle -> check_true "witness is non-trivial" (List.length cycle >= 3)
+  | None -> Alcotest.fail "expected a dependency cycle"
+
+let test_torus_dor_has_cycle () =
+  let dims = [ 4; 4 ] in
+  let g = Generators.torus_nd dims in
+  let b = Specialized.build_torus_dor ~dims g in
+  check_true "torus DOR deadlocks without virtual channels"
+    (not (Deadlock.is_deadlock_free b.Scheme.rf))
+
+let test_virtual_channels_fix_torus () =
+  (* the Dally-Seitz theorem: two virtual channels per link make torus
+     dimension-order routing deadlock-free *)
+  List.iter
+    (fun dims ->
+      let g = Generators.torus_nd dims in
+      let b = Specialized.build_torus_dor ~dims g in
+      check_true "plain channels cycle"
+        (not (Deadlock.is_deadlock_free b.Scheme.rf));
+      check_true "virtual channels are acyclic"
+        (Specialized.torus_dor_vc_deadlock_free ~dims g))
+    [ [ 4; 4 ]; [ 5; 3 ]; [ 4; 3; 4 ] ];
+  (* subtlety: a 3-wide dimension never chains two hops, so the 3^3
+     torus does not deadlock even without virtual channels *)
+  let g333 = Generators.torus_nd [ 3; 3; 3 ] in
+  check_true "3^3 torus is deadlock-free even without VCs"
+    (Deadlock.is_deadlock_free
+       (Specialized.build_torus_dor ~dims:[ 3; 3; 3 ] g333).Scheme.rf)
+
+let test_acyclic_helper () =
+  check_true "empty" (Deadlock.acyclic []);
+  check_true "chain" (Deadlock.acyclic [ (1, 2); (2, 3) ]);
+  check_true "cycle" (not (Deadlock.acyclic [ (1, 2); (2, 3); (3, 1) ]));
+  check_true "self loop" (not (Deadlock.acyclic [ (7, 7) ]))
+
+let test_tree_routing_deadlock_free () =
+  let st = rng () in
+  for _ = 1 to 5 do
+    let t = Generators.random_tree st 16 in
+    let b = Table_scheme.build t in
+    check_true "up*/down* on trees is deadlock-free"
+      (Deadlock.is_deadlock_free b.Scheme.rf)
+  done
+
+let test_dependencies_sane () =
+  let g = Generators.path 4 in
+  let b = Table_scheme.build g in
+  let deps = Deadlock.dependencies b.Scheme.rf in
+  (* path channels chain forward and backward; 2 + 2 dependencies *)
+  check_int "chain dependencies" 4 (List.length deps);
+  check_true "acyclic" (Deadlock.is_deadlock_free b.Scheme.rf)
+
+let test_cycle_witness_is_consistent () =
+  let g = Generators.cycle 8 in
+  let b = Specialized.build_ring g in
+  match Deadlock.find_cycle b.Scheme.rf with
+  | None -> Alcotest.fail "expected a cycle"
+  | Some cycle ->
+    let deps = Deadlock.dependencies b.Scheme.rf in
+    let dep_set = Hashtbl.create 32 in
+    List.iter (fun d -> Hashtbl.replace dep_set d ()) deps;
+    (* consecutive cycle elements are real dependencies, and it closes *)
+    let rec check_links = function
+      | a :: (b :: _ as rest) ->
+        check_true "link exists" (Hashtbl.mem dep_set (a, b));
+        check_links rest
+      | [ last ] ->
+        check_true "closes" (Hashtbl.mem dep_set (last, List.hd cycle))
+      | [] -> ()
+    in
+    check_links cycle
+
+let suite =
+  [
+    case "e-cube deadlock-free" test_ecube_deadlock_free;
+    case "mesh DOR deadlock-free" test_mesh_dor_deadlock_free;
+    case "ring routing deadlocks" test_ring_has_cycle;
+    case "torus DOR deadlocks" test_torus_dor_has_cycle;
+    case "virtual channels fix the torus" test_virtual_channels_fix_torus;
+    case "acyclic helper" test_acyclic_helper;
+    case "tree routing deadlock-free" test_tree_routing_deadlock_free;
+    case "dependency extraction" test_dependencies_sane;
+    case "cycle witness consistent" test_cycle_witness_is_consistent;
+    prop ~count:25 "trees are always deadlock-free" arbitrary_tree (fun t ->
+        Deadlock.is_deadlock_free (Table_scheme.build t).Scheme.rf);
+    prop ~count:20 "find_cycle agrees with is_deadlock_free"
+      arbitrary_connected_graph (fun g ->
+        let rf = (Table_scheme.build g).Scheme.rf in
+        Deadlock.is_deadlock_free rf = (Deadlock.find_cycle rf = None));
+  ]

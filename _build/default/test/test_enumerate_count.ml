@@ -1,0 +1,161 @@
+open Umrs_core
+open Helpers
+
+let test_iter_matrices_cardinality () =
+  let count = ref 0 in
+  Enumerate.iter_matrices ~p:2 ~q:2 ~d:3 (fun _ -> incr count);
+  check_int "3^4 raw matrices" 81 !count;
+  let count = ref 0 in
+  Enumerate.iter_matrices ~p:1 ~q:3 ~d:2 (fun _ -> incr count);
+  check_int "2^3 raw matrices" 8 !count
+
+let test_canonical_set_full_322 () =
+  let set = Enumerate.canonical_set ~p:2 ~q:2 ~d:3 () in
+  check_int "|3M(2,2)| full" 3 (List.length set);
+  check_true "all canonical" (List.for_all Canonical.is_canonical set);
+  let strings = List.map Matrix.to_string set in
+  check_true "expected members"
+    (strings = [ "[1 1; 1 1]"; "[1 1; 1 2]"; "[1 2; 1 2]" ])
+
+let test_canonical_set_positional_222 () =
+  (* the paper's displayed example set has 7 members *)
+  check_int "|2M(2,2)| positional" 7
+    (Enumerate.count ~variant:Canonical.Positional ~p:2 ~q:2 ~d:2 ())
+
+let test_class_sizes_partition () =
+  let set = Enumerate.canonical_set ~p:2 ~q:2 ~d:3 () in
+  let total =
+    List.fold_left
+      (fun acc m -> acc + Enumerate.class_size ~p:2 ~q:2 ~d:3 m)
+      0 set
+  in
+  check_int "classes partition the 81 matrices" 81 total
+
+let test_class_sizes_partition_positional () =
+  let set =
+    Enumerate.canonical_set ~variant:Canonical.Positional ~p:2 ~q:2 ~d:2 ()
+  in
+  let total =
+    List.fold_left
+      (fun acc m ->
+        acc + Enumerate.class_size ~variant:Canonical.Positional ~p:2 ~q:2 ~d:2 m)
+      0 set
+  in
+  check_int "positional classes partition the 16 matrices" 16 total
+
+let test_count_monotone_in_d () =
+  let c2 = Enumerate.count ~p:2 ~q:2 ~d:2 () in
+  let c3 = Enumerate.count ~p:2 ~q:2 ~d:3 () in
+  check_true "monotone" (c2 <= c3)
+
+let test_single_row_column () =
+  (* p=1: classes = number of set partitions shapes of q slots = partitions
+     of the multiset positions; for q=2, d>=2: (1,1) and (1,2) *)
+  check_int "1x2" 2 (Enumerate.count ~p:1 ~q:2 ~d:2 ());
+  (* q=1: every row is (1); all matrices collapse *)
+  check_int "3x1" 1 (Enumerate.count ~p:3 ~q:1 ~d:3 ())
+
+let test_guard () =
+  check_true "blow-up guarded"
+    (try ignore (Enumerate.canonical_set ~p:4 ~q:4 ~d:5 ()); false
+     with Invalid_argument _ -> true)
+
+let test_lemma1_exact_values () =
+  check_true "bound (2,2,3)"
+    (Bignat.to_int_opt (Count.lemma1_bound ~p:2 ~q:2 ~d:3) = Some 0);
+  (* d^pq/(p!q!(d!)^p) for p=2,q=3,d=2: 64/(2*6*4) = 1 *)
+  check_true "bound (2,3,2)"
+    (Bignat.to_int_opt (Count.lemma1_bound ~p:2 ~q:3 ~d:2) = Some 1);
+  check_true "total raw"
+    (Bignat.to_int_opt (Count.total_raw ~p:2 ~q:3 ~d:2) = Some 64)
+
+let test_lemma1_holds_on_grid () =
+  List.iter
+    (fun (p, q, d) ->
+      check_true
+        (Printf.sprintf "lemma1 (%d,%d,%d)" p q d)
+        (Count.holds_exactly ~p ~q ~d))
+    [ (1, 1, 2); (1, 2, 2); (2, 2, 2); (2, 2, 3); (2, 3, 2); (3, 2, 2);
+      (1, 4, 3); (2, 4, 2); (3, 3, 2); (2, 2, 4) ]
+
+let test_log2_lemma1_matches_exact () =
+  (* log-space formula equals log2 of the exact ratio (before floor) *)
+  let p = 2 and q = 3 and d = 2 in
+  let exactf =
+    Bignat.log2 (Count.total_raw ~p ~q ~d)
+    -. Bignat.log2
+         (Bignat.mul
+            (Bignat.mul (Bignat.factorial p) (Bignat.factorial q))
+            (Bignat.pow (Bignat.factorial d) p))
+  in
+  Alcotest.(check (float 1e-6))
+    "log space" exactf
+    (Count.log2_lemma1_bound ~p ~q ~d)
+
+let test_log2_lemma1_large_params () =
+  (* Theorem-1 scale: must not overflow and must be large *)
+  let b = Count.log2_lemma1_bound ~p:32 ~q:512 ~d:15 in
+  check_true "positive and large" (b > 50000.0 && b < 70000.0)
+
+
+let test_full_burnside_matches_enumeration () =
+  List.iter
+    (fun (p, q, d) ->
+      check_true
+        (Printf.sprintf "full burnside (%d,%d,%d)" p q d)
+        (Bignat.to_int_opt (Count.full_exact ~p ~q ~d)
+        = Some (Enumerate.count ~p ~q ~d ())))
+    [ (1, 1, 1); (2, 2, 2); (2, 2, 3); (2, 3, 2); (3, 2, 2); (3, 3, 3);
+      (2, 2, 4); (1, 4, 3); (2, 4, 2) ]
+
+let test_full_burnside_at_scale () =
+  (* beyond enumeration; sanity-bounded by d^(pq)/(group) <= x <= positional *)
+  let x = Count.full_exact ~p:4 ~q:4 ~d:4 in
+  check_true "4,4,4" (Bignat.to_int_opt x = Some 269);
+  let big = Count.full_exact ~p:8 ~q:8 ~d:8 in
+  check_true "8,8,8 positive" (Bignat.compare big Bignat.zero > 0);
+  check_true "full <= positional"
+    (Bignat.compare big (Count.positional_exact ~p:8 ~q:8 ~d:8) <= 0)
+
+let test_full_burnside_agrees_with_monte_carlo () =
+  let st = rng () in
+  let e = Orbit.estimate_classes st ~samples:300 ~p:3 ~q:4 ~d:3 in
+  match Bignat.to_int_opt (Count.full_exact ~p:3 ~q:4 ~d:3) with
+  | Some exact ->
+    check_int "exact is 58" 58 exact;
+    check_true "MC within 4 sigma"
+      (Float.abs (e.Orbit.mean -. float_of_int exact)
+      <= (4.0 *. e.Orbit.std_error) +. 1.0)
+  | None -> Alcotest.fail "expected an int"
+
+let suite =
+  [
+    case "raw matrix cardinality" test_iter_matrices_cardinality;
+    case "|3M(2,2)| = 3 (full group)" test_canonical_set_full_322;
+    case "|2M(2,2)| = 7 (positional, paper display)" test_canonical_set_positional_222;
+    case "class sizes partition (full)" test_class_sizes_partition;
+    case "class sizes partition (positional)" test_class_sizes_partition_positional;
+    case "count monotone in d" test_count_monotone_in_d;
+    case "degenerate shapes" test_single_row_column;
+    case "enumeration guard" test_guard;
+    case "lemma 1 exact values" test_lemma1_exact_values;
+    case "lemma 1 holds on a parameter grid" test_lemma1_holds_on_grid;
+    case "full-group burnside = enumeration" test_full_burnside_matches_enumeration;
+    case "full-group burnside at scale" test_full_burnside_at_scale;
+    case "full-group burnside vs monte carlo" test_full_burnside_agrees_with_monte_carlo;
+    case "log-space lemma 1 matches exact" test_log2_lemma1_matches_exact;
+    case "log-space lemma 1 at theorem scale" test_log2_lemma1_large_params;
+    prop ~count:50 "every raw matrix canonicalizes into the set"
+      (QCheck.make ~print:string_of_int QCheck.Gen.(map (fun x -> abs x mod 81) int))
+      (fun idx ->
+        let set = Enumerate.canonical_set ~p:2 ~q:2 ~d:3 () in
+        let i = ref 0 in
+        let found = ref None in
+        Enumerate.iter_matrices ~p:2 ~q:2 ~d:3 (fun m ->
+            if !i = idx then found := Some m;
+            incr i);
+        match !found with
+        | Some m ->
+          List.exists (Matrix.equal (Canonical.canonical m)) set
+        | None -> false);
+  ]

@@ -1,0 +1,145 @@
+open Umrs_graph
+open Umrs_routing
+open Helpers
+
+let test_intervals_of_labels () =
+  let open Interval_routing in
+  check_true "empty" (intervals_of_labels ~n:8 [] = []);
+  check_true "all" (intervals_of_labels ~n:4 [ 0; 1; 2; 3 ] = [ { lo = 0; hi = 3 } ]);
+  check_true "one run"
+    (intervals_of_labels ~n:8 [ 2; 3; 4 ] = [ { lo = 2; hi = 4 } ]);
+  check_true "two runs"
+    (intervals_of_labels ~n:8 [ 1; 2; 5 ] = [ { lo = 1; hi = 2 }; { lo = 5; hi = 5 } ]);
+  check_true "wrap merges"
+    (intervals_of_labels ~n:8 [ 0; 1; 7 ] = [ { lo = 7; hi = 1 } ]);
+  check_true "duplicates collapse"
+    (intervals_of_labels ~n:8 [ 3; 3; 3 ] = [ { lo = 3; hi = 3 } ])
+
+let test_mem_interval () =
+  let open Interval_routing in
+  check_true "inside" (mem_interval ~n:8 { lo = 2; hi = 5 } 3);
+  check_true "boundary" (mem_interval ~n:8 { lo = 2; hi = 5 } 2);
+  check_true "outside" (not (mem_interval ~n:8 { lo = 2; hi = 5 } 6));
+  check_true "wrapped in" (mem_interval ~n:8 { lo = 6; hi = 1 } 7);
+  check_true "wrapped in 2" (mem_interval ~n:8 { lo = 6; hi = 1 } 0);
+  check_true "wrapped out" (not (mem_interval ~n:8 { lo = 6; hi = 1 } 3))
+
+let test_tree_is_one_interval () =
+  let st = rng () in
+  for n = 2 to 16 do
+    let t = Generators.random_tree st n in
+    let c = Interval_routing.compile ~labelling:Interval_routing.Dfs t in
+    check_int "1-IRS on trees" 1 (Interval_routing.compactness c)
+  done
+
+let test_path_identity_one_interval () =
+  (* consecutive labels on a path: identity labelling is already 1-IRS *)
+  let c =
+    Interval_routing.compile ~labelling:Interval_routing.Identity
+      (Generators.path 9)
+  in
+  check_int "1 interval" 1 (Interval_routing.compactness c)
+
+let test_labels_bijective () =
+  let g = Generators.petersen () in
+  let c = Interval_routing.compile g in
+  for v = 0 to 9 do
+    check_int "label roundtrip" v
+      (Interval_routing.vertex_of c (Interval_routing.label_of c v))
+  done
+
+let test_routing_is_shortest () =
+  let g = Generators.petersen () in
+  let b = Interval_routing.build g in
+  check_true "stretch 1"
+    (Routing_function.stretch_at_most b.Scheme.rf ~num:1 ~den:1)
+
+let test_memory_smaller_than_tables_on_bounded_degree () =
+  (* interval routing costs O(d log n) per router vs O(n log d) for
+     tables: on a long path the gap is decisive *)
+  let t = Generators.path 128 in
+  let iv = Interval_routing.build t in
+  let tb = Table_scheme.build t in
+  check_true "interval beats tables on a long path"
+    (Scheme.mem_global iv < Scheme.mem_global tb);
+  check_true "locally too" (Scheme.mem_local iv < Scheme.mem_local tb)
+
+let test_encoding_roundtrip () =
+  let g = Generators.petersen () in
+  let c = Interval_routing.compile g in
+  let b = Interval_routing.build g in
+  for v = 0 to 9 do
+    let own, arcs =
+      Interval_routing.decode_vertex (b.Scheme.local_encoding v) ~order:10
+        ~degree:(Graph.degree g v)
+    in
+    check_int "own label" (Interval_routing.label_of c v) own;
+    for k = 1 to Graph.degree g v do
+      check_true "arc intervals"
+        (arcs.(k - 1) = Interval_routing.arc_intervals c v k)
+    done
+  done
+
+
+let test_min_compactness_exhaustive () =
+  (* cycles and paths admit a 1-interval labelling *)
+  check_int "C6" 1 (Interval_routing.min_compactness_exhaustive (Generators.cycle 6));
+  check_int "P7" 1 (Interval_routing.min_compactness_exhaustive (Generators.path 7));
+  check_int "star" 1 (Interval_routing.min_compactness_exhaustive (Generators.star 7));
+  (* the (3,2) globe: NO labelling reaches 1 interval per arc - the
+     worst-case phenomenon of [8], proved exhaustively at n=8 *)
+  let globe = Generators.globe ~meridians:3 ~parallels:2 in
+  check_true "globe(3,2) is not 1-IRS under any labelling"
+    (Interval_routing.min_compactness_exhaustive globe >= 2);
+  check_true "order guard"
+    (try ignore (Interval_routing.min_compactness_exhaustive (Generators.cycle 12)); false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    case "intervals_of_labels" test_intervals_of_labels;
+    case "encoding decode roundtrip" test_encoding_roundtrip;
+    case "exhaustive min compactness (globe not 1-IRS)" test_min_compactness_exhaustive;
+    case "mem_interval" test_mem_interval;
+    case "DFS gives 1-IRS on trees" test_tree_is_one_interval;
+    case "identity 1-IRS on paths" test_path_identity_one_interval;
+    case "labels bijective" test_labels_bijective;
+    case "interval routing is shortest-path" test_routing_is_shortest;
+    case "interval memory < tables on bounded degree"
+      test_memory_smaller_than_tables_on_bounded_degree;
+    prop ~count:40 "interval routing: stretch 1 on random graphs"
+      arbitrary_connected_graph (fun g ->
+        Routing_function.stretch_at_most
+          (Interval_routing.build g).Scheme.rf ~num:1 ~den:1);
+    prop ~count:40 "identity labelling also stretch 1"
+      arbitrary_connected_graph (fun g ->
+        Routing_function.stretch_at_most
+          (Interval_routing.build ~labelling:Interval_routing.Identity g).Scheme.rf
+          ~num:1 ~den:1);
+    prop ~count:60 "interval cover is exact" arbitrary_connected_graph (fun g ->
+        let c = Interval_routing.compile g in
+        let n = Graph.order g in
+        (* every destination label is claimed by exactly one arc *)
+        Graph.fold_vertices g
+          (fun ok v ->
+            ok
+            && List.for_all
+                 (fun l ->
+                   let claims = ref 0 in
+                   for k = 1 to Graph.degree g v do
+                     if
+                       List.exists
+                         (fun iv -> Interval_routing.mem_interval ~n iv l)
+                         (Interval_routing.arc_intervals c v k)
+                     then incr claims
+                   done;
+                   !claims = 1)
+                 (List.filter
+                    (fun l -> Interval_routing.vertex_of c l <> v)
+                    (List.init n Fun.id)))
+          true);
+    prop ~count:40 "dfs compactness <= identity compactness + slack"
+      arbitrary_tree (fun t ->
+        Interval_routing.compactness (Interval_routing.compile ~labelling:Interval_routing.Dfs t)
+        = 1);
+  ]

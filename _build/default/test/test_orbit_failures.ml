@@ -1,0 +1,176 @@
+open Umrs_core
+open Umrs_graph
+open Umrs_routing
+open Helpers
+
+(* ---------- orbits and the Monte-Carlo estimator ---------- *)
+
+let test_orbit_sizes_explicit () =
+  (* constant 2x2 matrix over d=3: each row renames independently to
+     any of the 3 values: 3 x 3 matrices in the orbit *)
+  let m = Matrix.create [| [| 1; 1 |]; [| 1; 1 |] |] in
+  check_int "constant orbit" 9 (Orbit.size ~d:3 m);
+  (* [1 2; 1 2] over d=3: orbit size 36 (matches class_size) *)
+  let m2 = Matrix.create [| [| 1; 2 |]; [| 1; 2 |] |] in
+  check_int "nonconstant orbit" 36 (Orbit.size ~d:3 m2)
+
+let test_orbit_matches_class_size () =
+  List.iter
+    (fun m ->
+      check_int
+        (Matrix.to_string m)
+        (Enumerate.class_size ~p:2 ~q:2 ~d:3 m)
+        (Orbit.size ~d:3 m))
+    (Enumerate.canonical_set ~p:2 ~q:2 ~d:3 ())
+
+let test_orbit_positional_matches () =
+  List.iter
+    (fun m ->
+      check_int
+        (Matrix.to_string m)
+        (Enumerate.class_size ~variant:Canonical.Positional ~p:2 ~q:2 ~d:2 m)
+        (Orbit.size_positional m))
+    (Enumerate.canonical_set ~variant:Canonical.Positional ~p:2 ~q:2 ~d:2 ())
+
+let test_estimator_converges () =
+  let st = rng () in
+  let e = Orbit.estimate_classes st ~samples:400 ~p:2 ~q:2 ~d:3 in
+  let exact = float_of_int (Enumerate.count ~p:2 ~q:2 ~d:3 ()) in
+  check_true "within 4 sigma"
+    (Float.abs (e.Orbit.mean -. exact) <= 4.0 *. e.Orbit.std_error +. 0.5)
+
+let test_estimator_positional () =
+  let st = rng () in
+  let e =
+    Orbit.estimate_classes ~positional:true st ~samples:400 ~p:2 ~q:2 ~d:2
+  in
+  check_true "near 7" (Float.abs (e.Orbit.mean -. 7.0) <= 4.0 *. e.Orbit.std_error +. 0.5)
+
+(* ---------- Burnside for the positional variant ---------- *)
+
+let test_burnside_matches_enumeration () =
+  List.iter
+    (fun (p, q, d) ->
+      let exact =
+        Enumerate.count ~variant:Canonical.Positional ~p ~q ~d ()
+      in
+      check_true
+        (Printf.sprintf "burnside (%d,%d,%d)" p q d)
+        (Bignat.to_int_opt (Count.positional_exact ~p ~q ~d) = Some exact))
+    [ (2, 2, 2); (2, 2, 3); (2, 3, 2); (3, 2, 2); (1, 3, 3); (3, 3, 2) ]
+
+let test_burnside_paper_value () =
+  check_true "2M(2,2) = 7"
+    (Bignat.to_int_opt (Count.positional_exact ~p:2 ~q:2 ~d:2) = Some 7)
+
+let test_burnside_large () =
+  (* closed form scales where enumeration cannot: |dM| is within a
+     p!q! factor of d^(pq) *)
+  let x = Count.positional_exact ~p:6 ~q:6 ~d:5 in
+  let lower =
+    Bignat.div (Bignat.pow (Bignat.of_int 5) 36)
+      (Bignat.of_int (Umrs_graph.Perm.factorial 6 * Umrs_graph.Perm.factorial 6))
+  in
+  check_true "at least d^(pq)/(p!q!)" (Bignat.compare x lower >= 0);
+  check_true "at most d^(pq)"
+    (Bignat.compare x (Bignat.pow (Bignat.of_int 5) 36) <= 0)
+
+(* ---------- simulator failure injection ---------- *)
+
+let tables g = (Table_scheme.build g).Scheme.rf
+
+let test_flaky_still_delivers () =
+  let st = rng () in
+  let rf = tables (Generators.torus 4 4) in
+  let pairs = [ (0, 10); (3, 12); (5, 9) ] in
+  let s = Simulator.run_flaky st ~loss:0.3 rf ~pairs in
+  check_int "all delivered" 3 s.Simulator.delivered;
+  (* hops unchanged: retries do not move the packet *)
+  let clean = Simulator.run rf ~pairs in
+  check_int "same hop totals" clean.Simulator.total_hops s.Simulator.total_hops;
+  check_true "but slower" (s.Simulator.rounds >= clean.Simulator.rounds)
+
+let test_flaky_zero_loss_is_clean () =
+  let st = rng () in
+  let rf = tables (Generators.cycle 8) in
+  let pairs = [ (0, 4) ] in
+  let s = Simulator.run_flaky st ~loss:0.0 rf ~pairs in
+  let clean = Simulator.run rf ~pairs in
+  check_int "same rounds" clean.Simulator.rounds s.Simulator.rounds
+
+let test_dead_link_drops () =
+  let g = Generators.path 4 in
+  let rf = tables g in
+  let s =
+    Simulator.run_with_dead_links ~dead:[ (1, 2) ] rf ~pairs:[ (0, 3); (3, 2) ]
+  in
+  (* 0 -> 3 must cross (1,2): dropped. 3 -> 2 does not: delivered. *)
+  check_int "one delivered" 1 s.Simulator.delivered;
+  check_true "drop recorded"
+    (Array.exists (fun r -> r.Simulator.delivered_at = -1) s.Simulator.results)
+
+let test_dead_link_direction_blind () =
+  (* both directions of the listed edge are dead *)
+  let g = Generators.path 3 in
+  let rf = tables g in
+  let s =
+    Simulator.run_with_dead_links ~dead:[ (0, 1) ] rf ~pairs:[ (0, 2); (2, 0) ]
+  in
+  check_int "none delivered" 0 s.Simulator.delivered
+
+(* ---------- dot export ---------- *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_dot_renders () =
+  let g = Generators.cycle 4 in
+  let s = Dot.to_dot ~name:"c4" g in
+  check_true "header" (contains s "graph \"c4\"");
+  check_true "edge" (contains s "0 -- 1;");
+  check_true "all edges" (contains s "3 -- 0;" || contains s "0 -- 3;")
+
+let test_dot_ports () =
+  let g = Generators.path 3 in
+  let s = Dot.to_dot ~show_ports:true g in
+  check_true "digraph" (contains s "digraph");
+  check_true "taillabel" (contains s "taillabel=\"1\"")
+
+let test_dot_path () =
+  let g = Generators.cycle 5 in
+  let s = Dot.path_to_dot g [ 0; 1; 2 ] in
+  check_true "emphasized" (contains s "penwidth=3");
+  check_true "plain edge kept" (contains s "2 -- 3;")
+
+let suite =
+  [
+    case "orbit sizes (explicit)" test_orbit_sizes_explicit;
+    case "orbit = class size (full)" test_orbit_matches_class_size;
+    case "orbit = class size (positional)" test_orbit_positional_matches;
+    case "estimator converges (full)" test_estimator_converges;
+    case "estimator converges (positional)" test_estimator_positional;
+    case "burnside matches enumeration" test_burnside_matches_enumeration;
+    case "burnside gives the paper's 7" test_burnside_paper_value;
+    case "burnside at scale" test_burnside_large;
+    case "flaky links still deliver" test_flaky_still_delivers;
+    case "zero loss = clean run" test_flaky_zero_loss_is_clean;
+    case "dead link drops crossing packets" test_dead_link_drops;
+    case "dead links are bidirectional" test_dead_link_direction_blind;
+    case "dot renders" test_dot_renders;
+    case "dot with ports" test_dot_ports;
+    case "dot path highlight" test_dot_path;
+    prop ~count:40 "orbit sizes divide the group-bound" arbitrary_matrix
+      (fun m ->
+        let p, q = Matrix.dims m in
+        p > 3 || q > 3
+        ||
+        let d = max 2 (Matrix.max_entry m) in
+        let orbit = Orbit.size ~d m in
+        orbit >= 1
+        && orbit
+           <= Umrs_graph.Perm.factorial p * Umrs_graph.Perm.factorial q
+              * int_of_float
+                  (Float.pow (float_of_int (Umrs_graph.Perm.factorial d)) (float_of_int p)));
+  ]

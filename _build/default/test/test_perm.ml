@@ -1,0 +1,92 @@
+open Umrs_graph
+open Helpers
+
+let perm_gen =
+  QCheck.Gen.map
+    (fun (seed, n) -> Perm.random (Random.State.make [| seed |]) (1 + (abs n mod 10)))
+    QCheck.Gen.(pair int int)
+
+let arbitrary_perm = QCheck.make ~print:(Format.asprintf "%a" Perm.pp) perm_gen
+
+let test_identity () =
+  check_true "identity valid" (Perm.is_valid (Perm.identity 5));
+  check_int "identity image" 3 (Perm.apply (Perm.identity 5) 3);
+  check_true "identity of 0" (Perm.identity 0 = [||])
+
+let test_is_valid () =
+  check_true "valid" (Perm.is_valid [| 2; 0; 1 |]);
+  check_true "repeat invalid" (not (Perm.is_valid [| 0; 0; 1 |]));
+  check_true "range invalid" (not (Perm.is_valid [| 0; 3; 1 |]));
+  check_true "negative invalid" (not (Perm.is_valid [| 0; -1; 2 |]))
+
+let test_inverse_compose () =
+  let p = [| 2; 0; 1 |] in
+  check_true "inv" (Perm.inverse p = [| 1; 2; 0 |]);
+  check_true "p . inv p = id" (Perm.compose p (Perm.inverse p) = Perm.identity 3);
+  check_true "inv p . p = id" (Perm.compose (Perm.inverse p) p = Perm.identity 3)
+
+let test_of_list () =
+  check_true "of_list" (Perm.of_list [ 1; 0 ] = [| 1; 0 |]);
+  Alcotest.check_raises "of_list invalid"
+    (Invalid_argument "Perm.of_list: not a permutation") (fun () ->
+      ignore (Perm.of_list [ 1; 1 ]))
+
+let test_next_enumerates_all () =
+  let seen = Hashtbl.create 24 in
+  Perm.iter_all 4 (fun p -> Hashtbl.replace seen (Array.copy p) ());
+  check_int "4! perms" 24 (Hashtbl.length seen)
+
+let test_next_lexicographic () =
+  let prev = ref None in
+  Perm.iter_all 4 (fun p ->
+      (match !prev with
+      | Some q -> check_true "increasing" (compare q p < 0)
+      | None -> ());
+      prev := Some (Array.copy p))
+
+let test_next_final () =
+  let p = [| 2; 1; 0 |] in
+  check_true "last returns false" (not (Perm.next p));
+  check_true "wraps to identity" (p = [| 0; 1; 2 |])
+
+let test_rank_unrank_explicit () =
+  check_int "rank id" 0 (Perm.rank (Perm.identity 4));
+  check_int "rank last" (Perm.factorial 4 - 1) (Perm.rank [| 3; 2; 1; 0 |]);
+  check_true "unrank 0" (Perm.unrank 4 0 = Perm.identity 4)
+
+let test_factorial () =
+  check_int "0!" 1 (Perm.factorial 0);
+  check_int "5!" 120 (Perm.factorial 5);
+  check_int "12!" 479001600 (Perm.factorial 12)
+
+let test_inversions () =
+  check_int "sorted" 0 (Perm.count_inversions (Perm.identity 4));
+  check_int "reversed" 6 (Perm.count_inversions [| 3; 2; 1; 0 |])
+
+let test_fold_all () =
+  check_int "sum over perms of 3" 6 (Perm.fold_all 3 (fun acc _ -> acc + 1) 0)
+
+let suite =
+  [
+    case "identity" test_identity;
+    case "is_valid" test_is_valid;
+    case "inverse/compose" test_inverse_compose;
+    case "of_list" test_of_list;
+    case "next enumerates n!" test_next_enumerates_all;
+    case "next is lexicographic" test_next_lexicographic;
+    case "next wraps at the end" test_next_final;
+    case "rank/unrank endpoints" test_rank_unrank_explicit;
+    case "factorial" test_factorial;
+    case "inversions" test_inversions;
+    case "fold_all" test_fold_all;
+    prop "rank . unrank = id" arbitrary_perm (fun p ->
+        Perm.unrank (Array.length p) (Perm.rank p) = p);
+    prop "inverse is an involution" arbitrary_perm (fun p ->
+        Perm.inverse (Perm.inverse p) = p);
+    prop "compose with inverse is identity" arbitrary_perm (fun p ->
+        Perm.compose p (Perm.inverse p) = Perm.identity (Array.length p));
+    prop "random perms are valid" arbitrary_perm Perm.is_valid;
+    prop "rank in range" arbitrary_perm (fun p ->
+        let r = Perm.rank p in
+        0 <= r && r < Perm.factorial (Array.length p));
+  ]

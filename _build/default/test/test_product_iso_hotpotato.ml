@@ -1,0 +1,134 @@
+open Umrs_graph
+open Umrs_routing
+open Helpers
+
+(* ---------- cartesian products ---------- *)
+
+let test_product_dimensions () =
+  let g = Product.cartesian (Generators.path 3) (Generators.cycle 4) in
+  check_int "order" 12 (Graph.order g);
+  (* |E| = n1*m2 + n2*m1 = 3*4 + 4*2 *)
+  check_int "size" 20 (Graph.size g);
+  check_true "connected" (Graph.is_connected g)
+
+let test_product_metric_is_sum () =
+  let p = Generators.path 4 and c = Generators.cycle 5 in
+  let g = Product.cartesian p c in
+  let dp = Bfs.all_pairs p and dc = Bfs.all_pairs c and dg = Bfs.all_pairs g in
+  for a = 0 to 3 do
+    for b = 0 to 4 do
+      for a' = 0 to 3 do
+        for b' = 0 to 4 do
+          check_int "additive metric"
+            (dp.(a).(a') + dc.(b).(b'))
+            dg.((b * 4) + a).((b' * 4) + a')
+        done
+      done
+    done
+  done
+
+let test_power_is_hypercube () =
+  let cube = Product.power (Generators.complete 2) 4 in
+  check_true "Q4 via products" (Iso.are_isomorphic cube (Generators.hypercube 4))
+
+let test_product_of_cycles_is_torus () =
+  let t = Product.cartesian (Generators.cycle 4) (Generators.cycle 5) in
+  check_true "C4 x C5 = torus 4x5"
+    (Iso.are_isomorphic t (Generators.torus 4 5))
+
+(* ---------- isomorphism ---------- *)
+
+let test_iso_reflexive_and_relabelled () =
+  let g = Generators.petersen () in
+  check_true "reflexive" (Iso.are_isomorphic g g);
+  let st = rng () in
+  let g' = Graph.permute_vertices g (Perm.random st 10) in
+  (match Iso.find g g' with
+  | Some f ->
+    check_true "witness is valid"
+      (List.for_all
+         (fun (u, v) -> Graph.mem_edge g' f.(u) f.(v))
+         (Graph.edges g))
+  | None -> Alcotest.fail "relabelled copy not recognized")
+
+let test_iso_negative () =
+  check_true "path vs cycle"
+    (not (Iso.are_isomorphic (Generators.path 6) (Generators.cycle 6)));
+  check_true "different sizes"
+    (not (Iso.are_isomorphic (Generators.cycle 5) (Generators.cycle 6)));
+  (* same degree sequence, non-isomorphic: C6 vs two triangles *)
+  let two_triangles =
+    Graph.of_edges ~n:6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ]
+  in
+  check_true "C6 vs 2xC3"
+    (not (Iso.are_isomorphic (Generators.cycle 6) two_triangles))
+
+let test_iso_petersen_vs_gp52 () =
+  check_true "petersen = GP(5,2)"
+    (Iso.are_isomorphic (Generators.petersen ()) (Generators.generalized_petersen 5 2))
+
+(* ---------- hot potato ---------- *)
+
+let tables g = (Table_scheme.build g).Scheme.rf
+
+let test_hot_potato_no_contention () =
+  let st = rng () in
+  let rf = tables (Generators.torus 4 4) in
+  let s = Simulator.run_hot_potato st rf ~pairs:[ (0, 10) ] in
+  check_int "delivered" 1 s.Simulator.delivered;
+  (* alone, never deflected: hops = distance *)
+  check_int "shortest" (Bfs.dist (Generators.torus 4 4) 0 10) s.Simulator.total_hops
+
+let test_hot_potato_deflects_not_queues () =
+  let st = rng () in
+  let g = Generators.torus 4 4 in
+  let rf = tables g in
+  let pairs = List.init 12 (fun _ -> (0, 10)) in
+  let hot = Simulator.run_hot_potato st rf ~pairs in
+  let store = Simulator.run rf ~pairs in
+  check_int "all delivered" 12 hot.Simulator.delivered;
+  (* deflection converts waiting into extra hops *)
+  check_true "hops inflate" (hot.Simulator.total_hops >= store.Simulator.total_hops);
+  check_true "sane" (hot.Simulator.rounds > 0)
+
+let test_hot_potato_random_traffic () =
+  let st = rng () in
+  let rf = tables (Generators.hypercube 4) in
+  let s = Simulator.random_pairs st rf ~count:1 in
+  ignore s;
+  let pairs = List.init 40 (fun i -> (i mod 16, (i * 7 + 3) mod 16))
+              |> List.filter (fun (a, b) -> a <> b) in
+  let hot = Simulator.run_hot_potato st rf ~pairs in
+  check_true "most delivered"
+    (hot.Simulator.delivered >= (List.length pairs * 9) / 10)
+
+let suite =
+  [
+    case "product dimensions" test_product_dimensions;
+    case "product metric is additive" test_product_metric_is_sum;
+    case "K2^4 is the 4-cube" test_power_is_hypercube;
+    case "C4 x C5 is the 4x5 torus" test_product_of_cycles_is_torus;
+    case "iso: reflexive + relabelled" test_iso_reflexive_and_relabelled;
+    case "iso: negatives" test_iso_negative;
+    case "iso: petersen = GP(5,2)" test_iso_petersen_vs_gp52;
+    case "hot potato: solo = shortest" test_hot_potato_no_contention;
+    case "hot potato: deflects instead of queueing" test_hot_potato_deflects_not_queues;
+    case "hot potato: random traffic mostly delivered" test_hot_potato_random_traffic;
+    prop ~count:25 "product with K1 is identity-ish" arbitrary_connected_graph
+      (fun g ->
+        let p = Product.cartesian g (Generators.complete 1) in
+        Iso.are_isomorphic p g);
+    prop ~count:25 "iso invariant under vertex permutation"
+      arbitrary_connected_graph (fun g ->
+        let st = rng () in
+        Iso.are_isomorphic g
+          (Graph.permute_vertices g (Perm.random st (Graph.order g))));
+    prop ~count:20 "hot potato delivers under light load"
+      arbitrary_connected_graph (fun g ->
+        let st = rng () in
+        let n = Graph.order g in
+        let rf = tables g in
+        let pairs = [ (0, n - 1) ] in
+        let s = Simulator.run_hot_potato st rf ~pairs in
+        s.Simulator.delivered = 1);
+  ]

@@ -1,0 +1,186 @@
+open Umrs_graph
+open Umrs_routing
+open Helpers
+
+(* ---------- Routing_function ---------- *)
+
+let tables g = Table_scheme.build g
+
+let test_route_on_path () =
+  let g = Generators.path 5 in
+  let rf = (tables g).Scheme.rf in
+  let t = Routing_function.route rf 0 4 in
+  check_true "path" (t.Routing_function.path = [ 0; 1; 2; 3; 4 ]);
+  check_int "hops" 4 t.Routing_function.hops;
+  check_int "headers count" 5 (List.length t.Routing_function.headers)
+
+let test_route_src_eq_dst_rejected () =
+  let g = Generators.path 3 in
+  let rf = (tables g).Scheme.rf in
+  check_true "src=dst raises"
+    (try ignore (Routing_function.route rf 1 1); false
+     with Invalid_argument _ -> true)
+
+let test_routing_loop_detected () =
+  (* adversarial function that bounces between 0 and 1 forever *)
+  let g = Generators.path 3 in
+  let rf =
+    {
+      Routing_function.graph = g;
+      init = (fun _ v -> Routing_function.Dest v);
+      port = (fun u _ -> Some (if u = 0 then 1 else 1));
+      next_header = (fun _ h -> h);
+    }
+  in
+  check_true "loop raises"
+    (try ignore (Routing_function.route rf 0 2); false
+     with Routing_function.Routing_loop (0, 2) -> true)
+
+let test_wrong_delivery_detected () =
+  let g = Generators.path 3 in
+  let rf =
+    {
+      Routing_function.graph = g;
+      init = (fun _ v -> Routing_function.Dest v);
+      port = (fun _ _ -> None);
+      next_header = (fun _ h -> h);
+    }
+  in
+  check_true "misdelivery raises"
+    (try ignore (Routing_function.route rf 0 2); false
+     with Invalid_argument _ -> true)
+
+let test_stretch_report_shortest () =
+  let g = Generators.cycle 7 in
+  let rf = (tables g).Scheme.rf in
+  let r = Routing_function.stretch rf in
+  Alcotest.(check (float 1e-9)) "max stretch 1" 1.0 r.Routing_function.max_ratio;
+  Alcotest.(check (float 1e-9)) "mean stretch 1" 1.0 r.Routing_function.mean_ratio
+
+let test_stretch_detects_detour () =
+  (* On C5, always route clockwise: worst pair has dR=4 vs dG=1 *)
+  let g = Generators.cycle 5 in
+  let next u _ =
+    match Graph.port_to g ~src:u ~dst:((u + 1) mod 5) with
+    | Some k -> k
+    | None -> assert false
+  in
+  let rf = Routing_function.of_next_hop g next in
+  let r = Routing_function.stretch rf in
+  Alcotest.(check (float 1e-9)) "max 4" 4.0 r.Routing_function.max_ratio;
+  check_true "stretch_at_most 4" (Routing_function.stretch_at_most rf ~num:4 ~den:1);
+  check_true "not at most 3.9"
+    (not (Routing_function.stretch_at_most rf ~num:39 ~den:10))
+
+let test_delivers_all () =
+  let g = Generators.petersen () in
+  check_true "tables deliver" (Routing_function.delivers_all (tables g).Scheme.rf)
+
+(* ---------- Table scheme ---------- *)
+
+let test_table_memory_formula () =
+  let g = Generators.complete 8 in
+  let b = tables g in
+  (* each of 8 routers: 7 entries x ceil(log2 7)=3 bits *)
+  check_int "local" 21 (Scheme.mem_local b);
+  check_int "global" (8 * 21) (Scheme.mem_global b)
+
+let test_table_decode_roundtrip () =
+  let g = Generators.petersen () in
+  let m = Table_scheme.next_hop_matrix g in
+  let b = Table_scheme.build g in
+  for v = 0 to 9 do
+    let buf = b.Scheme.local_encoding v in
+    let decoded =
+      Table_scheme.decode_table buf ~order:10 ~degree:(Graph.degree g v) ~self:v
+    in
+    for dst = 0 to 9 do
+      if dst <> v then check_int "entry" m.(v).(dst) decoded.(dst)
+    done
+  done
+
+let test_next_hop_goes_closer () =
+  let g = Generators.petersen () in
+  let dist = Bfs.all_pairs g in
+  let m = Table_scheme.next_hop_matrix g in
+  for u = 0 to 9 do
+    for v = 0 to 9 do
+      if u <> v then begin
+        let w = Graph.neighbor g u ~port:m.(u).(v) in
+        check_int "one closer" (dist.(u).(v) - 1) dist.(w).(v)
+      end
+    done
+  done
+
+(* ---------- qcheck over random graphs ---------- *)
+
+
+let test_registry () =
+  let names = Registry.names () in
+  check_int "nine universal schemes" 9 (List.length names);
+  check_true "unique names"
+    (List.length (List.sort_uniq compare names) = List.length names);
+  check_true "find hits" (Registry.find "routing-tables" <> None);
+  check_true "find misses" (Registry.find "no-such-scheme" = None)
+
+let test_registry_compare_and_csv () =
+  let g = Generators.petersen () in
+  let evals =
+    Registry.compare_on ~graph_name:"petersen" g (Registry.universal ())
+  in
+  check_int "one eval per scheme" 9 (List.length evals);
+  let csv = Registry.to_csv evals in
+  let lines = String.split_on_char '\n' csv |> List.filter (( <> ) "") in
+  check_int "header + rows" 10 (List.length lines);
+  check_true "header" (List.hd lines = Registry.csv_header);
+  (* all universal schemes respect their declared stretch bounds *)
+  List.iter2
+    (fun scheme e ->
+      match scheme.Scheme.stretch_bound with
+      | Some b ->
+        check_true
+          (scheme.Scheme.name ^ " within declared bound")
+          (e.Scheme.stretch.Routing_function.max_ratio <= b +. 1e-9)
+      | None -> ())
+    (Registry.universal ()) evals
+
+let suite =
+  [
+    case "route on a path" test_route_on_path;
+    case "src = dst rejected" test_route_src_eq_dst_rejected;
+    case "routing loop detected" test_routing_loop_detected;
+    case "wrong delivery detected" test_wrong_delivery_detected;
+    case "tables give stretch 1" test_stretch_report_shortest;
+    case "stretch detects detours" test_stretch_detects_detour;
+    case "delivers_all on petersen" test_delivers_all;
+    case "table memory formula" test_table_memory_formula;
+    case "table encode/decode roundtrip" test_table_decode_roundtrip;
+    case "next hops decrease distance" test_next_hop_goes_closer;
+    case "scheme registry" test_registry;
+    case "registry compare + csv" test_registry_compare_and_csv;
+    prop ~count:40 "tables: stretch 1 on random graphs"
+      arbitrary_connected_graph (fun g ->
+        Routing_function.stretch_at_most (tables g).Scheme.rf ~num:1 ~den:1);
+    prop ~count:40 "tables: decode roundtrip on random graphs"
+      arbitrary_connected_graph (fun g ->
+        let n = Graph.order g in
+        let m = Table_scheme.next_hop_matrix g in
+        let b = Table_scheme.build g in
+        let ok = ref true in
+        for v = 0 to n - 1 do
+          let decoded =
+            Table_scheme.decode_table (b.Scheme.local_encoding v) ~order:n
+              ~degree:(Graph.degree g v) ~self:v
+          in
+          for dst = 0 to n - 1 do
+            if dst <> v && decoded.(dst) <> m.(v).(dst) then ok := false
+          done
+        done;
+        !ok);
+    prop ~count:40 "evaluate reports consistent sizes"
+      arbitrary_connected_graph (fun g ->
+        let e = Scheme.evaluate Table_scheme.scheme ~graph_name:"rnd" g in
+        e.Scheme.order = Graph.order g
+        && e.Scheme.edges = Graph.size g
+        && e.Scheme.mem_local_bits <= e.Scheme.mem_global_bits);
+  ]

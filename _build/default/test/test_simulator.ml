@@ -1,0 +1,98 @@
+open Umrs_graph
+open Umrs_routing
+open Helpers
+
+let tables g = (Table_scheme.build g).Scheme.rf
+
+let test_single_packet () =
+  let rf = tables (Generators.path 5) in
+  let s = Simulator.run rf ~pairs:[ (0, 4) ] in
+  check_int "delivered" 1 s.Simulator.delivered;
+  check_int "hops" 4 s.Simulator.total_hops;
+  check_int "rounds = hops (no contention)" 4 s.Simulator.rounds
+
+let test_no_packets () =
+  let rf = tables (Generators.path 3) in
+  let s = Simulator.run rf ~pairs:[] in
+  check_int "none" 0 s.Simulator.packets;
+  check_int "rounds" 0 s.Simulator.rounds
+
+let test_contention_serializes () =
+  (* two packets over the same directed arc of an edge: one must wait *)
+  let rf = tables (Generators.path 3) in
+  let s = Simulator.run rf ~pairs:[ (0, 2); (0, 2) ] in
+  check_int "both arrive" 2 s.Simulator.delivered;
+  check_true "second is delayed" (s.Simulator.rounds > 2);
+  check_true "queue observed" (s.Simulator.max_queue >= 2)
+
+let test_all_pairs_star () =
+  (* star: hub arcs are the bottleneck; total hops = 2*(n-1)(n-2) + 2(n-1) *)
+  let n = 6 in
+  let rf = tables (Generators.star n) in
+  let s = Simulator.all_pairs rf in
+  check_int "packets" (n * (n - 1)) s.Simulator.packets;
+  check_int "all delivered" (n * (n - 1)) s.Simulator.delivered;
+  let expected_hops = ((n - 1) * (n - 2) * 2) + (2 * (n - 1)) in
+  check_int "total hops" expected_hops s.Simulator.total_hops;
+  (* each leaf's inbound arc carries n-2 transit + 1 direct packets *)
+  check_int "arc load" (n - 1) s.Simulator.max_arc_load
+
+let test_random_pairs () =
+  let st = rng () in
+  let rf = tables (Generators.torus 4 4) in
+  let s = Simulator.random_pairs st rf ~count:50 in
+  check_int "injected" 50 s.Simulator.packets;
+  check_int "delivered" 50 s.Simulator.delivered;
+  check_true "mean delay sane"
+    (Simulator.mean_delay s >= 1.0 && Simulator.mean_delay s < 100.0)
+
+let test_round_limit_stops () =
+  let rf = tables (Generators.path 50) in
+  let s = Simulator.run ~round_limit:3 rf ~pairs:[ (0, 49) ] in
+  check_int "not delivered" 0 s.Simulator.delivered
+
+let test_delays_exceed_hops_under_contention () =
+  let rf = tables (Generators.path 4) in
+  let pairs = List.init 8 (fun _ -> (0, 3)) in
+  let s = Simulator.run rf ~pairs in
+  Array.iter
+    (fun r ->
+      check_true "delivered_at >= hops"
+        (r.Simulator.delivered_at >= r.Simulator.hops))
+    s.Simulator.results;
+  check_true "last delivery delayed" (s.Simulator.rounds >= 3 + 7)
+
+
+let test_permutation_traffic () =
+  let st = rng () in
+  let rf = tables (Generators.torus 4 4) in
+  let s = Simulator.permutation_traffic st rf in
+  check_true "most vertices send" (s.Simulator.packets >= 12);
+  check_int "all delivered" s.Simulator.packets s.Simulator.delivered;
+  (* each vertex sends at most one packet *)
+  let sources = Array.map (fun r -> r.Simulator.src) s.Simulator.results in
+  check_true "sources distinct"
+    (Array.length sources
+    = List.length (List.sort_uniq compare (Array.to_list sources)))
+
+let suite =
+  [
+    case "single packet" test_single_packet;
+    case "no packets" test_no_packets;
+    case "contention serializes" test_contention_serializes;
+    case "all-pairs on a star" test_all_pairs_star;
+    case "random pairs on torus" test_random_pairs;
+    case "permutation traffic" test_permutation_traffic;
+    case "round limit stops" test_round_limit_stops;
+    case "delay >= hops under contention" test_delays_exceed_hops_under_contention;
+    prop ~count:25 "all-pairs total-exchange delivers everything"
+      arbitrary_connected_graph (fun g ->
+        let s = Simulator.all_pairs (tables g) in
+        let n = Graph.order g in
+        s.Simulator.delivered = n * (n - 1));
+    prop ~count:25 "simulated hops match route lengths without contention"
+      arbitrary_connected_graph (fun g ->
+        let rf = tables g in
+        let s = Simulator.run rf ~pairs:[ (0, Graph.order g - 1) ] in
+        s.Simulator.total_hops = Routing_function.route_length rf 0 (Graph.order g - 1));
+  ]

@@ -1,0 +1,106 @@
+open Umrs_graph
+open Umrs_routing
+open Helpers
+
+let test_ecube_correct () =
+  let g = Generators.hypercube 4 in
+  let b = Specialized.build_ecube g in
+  check_true "delivers" (Routing_function.delivers_all b.Scheme.rf);
+  check_true "stretch 1"
+    (Routing_function.stretch_at_most b.Scheme.rf ~num:1 ~den:1)
+
+let test_ecube_memory_logarithmic () =
+  let bits dim = Scheme.mem_local (Specialized.build_ecube (Generators.hypercube dim)) in
+  let b3 = bits 3 and b6 = bits 6 in
+  (* memory grows like dim = log n, far below n *)
+  check_true "O(log n)" (b6 <= b3 + 10);
+  check_true "small" (b6 < 32)
+
+let test_ecube_rejects_non_cube () =
+  check_true "cycle rejected"
+    (try ignore (Specialized.build_ecube (Generators.cycle 8)); false
+     with Invalid_argument _ -> true);
+  (* right order and degree but wrong port labelling *)
+  let g = Generators.hypercube 3 in
+  let perms =
+    Array.init 8 (fun v -> if v = 0 then [| 1; 0; 2 |] else Perm.identity 3)
+  in
+  check_true "bad ports rejected"
+    (try ignore (Specialized.build_ecube (Graph.relabel_ports g perms)); false
+     with Invalid_argument _ -> true)
+
+let test_ring_correct () =
+  for n = 3 to 12 do
+    let b = Specialized.build_ring (Generators.cycle n) in
+    check_true "delivers" (Routing_function.delivers_all b.Scheme.rf);
+    check_true "stretch 1"
+      (Routing_function.stretch_at_most b.Scheme.rf ~num:1 ~den:1)
+  done
+
+let test_ring_memory () =
+  let b = Specialized.build_ring (Generators.cycle 64) in
+  check_true "O(log n) bits" (Scheme.mem_local b < 40)
+
+let test_grid_correct () =
+  let g = Generators.grid 4 5 in
+  let b = Specialized.build_grid ~w:4 ~h:5 g in
+  check_true "delivers" (Routing_function.delivers_all b.Scheme.rf);
+  check_true "stretch 1"
+    (Routing_function.stretch_at_most b.Scheme.rf ~num:1 ~den:1)
+
+let test_grid_rejects_mismatch () =
+  check_true "wrong dims"
+    (try ignore (Specialized.build_grid ~w:3 ~h:3 (Generators.grid 4 5)); false
+     with Invalid_argument _ -> true)
+
+let test_complete_direct () =
+  let g = Generators.complete 9 in
+  let b = Specialized.build_complete_direct g in
+  check_true "delivers" (Routing_function.delivers_all b.Scheme.rf);
+  check_true "stretch 1"
+    (Routing_function.stretch_at_most b.Scheme.rf ~num:1 ~den:1);
+  check_true "O(log n) memory" (Scheme.mem_local b < 16)
+
+let test_complete_adversarial () =
+  let st = rng () in
+  let g = Generators.complete 9 in
+  let b = Specialized.build_complete_adversarial st g in
+  check_true "delivers" (Routing_function.delivers_all b.Scheme.rf);
+  check_true "stretch 1"
+    (Routing_function.stretch_at_most b.Scheme.rf ~num:1 ~den:1)
+
+let test_adversarial_memory_gap () =
+  (* Section 1's example: adversarial port labels force ~log2((n-1)!)
+     bits; a good labelling needs only O(log n). *)
+  let st = rng () in
+  let g = Generators.complete 12 in
+  let direct = Specialized.build_complete_direct g in
+  let adv = Specialized.build_complete_adversarial st g in
+  let gap = Scheme.mem_local adv - Scheme.mem_local direct in
+  check_true "permutation cost"
+    (gap >= Umrs_bitcode.Rank.permutation_length 11);
+  check_true "direct is tiny" (Scheme.mem_local direct < 16)
+
+let test_adversarial_grows_n_log_n () =
+  let st = rng () in
+  let bits n =
+    Scheme.mem_local (Specialized.build_complete_adversarial st (Generators.complete n))
+  in
+  let b8 = bits 8 and b16 = bits 16 in
+  (* log2(15!) ~ 40 vs log2(7!) ~ 12: superlinear in n *)
+  check_true "superlinear growth" (b16 > 2 * b8)
+
+let suite =
+  [
+    case "ecube correct on H16" test_ecube_correct;
+    case "ecube memory O(log n)" test_ecube_memory_logarithmic;
+    case "ecube validates input" test_ecube_rejects_non_cube;
+    case "ring correct C3..C12" test_ring_correct;
+    case "ring memory" test_ring_memory;
+    case "grid dimension-order" test_grid_correct;
+    case "grid validates input" test_grid_rejects_mismatch;
+    case "K_n direct routing" test_complete_direct;
+    case "K_n adversarial routing" test_complete_adversarial;
+    case "adversarial memory gap (Section 1)" test_adversarial_memory_gap;
+    case "adversarial bits grow superlinearly" test_adversarial_grows_n_log_n;
+  ]
