@@ -1,0 +1,36 @@
+(* Sub-second enumeration smoke benchmark (dune alias @bench-smoke).
+
+   Times Enumerate.canonical_set on a handful of small instances,
+   cross-checks the class counts against the Burnside closed form, and
+   exits non-zero on any mismatch — cheap enough for tier-1-adjacent
+   verification, honest enough to catch gross perf or correctness
+   regressions in the enumeration engine. *)
+
+open Umrs_core
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let () =
+  let instances = [ (2, 2, 3); (2, 3, 3); (3, 3, 2); (2, 2, 4); (2, 4, 3) ] in
+  let failures = ref 0 in
+  Printf.printf "%-10s %8s %10s %10s\n" "(p,q,d)" "classes" "seconds" "burnside";
+  List.iter
+    (fun (p, q, d) ->
+      let set, secs = wall (fun () -> Enumerate.canonical_set ~p ~q ~d ()) in
+      let classes = List.length set in
+      let expected = Bignat.to_int_opt (Count.full_exact ~p ~q ~d) in
+      let ok = expected = Some classes in
+      if not ok then incr failures;
+      Printf.printf "%-10s %8d %10.4f %10s%s\n"
+        (Printf.sprintf "(%d,%d,%d)" p q d)
+        classes secs
+        (match expected with Some e -> string_of_int e | None -> "?")
+        (if ok then "" else "  MISMATCH"))
+    instances;
+  if !failures > 0 then begin
+    Printf.eprintf "enum_smoke: %d mismatches\n" !failures;
+    exit 1
+  end

@@ -185,6 +185,78 @@ let report_example_sets () =
     [ (2, 2, 3); (3, 3, 3); (3, 4, 3) ]
 
 (* ------------------------------------------------------------------ *)
+(* E3: the enumeration engine, timed                                   *)
+(* ------------------------------------------------------------------ *)
+
+type enum_bench_row = {
+  eb_p : int;
+  eb_q : int;
+  eb_d : int;
+  eb_classes : int;
+  eb_seconds_seq : float;
+  eb_seconds_par : float;
+  eb_domains : int;
+}
+
+let enum_bench_rows : enum_bench_row list ref = ref []
+
+let report_enumeration_engine ~fast () =
+  section "E3. Enumeration engine: canonical_set wall times (seq vs sharded)";
+  let domains = Parallel.default_domains () in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  let instances =
+    if fast then [ (2, 2, 3); (2, 3, 3); (3, 3, 2) ]
+    else [ (2, 2, 3); (2, 3, 3); (3, 3, 2); (2, 2, 4); (2, 4, 3); (3, 4, 3) ]
+  in
+  pf "%-10s %10s %8s %12s %12s %8s@." "(p,q,d)" "d^(pq)" "classes"
+    "seq (s)" (Printf.sprintf "par x%d (s)" domains) "speedup";
+  List.iter
+    (fun (p, q, d) ->
+      let seq, t_seq =
+        wall (fun () -> Enumerate.canonical_set ~domains:1 ~p ~q ~d ())
+      in
+      let par, t_par =
+        wall (fun () -> Enumerate.canonical_set ~domains ~p ~q ~d ())
+      in
+      assert (List.for_all2 Matrix.equal seq par);
+      let classes = List.length seq in
+      enum_bench_rows :=
+        { eb_p = p; eb_q = q; eb_d = d; eb_classes = classes;
+          eb_seconds_seq = t_seq; eb_seconds_par = t_par;
+          eb_domains = domains }
+        :: !enum_bench_rows;
+      pf "%-10s %10.0f %8d %12.4f %12.4f %8.2f@."
+        (Printf.sprintf "(%d,%d,%d)" p q d)
+        (Float.pow (float_of_int d) (float_of_int (p * q)))
+        classes t_seq t_par
+        (if t_par > 0.0 then t_seq /. t_par else Float.nan))
+    instances;
+  pf "@.sharded and sequential outputs verified identical on every row;@.";
+  pf "BENCH_enumerate.json records this table for cross-PR tracking.@."
+
+let write_enum_bench_json ~fast path =
+  let oc = open_out path in
+  let row r =
+    Printf.sprintf
+      "    {\"p\": %d, \"q\": %d, \"d\": %d, \"classes\": %d, \
+       \"seconds_seq\": %.6f, \"seconds_par\": %.6f, \"domains\": %d}"
+      r.eb_p r.eb_q r.eb_d r.eb_classes r.eb_seconds_seq r.eb_seconds_par
+      r.eb_domains
+  in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"umrs/bench-enumerate/v1\",\n  \"mode\": \"%s\",\n\
+    \  \"recommended_domains\": %d,\n  \"instances\": [\n%s\n  ]\n}\n"
+    (if fast then "fast" else "full")
+    (Parallel.default_domains ())
+    (String.concat ",\n" (List.rev_map row !enum_bench_rows));
+  close_out oc;
+  pf "@.enumeration benchmark written to %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* E2: Equation 2, graphs of constraints                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -227,7 +299,7 @@ let report_lemma1 () =
       pf "%-12s %14s %14d %8b@."
         (Printf.sprintf "(%d,%d,%d)" p q d)
         (Bignat.to_string bound) exact
-        (Count.holds_exactly ~p ~q ~d))
+        (Count.holds_exactly ~p ~q ~d ()))
     [ (1, 2, 2); (2, 2, 2); (2, 2, 3); (2, 3, 2); (3, 2, 2); (2, 2, 4);
       (3, 3, 2); (2, 4, 2); (1, 4, 3); (2, 5, 2) ];
   pf "@.log-space bound at Theorem-1 scale:@.";
@@ -709,13 +781,18 @@ let run_timings ~fast () =
 
 (* ------------------------------------------------------------------ *)
 
-let csv_path () =
+let flag_value name =
   let rec scan i =
     if i >= Array.length Sys.argv - 1 then None
-    else if Sys.argv.(i) = "--csv" then Some Sys.argv.(i + 1)
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
     else scan (i + 1)
   in
   scan 1
+
+let csv_path () = flag_value "--csv"
+
+let enum_json_path () =
+  Option.value (flag_value "--enum-json") ~default:"BENCH_enumerate.json"
 
 let () =
   let fast = Array.exists (( = ) "--fast") Sys.argv in
@@ -726,6 +803,7 @@ let () =
   report_table1_scaling ~fast ();
   report_figure1 ();
   report_example_sets ();
+  report_enumeration_engine ~fast ();
   report_equation2 ();
   report_lemma1 ();
   report_theorem1 ~fast ();
@@ -747,5 +825,6 @@ let () =
     close_out oc;
     pf "@.measured Table-1 columns written to %s@." path
   | None -> ());
+  write_enum_bench_json ~fast (enum_json_path ());
   if not no_timings then run_timings ~fast ();
   pf "@.done.@."

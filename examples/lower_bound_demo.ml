@@ -33,7 +33,7 @@ let () =
         d
         (Bignat.to_string (Count.lemma1_bound ~p ~q ~d))
         (Enumerate.count ~p ~q ~d ())
-        (Count.holds_exactly ~p ~q ~d))
+        (Count.holds_exactly ~p ~q ~d ()))
     [ (2, 2, 2); (2, 3, 2); (2, 2, 3) ];
 
   banner "3. Graphs of constraints: the forced-port property";

@@ -15,35 +15,147 @@ let normalize_row row =
         !next)
     row
 
-let candidate ~variant entries sigma_c =
-  let q = Array.length sigma_c in
-  let rows =
-    Array.map
-      (fun row ->
-        let permuted = Array.init q (fun j -> row.(sigma_c.(j))) in
-        match variant with
-        | Full -> normalize_row permuted
-        | Positional -> permuted)
-      entries
+(* ------------------------------------------------------------------ *)
+(* Workspace-based canonicalization.
+
+   The exact algorithm is unchanged from the seed (for each of the q!
+   column orders: first-occurrence-relabel each row, sort rows, keep
+   the row-major lexicographic minimum), but the enumeration engine
+   calls it d^(pq) times, so the inner loop is rewritten to be
+   allocation-free and to abandon losing column orders early:
+
+   - all candidate rows are built into scratch buffers owned by a
+     reusable workspace; per-row relabelling uses a stamped rename
+     array instead of a fresh Hashtbl per row;
+   - the row-sorting + comparison steps are fused into a selection
+     loop: the k-th smallest candidate row is compared against row k
+     of the best candidate as soon as it is selected, so a column
+     permutation is abandoned at the first row that exceeds the
+     incumbent (the common case: most permutations lose on row 0). *)
+(* ------------------------------------------------------------------ *)
+
+type workspace = {
+  ws_p : int;
+  ws_q : int;
+  scratch : int array array; (* candidate rows under the current sigma_c *)
+  best : int array array;    (* incumbent minimal candidate *)
+  rename : int array;        (* value -> relabelled value, stamp-guarded *)
+  stamp : int array;
+  mutable clock : int;
+  used : bool array;         (* selection flags over scratch rows *)
+  mutable has_best : bool;
+}
+
+let workspace ~p ~q ~max_value =
+  if p < 1 || q < 1 || max_value < 1 then invalid_arg "Canonical.workspace";
+  {
+    ws_p = p;
+    ws_q = q;
+    scratch = Array.make_matrix p q 0;
+    best = Array.make_matrix p q 0;
+    rename = Array.make (max_value + 1) 0;
+    stamp = Array.make (max_value + 1) (-1);
+    clock = 0;
+    used = Array.make p false;
+    has_best = false;
+  }
+
+let compare_rows q (a : int array) (b : int array) =
+  let rec go j =
+    if j = q then 0
+    else
+      let x = a.(j) and y = b.(j) in
+      if x < y then -1 else if x > y then 1 else go (j + 1)
   in
-  Array.sort compare rows;
-  rows
+  go 0
+
+let fill_candidate ws ~variant entries sigma_c =
+  let p = ws.ws_p and q = ws.ws_q in
+  for i = 0 to p - 1 do
+    let src = entries.(i) and dst = ws.scratch.(i) in
+    match variant with
+    | Positional ->
+      for j = 0 to q - 1 do
+        dst.(j) <- src.(sigma_c.(j))
+      done
+    | Full ->
+      ws.clock <- ws.clock + 1;
+      let c = ws.clock in
+      let next = ref 0 in
+      for j = 0 to q - 1 do
+        let v = src.(sigma_c.(j)) in
+        if ws.stamp.(v) <> c then begin
+          incr next;
+          ws.stamp.(v) <- c;
+          ws.rename.(v) <- !next
+        end;
+        dst.(j) <- ws.rename.(v)
+      done
+  done
+
+(* Index of the lexicographically smallest unused scratch row. *)
+let select_min ws =
+  let p = ws.ws_p and q = ws.ws_q in
+  let m = ref (-1) in
+  for i = 0 to p - 1 do
+    if
+      (not ws.used.(i))
+      && (!m < 0 || compare_rows q ws.scratch.(i) ws.scratch.(!m) < 0)
+    then m := i
+  done;
+  !m
+
+let consider ws =
+  let p = ws.ws_p and q = ws.ws_q in
+  Array.fill ws.used 0 p false;
+  if not ws.has_best then begin
+    for k = 0 to p - 1 do
+      let m = select_min ws in
+      ws.used.(m) <- true;
+      Array.blit ws.scratch.(m) 0 ws.best.(k) 0 q
+    done;
+    ws.has_best <- true
+  end
+  else begin
+    let k = ref 0 and verdict = ref 0 in
+    while !verdict = 0 && !k < p do
+      let m = select_min ws in
+      let c = compare_rows q ws.scratch.(m) ws.best.(!k) in
+      if c > 0 then verdict := 1 (* prune: candidate already exceeds best *)
+      else begin
+        ws.used.(m) <- true;
+        if c < 0 then begin
+          (* strictly better: adopt from row k onward, no more compares *)
+          verdict := -1;
+          Array.blit ws.scratch.(m) 0 ws.best.(!k) 0 q
+        end
+        else incr k
+      end
+    done;
+    if !verdict = -1 then
+      for k' = !k + 1 to p - 1 do
+        let m = select_min ws in
+        ws.used.(m) <- true;
+        Array.blit ws.scratch.(m) 0 ws.best.(k') 0 q
+      done
+  end
+
+let canonical_rows ws ~variant entries =
+  if Array.length entries <> ws.ws_p then
+    invalid_arg "Canonical.canonical_rows: row count mismatch";
+  ws.has_best <- false;
+  Perm.iter_all ws.ws_q (fun sigma_c ->
+      fill_candidate ws ~variant entries sigma_c;
+      consider ws);
+  ws.best
 
 let canonical ?(variant = Full) m =
-  let entries = (m : Matrix.t).entries in
-  let q = m.Matrix.q in
-  let best = ref None in
-  Perm.iter_all q (fun sigma_c ->
-      let c = candidate ~variant entries sigma_c in
-      match !best with
-      | None -> best := Some c
-      | Some b -> if compare c b < 0 then best := Some c);
-  match !best with
-  | Some b ->
-    (match variant with
-    | Full -> Matrix.create b
-    | Positional -> Matrix.create_relaxed b)
-  | None -> assert false
+  let p, q = Matrix.dims m in
+  let ws = workspace ~p ~q ~max_value:(Matrix.max_entry m) in
+  let best = canonical_rows ws ~variant (m : Matrix.t).Matrix.entries in
+  match variant with
+  | Full -> Matrix.create best
+  | Positional -> Matrix.create_relaxed best
 
 let is_canonical ?variant m = Matrix.equal m (canonical ?variant m)
 

@@ -31,6 +31,28 @@ val normalize_row : int array -> int array
     order of first appearance — e.g. [3 1 3 2] becomes [1 2 1 3]. The
     result always uses a prefix alphabet. *)
 
+val compare_rows : int -> int array -> int array -> int
+(** [compare_rows q a b] compares two length-[q] rows lexicographically
+    (monomorphic, early-exit — the comparison the engine is built on). *)
+
+type workspace
+(** Reusable scratch state for repeated canonicalization of
+    equally-shaped matrices (the enumeration engine's hot path). A
+    workspace is single-threaded: share nothing across domains. *)
+
+val workspace : p:int -> q:int -> max_value:int -> workspace
+(** [workspace ~p ~q ~max_value] allocates scratch for [p x q] inputs
+    whose entries do not exceed [max_value]. *)
+
+val canonical_rows :
+  workspace -> variant:variant -> int array array -> int array array
+(** [canonical_rows ws ~variant entries] is the canonical form of the
+    matrix given as raw rows, computed without per-call allocation and
+    with early-exit pruning over column permutations. The result is
+    the workspace's internal buffer — valid only until the next call
+    on [ws]; copy it to keep it. Rows of [entries] must have length
+    [q] and values in [{1..max_value}]. *)
+
 val canonical : ?variant:variant -> Matrix.t -> Matrix.t
 (** The class representative (default [Full]). Idempotent; invariant
     under the variant's permutations of the input. Accepts relaxed

@@ -154,8 +154,8 @@ let positional_exact ~p ~q ~d =
   assert (r = 0);
   t
 
-let holds_exactly ~p ~q ~d =
-  let exact = Enumerate.count ~p ~q ~d () in
+let holds_exactly ?cap ?domains ~p ~q ~d () =
+  let exact = Enumerate.count ?cap ?domains ~p ~q ~d () in
   match Bignat.to_int_opt (lemma1_bound ~p ~q ~d) with
   | Some bound -> bound <= exact
   | None -> false (* a bound beyond max_int cannot be below an int count *)

@@ -17,9 +17,11 @@ val log2_lemma1_bound : p:int -> q:int -> d:int -> float
 val total_raw : p:int -> q:int -> d:int -> Bignat.t
 (** [d^(pq)] — the number of raw matrices. *)
 
-val holds_exactly : p:int -> q:int -> d:int -> bool
+val holds_exactly :
+  ?cap:int -> ?domains:int -> p:int -> q:int -> d:int -> unit -> bool
 (** Check Lemma 1 against the exhaustive count of {!Enumerate.count}
-    (enumerable parameters only). *)
+    (enumerable parameters only); [cap] and [domains] are passed
+    through to the enumeration engine. *)
 
 val full_exact : p:int -> q:int -> d:int -> Bignat.t
 (** Exact [|dM(p,q)|] under the {e full} Definition-2 group — row

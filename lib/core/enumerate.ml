@@ -1,3 +1,5 @@
+open Umrs_graph
+
 (* Overflow-safe power with a cap: returns [cap + 1] as soon as the
    true value exceeds [cap]. *)
 let pow_capped b e ~cap =
@@ -9,56 +11,122 @@ let pow_capped b e ~cap =
   in
   go 1 e
 
-let iter_matrices ~p ~q ~d f =
-  if p < 1 || q < 1 || d < 1 then invalid_arg "Enumerate.iter_matrices";
+let default_cap = 1 lsl 22
+
+(* The exact d^(pq), after checking it against the cap. The error
+   message names the offending value so callers know how far over the
+   cap the instance is (and that ?cap can raise it). *)
+let checked_total ?(cap = default_cap) ~p ~q ~d () =
+  if p < 1 || q < 1 || d < 1 then invalid_arg "Enumerate: p, q, d must be >= 1";
   let cells = p * q in
-  let digits = Array.make cells 0 in
-  (* digits in {0..d-1}, row-major; entry = digit + 1 *)
-  let emit () =
-    let entries =
-      Array.init p (fun i -> Array.init q (fun j -> digits.((i * q) + j) + 1))
-    in
-    f (Matrix.create_relaxed entries)
+  let total = pow_capped d cells ~cap in
+  if total > cap then
+    invalid_arg
+      (Printf.sprintf
+         "Enumerate: d^(pq) = %d^%d = %s exceeds the enumeration cap %d \
+          (pass ~cap to raise it)"
+         d cells
+         (Bignat.to_string (Bignat.pow (Bignat.of_int d) cells))
+         cap);
+  total
+
+(* Iterate raw matrices with indices in [lo, hi) of the row-major
+   counting order (cell (0,0) is the most significant digit). The
+   entries buffer is owned by the iterator and reused across calls —
+   [f] must not retain or mutate it. *)
+let iter_entries_range ~p ~q ~d ~lo ~hi f =
+  let cells = p * q in
+  let entries = Array.make_matrix p q 0 in
+  let r = ref lo in
+  for c = cells - 1 downto 0 do
+    entries.(c / q).(c mod q) <- (!r mod d) + 1;
+    r := !r / d
+  done;
+  let bump () =
+    let c = ref (cells - 1) in
+    let continue = ref true in
+    while !continue && !c >= 0 do
+      let i = !c / q and j = !c mod q in
+      if entries.(i).(j) < d then begin
+        entries.(i).(j) <- entries.(i).(j) + 1;
+        continue := false
+      end
+      else begin
+        entries.(i).(j) <- 1;
+        decr c
+      end
+    done
   in
-  let rec bump i =
-    if i < 0 then false
-    else if digits.(i) + 1 < d then begin
-      digits.(i) <- digits.(i) + 1;
-      true
-    end
-    else begin
-      digits.(i) <- 0;
-      bump (i - 1)
-    end
-  in
-  let continue = ref true in
-  while !continue do
-    emit ();
-    continue := bump (cells - 1)
+  for _ = lo to hi - 1 do
+    f entries;
+    bump ()
   done
 
-let guard ~p ~q ~d =
-  let cells = p * q in
-  let cap = 1 lsl 22 in
-  if d > 1 && pow_capped d cells ~cap > cap then
-    invalid_arg "Enumerate: d^(pq) too large to enumerate"
+let iter_matrices ~p ~q ~d f =
+  if p < 1 || q < 1 || d < 1 then invalid_arg "Enumerate.iter_matrices";
+  let total = pow_capped d (p * q) ~cap:(max_int / 2) in
+  iter_entries_range ~p ~q ~d ~lo:0 ~hi:total (fun entries ->
+      f (Matrix.create_relaxed entries))
 
-let canonical_set ?variant ~p ~q ~d () =
-  guard ~p ~q ~d;
-  let seen = Hashtbl.create 256 in
-  iter_matrices ~p ~q ~d (fun m ->
-      let c = Canonical.canonical ?variant m in
-      let key = Matrix.to_string c in
-      if not (Hashtbl.mem seen key) then Hashtbl.add seen key c);
-  Hashtbl.fold (fun _ c acc -> c :: acc) seen []
+let matrix_of_rows ~variant rows =
+  match (variant : Canonical.variant) with
+  | Canonical.Full -> Matrix.create rows
+  | Canonical.Positional -> Matrix.create_relaxed rows
+
+(* One shard of the digit space: canonicalize every raw matrix in
+   [lo, hi) through a private workspace and deduplicate through a
+   private table of packed keys. Thread-safe by construction: no
+   shared mutable state. *)
+let shard_canonical ~variant ~p ~q ~d ~lo ~hi =
+  let ws = Canonical.workspace ~p ~q ~max_value:d in
+  let tbl = Mkey.Tbl.create 256 in
+  iter_entries_range ~p ~q ~d ~lo ~hi (fun entries ->
+      let best = Canonical.canonical_rows ws ~variant entries in
+      let key = Mkey.of_rows ~base:d best in
+      if not (Mkey.Tbl.mem tbl key) then
+        Mkey.Tbl.add tbl key (matrix_of_rows ~variant best));
+  tbl
+
+let canonical_set ?(variant = Canonical.Full) ?cap ?domains ~p ~q ~d () =
+  let total = checked_total ?cap ~p ~q ~d () in
+  let tables =
+    Parallel.map_ranges ?domains total (fun ~lo ~hi ->
+        shard_canonical ~variant ~p ~q ~d ~lo ~hi)
+  in
+  (* Per-domain tables hold identical representatives for classes seen
+     by several shards; merging keeps one of each. The final sort makes
+     the output independent of shard boundaries and domain count. *)
+  let merged = Mkey.Tbl.create 256 in
+  Array.iter
+    (fun t ->
+      Mkey.Tbl.iter
+        (fun k v -> if not (Mkey.Tbl.mem merged k) then Mkey.Tbl.add merged k v)
+        t)
+    tables;
+  Mkey.Tbl.fold (fun _ v acc -> v :: acc) merged []
   |> List.sort Matrix.compare_lex
 
-let count ?variant ~p ~q ~d () = List.length (canonical_set ?variant ~p ~q ~d ())
+let count ?variant ?cap ?domains ~p ~q ~d () =
+  List.length (canonical_set ?variant ?cap ?domains ~p ~q ~d ())
 
-let class_size ?variant ~p ~q ~d m =
-  guard ~p ~q ~d;
-  let target = Canonical.canonical ?variant m in
-  let count = ref 0 in
-  iter_matrices ~p ~q ~d (fun m' ->
-      if Matrix.equal (Canonical.canonical ?variant m') target then incr count);
-  !count
+let class_size ?(variant = Canonical.Full) ?cap ?domains ~p ~q ~d m =
+  let total = checked_total ?cap ~p ~q ~d () in
+  let target = (Canonical.canonical ~variant m : Matrix.t).Matrix.entries in
+  let counts =
+    Parallel.map_ranges ?domains total (fun ~lo ~hi ->
+        let ws = Canonical.workspace ~p ~q ~max_value:d in
+        let n = ref 0 in
+        iter_entries_range ~p ~q ~d ~lo ~hi (fun entries ->
+            let best = Canonical.canonical_rows ws ~variant entries in
+            let equal =
+              let rec rows i =
+                i = p
+                || Canonical.compare_rows q best.(i) target.(i) = 0
+                   && rows (i + 1)
+              in
+              rows 0
+            in
+            if equal then incr n);
+        !n)
+  in
+  Array.fold_left ( + ) 0 counts

@@ -2,27 +2,54 @@
     of all [p x q] matrices with entries in [{1..d}] (the paper's
     notation for the set whose cardinality drives Theorem 1).
 
-    Only feasible for small parameters ([d^(pq)] inputs); this is the
-    ground truth against which Lemma 1's counting bound is tested, and
-    the instance generator for the end-to-end Theorem-1 reconstruction
+    The engine shards the [d^(pq)] digit space across OCaml domains
+    ({!Umrs_graph.Parallel.map_ranges}): each shard canonicalizes its
+    slice through a private {!Canonical.workspace} (allocation-free,
+    pruned) and deduplicates through a private table of bit-packed
+    {!Mkey} keys; the per-domain tables are merged and sorted at the
+    end, so results are byte-identical for every domain count
+    (tested). Only feasible for small parameters; this is the ground
+    truth against which Lemma 1's counting bound is tested, and the
+    instance generator for the end-to-end Theorem-1 reconstruction
     experiment. *)
+
+val default_cap : int
+(** [2^22] — the default guard on [d^(pq)]. *)
 
 val iter_matrices : p:int -> q:int -> d:int -> (Matrix.t -> unit) -> unit
 (** All [d^(pq)] raw matrices (relaxed form), row-major counting
     order. *)
 
+val iter_entries_range :
+  p:int -> q:int -> d:int -> lo:int -> hi:int -> (int array array -> unit) -> unit
+(** Raw matrices with counting-order indices in [lo, hi)], delivered
+    as a reused entries buffer (do not retain or mutate it). The
+    allocation-free primitive the shards are built on. *)
+
 val canonical_set :
-  ?variant:Canonical.variant -> p:int -> q:int -> d:int -> unit -> Matrix.t list
+  ?variant:Canonical.variant ->
+  ?cap:int ->
+  ?domains:int ->
+  p:int -> q:int -> d:int -> unit -> Matrix.t list
 (** [dM(p,q)] for entry bound [d], sorted by [Matrix.compare_lex].
     Defaults to the [Full] Definition-2 group; [Positional] reproduces
     the paper's displayed 7-element example for [p = q = d = 2].
-    Raises [Invalid_argument] when [d^(pq)] exceeds [2^22] (guard
-    against accidental blow-up). *)
+    Raises [Invalid_argument] when [d^(pq)] exceeds [cap] (default
+    {!default_cap}); the message names the offending value. [domains]
+    defaults to {!Umrs_graph.Parallel.default_domains}; the result
+    does not depend on it. *)
 
-val count : ?variant:Canonical.variant -> p:int -> q:int -> d:int -> unit -> int
+val count :
+  ?variant:Canonical.variant ->
+  ?cap:int ->
+  ?domains:int ->
+  p:int -> q:int -> d:int -> unit -> int
 (** [|dM(p,q)|] = length of [canonical_set]. *)
 
 val class_size :
-  ?variant:Canonical.variant -> p:int -> q:int -> d:int -> Matrix.t -> int
+  ?variant:Canonical.variant ->
+  ?cap:int ->
+  ?domains:int ->
+  p:int -> q:int -> d:int -> Matrix.t -> int
 (** Number of raw matrices (entries in [{1..d}]) equivalent to the
     given one. Summing over [canonical_set] recovers [d^(pq)]. *)

@@ -52,11 +52,35 @@ let max_entry m =
     (fun acc row -> Array.fold_left max acc row)
     0 m.entries
 
-let equal a b = a.p = b.p && a.q = b.q && a.entries = b.entries
+(* Monomorphic comparisons: [equal] sits on the hot path of class-size
+   scans (once per raw matrix), where the polymorphic compare on nested
+   arrays costs an order of magnitude more than these int loops. *)
+let compare_row q (a : int array) (b : int array) =
+  let rec go j =
+    if j = q then 0
+    else
+      let x = a.(j) and y = b.(j) in
+      if x < y then -1 else if x > y then 1 else go (j + 1)
+  in
+  go 0
+
+let equal a b =
+  a.p = b.p && a.q = b.q
+  &&
+  let rec rows i =
+    i = a.p || (compare_row a.q a.entries.(i) b.entries.(i) = 0 && rows (i + 1))
+  in
+  rows 0
 
 let compare_lex a b =
   if a.p <> b.p || a.q <> b.q then invalid_arg "Matrix.compare_lex: shape";
-  compare a.entries b.entries
+  let rec rows i =
+    if i = a.p then 0
+    else
+      let c = compare_row a.q a.entries.(i) b.entries.(i) in
+      if c <> 0 then c else rows (i + 1)
+  in
+  rows 0
 
 let index m ~base =
   if base <= max_entry m - 1 then invalid_arg "Matrix.index: base too small";

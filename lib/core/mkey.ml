@@ -1,0 +1,100 @@
+type t =
+  | K1 of int
+  | K2 of int * int
+  | KBig of string
+
+(* Bits needed to represent [n >= 0]; at least 1 so base-1 alphabets
+   still consume a digit slot (keeps the layout injective). *)
+let bits_for n =
+  let rec go b x = if x = 0 then max 1 b else go (b + 1) (x lsr 1) in
+  go 0 n
+
+(* Header: p, q, base — 6 bits each. Shapes or bases beyond 63 go to
+   the bytes fallback together with oversized payloads. *)
+let header_bits = 18
+
+let of_rows ~base rows =
+  let p = Array.length rows in
+  if p = 0 then invalid_arg "Mkey.of_rows: no rows";
+  let q = Array.length rows.(0) in
+  if q = 0 then invalid_arg "Mkey.of_rows: no columns";
+  if base < 1 then invalid_arg "Mkey.of_rows: base < 1";
+  let b = bits_for (base - 1) in
+  let total = header_bits + (p * q * b) in
+  if p < 64 && q < 64 && base < 64 && total <= 124 then begin
+    let w0 = ref 0 and w1 = ref 0 and pos = ref 0 in
+    let push v width =
+      (if !pos + width <= 62 then w0 := !w0 lor (v lsl !pos)
+       else if !pos >= 62 then w1 := !w1 lor (v lsl (!pos - 62))
+       else begin
+         w0 := !w0 lor ((v lsl !pos) land ((1 lsl 62) - 1));
+         w1 := !w1 lor (v lsr (62 - !pos))
+       end);
+      pos := !pos + width
+    in
+    push p 6;
+    push q 6;
+    push base 6;
+    for i = 0 to p - 1 do
+      let row = rows.(i) in
+      if Array.length row <> q then invalid_arg "Mkey.of_rows: ragged rows";
+      for j = 0 to q - 1 do
+        let x = row.(j) in
+        if x < 1 || x > base then
+          invalid_arg "Mkey.of_rows: entry outside {1..base}";
+        push (x - 1) b
+      done
+    done;
+    if !pos <= 62 then K1 !w0 else K2 (!w0, !w1)
+  end
+  else begin
+    let buf = Buffer.create (16 + (p * q)) in
+    Buffer.add_string buf (Printf.sprintf "%d,%d,%d:" p q base);
+    Array.iter
+      (fun row ->
+        if Array.length row <> q then invalid_arg "Mkey.of_rows: ragged rows";
+        Array.iter
+          (fun x ->
+            if x < 1 || x > base then
+              invalid_arg "Mkey.of_rows: entry outside {1..base}";
+            Buffer.add_string buf (string_of_int x);
+            Buffer.add_char buf ';')
+          row)
+      rows;
+    KBig (Buffer.contents buf)
+  end
+
+let of_matrix ~base m = of_rows ~base (m : Matrix.t).Matrix.entries
+
+let equal a b =
+  match (a, b) with
+  | K1 x, K1 y -> x = y
+  | K2 (x0, x1), K2 (y0, y1) -> x0 = y0 && x1 = y1
+  | KBig x, KBig y -> String.equal x y
+  | _ -> false
+
+let compare a b =
+  match (a, b) with
+  | K1 x, K1 y -> Int.compare x y
+  | K2 (x0, x1), K2 (y0, y1) ->
+    let c = Int.compare x0 y0 in
+    if c <> 0 then c else Int.compare x1 y1
+  | KBig x, KBig y -> String.compare x y
+  | K1 _, _ -> -1
+  | _, K1 _ -> 1
+  | K2 _, _ -> -1
+  | _, K2 _ -> 1
+
+let hash = function
+  | K1 w -> Hashtbl.hash w
+  | K2 (w0, w1) -> Hashtbl.hash (w0, w1)
+  | KBig s -> Hashtbl.hash s
+
+let is_packed = function K1 _ | K2 _ -> true | KBig _ -> false
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,36 @@
+(** Bit-packed hash keys for constraint matrices.
+
+    The enumeration engine deduplicates canonical representatives
+    through a hash table; keying it by [Matrix.to_string] costs a
+    string allocation plus character-wise hashing per raw matrix. A
+    [p x q] matrix over [{1..base}] needs only
+    [p*q*ceil(log2 base)] bits of payload, so for the enumerable
+    regime the whole key fits in one or two boxed ints (plus an
+    18-bit shape header that makes keys of different [p], [q] or
+    [base] distinct). A bytes fallback keeps the key total: packing
+    never refuses an input.
+
+    Keys are injective: two matrices with entries in [{1..base}]
+    receive equal keys iff they have equal shape and equal entries
+    (property-tested across all three representations). *)
+
+type t
+
+val of_rows : base:int -> int array array -> t
+(** [of_rows ~base rows] packs a rectangular, non-empty matrix whose
+    entries lie in [{1..base}]. Entries outside that range raise
+    [Invalid_argument]. *)
+
+val of_matrix : base:int -> Matrix.t -> t
+(** [of_rows] on the matrix's entries. Requires
+    [Matrix.max_entry m <= base]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val is_packed : t -> bool
+(** [true] when the key fits the one- or two-int representation
+    (diagnostics for tests and benchmarks). *)
+
+module Tbl : Hashtbl.S with type key = t

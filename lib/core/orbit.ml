@@ -27,10 +27,25 @@ let check_dims m =
   if p > 4 || q > 4 then invalid_arg "Orbit: keep p, q <= 4";
   (p, q)
 
+(* Orbit elements are deduplicated through bit-packed keys (Mkey)
+   built in a reused scratch buffer — no per-element matrix
+   allocation, and table operations hash one or two ints instead of a
+   nested array. *)
+let pack_permuted ~base ~scratch ~q rows sr sc =
+  let p = Array.length sr in
+  for i = 0 to p - 1 do
+    let src = rows.(sr.(i)) and dst = scratch.(i) in
+    for j = 0 to q - 1 do
+      dst.(j) <- src.(sc.(j))
+    done
+  done;
+  Mkey.of_rows ~base scratch
+
 let size ~d m =
   let p, q = check_dims m in
   if d > 4 then invalid_arg "Orbit: keep d <= 4";
-  let seen = Hashtbl.create 256 in
+  let seen = Mkey.Tbl.create 256 in
+  let scratch = Array.make_matrix p q 0 in
   let variants =
     Array.init p (fun i ->
         row_variants ~d (Array.init q (fun j -> Matrix.get m i j)))
@@ -40,32 +55,28 @@ let size ~d m =
     if i = p then begin
       let rows = Array.of_list (List.rev acc) in
       Perm.iter_all p (fun sr ->
-          let permuted_rows = Array.map (fun r -> rows.(r)) sr in
           Perm.iter_all q (fun sc ->
-              let key =
-                Array.map
-                  (fun row -> Array.init q (fun j -> row.(sc.(j))))
-                  permuted_rows
-              in
-              Hashtbl.replace seen key ()))
+              Mkey.Tbl.replace seen
+                (pack_permuted ~base:d ~scratch ~q rows sr sc)
+                ()))
     end
     else List.iter (fun r -> rows_choice (i + 1) (r :: acc)) variants.(i)
   in
   rows_choice 0 [];
-  Hashtbl.length seen
+  Mkey.Tbl.length seen
 
 let size_positional m =
   let p, q = check_dims m in
-  let seen = Hashtbl.create 64 in
+  let base = Matrix.max_entry m in
+  let seen = Mkey.Tbl.create 64 in
+  let scratch = Array.make_matrix p q 0 in
   let rows = Array.init p (fun i -> Array.init q (fun j -> Matrix.get m i j)) in
   Perm.iter_all p (fun sr ->
-      let permuted = Array.map (fun r -> rows.(r)) sr in
       Perm.iter_all q (fun sc ->
-          let key =
-            Array.map (fun row -> Array.init q (fun j -> row.(sc.(j)))) permuted
-          in
-          Hashtbl.replace seen key ()));
-  Hashtbl.length seen
+          Mkey.Tbl.replace seen
+            (pack_permuted ~base ~scratch ~q rows sr sc)
+            ()));
+  Mkey.Tbl.length seen
 
 let random_raw st ~p ~q ~d =
   if p < 1 || q < 1 || d < 1 then invalid_arg "Orbit.random_raw";

@@ -8,7 +8,7 @@ let definition1_figure1 () =
     (fun i -> Matrix.row_alphabet t.Petersen.matrix i = 3)
     (List.init p Fun.id)
 
-let lemma1 ~p ~q ~d = Count.holds_exactly ~p ~q ~d
+let lemma1 ~p ~q ~d = Count.holds_exactly ~p ~q ~d ()
 
 let lemma2 m =
   let p, q = Matrix.dims m in

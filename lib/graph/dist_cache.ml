@@ -1,0 +1,70 @@
+(* Keyed by physical identity: Graph.t / Weighted.t are immutable
+   after construction (constructors copy their inputs), so [==] is a
+   sound and allocation-free identity. Structural keys would defeat
+   the point — hashing an adjacency structure costs as much as one
+   BFS level. *)
+
+let max_entries = 32
+
+type ('k, 'v) cache = {
+  lock : Mutex.t;
+  mutable entries : ('k * 'v) list;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let make () = { lock = Mutex.create (); entries = []; hits = 0; misses = 0 }
+
+let find c g =
+  Mutex.lock c.lock;
+  let r = List.find_opt (fun (g', _) -> g' == g) c.entries in
+  (match r with Some _ -> c.hits <- c.hits + 1 | None -> c.misses <- c.misses + 1);
+  Mutex.unlock c.lock;
+  Option.map snd r
+
+let store c g d =
+  Mutex.lock c.lock;
+  if not (List.exists (fun (g', _) -> g' == g) c.entries) then begin
+    c.entries <- (g, d) :: c.entries;
+    (* bounded: drop the oldest entries beyond the cap *)
+    if List.length c.entries > max_entries then
+      c.entries <- List.filteri (fun i _ -> i < max_entries) c.entries
+  end;
+  Mutex.unlock c.lock
+
+(* The distance computation runs outside the lock: two domains racing
+   on the same uncached graph duplicate work once rather than
+   serializing every lookup behind a BFS. *)
+let cached c compute g =
+  match find c g with
+  | Some d -> d
+  | None ->
+    let d = compute g in
+    store c g d;
+    d
+
+let unweighted : (Graph.t, int array array) cache = make ()
+let weighted_c : (Weighted.t, int array array) cache = make ()
+
+let distances ?domains g = cached unweighted (Parallel.all_pairs ?domains) g
+
+let distances_weighted ?domains w =
+  cached weighted_c (Parallel.all_pairs_weighted ?domains) w
+
+let stats () =
+  ( unweighted.hits + weighted_c.hits,
+    unweighted.misses + weighted_c.misses )
+
+let clear () =
+  List.iter
+    (fun f -> f ())
+    [
+      (fun () ->
+        Mutex.lock unweighted.lock;
+        unweighted.entries <- [];
+        Mutex.unlock unweighted.lock);
+      (fun () ->
+        Mutex.lock weighted_c.lock;
+        weighted_c.entries <- [];
+        Mutex.unlock weighted_c.lock);
+    ]

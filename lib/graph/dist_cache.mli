@@ -1,0 +1,25 @@
+(** Process-wide cache of all-pairs distance matrices.
+
+    Every scheme evaluation, stretch report, and verification pass
+    needs the same all-pairs distances of the same graph; before this
+    cache each caller recomputed a full APSP per scheme per report.
+    Matrices are cached per graph {e identity} (physical equality —
+    graphs are immutable after construction), bounded to a few dozen
+    entries, and computed through {!Parallel.all_pairs} so a cache
+    miss also uses the available domains. Thread-safe: callers may
+    race from several domains; the worst case is one duplicated
+    computation, never a wrong or torn result. *)
+
+val distances : ?domains:int -> Graph.t -> int array array
+(** Cached {!Parallel.all_pairs}. The returned matrix is shared —
+    treat it as read-only. *)
+
+val distances_weighted : ?domains:int -> Weighted.t -> int array array
+(** Cached {!Parallel.all_pairs_weighted}. *)
+
+val stats : unit -> int * int
+(** [(hits, misses)] since process start ({!clear} drops the cached
+    matrices but keeps the counters running). *)
+
+val clear : unit -> unit
+(** Drop all cached matrices (hit/miss counters keep running). *)

@@ -27,6 +27,38 @@ let map_range ?domains n f =
       results
   end
 
+let chunks ~domains n =
+  if n < 0 then invalid_arg "Parallel.chunks";
+  if n = 0 then [||]
+  else begin
+    let domains = max 1 (min domains n) in
+    let chunk = (n + domains - 1) / domains in
+    Array.init domains (fun d -> (d * chunk, min n ((d + 1) * chunk)))
+  end
+
+let map_ranges ?domains n f =
+  if n < 0 then invalid_arg "Parallel.map_ranges";
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  if n = 0 then [||]
+  else if domains <= 1 then [| f ~lo:0 ~hi:n |]
+  else begin
+    let ranges = chunks ~domains n in
+    let k = Array.length ranges in
+    let results = Array.make k None in
+    let worker i () =
+      let lo, hi = ranges.(i) in
+      results.(i) <- Some (f ~lo ~hi)
+    in
+    let handles = List.init (k - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+    worker 0 ();
+    List.iter Domain.join handles;
+    Array.map
+      (function Some x -> x | None -> invalid_arg "Parallel: missing result")
+      results
+  end
+
 let all_pairs ?domains g =
   map_range ?domains (Graph.order g) (fun src -> Bfs.distances g src)
 

@@ -14,6 +14,19 @@ val map_range : ?domains:int -> int -> (int -> 'a) -> 'a array
     domains ([f] must be thread-safe; indices are split into contiguous
     chunks). Falls back to sequential for [n < 2] or [domains <= 1]. *)
 
+val chunks : domains:int -> int -> (int * int) array
+(** [chunks ~domains n] splits [0, n)] into at most [domains]
+    contiguous [(lo, hi)] half-open ranges covering it exactly (empty
+    for [n = 0]). *)
+
+val map_ranges : ?domains:int -> int -> (lo:int -> hi:int -> 'a) -> 'a array
+(** [map_ranges ~domains n f] applies [f] to each chunk of [0, n)] on
+    its own domain and returns the per-chunk results in range order
+    ([f] must be thread-safe). The work-sharding primitive behind the
+    parallel enumeration engine: unlike {!map_range} it materializes
+    one result per {e chunk}, not per index, so the index space can be
+    in the millions without allocating an array of that size. *)
+
 val all_pairs : ?domains:int -> Graph.t -> int array array
 (** Parallel {!Bfs.all_pairs}. *)
 

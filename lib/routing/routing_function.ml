@@ -80,7 +80,9 @@ type stretch_report = {
 }
 
 let with_dist ?dist rf f =
-  let d = match dist with Some d -> d | None -> Bfs.all_pairs rf.graph in
+  let d =
+    match dist with Some d -> d | None -> Dist_cache.distances rf.graph
+  in
   f d
 
 let stretch ?dist rf =

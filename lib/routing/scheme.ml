@@ -31,6 +31,10 @@ type evaluation = {
 }
 
 let evaluate ?dist scheme ~graph_name g =
+  (* All schemes evaluated on the same graph share one APSP matrix. *)
+  let dist =
+    match dist with Some d -> d | None -> Dist_cache.distances g
+  in
   let b = scheme.build g in
   {
     scheme_name = scheme.name;
@@ -39,7 +43,7 @@ let evaluate ?dist scheme ~graph_name g =
     edges = Graph.size g;
     mem_local_bits = mem_local b;
     mem_global_bits = mem_global b;
-    stretch = Routing_function.stretch ?dist b.rf;
+    stretch = Routing_function.stretch ~dist b.rf;
   }
 
 let pp_evaluation fmt e =

@@ -16,6 +16,7 @@ let () =
       ("matrix", Test_matrix.suite);
       ("canonical", Test_canonical.suite);
       ("enumerate+count", Test_enumerate_count.suite);
+      ("enumerate-parallel", Test_enumerate_parallel.suite);
       ("cgraph+verify", Test_cgraph_verify.suite);
       ("paper-results", Test_paper_results.suite);
       ("weighted", Test_weighted.suite);

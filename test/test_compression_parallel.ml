@@ -80,6 +80,34 @@ let test_parallel_weighted () =
   check_true "same weighted distances"
     (Parallel.all_pairs_weighted ~domains:3 w = Weighted.all_pairs w)
 
+(* ---------- shared distance cache ---------- *)
+
+let test_dist_cache_hits_by_identity () =
+  let st = rng () in
+  let g = Generators.random_connected st ~n:20 ~m:40 in
+  let h0, m0 = Dist_cache.stats () in
+  let d1 = Dist_cache.distances g in
+  let d2 = Dist_cache.distances g in
+  let h1, m1 = Dist_cache.stats () in
+  check_true "second lookup is the same matrix" (d1 == d2);
+  check_true "correct distances" (d1 = Bfs.all_pairs g);
+  check_int "one miss" (m0 + 1) m1;
+  check_int "one hit" (h0 + 1) h1;
+  (* an equal-but-distinct graph is a different identity *)
+  let g' = Graph.of_edges ~n:(Graph.order g) (Graph.edges g) in
+  check_true "structural twin recomputes"
+    (not (Dist_cache.distances g' == d1));
+  Dist_cache.clear ();
+  check_true "clear drops the entry" (not (Dist_cache.distances g == d1))
+
+let test_dist_cache_weighted () =
+  let st = rng () in
+  let g = Generators.random_connected st ~n:16 ~m:30 in
+  let w = Weighted.random st ~max_cost:5 g in
+  let d1 = Dist_cache.distances_weighted w in
+  check_true "weighted cached" (d1 == Dist_cache.distances_weighted w);
+  check_true "weighted correct" (d1 = Weighted.all_pairs w)
+
 let test_map_range () =
   check_true "squares" (Parallel.map_range ~domains:3 10 (fun i -> i * i)
                         = Array.init 10 (fun i -> i * i));
@@ -159,6 +187,8 @@ let suite =
     case "parallel = sequential BFS" test_parallel_matches_sequential;
     case "parallel weighted" test_parallel_weighted;
     case "map_range" test_map_range;
+    case "distance cache hits by identity" test_dist_cache_hits_by_identity;
+    case "distance cache (weighted)" test_dist_cache_weighted;
     case "bridges on a path" test_bridges_on_path;
     case "no bridges on a cycle" test_bridges_on_cycle;
     case "barbell bridge + articulation" test_barbell;

@@ -74,7 +74,7 @@ let test_lemma1_holds_on_grid () =
     (fun (p, q, d) ->
       check_true
         (Printf.sprintf "lemma1 (%d,%d,%d)" p q d)
-        (Count.holds_exactly ~p ~q ~d))
+        (Count.holds_exactly ~p ~q ~d ()))
     [ (1, 1, 2); (1, 2, 2); (2, 2, 2); (2, 2, 3); (2, 3, 2); (3, 2, 2);
       (1, 4, 3); (2, 4, 2); (3, 3, 2); (2, 2, 4) ]
 
