@@ -202,7 +202,11 @@ let enum_bench_rows : enum_bench_row list ref = ref []
 
 let report_enumeration_engine ~fast () =
   section "E3. Enumeration engine: canonical_set wall times (seq vs sharded)";
-  let domains = Parallel.default_domains () in
+  (* Measure the parallel column at the recommended domain count, not at
+     [Parallel.default_domains ()] (= recommended - 1), which collapses
+     to 1 on small machines and made seconds_par a second sequential
+     measurement. *)
+  let domains = Domain.recommended_domain_count () in
   let wall f =
     let t0 = Unix.gettimeofday () in
     let x = f () in
@@ -224,10 +228,16 @@ let report_enumeration_engine ~fast () =
       in
       assert (List.for_all2 Matrix.equal seq par);
       let classes = List.length seq in
+      (* Shard count actually used: [Parallel] caps domains at the raw
+         matrix count, so tiny instances may use fewer than requested. *)
+      let used =
+        Array.length
+          (Parallel.chunks ~domains (Enumerate.checked_total ~p ~q ~d ()))
+      in
       enum_bench_rows :=
         { eb_p = p; eb_q = q; eb_d = d; eb_classes = classes;
           eb_seconds_seq = t_seq; eb_seconds_par = t_par;
-          eb_domains = domains }
+          eb_domains = used }
         :: !enum_bench_rows;
       pf "%-10s %10.0f %8d %12.4f %12.4f %8.2f@."
         (Printf.sprintf "(%d,%d,%d)" p q d)
@@ -243,15 +253,15 @@ let write_enum_bench_json ~fast path =
   let row r =
     Printf.sprintf
       "    {\"p\": %d, \"q\": %d, \"d\": %d, \"classes\": %d, \
-       \"seconds_seq\": %.6f, \"seconds_par\": %.6f, \"domains\": %d}"
+       \"seconds_seq\": %.6f, \"seconds_par\": %.6f, \"domains_used\": %d}"
       r.eb_p r.eb_q r.eb_d r.eb_classes r.eb_seconds_seq r.eb_seconds_par
       r.eb_domains
   in
   Printf.fprintf oc
-    "{\n  \"schema\": \"umrs/bench-enumerate/v1\",\n  \"mode\": \"%s\",\n\
+    "{\n  \"schema\": \"umrs/bench-enumerate/v2\",\n  \"mode\": \"%s\",\n\
     \  \"recommended_domains\": %d,\n  \"instances\": [\n%s\n  ]\n}\n"
     (if fast then "fast" else "full")
-    (Parallel.default_domains ())
+    (Domain.recommended_domain_count ())
     (String.concat ",\n" (List.rev_map row !enum_bench_rows));
   close_out oc;
   pf "@.enumeration benchmark written to %s@." path
@@ -797,6 +807,9 @@ let enum_json_path () =
 let () =
   let fast = Array.exists (( = ) "--fast") Sys.argv in
   let no_timings = Array.exists (( = ) "--no-timings") Sys.argv in
+  (match flag_value "--telemetry" with
+  | Some path -> Telemetry.open_file path
+  | None -> ());
   pf "umrs benchmark harness - Fraigniaud & Gavoille (1996) reproduction@.";
   pf "mode: %s@." (if fast then "fast" else "full");
   report_table1 ~fast ();
@@ -827,4 +840,5 @@ let () =
   | None -> ());
   write_enum_bench_json ~fast (enum_json_path ());
   if not no_timings then run_timings ~fast ();
+  Telemetry.close ();
   pf "@.done.@."

@@ -30,7 +30,14 @@ let graph_of_family ~seed family size =
     Generators.torus side side
   | "petersen" -> Generators.petersen ()
   | f when String.length f > 5 && String.sub f 0 5 = "file:" ->
-    Graph_io.load ~path:(String.sub f 5 (String.length f - 5))
+    let path = String.sub f 5 (String.length f - 5) in
+    (try Graph_io.load ~path with
+    | Sys_error msg ->
+      Printf.eprintf "routing_lab: cannot load graph file %S: %s\n" path msg;
+      exit 2
+    | Invalid_argument msg ->
+      Printf.eprintf "routing_lab: %S is not a valid graph file: %s\n" path msg;
+      exit 2)
   | "tree" -> Generators.random_tree st size
   | "caterpillar" ->
     Generators.caterpillar st ~spine:(max 1 (size / 2)) ~legs:(size / 2)
@@ -116,10 +123,21 @@ let variant_arg =
          ~doc:"Equivalence variant: full (Definition 2) or positional \
                (rows+columns only).")
 
+let telemetry_arg =
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE"
+         ~doc:"Write JSONL telemetry events to FILE (schema in DESIGN.md \
+               section 8).")
+
+(* Run [f] with the telemetry sink attached when requested; the sink is
+   closed (flushing a final metrics event) even if [f] raises. *)
+let with_telemetry telemetry f =
+  match telemetry with None -> f () | Some path -> Telemetry.with_file path f
+
 (* ---------- commands ---------- *)
 
 let evaluate_cmd =
-  let run family size seed scheme_name =
+  let run family size seed scheme_name telemetry =
+    with_telemetry telemetry @@ fun () ->
     let g = graph_of_family ~seed family size in
     let scheme = scheme_of_name ~seed scheme_name in
     let e = Scheme.evaluate scheme ~graph_name:family g in
@@ -127,7 +145,8 @@ let evaluate_cmd =
   in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Run a scheme on a graph; report memory and stretch.")
-    Term.(const run $ family_arg $ size_arg 16 $ seed_arg $ scheme_arg)
+    Term.(const run $ family_arg $ size_arg 16 $ seed_arg $ scheme_arg
+          $ telemetry_arg)
 
 let route_cmd =
   let run family size seed scheme_name src dst =
@@ -157,7 +176,8 @@ let route_cmd =
     Term.(const run $ family_arg $ size_arg 16 $ seed_arg $ scheme_arg $ src $ dst)
 
 let simulate_cmd =
-  let run family size seed scheme_name pairs loss dead =
+  let run family size seed scheme_name pairs loss dead telemetry =
+    with_telemetry telemetry @@ fun () ->
     let g = graph_of_family ~seed family size in
     let scheme = scheme_of_name ~seed scheme_name in
     let b = scheme.Scheme.build g in
@@ -217,7 +237,7 @@ let simulate_cmd =
        ~doc:"Synchronous store-and-forward simulation with contention, \
              optional loss and dead links.")
     Term.(const run $ family_arg $ size_arg 16 $ seed_arg $ scheme_arg $ pairs
-          $ loss $ dead)
+          $ loss $ dead $ telemetry_arg)
 
 let canon_cmd =
   let run s variant =
@@ -230,7 +250,8 @@ let canon_cmd =
     Term.(const run $ matrix_arg $ variant_arg)
 
 let enumerate_cmd =
-  let run p q d variant =
+  let run p q d variant telemetry =
+    with_telemetry telemetry @@ fun () ->
     let set = Enumerate.canonical_set ~variant ~p ~q ~d () in
     pf "|%dM(%d,%d)| = %d@." d p q (List.length set);
     List.iter
@@ -244,7 +265,154 @@ let enumerate_cmd =
   let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Entry bound.") in
   Cmd.v
     (Cmd.info "enumerate" ~doc:"Enumerate the canonical set dM(p,q).")
-    Term.(const run $ p $ q $ d $ variant_arg)
+    Term.(const run $ p $ q $ d $ variant_arg $ telemetry_arg)
+
+let corpus_cmd =
+  let variant_label = function
+    | Canonical.Full -> "full"
+    | Canonical.Positional -> "positional"
+  in
+  let pp_header (h : Umrs_store.Corpus.header) =
+    pf "schema version: %d@." h.Umrs_store.Corpus.version;
+    pf "instance:       p=%d q=%d d=%d variant=%s@." h.Umrs_store.Corpus.p
+      h.Umrs_store.Corpus.q h.Umrs_store.Corpus.d
+      (variant_label h.Umrs_store.Corpus.variant);
+    pf "records:        %d (record = %d bytes)@." h.Umrs_store.Corpus.count
+      (Umrs_store.Corpus.Record.bytes ~p:h.Umrs_store.Corpus.p
+         ~q:h.Umrs_store.Corpus.q ~d:h.Umrs_store.Corpus.d);
+    pf "checksum:       %016Lx@." h.Umrs_store.Corpus.checksum
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Corpus file.")
+  in
+  let build_cmd =
+    let run p q d variant out domains checkpoint_dir checkpoint_every resume
+        telemetry =
+      with_telemetry telemetry @@ fun () ->
+      match
+        Umrs_store.Builder.build ~variant ?domains ?checkpoint_dir
+          ~checkpoint_every ~resume ~p ~q ~d ~out ()
+      with
+      | o ->
+        if o.Umrs_store.Builder.o_resumed_from > 0 then
+          pf "resumed: skipped %d of %d raw matrices via checkpoints@."
+            o.Umrs_store.Builder.o_resumed_from o.Umrs_store.Builder.o_total;
+        pf "%d classes of %d raw matrices (%d shard%s, %d checkpoint%s) -> %s@."
+          o.Umrs_store.Builder.o_classes o.Umrs_store.Builder.o_total
+          o.Umrs_store.Builder.o_shards
+          (if o.Umrs_store.Builder.o_shards = 1 then "" else "s")
+          o.Umrs_store.Builder.o_checkpoints
+          (if o.Umrs_store.Builder.o_checkpoints = 1 then "" else "s")
+          out;
+        pf "checksum %016Lx@."
+          o.Umrs_store.Builder.o_header.Umrs_store.Corpus.checksum
+      | exception Invalid_argument msg ->
+        Printf.eprintf "routing_lab: corpus build: %s\n" msg;
+        exit 2
+    in
+    let p = Arg.(value & opt int 2 & info [ "p" ] ~doc:"Rows.") in
+    let q = Arg.(value & opt int 2 & info [ "q" ] ~doc:"Columns.") in
+    let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Entry bound.") in
+    let out =
+      Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Output corpus file.")
+    in
+    let domains =
+      Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"K"
+             ~doc:"Shard count (default: recommended domain count).")
+    in
+    let checkpoint_dir =
+      Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR"
+             ~doc:"Persist per-shard progress into DIR; a killed run can \
+                   continue with $(b,--resume).")
+    in
+    let checkpoint_every =
+      Arg.(value & opt int (1 lsl 14) & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Raw matrices between shard checkpoints.")
+    in
+    let resume =
+      Arg.(value & flag & info [ "resume" ]
+             ~doc:"Continue from the checkpoints in --checkpoint-dir (the \
+                   manifest must match p/q/d/variant).")
+    in
+    Cmd.v
+      (Cmd.info "build"
+         ~doc:"Enumerate dM(p,q) and stream it to a corpus file, with \
+               optional crash-safe checkpointing.")
+      Term.(const run $ p $ q $ d $ variant_arg $ out $ domains
+            $ checkpoint_dir $ checkpoint_every $ resume $ telemetry_arg)
+  in
+  let info_cmd =
+    let run path =
+      match Umrs_store.Corpus.info ~path with
+      | h -> pp_header h
+      | exception Invalid_argument msg ->
+        Printf.eprintf "routing_lab: corpus info: %s: %s\n" path msg;
+        exit 2
+      | exception Sys_error msg ->
+        Printf.eprintf "routing_lab: corpus info: %s\n" msg;
+        exit 2
+    in
+    Cmd.v
+      (Cmd.info "info" ~doc:"Print a corpus file's header.")
+      Term.(const run $ file_arg)
+  in
+  let verify_cmd =
+    let run path =
+      match Umrs_store.Corpus.verify ~path with
+      | v ->
+        pp_header v.Umrs_store.Corpus.v_header;
+        if v.Umrs_store.Corpus.v_problems = [] then
+          pf "verify: OK (%d records, checksum %016Lx)@."
+            v.Umrs_store.Corpus.v_records_read
+            v.Umrs_store.Corpus.v_computed_checksum
+        else begin
+          List.iter
+            (fun s -> pf "verify: PROBLEM: %s@." s)
+            v.Umrs_store.Corpus.v_problems;
+          exit 1
+        end
+      | exception Invalid_argument msg ->
+        Printf.eprintf "routing_lab: corpus verify: %s: %s\n" path msg;
+        exit 2
+      | exception Sys_error msg ->
+        Printf.eprintf "routing_lab: corpus verify: %s\n" msg;
+        exit 2
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Full integrity check: layout, checksum, record decoding, \
+               sort order.")
+      Term.(const run $ file_arg)
+  in
+  let show_cmd =
+    let run path =
+      match Umrs_store.Corpus.load ~path with
+      | h, set ->
+        pf "|%dM(%d,%d)| = %d (%s variant, from %s)@." h.Umrs_store.Corpus.d
+          h.Umrs_store.Corpus.p h.Umrs_store.Corpus.q (List.length set)
+          (variant_label h.Umrs_store.Corpus.variant)
+          path;
+        List.iter (fun m -> pf "%s@." (Matrix.to_string m)) set
+      | exception Invalid_argument msg ->
+        Printf.eprintf "routing_lab: corpus show: %s: %s\n" path msg;
+        exit 2
+      | exception Sys_error msg ->
+        Printf.eprintf "routing_lab: corpus show: %s\n" msg;
+        exit 2
+    in
+    Cmd.v
+      (Cmd.info "show"
+         ~doc:"Load a corpus and print its matrices (the load-from-disk \
+               path later workloads use).")
+      Term.(const run $ file_arg)
+  in
+  Cmd.group
+    (Cmd.info "corpus"
+       ~doc:"Persistent on-disk canonical-set store: build (checkpointed, \
+             resumable), info, verify, show.")
+    [ build_cmd; info_cmd; verify_cmd; show_cmd ]
 
 let cgraph_cmd =
   let run s pad =
@@ -554,5 +722,5 @@ let () =
             cgraph_cmd; lemma1_cmd; theorem1_cmd; reconstruct_cmd; figure1_cmd;
             table1_cmd; orbit_cmd; burnside_cmd; estimate_cmd; dot_cmd; global_cmd;
             optimize_cmd; deadlock_cmd; save_cmd; check_cmd; compare_cmd;
-            broadcast_cmd;
+            broadcast_cmd; corpus_cmd;
           ]))

@@ -41,6 +41,22 @@ let append dst src =
 
 let to_bool_array b = Array.init b.len (get b)
 
+let to_bytes b = Bytes.sub b.bits 0 ((b.len + 7) / 8)
+
+let of_bytes bytes ~len =
+  if len < 0 || len > 8 * Bytes.length bytes then
+    invalid_arg "Bitbuf.of_bytes: len does not fit the bytes";
+  let b = { bits = Bytes.sub bytes 0 ((len + 7) / 8); len } in
+  (* Re-zero the padding bits of the last byte so equal bit sequences
+     have equal byte images regardless of the caller's padding. *)
+  if len mod 8 <> 0 && Bytes.length b.bits > 0 then begin
+    let last = Bytes.length b.bits - 1 in
+    let keep = (1 lsl (len mod 8)) - 1 in
+    Bytes.set b.bits last
+      (Char.chr (Char.code (Bytes.get b.bits last) land keep))
+  end;
+  b
+
 let of_bool_array a =
   let b = create () in
   Array.iter (add_bit b) a;
@@ -63,6 +79,8 @@ let read_bit r =
 
 let read_bits r ~width =
   if width < 0 || width > 62 then invalid_arg "Bitbuf.read_bits: width";
+  (* Check up front so a failed read never half-consumes the reader. *)
+  if r.buf.len - r.pos < width then invalid_arg "Bitbuf.read_bits: past end";
   let x = ref 0 in
   for _ = 1 to width do
     x := (!x lsl 1) lor if read_bit r then 1 else 0

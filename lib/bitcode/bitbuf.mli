@@ -25,6 +25,17 @@ val to_bool_array : t -> bool array
 
 val of_bool_array : bool array -> t
 
+val to_bytes : t -> Bytes.t
+(** The packed byte image: [ceil(length/8)] bytes where bit [i] of the
+    buffer is bit [i mod 8] (LSB first) of byte [i / 8]; padding bits
+    of the last byte are zero. The on-disk representation used by the
+    corpus store ({!Umrs_store.Corpus}). *)
+
+val of_bytes : Bytes.t -> len:int -> t
+(** Inverse of {!to_bytes} given the bit length: reads [len] bits from
+    the packed image (padding bits are ignored). Raises
+    [Invalid_argument] if [len] exceeds [8 * Bytes.length]. *)
+
 val concat : t list -> t
 
 (** {1 Reading} *)
@@ -37,6 +48,8 @@ val read_bit : reader -> bool
 (** Raises [Invalid_argument] past the end. *)
 
 val read_bits : reader -> width:int -> int
+(** Raises [Invalid_argument] if fewer than [width] bits remain; the
+    reader position is unchanged on failure. *)
 
 val remaining : reader -> int
 

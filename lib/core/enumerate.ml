@@ -74,28 +74,40 @@ let matrix_of_rows ~variant rows =
   | Canonical.Positional -> Matrix.create_relaxed rows
 
 (* One shard of the digit space: canonicalize every raw matrix in
-   [lo, hi) through a private workspace and deduplicate through a
-   private table of packed keys. Thread-safe by construction: no
-   shared mutable state. *)
-let shard_canonical ~variant ~p ~q ~d ~lo ~hi =
+   [lo, hi) through a private workspace and deduplicate into the given
+   table of packed keys. Thread-safe by construction as long as [tbl]
+   (and the progress callback's state) is private to the caller.
+   [progress] fires after every [progress_every] processed indices
+   with the exclusive position reached — the hook the corpus store's
+   checkpointing hangs off. *)
+let canonical_into ?progress ?(progress_every = 1 lsl 14) ~tbl ~variant ~p ~q
+    ~d ~lo ~hi () =
+  if progress_every < 1 then invalid_arg "Enumerate.canonical_into: progress_every";
   let ws = Canonical.workspace ~p ~q ~max_value:d in
-  let tbl = Mkey.Tbl.create 256 in
+  let pos = ref lo in
+  let next_tick =
+    ref (match progress with None -> max_int | Some _ -> lo + progress_every)
+  in
   iter_entries_range ~p ~q ~d ~lo ~hi (fun entries ->
       let best = Canonical.canonical_rows ws ~variant entries in
       let key = Mkey.of_rows ~base:d best in
       if not (Mkey.Tbl.mem tbl key) then
-        Mkey.Tbl.add tbl key (matrix_of_rows ~variant best));
+        Mkey.Tbl.add tbl key (matrix_of_rows ~variant best);
+      incr pos;
+      if !pos >= !next_tick && !pos < hi then begin
+        (match progress with Some f -> f ~done_hi:!pos | None -> ());
+        next_tick := !pos + progress_every
+      end)
+
+let shard_canonical ~variant ~p ~q ~d ~lo ~hi =
+  let tbl = Mkey.Tbl.create 256 in
+  canonical_into ~tbl ~variant ~p ~q ~d ~lo ~hi ();
   tbl
 
-let canonical_set ?(variant = Canonical.Full) ?cap ?domains ~p ~q ~d () =
-  let total = checked_total ?cap ~p ~q ~d () in
-  let tables =
-    Parallel.map_ranges ?domains total (fun ~lo ~hi ->
-        shard_canonical ~variant ~p ~q ~d ~lo ~hi)
-  in
-  (* Per-domain tables hold identical representatives for classes seen
-     by several shards; merging keeps one of each. The final sort makes
-     the output independent of shard boundaries and domain count. *)
+(* Per-domain tables hold identical representatives for classes seen
+   by several shards; merging keeps one of each. The final sort makes
+   the output independent of shard boundaries and domain count. *)
+let merged_sorted tables =
   let merged = Mkey.Tbl.create 256 in
   Array.iter
     (fun t ->
@@ -105,6 +117,30 @@ let canonical_set ?(variant = Canonical.Full) ?cap ?domains ~p ~q ~d () =
     tables;
   Mkey.Tbl.fold (fun _ v acc -> v :: acc) merged []
   |> List.sort Matrix.compare_lex
+
+let canonical_set ?(variant = Canonical.Full) ?cap ?domains ~p ~q ~d () =
+  let total = checked_total ?cap ~p ~q ~d () in
+  let t0 = if Telemetry.enabled () then Telemetry.now () else 0.0 in
+  if Telemetry.enabled () then
+    Telemetry.emit "enumerate.start"
+      [ ("p", Telemetry.Int p); ("q", Telemetry.Int q); ("d", Telemetry.Int d);
+        ("total", Telemetry.Int total) ];
+  let tables =
+    Parallel.map_ranges ?domains total (fun ~lo ~hi ->
+        let tbl = shard_canonical ~variant ~p ~q ~d ~lo ~hi in
+        if Telemetry.enabled () then
+          Telemetry.emit "enumerate.shard"
+            [ ("lo", Telemetry.Int lo); ("hi", Telemetry.Int hi);
+              ("classes", Telemetry.Int (Mkey.Tbl.length tbl)) ];
+        tbl)
+  in
+  let sorted = merged_sorted tables in
+  if Telemetry.enabled () then
+    Telemetry.emit "enumerate.done"
+      [ ("p", Telemetry.Int p); ("q", Telemetry.Int q); ("d", Telemetry.Int d);
+        ("classes", Telemetry.Int (List.length sorted));
+        ("seconds", Telemetry.Float (Telemetry.now () -. t0)) ];
+  sorted
 
 let count ?variant ?cap ?domains ~p ~q ~d () =
   List.length (canonical_set ?variant ?cap ?domains ~p ~q ~d ())

@@ -16,6 +16,13 @@
 val default_cap : int
 (** [2^22] — the default guard on [d^(pq)]. *)
 
+val checked_total : ?cap:int -> p:int -> q:int -> d:int -> unit -> int
+(** The exact [d^(pq)], after validating parameters and checking it
+    against [cap] (default {!default_cap}); raises [Invalid_argument]
+    past the cap, with a message naming the offending value. The size
+    of the digit space every sharded run (including the corpus store's
+    checkpointed builds) is partitioned over. *)
+
 val iter_matrices : p:int -> q:int -> d:int -> (Matrix.t -> unit) -> unit
 (** All [d^(pq)] raw matrices (relaxed form), row-major counting
     order. *)
@@ -25,6 +32,27 @@ val iter_entries_range :
 (** Raw matrices with counting-order indices in [lo, hi)], delivered
     as a reused entries buffer (do not retain or mutate it). The
     allocation-free primitive the shards are built on. *)
+
+val canonical_into :
+  ?progress:(done_hi:int -> unit) ->
+  ?progress_every:int ->
+  tbl:Matrix.t Mkey.Tbl.t ->
+  variant:Canonical.variant ->
+  p:int -> q:int -> d:int -> lo:int -> hi:int -> unit -> unit
+(** Canonicalize every raw matrix with counting-order index in
+    [[lo, hi)] and deduplicate the representatives into [tbl] (keyed by
+    {!Mkey.of_rows} at base [d]). [progress ~done_hi] fires after every
+    [progress_every] (default [2^14]) processed indices — never at
+    [hi] itself — reporting that [[lo, done_hi)] is fully processed;
+    the corpus store's checkpointing hangs off this hook. [tbl] may be
+    pre-populated (resume): existing keys are kept. Thread-safe across
+    domains as long as [tbl] is not shared. *)
+
+val merged_sorted : Matrix.t Mkey.Tbl.t array -> Matrix.t list
+(** Merge per-shard dedup tables and sort by {!Matrix.compare_lex} —
+    the deterministic final step shared by {!canonical_set} and the
+    corpus store builder: the result depends only on the union of the
+    tables, not on shard boundaries or domain count. *)
 
 val canonical_set :
   ?variant:Canonical.variant ->

@@ -36,15 +36,29 @@ let evaluate ?dist scheme ~graph_name g =
     match dist with Some d -> d | None -> Dist_cache.distances g
   in
   let b = scheme.build g in
-  {
-    scheme_name = scheme.name;
-    graph_name;
-    order = Graph.order g;
-    edges = Graph.size g;
-    mem_local_bits = mem_local b;
-    mem_global_bits = mem_global b;
-    stretch = Routing_function.stretch ~dist b.rf;
-  }
+  let e =
+    {
+      scheme_name = scheme.name;
+      graph_name;
+      order = Graph.order g;
+      edges = Graph.size g;
+      mem_local_bits = mem_local b;
+      mem_global_bits = mem_global b;
+      stretch = Routing_function.stretch ~dist b.rf;
+    }
+  in
+  if Telemetry.enabled () then
+    Telemetry.emit "scheme.evaluate"
+      [ ("scheme", Telemetry.Str e.scheme_name);
+        ("graph", Telemetry.Str e.graph_name);
+        ("order", Telemetry.Int e.order);
+        ("edges", Telemetry.Int e.edges);
+        ("mem_local_bits", Telemetry.Int e.mem_local_bits);
+        ("mem_global_bits", Telemetry.Int e.mem_global_bits);
+        ("stretch_max", Telemetry.Float e.stretch.Routing_function.max_ratio);
+        ("stretch_mean", Telemetry.Float e.stretch.Routing_function.mean_ratio)
+      ];
+  e
 
 let pp_evaluation fmt e =
   Format.fprintf fmt

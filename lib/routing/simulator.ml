@@ -148,7 +148,17 @@ let run_hooked ?round_limit ~on_cross rf ~pairs =
   }
 
 let run ?round_limit rf ~pairs =
-  run_hooked ?round_limit ~on_cross:(fun _ _ -> Cross) rf ~pairs
+  let stats = run_hooked ?round_limit ~on_cross:(fun _ _ -> Cross) rf ~pairs in
+  if Telemetry.enabled () then
+    Telemetry.emit "simulator.run"
+      [ ("order", Telemetry.Int (Graph.order rf.Routing_function.graph));
+        ("packets", Telemetry.Int stats.packets);
+        ("delivered", Telemetry.Int stats.delivered);
+        ("rounds", Telemetry.Int stats.rounds);
+        ("total_hops", Telemetry.Int stats.total_hops);
+        ("max_queue", Telemetry.Int stats.max_queue);
+        ("max_arc_load", Telemetry.Int stats.max_arc_load) ];
+  stats
 
 let run_flaky ?round_limit st ~loss rf ~pairs =
   if loss < 0.0 || loss >= 1.0 then

@@ -1,0 +1,116 @@
+open Umrs_graph
+open Umrs_core
+
+type outcome = {
+  o_classes : int;
+  o_total : int;
+  o_shards : int;
+  o_resumed_from : int;
+  o_checkpoints : int;
+  o_header : Corpus.header;
+}
+
+let build ?(variant = Canonical.Full) ?cap ?domains ?checkpoint_dir
+    ?(checkpoint_every = 1 lsl 14) ?(resume = false) ?on_checkpoint ~p ~q ~d
+    ~out () =
+  if checkpoint_every < 1 then invalid_arg "Builder.build: checkpoint_every";
+  let total = Enumerate.checked_total ?cap ~p ~q ~d () in
+  let manifest, resuming =
+    match checkpoint_dir with
+    | Some dir when resume && Checkpoint.manifest_exists ~dir ->
+      let m = Checkpoint.load_manifest ~dir in
+      Checkpoint.check_manifest m ~p ~q ~d ~variant ~total;
+      (m, true)
+    | _ ->
+      let dcount =
+        match domains with
+        | Some k -> max 1 k
+        | None -> Parallel.default_domains ()
+      in
+      let m =
+        { Checkpoint.m_p = p; m_q = q; m_d = d; m_variant = variant;
+          m_total = total; m_checkpoint_every = checkpoint_every;
+          m_ranges = Parallel.chunks ~domains:dcount total }
+      in
+      (match checkpoint_dir with
+      | Some dir ->
+        (* A fresh (non-resume) run must not pick up stale shards. *)
+        Checkpoint.init_dir ~dir;
+        Checkpoint.clear ~dir;
+        Checkpoint.save_manifest ~dir m
+      | None -> ());
+      (m, false)
+  in
+  let ranges = manifest.Checkpoint.m_ranges in
+  let nshards = Array.length ranges in
+  let every = manifest.Checkpoint.m_checkpoint_every in
+  if Telemetry.enabled () then
+    Telemetry.emit "corpus.build.start"
+      [ ("p", Telemetry.Int p); ("q", Telemetry.Int q); ("d", Telemetry.Int d);
+        ("total", Telemetry.Int total); ("shards", Telemetry.Int nshards);
+        ("resume", Telemetry.Bool resuming) ];
+  let run_shard i =
+    let lo, hi = ranges.(i) in
+    let tbl = Mkey.Tbl.create 256 in
+    let start =
+      match checkpoint_dir with
+      | Some dir when resuming -> (
+        match Checkpoint.load_shard ~dir ~p ~q ~d ~variant ~shard:i with
+        | Some s ->
+          List.iter
+            (fun m -> Mkey.Tbl.replace tbl (Mkey.of_matrix ~base:d m) m)
+            s.Checkpoint.s_matrices;
+          s.Checkpoint.s_done
+        | None -> lo)
+      | _ -> lo
+    in
+    let written = ref 0 in
+    let progress =
+      match checkpoint_dir with
+      | None -> None
+      | Some dir ->
+        Some
+          (fun ~done_hi ->
+            let matrices = Mkey.Tbl.fold (fun _ v acc -> v :: acc) tbl [] in
+            Checkpoint.save_shard ~dir ~p ~q ~d ~variant
+              { Checkpoint.s_shard = i; s_lo = lo; s_hi = hi; s_done = done_hi;
+                s_matrices = matrices };
+            incr written;
+            if Telemetry.enabled () then
+              Telemetry.emit "corpus.checkpoint"
+                [ ("shard", Telemetry.Int i);
+                  ("done_hi", Telemetry.Int done_hi);
+                  ("hi", Telemetry.Int hi);
+                  ("classes", Telemetry.Int (Mkey.Tbl.length tbl)) ];
+            match on_checkpoint with
+            | Some f -> f ~shard:i ~done_hi
+            | None -> ())
+    in
+    if start < hi then
+      Enumerate.canonical_into ?progress ~progress_every:every ~tbl ~variant
+        ~p ~q ~d ~lo:start ~hi ();
+    (tbl, start - lo, !written)
+  in
+  (* One domain per shard: ranges may come from a manifest whose shard
+     count differs from today's domain budget, and resume correctness
+     requires reproducing exactly those ranges. *)
+  let results = Parallel.map_range ~domains:nshards nshards run_shard in
+  let sorted = Enumerate.merged_sorted (Array.map (fun (t, _, _) -> t) results) in
+  let header = Corpus.write_list ~path:out ~variant ~p ~q ~d sorted in
+  (match checkpoint_dir with
+  | Some dir -> Checkpoint.clear ~dir
+  | None -> ());
+  let outcome =
+    { o_classes = List.length sorted; o_total = total; o_shards = nshards;
+      o_resumed_from = Array.fold_left (fun a (_, s, _) -> a + s) 0 results;
+      o_checkpoints = Array.fold_left (fun a (_, _, w) -> a + w) 0 results;
+      o_header = header }
+  in
+  if Telemetry.enabled () then
+    Telemetry.emit "corpus.build.done"
+      [ ("classes", Telemetry.Int outcome.o_classes);
+        ("total", Telemetry.Int total);
+        ("resumed_from", Telemetry.Int outcome.o_resumed_from);
+        ("checkpoints", Telemetry.Int outcome.o_checkpoints);
+        ("path", Telemetry.Str out) ];
+  outcome

@@ -1,0 +1,52 @@
+(** Checkpointed, resumable corpus builds.
+
+    [build] shards the [d^(pq)] digit space exactly like
+    {!Umrs_core.Enumerate.canonical_set} (same shard primitive, same
+    merge, same sort), but optionally persists per-shard progress to a
+    checkpoint directory at a configurable interval and streams the
+    final sorted set to a {!Corpus} file. A run killed at any instant
+    and re-invoked with [resume:true] continues from the last
+    checkpoints and produces a corpus {e byte-identical} to an
+    uninterrupted run — the corpus format carries no timestamps, the
+    final set is a pure function of the instance, and the sort order
+    is total. *)
+
+open Umrs_core
+
+type outcome = {
+  o_classes : int;       (** [|dM(p,q)|] written to the corpus *)
+  o_total : int;         (** [d^(pq)] raw matrices covered *)
+  o_shards : int;        (** shard count actually used *)
+  o_resumed_from : int;  (** raw indices skipped thanks to checkpoints *)
+  o_checkpoints : int;   (** shard checkpoints written by this run *)
+  o_header : Corpus.header;  (** header of the corpus written *)
+}
+
+val build :
+  ?variant:Canonical.variant ->
+  ?cap:int ->
+  ?domains:int ->
+  ?checkpoint_dir:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  ?on_checkpoint:(shard:int -> done_hi:int -> unit) ->
+  p:int -> q:int -> d:int -> out:string -> unit -> outcome
+(** Enumerate [dM(p,q)] and write it to [out].
+
+    - [checkpoint_dir]: enable checkpointing into this directory
+      (created if missing). Without it the build is in-memory-only,
+      exactly like [canonical_set].
+    - [checkpoint_every]: raw indices between shard checkpoints
+      (default [2^14]).
+    - [resume]: if the directory holds a manifest, validate it against
+      the requested instance ([Invalid_argument] on mismatch), reuse
+      its shard ranges (ignoring [domains]) and restart every shard
+      from its last checkpoint. With no manifest present the flag is a
+      no-op and a fresh run starts.
+    - [on_checkpoint]: test hook, called after each shard checkpoint
+      reaches disk; raising from it simulates a crash between
+      checkpoints (the files already renamed into place stay valid).
+
+    On success the checkpoint files are removed (the directory is
+    kept). Raises like {!Umrs_core.Enumerate.canonical_set} on an
+    over-cap instance. *)

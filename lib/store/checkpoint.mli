@@ -1,0 +1,70 @@
+(** Checkpoint protocol for resumable corpus builds.
+
+    A checkpoint directory holds one [manifest] plus one
+    [shard_<i>.ckpt] file per enumeration shard. The manifest pins
+    everything a resumed run must reproduce — instance parameters,
+    total digit-space size, checkpoint interval, and the exact shard
+    ranges — so a [--resume] run re-creates the interrupted run's
+    sharding regardless of the domain count it is launched with.
+
+    Shard files carry the shard's last completed position [done_hi]
+    (the enumeration of [[lo, hi)] has been fully processed on
+    [[lo, done_hi)]) and its partial dedup table, serialized with the
+    {!Corpus.Record} codec. All shard writes go through a temp file
+    followed by [Sys.rename], so a checkpoint file is either absent,
+    the previous complete snapshot, or the new complete snapshot —
+    never a torn write, whatever instant the process is killed. *)
+
+open Umrs_core
+
+type manifest = {
+  m_p : int;
+  m_q : int;
+  m_d : int;
+  m_variant : Canonical.variant;
+  m_total : int;  (** [d^(pq)] — size of the sharded digit space *)
+  m_checkpoint_every : int;
+  m_ranges : (int * int) array;  (** half-open [\[lo, hi)] per shard *)
+}
+
+val init_dir : dir:string -> unit
+(** Create the directory (and parents) if missing. *)
+
+val manifest_exists : dir:string -> bool
+
+val save_manifest : dir:string -> manifest -> unit
+(** Atomic (temp file + rename). *)
+
+val load_manifest : dir:string -> manifest
+(** Raises [Invalid_argument] on a malformed manifest, [Sys_error] if
+    unreadable. *)
+
+val check_manifest :
+  manifest ->
+  p:int -> q:int -> d:int -> variant:Canonical.variant -> total:int -> unit
+(** Raises [Invalid_argument] naming the first mismatched parameter —
+    the guard that [--resume] is resuming the same instance. *)
+
+type shard_state = {
+  s_shard : int;
+  s_lo : int;
+  s_hi : int;
+  s_done : int;  (** enumeration complete on [\[s_lo, s_done)] *)
+  s_matrices : Matrix.t list;  (** partial dedup table (unordered) *)
+}
+
+val save_shard :
+  dir:string ->
+  p:int -> q:int -> d:int -> variant:Canonical.variant -> shard_state -> unit
+(** Atomic (temp file + rename). *)
+
+val load_shard :
+  dir:string ->
+  p:int -> q:int -> d:int -> variant:Canonical.variant ->
+  shard:int -> shard_state option
+(** [None] when no checkpoint exists for the shard. Raises
+    [Invalid_argument] on a corrupt file or a parameter mismatch. *)
+
+val clear : dir:string -> unit
+(** Remove the manifest and every shard file (directory itself is
+    kept). Called after a successful build. *)

@@ -1,0 +1,291 @@
+open Umrs_core
+
+type header = {
+  version : int;
+  variant : Canonical.variant;
+  p : int;
+  q : int;
+  d : int;
+  count : int;
+  checksum : int64;
+}
+
+let magic = "UMRSCORP"
+let current_version = 1
+let header_bytes = 40
+
+let variant_byte = function Canonical.Full -> 0 | Canonical.Positional -> 1
+
+let variant_of_byte = function
+  | 0 -> Canonical.Full
+  | 1 -> Canonical.Positional
+  | b -> invalid_arg (Printf.sprintf "Corpus: unknown variant byte %d" b)
+
+let fnv64_seed = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv64 h bytes =
+  let h = ref h in
+  for i = 0 to Bytes.length bytes - 1 do
+    h :=
+      Int64.mul
+        (Int64.logxor !h (Int64.of_int (Char.code (Bytes.get bytes i))))
+        fnv_prime
+  done;
+  !h
+
+module Record = struct
+  let bits ~p ~q ~d = p * q * Umrs_bitcode.Codes.bits_needed (d - 1)
+  let bytes ~p ~q ~d = (bits ~p ~q ~d + 7) / 8
+
+  let encode ~p ~q ~d (m : Matrix.t) =
+    if m.Matrix.p <> p || m.Matrix.q <> q then
+      invalid_arg "Corpus.Record.encode: dimension mismatch";
+    let width = Umrs_bitcode.Codes.bits_needed (d - 1) in
+    let buf = Umrs_bitcode.Bitbuf.create () in
+    for i = 0 to p - 1 do
+      for j = 0 to q - 1 do
+        let x = m.Matrix.entries.(i).(j) in
+        if x < 1 || x > d then
+          invalid_arg
+            (Printf.sprintf "Corpus.Record.encode: entry %d outside {1..%d}" x d);
+        Umrs_bitcode.Bitbuf.add_bits buf (x - 1) ~width
+      done
+    done;
+    Umrs_bitcode.Bitbuf.to_bytes buf
+
+  let decode ~p ~q ~d ~variant bytes =
+    let width = Umrs_bitcode.Codes.bits_needed (d - 1) in
+    let nbits = p * q * width in
+    if Bytes.length bytes * 8 < nbits then
+      invalid_arg "Corpus.Record.decode: short record";
+    let buf = Umrs_bitcode.Bitbuf.of_bytes bytes ~len:nbits in
+    let r = Umrs_bitcode.Bitbuf.reader buf in
+    let rows =
+      Array.init p (fun _ ->
+          Array.init q (fun _ ->
+              let x = 1 + Umrs_bitcode.Bitbuf.read_bits r ~width in
+              if x > d then
+                invalid_arg
+                  (Printf.sprintf
+                     "Corpus.Record.decode: entry %d outside {1..%d}" x d);
+              x))
+    in
+    match variant with
+    | Canonical.Full -> Matrix.create rows
+    | Canonical.Positional -> Matrix.create_relaxed rows
+end
+
+(* ---------- header codec ---------- *)
+
+let header_image h =
+  let b = Bytes.make header_bytes '\000' in
+  Bytes.blit_string magic 0 b 0 8;
+  Bytes.set_uint16_le b 8 h.version;
+  Bytes.set_uint8 b 10 (variant_byte h.variant);
+  Bytes.set_uint16_le b 12 h.p;
+  Bytes.set_uint16_le b 14 h.q;
+  Bytes.set_uint16_le b 16 h.d;
+  Bytes.set_int64_le b 20 (Int64.of_int h.count);
+  Bytes.set_int64_le b 28 h.checksum;
+  b
+
+let header_of_image b =
+  if Bytes.length b < header_bytes then invalid_arg "Corpus: truncated header";
+  if Bytes.sub_string b 0 8 <> magic then invalid_arg "Corpus: bad magic";
+  let version = Bytes.get_uint16_le b 8 in
+  if version <> current_version then
+    invalid_arg (Printf.sprintf "Corpus: unsupported schema version %d" version);
+  let variant = variant_of_byte (Bytes.get_uint8 b 10) in
+  let p = Bytes.get_uint16_le b 12 in
+  let q = Bytes.get_uint16_le b 14 in
+  let d = Bytes.get_uint16_le b 16 in
+  if p < 1 || q < 1 || d < 1 then invalid_arg "Corpus: bad dimensions";
+  let count = Int64.to_int (Bytes.get_int64_le b 20) in
+  if count < 0 then invalid_arg "Corpus: bad count";
+  let checksum = Bytes.get_int64_le b 28 in
+  { version; variant; p; q; d; count; checksum }
+
+(* ---------- writer ---------- *)
+
+type writer = {
+  w_oc : out_channel;
+  w_variant : Canonical.variant;
+  w_p : int;
+  w_q : int;
+  w_d : int;
+  mutable w_count : int;
+  mutable w_checksum : int64;
+  mutable w_last : Matrix.t option;
+  mutable w_closed : bool;
+}
+
+let create_writer ~path ~variant ~p ~q ~d =
+  if p < 1 || q < 1 || d < 1 then invalid_arg "Corpus.create_writer: dimensions";
+  if p > 0xFFFF || q > 0xFFFF || d > 0xFFFF then
+    invalid_arg "Corpus.create_writer: dimension exceeds 65535";
+  let oc = open_out_bin path in
+  let w =
+    { w_oc = oc; w_variant = variant; w_p = p; w_q = q; w_d = d; w_count = 0;
+      w_checksum = fnv64_seed; w_last = None; w_closed = false }
+  in
+  (* Placeholder header; count and checksum are patched on close. *)
+  output_bytes oc
+    (header_image
+       { version = current_version; variant; p; q; d; count = 0;
+         checksum = fnv64_seed });
+  w
+
+let write w m =
+  if w.w_closed then invalid_arg "Corpus.write: writer is closed";
+  (match w.w_last with
+  | Some prev when Matrix.compare_lex prev m >= 0 ->
+    invalid_arg "Corpus.write: records must be strictly compare_lex-increasing"
+  | _ -> ());
+  let rec_bytes = Record.encode ~p:w.w_p ~q:w.w_q ~d:w.w_d m in
+  output_bytes w.w_oc rec_bytes;
+  w.w_checksum <- fnv64 w.w_checksum rec_bytes;
+  w.w_count <- w.w_count + 1;
+  w.w_last <- Some m
+
+let close_writer w =
+  if w.w_closed then invalid_arg "Corpus.close_writer: writer is closed";
+  w.w_closed <- true;
+  let h =
+    { version = current_version; variant = w.w_variant; p = w.w_p; q = w.w_q;
+      d = w.w_d; count = w.w_count; checksum = w.w_checksum }
+  in
+  seek_out w.w_oc 0;
+  output_bytes w.w_oc (header_image h);
+  close_out w.w_oc;
+  h
+
+(* ---------- reader ---------- *)
+
+type reader = {
+  r_ic : in_channel;
+  r_header : header;
+  r_record_bytes : int;
+  mutable r_read : int;
+}
+
+let open_reader ~path =
+  let ic = open_in_bin path in
+  match
+    let b = Bytes.create header_bytes in
+    (try really_input ic b 0 header_bytes
+     with End_of_file -> invalid_arg "Corpus: truncated header");
+    header_of_image b
+  with
+  | h ->
+    { r_ic = ic; r_header = h;
+      r_record_bytes = Record.bytes ~p:h.p ~q:h.q ~d:h.d; r_read = 0 }
+  | exception e ->
+    close_in_noerr ic;
+    raise e
+
+let reader_header r = r.r_header
+
+let read_next r =
+  if r.r_read >= r.r_header.count then None
+  else begin
+    let b = Bytes.create r.r_record_bytes in
+    (try really_input r.r_ic b 0 r.r_record_bytes
+     with End_of_file -> invalid_arg "Corpus: truncated record");
+    r.r_read <- r.r_read + 1;
+    Some
+      (Record.decode ~p:r.r_header.p ~q:r.r_header.q ~d:r.r_header.d
+         ~variant:r.r_header.variant b)
+  end
+
+let close_reader r = close_in r.r_ic
+
+(* ---------- whole-file conveniences ---------- *)
+
+let write_list ~path ~variant ~p ~q ~d ms =
+  let w = create_writer ~path ~variant ~p ~q ~d in
+  match List.iter (write w) ms with
+  | () -> close_writer w
+  | exception e ->
+    close_out_noerr w.w_oc;
+    raise e
+
+let with_reader path f =
+  let r = open_reader ~path in
+  Fun.protect ~finally:(fun () -> close_reader r) (fun () -> f r)
+
+let iter ~path f =
+  with_reader path (fun r ->
+      let h = r.r_header in
+      let checksum = ref fnv64_seed in
+      (* re-read bytes for the checksum by re-encoding each record: the
+         codec is bijective on valid records, so the re-encoded bytes
+         equal the stored ones. *)
+      let rec go () =
+        match read_next r with
+        | None -> ()
+        | Some m ->
+          checksum :=
+            fnv64 !checksum (Record.encode ~p:h.p ~q:h.q ~d:h.d m);
+          f m;
+          go ()
+      in
+      go ();
+      if !checksum <> h.checksum then
+        invalid_arg "Corpus: checksum mismatch";
+      h)
+
+let load ~path =
+  let acc = ref [] in
+  let h = iter ~path (fun m -> acc := m :: !acc) in
+  (h, List.rev !acc)
+
+let info ~path = with_reader path (fun r -> r.r_header)
+
+(* ---------- verification ---------- *)
+
+type verification = {
+  v_header : header;
+  v_records_read : int;
+  v_computed_checksum : int64;
+  v_problems : string list;
+}
+
+let verify ~path =
+  with_reader path (fun r ->
+      let h = r.r_header in
+      let problems = ref [] in
+      let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+      let checksum = ref fnv64_seed in
+      let read = ref 0 in
+      let prev = ref None in
+      let rec_bytes = r.r_record_bytes in
+      let buf = Bytes.create rec_bytes in
+      (try
+         while !read < h.count do
+           really_input r.r_ic buf 0 rec_bytes;
+           checksum := fnv64 !checksum buf;
+           (match
+              Record.decode ~p:h.p ~q:h.q ~d:h.d ~variant:h.variant buf
+            with
+           | m ->
+             (match !prev with
+             | Some pm when Matrix.compare_lex pm m >= 0 ->
+               problem "record %d not in strictly increasing order" !read
+             | _ -> ());
+             prev := Some m
+           | exception Invalid_argument msg ->
+             problem "record %d undecodable: %s" !read msg);
+           incr read
+         done
+       with End_of_file ->
+         problem "truncated: %d of %d records present" !read h.count);
+      (* trailing garbage? *)
+      (match input_char r.r_ic with
+      | _ -> problem "trailing bytes after the last record"
+      | exception End_of_file -> ());
+      if !read = h.count && !checksum <> h.checksum then
+        problem "checksum mismatch (stored %Lx, computed %Lx)" h.checksum
+          !checksum;
+      { v_header = h; v_records_read = !read;
+        v_computed_checksum = !checksum; v_problems = List.rev !problems })

@@ -1,0 +1,140 @@
+(** Versioned binary on-disk format for canonical matrix sets.
+
+    A corpus file holds the result of {!Umrs_core.Enumerate.canonical_set}
+    for one [(p, q, d, variant)] instance so downstream workloads
+    (reconstruction, Theorem-1 experiments, benchmarks) can load the set
+    instead of re-enumerating it.
+
+    Layout (all integers little-endian):
+
+    {v offset  size  field
+       0       8     magic "UMRSCORP"
+       8       2     schema version (currently 1)
+       10      1     variant (0 = Full, 1 = Positional)
+       11      1     reserved (0)
+       12      2     p
+       14      2     q
+       16      2     d
+       18      2     reserved (0)
+       20      8     count (number of records)
+       28      8     FNV-1a 64 checksum of the record bytes
+       36      4     reserved (0)
+       40      -     records v}
+
+    Each record is one matrix, bit-packed by {!Umrs_bitcode.Bitbuf}:
+    [p*q] fields of [ceil(log2 d)] bits each (entry value minus one,
+    row-major, MSB-first within a field), padded to a whole number of
+    bytes. The file carries no timestamps or machine-dependent data, so
+    two runs that produce the same set produce byte-identical files —
+    the property the checkpoint/resume tests pin down.
+
+    Write paths stream records one at a time (the header is patched on
+    close), and read paths decode one record at a time, so neither side
+    needs the whole set in memory beyond what the caller retains. *)
+
+open Umrs_core
+
+type header = {
+  version : int;
+  variant : Canonical.variant;
+  p : int;
+  q : int;
+  d : int;
+  count : int;
+  checksum : int64;
+}
+
+val header_bytes : int
+(** Size of the fixed header (40). *)
+
+(** {1 Record codec} (shared with {!Checkpoint}) *)
+
+module Record : sig
+  val bits : p:int -> q:int -> d:int -> int
+  val bytes : p:int -> q:int -> d:int -> int
+
+  val encode : p:int -> q:int -> d:int -> Matrix.t -> Bytes.t
+  (** Raises [Invalid_argument] on a dimension mismatch or an entry
+      outside [{1..d}]. *)
+
+  val decode :
+    p:int -> q:int -> d:int -> variant:Canonical.variant -> Bytes.t -> Matrix.t
+  (** Raises [Invalid_argument] on a short buffer or a decoded entry
+      outside [{1..d}] ([Full] additionally revalidates the prefix-
+      alphabet row property via {!Matrix.create}). *)
+end
+
+val fnv64 : int64 -> Bytes.t -> int64
+(** Fold FNV-1a 64 over a byte block, seeded by the accumulator (use
+    [fnv64_seed] to start). *)
+
+val fnv64_seed : int64
+
+(** {1 Streaming writer} *)
+
+type writer
+
+val create_writer :
+  path:string -> variant:Canonical.variant -> p:int -> q:int -> d:int -> writer
+(** Opens [path] for writing and emits a placeholder header. *)
+
+val write : writer -> Matrix.t -> unit
+(** Appends one record. Records must arrive in strictly increasing
+    {!Matrix.compare_lex} order (the canonical-set order); a violation
+    raises [Invalid_argument]. *)
+
+val close_writer : writer -> header
+(** Patches count and checksum into the header and closes the file.
+    Returns the final header. *)
+
+(** {1 Streaming reader} *)
+
+type reader
+
+val open_reader : path:string -> reader
+(** Validates magic, version, variant and dimensions; raises
+    [Invalid_argument] (with a message naming the problem) on a file
+    that is not a corpus, [Sys_error] if unreadable. *)
+
+val reader_header : reader -> header
+
+val read_next : reader -> Matrix.t option
+(** Next record, or [None] after [count] records. Raises
+    [Invalid_argument "Corpus: truncated record"] if the file ends
+    mid-record. *)
+
+val close_reader : reader -> unit
+
+(** {1 Whole-file conveniences} *)
+
+val write_list :
+  path:string ->
+  variant:Canonical.variant ->
+  p:int -> q:int -> d:int -> Matrix.t list -> header
+(** Stream a (sorted) list to disk; returns the final header. *)
+
+val load : path:string -> header * Matrix.t list
+(** Read the whole corpus, in stored (sorted) order. Verifies the
+    checksum and count; raises [Invalid_argument] on any mismatch. *)
+
+val iter : path:string -> (Matrix.t -> unit) -> header
+(** Stream every record through [f]; verifies checksum and count. *)
+
+val info : path:string -> header
+(** Header only (no record decoding). *)
+
+(** {1 Verification} *)
+
+type verification = {
+  v_header : header;
+  v_records_read : int;  (** records successfully decoded *)
+  v_computed_checksum : int64;
+  v_problems : string list;  (** empty iff the corpus is intact *)
+}
+
+val verify : path:string -> verification
+(** Full integrity check: record bytes present (no truncation, no
+    trailing garbage), checksum matches, every record decodes with
+    entries in range, and records are strictly sorted. Content problems
+    are returned, not raised; only an unreadable or non-corpus file
+    raises. *)

@@ -32,4 +32,5 @@ let () =
       ("stats", Test_stats.suite);
       ("collective", Test_collective.suite);
       ("boundaries", Test_boundaries.suite);
+      ("store", Test_store.suite);
     ]

@@ -47,6 +47,40 @@ let test_reader_past_end () =
   check_true "raises"
     (try ignore (Bitbuf.read_bit r); false with Invalid_argument _ -> true)
 
+let test_reader_overread_multibit () =
+  (* read_bits must not read past the end even when a prefix of the
+     requested width is available. *)
+  let b = Bitbuf.create () in
+  Bitbuf.add_bits b 5 ~width:3;
+  let r = Bitbuf.reader b in
+  ignore (Bitbuf.read_bits r ~width:2);
+  check_int "one bit left" 1 (Bitbuf.remaining r);
+  check_true "read_bits past end raises"
+    (try ignore (Bitbuf.read_bits r ~width:2); false
+     with Invalid_argument _ -> true);
+  (* Reader state survives the failed read: the remaining bit is
+     still readable. *)
+  check_true "remaining bit intact" (Bitbuf.read_bit r);
+  check_int "now empty" 0 (Bitbuf.remaining r)
+
+let test_bytes_roundtrip () =
+  let b = Bitbuf.create () in
+  Bitbuf.add_bits b 0b1011 ~width:4;
+  Bitbuf.add_bits b 0b110100101 ~width:9;
+  let packed = Bitbuf.to_bytes b in
+  check_int "packed size" 2 (Bytes.length packed);
+  let b' = Bitbuf.of_bytes packed ~len:(Bitbuf.length b) in
+  check_true "bytes roundtrip"
+    (Bitbuf.to_bool_array b = Bitbuf.to_bool_array b');
+  check_true "of_bytes rejects oversized len"
+    (try ignore (Bitbuf.of_bytes packed ~len:17); false
+     with Invalid_argument _ -> true);
+  (* Empty buffer edge case. *)
+  let e = Bitbuf.create () in
+  check_int "empty packs to 0 bytes" 0 (Bytes.length (Bitbuf.to_bytes e));
+  check_int "empty unpacks" 0
+    (Bitbuf.length (Bitbuf.of_bytes Bytes.empty ~len:0))
+
 let test_codes_explicit () =
   check_int "bits_needed 0" 0 (Codes.bits_needed 0);
   check_int "bits_needed 1" 1 (Codes.bits_needed 1);
@@ -132,6 +166,8 @@ let suite =
     case "add_bits is MSB first" test_add_bits_msb_first;
     case "append/concat" test_append_concat;
     case "reader past end" test_reader_past_end;
+    case "reader over-read keeps state" test_reader_overread_multibit;
+    case "bytes roundtrip" test_bytes_roundtrip;
     case "codes explicit values" test_codes_explicit;
     case "binomial" test_rank_binomial;
     case "combination rank order" test_combination_rank_order;

@@ -39,6 +39,48 @@ let test_io_file_roundtrip () =
       Graph_io.save g ~path;
       check_true "file roundtrip" (Graph.equal g (Graph_io.load ~path)))
 
+(* Failure paths on actual files, not just strings: these are the
+   errors routing_lab's file: prefix must surface cleanly. *)
+
+let with_graph_file content f =
+  let path = Filename.temp_file "umrs" ".graph" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      f path)
+
+let test_io_load_missing_file () =
+  let path = Filename.temp_file "umrs" ".graph" in
+  Sys.remove path;
+  check_true "missing file raises Sys_error"
+    (try ignore (Graph_io.load ~path); false with Sys_error _ -> true)
+
+let test_io_load_truncated_file () =
+  (* Valid header claiming 4 vertices, rows cut off mid-way. *)
+  with_graph_file "4\n1 2\n0\n" (fun path ->
+      check_true "truncated file rejected"
+        (try ignore (Graph_io.load ~path); false
+         with Invalid_argument _ | Failure _ -> true))
+
+let test_io_load_bad_header () =
+  with_graph_file "petersen\n1 2\n" (fun path ->
+      check_true "non-numeric header rejected"
+        (try ignore (Graph_io.load ~path); false
+         with Invalid_argument _ | Failure _ -> true));
+  with_graph_file "" (fun path ->
+      check_true "empty file rejected"
+        (try ignore (Graph_io.load ~path); false
+         with Invalid_argument _ | Failure _ -> true))
+
+let test_io_save_unwritable_path () =
+  let path = "/nonexistent-umrs-dir/out.graph" in
+  check_true "save into missing directory raises Sys_error"
+    (try Graph_io.save (Generators.petersen ()) ~path; false
+     with Sys_error _ -> true)
+
 (* ---------- landmark decoding ---------- *)
 
 let test_landmark_decode_roundtrip () =
@@ -102,6 +144,10 @@ let suite =
     case "io comments" test_io_comments;
     case "io rejects garbage" test_io_rejects_garbage;
     case "io file roundtrip" test_io_file_roundtrip;
+    case "io load missing file" test_io_load_missing_file;
+    case "io load truncated file" test_io_load_truncated_file;
+    case "io load bad header" test_io_load_bad_header;
+    case "io save unwritable path" test_io_save_unwritable_path;
     case "landmark decode roundtrip" test_landmark_decode_roundtrip;
     case "landmark decode boundary" test_landmark_decode_consumes_exactly;
     prop ~count:40 "io roundtrip on random graphs" arbitrary_connected_graph
