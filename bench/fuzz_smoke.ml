@@ -1,0 +1,108 @@
+(* Corruption-robustness smoke check (dune alias @fuzz-smoke).
+
+   Seeded byte-flip and truncation sweep over a real corpus and its
+   index. The contract under fuzz (same as test/test_fuzz.ml, which
+   runs more shapes):
+
+   - [Corpus.verify] either reports problems or raises
+     [Invalid_argument]/[Sys_error] - never any other exception - and
+     detects every mutation of the record region and every truncation;
+   - [Query.open_] NEVER raises: every mutation or truncation of the
+     index file (whose checksum covers its own header) comes back as
+     [Error _]. *)
+
+module Q = Umrs_store.Query
+
+let die fmt =
+  Printf.ksprintf (fun s -> prerr_endline ("fuzz_smoke: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Bytes.of_string s
+
+let write_file path b =
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let () =
+  let dir = Filename.temp_file "umrs_fuzz_smoke" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let p, q, d = (2, 4, 3) in
+  let corpus = Filename.concat dir "c.umrs" in
+  ignore (Umrs_store.Builder.build ~p ~q ~d ~out:corpus ());
+  (match Q.build ~corpus () with
+  | Ok _ -> ()
+  | Error e -> die "index build: %s" (Q.error_to_string e));
+  let index = Q.index_path corpus in
+  let corpus_bytes = read_file corpus and index_bytes = read_file index in
+  let st = Random.State.make [| 0xF52; p; q; d |] in
+  let mutant = Filename.concat dir "mutant" in
+  let corpus_detected = ref 0 and index_detected = ref 0 in
+  let trials = 300 in
+
+  (* byte flips in the corpus: verify must stay inside its error
+     vocabulary, and must detect any record-region damage (header
+     damage may hide in reserved, un-checksummed bytes). *)
+  for k = 1 to trials do
+    let b = Bytes.copy corpus_bytes in
+    let off = Random.State.int st (Bytes.length b) in
+    let old = Bytes.get_uint8 b off in
+    let fresh = (old + 1 + Random.State.int st 255) land 0xFF in
+    Bytes.set_uint8 b off fresh;
+    write_file mutant b;
+    (match Umrs_store.Corpus.verify ~path:mutant with
+    | v ->
+      if v.Umrs_store.Corpus.v_problems <> [] then incr corpus_detected
+      else if off >= Umrs_store.Corpus.header_bytes then
+        die "record-byte flip at %d undetected (trial %d)" off k
+    | exception Invalid_argument _ -> incr corpus_detected
+    | exception Sys_error _ -> incr corpus_detected
+    | exception e ->
+      die "corpus flip at %d: unexpected %s" off (Printexc.to_string e))
+  done;
+
+  (* byte flips in the index: open_ must return Error, never raise. *)
+  for k = 1 to trials do
+    let b = Bytes.copy index_bytes in
+    let off = Random.State.int st (Bytes.length b) in
+    let old = Bytes.get_uint8 b off in
+    Bytes.set_uint8 b off ((old + 1 + Random.State.int st 255) land 0xFF);
+    write_file mutant b;
+    match Q.open_ ~corpus ~index:mutant () with
+    | Error _ -> incr index_detected
+    | Ok _ -> die "index flip at %d accepted (trial %d)" off k
+    | exception e ->
+      die "index flip at %d: raised %s" off (Printexc.to_string e)
+  done;
+
+  (* truncations of both files at every prefix length *)
+  for len = 0 to Bytes.length corpus_bytes - 1 do
+    write_file mutant (Bytes.sub corpus_bytes 0 len);
+    match Umrs_store.Corpus.verify ~path:mutant with
+    | v ->
+      if v.Umrs_store.Corpus.v_problems = [] then
+        die "corpus truncation to %d undetected" len
+    | exception Invalid_argument _ -> ()
+    | exception Sys_error _ -> ()
+    | exception e ->
+      die "corpus truncation to %d: unexpected %s" len (Printexc.to_string e)
+  done;
+  for len = 0 to Bytes.length index_bytes - 1 do
+    write_file mutant (Bytes.sub index_bytes 0 len);
+    match Q.open_ ~corpus ~index:mutant () with
+    | Error _ -> ()
+    | Ok _ -> die "index truncation to %d accepted" len
+    | exception e ->
+      die "index truncation to %d: raised %s" len (Printexc.to_string e)
+  done;
+
+  Printf.printf
+    "fuzz_smoke: OK (%d/%d corpus flips detected, %d/%d index flips \
+     detected, %d+%d truncations rejected)\n"
+    !corpus_detected trials !index_detected trials
+    (Bytes.length corpus_bytes) (Bytes.length index_bytes)

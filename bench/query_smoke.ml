@@ -1,0 +1,115 @@
+(* Query-engine smoke check and micro-benchmark (dune alias
+   @query-smoke).
+
+   Builds the (3,4,3) reference corpus, indexes it, and (a) checks
+   nth/mem/rank/range_prefix and batches against the loaded corpus on
+   every record, (b) times indexed point lookups against the no-index
+   baseline (a full-file scan per lookup) and writes the p50/p95
+   latencies to BENCH_query.json (override with --json PATH). Fails if
+   the indexed path does not beat the scan. *)
+
+open Umrs_core
+module Q = Umrs_store.Query
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("query_smoke: " ^ s);
+                                exit 1) fmt
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1)))
+
+let time_one f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let flag_value name =
+  let rec go i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+let () =
+  let dir = Filename.temp_file "umrs_query_smoke" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let p, q, d = (3, 4, 3) in
+  let path = Filename.concat dir "ref.corpus" in
+  ignore (Umrs_store.Builder.build ~p ~q ~d ~out:path ());
+  let stride = 8 in
+  (match Q.build ~corpus:path ~stride () with
+  | Ok _ -> ()
+  | Error e -> die "index build: %s" (Q.error_to_string e));
+  let t =
+    match Q.open_ ~corpus:path () with
+    | Ok t -> t
+    | Error e -> die "open: %s" (Q.error_to_string e)
+  in
+  let _, ms = Umrs_store.Corpus.load ~path in
+  let arr = Array.of_list ms in
+  let n = Array.length arr in
+
+  (* (a) differential check against the loaded corpus *)
+  Array.iteri
+    (fun i m ->
+      if Matrix.compare_lex (Q.nth t i) m <> 0 then die "nth %d mismatch" i;
+      if not (Q.mem t m) then die "mem false negative at %d" i;
+      if Q.rank t m <> i then die "rank mismatch at %d" i)
+    arr;
+  let lo, hi = Q.range_prefix t [||] in
+  if lo <> 0 || hi <> n then die "empty-prefix range not the whole corpus";
+  let reqs =
+    Array.init (4 * n) (fun k ->
+        match k mod 4 with
+        | 0 -> Q.Nth (k / 4)
+        | 1 -> Q.Mem arr.(k / 4)
+        | 2 -> Q.Rank arr.(k / 4)
+        | _ -> Q.Range_prefix [| 1 + (k mod d) |])
+  in
+  let one = Q.batch ~domains:1 t reqs in
+  let many = Q.batch ~domains:4 t reqs in
+  if one <> many then die "batch answers differ across domain counts";
+
+  (* (b) indexed point lookup vs full-file scan *)
+  let iters = 200 in
+  let pick k = (k * 7919) mod n in
+  let indexed =
+    Array.init iters (fun k -> time_one (fun () -> ignore (Q.nth t (pick k))))
+  in
+  let scan_nth i =
+    (* the no-index baseline: walk the file from the top *)
+    let seen = ref 0 and res = ref None in
+    ignore
+      (Umrs_store.Corpus.iter ~path (fun m ->
+           if !seen = i then res := Some m;
+           incr seen));
+    match !res with Some m -> m | None -> die "scan_nth out of range"
+  in
+  let scanned =
+    Array.init iters (fun k -> time_one (fun () -> ignore (scan_nth (pick k))))
+  in
+  Array.sort compare indexed;
+  Array.sort compare scanned;
+  let i50 = percentile indexed 50. and i95 = percentile indexed 95. in
+  let s50 = percentile scanned 50. and s95 = percentile scanned 95. in
+  if i50 >= s50 then
+    die "indexed lookup (p50 %.1fus) does not beat full scan (p50 %.1fus)"
+      (1e6 *. i50) (1e6 *. s50);
+  let json = Option.value (flag_value "--json") ~default:"BENCH_query.json" in
+  let oc = open_out json in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"umrs/bench-query/v1\",\n\
+    \  \"instance\": {\"p\": %d, \"q\": %d, \"d\": %d, \"records\": %d},\n\
+    \  \"stride\": %d,\n  \"iterations\": %d,\n\
+    \  \"indexed_seconds\": {\"p50\": %.9f, \"p95\": %.9f},\n\
+    \  \"scan_seconds\": {\"p50\": %.9f, \"p95\": %.9f},\n\
+    \  \"speedup_p50\": %.2f\n}\n"
+    p q d n stride iters i50 i95 s50 s95 (s50 /. i50);
+  close_out oc;
+  Q.close t;
+  Printf.printf
+    "query_smoke: OK (%d records; indexed p50 %.1fus p95 %.1fus, scan p50 \
+     %.1fus p95 %.1fus, speedup %.1fx; %s)\n"
+    n (1e6 *. i50) (1e6 *. i95) (1e6 *. s50) (1e6 *. s95) (s50 /. i50) json

@@ -408,11 +408,162 @@ let corpus_cmd =
                path later workloads use).")
       Term.(const run $ file_arg)
   in
+  let fail_query_error ctx e =
+    Printf.eprintf "routing_lab: corpus %s: %s\n" ctx
+      (Umrs_store.Query.error_to_string e);
+    exit 1
+  in
+  let index_arg =
+    Arg.(value & opt (some string) None & info [ "index" ] ~docv:"FILE"
+           ~doc:"Index file (default: the corpus path with .umrsx appended).")
+  in
+  let index_cmd =
+    let run path stride out =
+      match Umrs_store.Query.build ~corpus:path ?stride ?out () with
+      | Ok m ->
+        pf "indexed %d records (stride %d, %d sample%s) -> %s@."
+          m.Umrs_store.Query.x_count m.Umrs_store.Query.x_stride
+          m.Umrs_store.Query.x_samples
+          (if m.Umrs_store.Query.x_samples = 1 then "" else "s")
+          (Option.value out
+             ~default:(Umrs_store.Query.index_path path));
+        pf "index checksum %016Lx (corpus %016Lx)@."
+          m.Umrs_store.Query.x_checksum m.Umrs_store.Query.x_corpus_checksum
+      | Error e -> fail_query_error "index" e
+      | exception Invalid_argument msg ->
+        Printf.eprintf "routing_lab: corpus index: %s\n" msg;
+        exit 2
+    in
+    let stride =
+      Arg.(value & opt (some int) None & info [ "stride" ] ~docv:"N"
+             ~doc:"Records between samples (default 64): lookups scan at \
+                   most N records after the binary search.")
+    in
+    let out =
+      Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Output index file (default: corpus path + .umrsx).")
+    in
+    Cmd.v
+      (Cmd.info "index"
+         ~doc:"Build the .umrsx sidecar index enabling random access and \
+               membership queries without loading the corpus.")
+      Term.(const run $ file_arg $ stride $ out)
+  in
+  let query_cmd =
+    let parse_prefix s =
+      let fields =
+        String.split_on_char ' ' (String.map (function ',' -> ' ' | c -> c) s)
+        |> List.filter (fun f -> f <> "")
+      in
+      try Array.of_list (List.map int_of_string fields)
+      with Failure _ ->
+        Printf.eprintf
+          "routing_lab: corpus query: bad prefix %S (expected integers)\n" s;
+        exit 2
+    in
+    let run path index nths mems ranks prefixes cgraphs domains telemetry =
+      with_telemetry telemetry @@ fun () ->
+      match Umrs_store.Query.open_ ~corpus:path ?index () with
+      | Error e -> fail_query_error "query" e
+      | Ok t ->
+        Fun.protect ~finally:(fun () -> Umrs_store.Query.close t) @@ fun () ->
+        let requests =
+          List.concat
+            [ List.map (fun i -> Umrs_store.Query.Nth i) nths;
+              List.map
+                (fun s -> Umrs_store.Query.Mem (Matrix.of_string s))
+                mems;
+              List.map
+                (fun s -> Umrs_store.Query.Rank (Matrix.of_string s))
+                ranks;
+              List.map
+                (fun s -> Umrs_store.Query.Range_prefix (parse_prefix s))
+                prefixes;
+              List.map (fun i -> Umrs_store.Query.Cgraph_of i) cgraphs ]
+          |> Array.of_list
+        in
+        if Array.length requests = 0 then begin
+          Printf.eprintf
+            "routing_lab: corpus query: no requests (use --nth/--mem/--rank/\
+             --prefix/--cgraph)\n";
+          exit 2
+        end;
+        (match Umrs_store.Query.batch ?domains t requests with
+        | responses ->
+          Array.iteri
+            (fun i resp ->
+              match (requests.(i), resp) with
+              | Umrs_store.Query.Nth n, Umrs_store.Query.R_matrix m ->
+                pf "nth %d: %s@." n (Matrix.to_string m)
+              | Umrs_store.Query.Mem m, Umrs_store.Query.R_found b ->
+                pf "mem %s: %b@." (Matrix.to_string m) b
+              | Umrs_store.Query.Rank m, Umrs_store.Query.R_rank r ->
+                pf "rank %s: %d@." (Matrix.to_string m) r
+              | Umrs_store.Query.Range_prefix p, Umrs_store.Query.R_range (lo, hi)
+                ->
+                pf "prefix [%s]: records [%d, %d) - %d matching@."
+                  (String.concat " "
+                     (Array.to_list (Array.map string_of_int p)))
+                  lo hi (hi - lo)
+              | Umrs_store.Query.Cgraph_of n, Umrs_store.Query.R_graph t ->
+                pf "cgraph %d:@." n;
+                pf "%a@." Graph.pp t.Cgraph.graph;
+                pf "constrained: %a@."
+                  (Format.pp_print_array
+                     ~pp_sep:(fun f () -> Format.pp_print_char f ' ')
+                     Format.pp_print_int)
+                  t.Cgraph.constrained;
+                pf "targets:     %a@."
+                  (Format.pp_print_array
+                     ~pp_sep:(fun f () -> Format.pp_print_char f ' ')
+                     Format.pp_print_int)
+                  t.Cgraph.targets
+              | _ -> assert false)
+            responses
+        | exception Invalid_argument msg ->
+          Printf.eprintf "routing_lab: corpus query: %s\n" msg;
+          exit 2)
+    in
+    let nths =
+      Arg.(value & opt_all int [] & info [ "nth" ] ~docv:"I"
+             ~doc:"Fetch record I of the sorted corpus (repeatable).")
+    in
+    let mems =
+      Arg.(value & opt_all string [] & info [ "mem" ] ~docv:"MATRIX"
+             ~doc:"Membership of a matrix like \"[1 2; 1 1]\" (repeatable).")
+    in
+    let ranks =
+      Arg.(value & opt_all string [] & info [ "rank" ] ~docv:"MATRIX"
+             ~doc:"Number of records strictly below MATRIX (repeatable).")
+    in
+    let prefixes =
+      Arg.(value & opt_all string [] & info [ "prefix" ] ~docv:"ENTRIES"
+             ~doc:"Record range whose row-major entries start with ENTRIES, \
+                   e.g. \"1 2\" (repeatable).")
+    in
+    let cgraphs =
+      Arg.(value & opt_all int [] & info [ "cgraph" ] ~docv:"I"
+             ~doc:"Materialize the Lemma-2 graph of constraints of record I \
+                   (repeatable).")
+    in
+    let domains =
+      Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"K"
+             ~doc:"Fan the batch out over K domains (default: recommended \
+                   domain count).")
+    in
+    Cmd.v
+      (Cmd.info "query"
+         ~doc:"Point and batched queries against an indexed corpus: record \
+               fetch, membership, rank, prefix ranges, graphs of \
+               constraints - all without loading the file.")
+      Term.(const run $ file_arg $ index_arg $ nths $ mems $ ranks $ prefixes
+            $ cgraphs $ domains $ telemetry_arg)
+  in
   Cmd.group
     (Cmd.info "corpus"
        ~doc:"Persistent on-disk canonical-set store: build (checkpointed, \
-             resumable), info, verify, show.")
-    [ build_cmd; info_cmd; verify_cmd; show_cmd ]
+             resumable), info, verify, show, index, query.")
+    [ build_cmd; info_cmd; verify_cmd; show_cmd; index_cmd; query_cmd ]
 
 let cgraph_cmd =
   let run s pad =

@@ -77,6 +77,12 @@ let read_bit r =
   r.pos <- r.pos + 1;
   bit
 
+let reader_pos r = r.pos
+
+let seek r pos =
+  if pos < 0 || pos > r.buf.len then invalid_arg "Bitbuf.seek: out of range";
+  r.pos <- pos
+
 let read_bits r ~width =
   if width < 0 || width > 62 then invalid_arg "Bitbuf.read_bits: width";
   (* Check up front so a failed read never half-consumes the reader. *)

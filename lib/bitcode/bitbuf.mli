@@ -47,6 +47,16 @@ val reader : t -> reader
 val read_bit : reader -> bool
 (** Raises [Invalid_argument] past the end. *)
 
+val reader_pos : reader -> int
+(** Current position, in bits from the start of the buffer. *)
+
+val seek : reader -> int -> unit
+(** Reposition the reader to an absolute bit offset in [0, length].
+    Together with {!reader_pos} this makes a reader seekable, so one
+    reader over a block of records can decode them in any order (the
+    corpus query engine's random-access path). Raises
+    [Invalid_argument] outside the range. *)
+
 val read_bits : reader -> width:int -> int
 (** Raises [Invalid_argument] if fewer than [width] bits remain; the
     reader position is unchanged on failure. *)

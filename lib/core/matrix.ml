@@ -82,6 +82,17 @@ let compare_lex a b =
   in
   rows 0
 
+let compare_lex_prefix prefix m =
+  let len = Array.length prefix in
+  if len > m.p * m.q then invalid_arg "Matrix.compare_lex_prefix: too long";
+  let rec go k =
+    if k = len then 0
+    else
+      let x = prefix.(k) and y = m.entries.(k / m.q).(k mod m.q) in
+      if x < y then -1 else if x > y then 1 else go (k + 1)
+  in
+  go 0
+
 let index m ~base =
   if base <= max_entry m - 1 then invalid_arg "Matrix.index: base too small";
   let acc = ref Bignat.zero in

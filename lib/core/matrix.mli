@@ -39,7 +39,23 @@ val equal : t -> t -> bool
 
 val compare_lex : t -> t -> int
 (** Row-major lexicographic comparison — the total order whose minimum
-    plays the role of the paper's minimal "index". *)
+    plays the role of the paper's minimal "index".
+
+    {b Stable record-ordering contract.} This order is load-bearing
+    beyond canonicalization: corpus files ({!Umrs_store.Corpus}) store
+    their records in strictly increasing [compare_lex] order, and the
+    sidecar query index ({!Umrs_store.Query}) binary-searches that
+    order, so [rank]/[mem]/range answers are only correct if this
+    comparison never changes. Treat it as part of the on-disk format:
+    any change requires a corpus schema-version bump. *)
+
+val compare_lex_prefix : int array -> t -> int
+(** [compare_lex_prefix prefix m] compares a row-major entry prefix
+    [m_11, m_12, ...] (length [<= p*q], 1-based values) against the
+    first entries of [m], lexicographically. All matrices sharing a
+    given prefix form a contiguous run of the [compare_lex] order — the
+    fact behind the query engine's range-by-prefix lookups. Raises
+    [Invalid_argument] if [prefix] is longer than [p*q]. *)
 
 val index : t -> base:int -> Bignat.t
 (** The paper's index: the row-major word [m_11 m_12 ... m_pq] read as

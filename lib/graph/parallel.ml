@@ -59,6 +59,39 @@ let map_ranges ?domains n f =
       results
   end
 
+let map_range_with ?domains ~init ?(finally = fun _ -> ()) n f =
+  if n < 0 then invalid_arg "Parallel.map_range_with";
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  if n = 0 then [||]
+  else begin
+    let run_chunk (lo, hi) =
+      let s = init () in
+      Fun.protect
+        ~finally:(fun () -> finally s)
+        (fun () -> Array.init (hi - lo) (fun i -> f s (lo + i)))
+    in
+    let per_chunk =
+      if domains <= 1 then [| run_chunk (0, n) |]
+      else begin
+        let ranges = chunks ~domains n in
+        let k = Array.length ranges in
+        let results = Array.make k None in
+        let worker i () = results.(i) <- Some (run_chunk ranges.(i)) in
+        let handles =
+          List.init (k - 1) (fun i -> Domain.spawn (worker (i + 1)))
+        in
+        worker 0 ();
+        List.iter Domain.join handles;
+        Array.map
+          (function Some x -> x | None -> invalid_arg "Parallel: missing result")
+          results
+      end
+    in
+    Array.concat (Array.to_list per_chunk)
+  end
+
 let all_pairs ?domains g =
   map_range ?domains (Graph.order g) (fun src -> Bfs.distances g src)
 

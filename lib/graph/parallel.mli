@@ -27,6 +27,21 @@ val map_ranges : ?domains:int -> int -> (lo:int -> hi:int -> 'a) -> 'a array
     one result per {e chunk}, not per index, so the index space can be
     in the millions without allocating an array of that size. *)
 
+val map_range_with :
+  ?domains:int ->
+  init:(unit -> 's) ->
+  ?finally:('s -> unit) ->
+  int -> ('s -> int -> 'a) -> 'a array
+(** [map_range_with ~init ~finally n f] is {!map_range} with per-domain
+    resources: each contiguous chunk of [0, n)] runs [init ()] once,
+    passes the resulting state to every [f state i] of the chunk in
+    increasing index order, and runs [finally] on it afterwards (also
+    on exceptions). Built for workers that share expensive
+    single-threaded state across a chunk — a file handle, a decoder
+    buffer, a {!Umrs_core.Canonical.workspace} — without sharing it
+    across domains. Sequential ([domains <= 1]) runs use one state for
+    the whole range. *)
+
 val all_pairs : ?domains:int -> Graph.t -> int array array
 (** Parallel {!Bfs.all_pairs}. *)
 

@@ -166,6 +166,7 @@ type reader = {
   r_ic : in_channel;
   r_header : header;
   r_record_bytes : int;
+  r_file_bytes : int;
   mutable r_read : int;
 }
 
@@ -179,16 +180,23 @@ let open_reader ~path =
   with
   | h ->
     { r_ic = ic; r_header = h;
-      r_record_bytes = Record.bytes ~p:h.p ~q:h.q ~d:h.d; r_read = 0 }
+      r_record_bytes = Record.bytes ~p:h.p ~q:h.q ~d:h.d;
+      r_file_bytes = in_channel_length ic; r_read = 0 }
   | exception e ->
     close_in_noerr ic;
     raise e
 
 let reader_header r = r.r_header
 
+(* A corrupt header can claim record sizes far beyond the actual file
+   (p, q, d are only bounded by 16 bits), so every read checks the
+   bytes are present BEFORE allocating a record buffer — the file-layer
+   analogue of Bitbuf's up-front bounds check. *)
 let read_next r =
   if r.r_read >= r.r_header.count then None
   else begin
+    if r.r_file_bytes - pos_in r.r_ic < r.r_record_bytes then
+      invalid_arg "Corpus: truncated record";
     let b = Bytes.create r.r_record_bytes in
     (try really_input r.r_ic b 0 r.r_record_bytes
      with End_of_file -> invalid_arg "Corpus: truncated record");
@@ -260,30 +268,40 @@ let verify ~path =
       let read = ref 0 in
       let prev = ref None in
       let rec_bytes = r.r_record_bytes in
-      let buf = Bytes.create rec_bytes in
-      (try
-         while !read < h.count do
-           really_input r.r_ic buf 0 rec_bytes;
-           checksum := fnv64 !checksum buf;
-           (match
-              Record.decode ~p:h.p ~q:h.q ~d:h.d ~variant:h.variant buf
-            with
-           | m ->
-             (match !prev with
-             | Some pm when Matrix.compare_lex pm m >= 0 ->
-               problem "record %d not in strictly increasing order" !read
-             | _ -> ());
-             prev := Some m
-           | exception Invalid_argument msg ->
-             problem "record %d undecodable: %s" !read msg);
-           incr read
-         done
-       with End_of_file ->
-         problem "truncated: %d of %d records present" !read h.count);
-      (* trailing garbage? *)
-      (match input_char r.r_ic with
-      | _ -> problem "trailing bytes after the last record"
-      | exception End_of_file -> ());
+      (* Size the scan by what is actually on disk, not by the header's
+         claims: a corrupt count or dimensions must not trigger a huge
+         allocation or an End_of_file surprise. *)
+      let avail = r.r_file_bytes - header_bytes in
+      (* d = 1 packs to zero-byte records; only one matrix exists then,
+         so anything beyond a single record is bogus, not truncation. *)
+      if rec_bytes = 0 && h.count > 1 then
+        problem "count %d impossible for zero-byte records" h.count;
+      let present =
+        if rec_bytes = 0 then min h.count 1 else min h.count (avail / rec_bytes)
+      in
+      if rec_bytes > 0 && present < h.count then
+        problem "truncated: %d of %d records present" present h.count;
+      if present > 0 then begin
+        let buf = Bytes.create rec_bytes in
+        while !read < present do
+          really_input r.r_ic buf 0 rec_bytes;
+          checksum := fnv64 !checksum buf;
+          (match
+             Record.decode ~p:h.p ~q:h.q ~d:h.d ~variant:h.variant buf
+           with
+          | m ->
+            (match !prev with
+            | Some pm when Matrix.compare_lex pm m >= 0 ->
+              problem "record %d not in strictly increasing order" !read
+            | _ -> ());
+            prev := Some m
+          | exception Invalid_argument msg ->
+            problem "record %d undecodable: %s" !read msg);
+          incr read
+        done
+      end;
+      if avail > h.count * rec_bytes then
+        problem "trailing bytes after the last record";
       if !read = h.count && !checksum <> h.checksum then
         problem "checksum mismatch (stored %Lx, computed %Lx)" h.checksum
           !checksum;

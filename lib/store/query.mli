@@ -1,0 +1,172 @@
+(** Indexed point and batched queries over corpus files.
+
+    {!Corpus} gives whole-file [load]/[iter] only; this module answers
+    point and batched questions about a corpus {e without} loading it:
+    order queries ([nth]), membership and rank queries ([mem], [rank]),
+    contiguous ranges by row-major entry prefix ([range_prefix]), and
+    materialization of the Lemma-2 graph of constraints for a stored
+    record ([cgraph]) — the access layer for serving precomputed
+    [dM(p,q)] sets.
+
+    {2 The sidecar index ([.umrsx])}
+
+    Records are fixed-size and stored in strictly increasing
+    {!Umrs_core.Matrix.compare_lex} order (the stable ordering contract
+    documented there), so an index only needs a sparse {e rank
+    structure}: every [stride]-th record's bit offset and key image,
+    checksummed and bound to the corpus it describes. Layout (integers
+    little-endian):
+
+    {v offset  size  field
+       0       8     magic "UMRSXIDX"
+       8       2     schema version (currently 1)
+       10      1     variant (0 = Full, 1 = Positional)
+       11      1     reserved (0)
+       12      2     p
+       14      2     q
+       16      2     d
+       18      2     reserved (0)
+       20      8     record count of the indexed corpus
+       28      8     checksum of the indexed corpus (binding)
+       36      4     stride (records between samples)
+       40      4     sample count = ceil(count / stride)
+       44      8     FNV-1a 64 over the header image (this field
+                     zeroed) and the sample payload
+       52      4     reserved (0)
+       56      -     samples: per sample an 8-byte absolute bit offset
+                     of the record in the corpus file, then the
+                     record's key image (record-size bytes) v}
+
+    Unlike the corpus header, the index checksum covers its own header
+    bytes, so any mutation of the file is detected by {!open_}.
+
+    A lookup binary-searches the in-memory samples ([O(log(n/k))]
+    compares), then scans at most [stride] records read in one
+    contiguous block and decoded through a single seekable
+    {!Umrs_bitcode.Bitbuf.reader} — [O(log n + k)] with one bounded
+    I/O burst per query, independent of corpus size. *)
+
+open Umrs_core
+
+(** {1 Errors}
+
+    Opening and building never raise on damaged or mismatched files —
+    corruption is data, not a programming error. [Io] wraps
+    [Sys_error]; [Malformed] is a file that is not (or no longer) a
+    valid corpus/index; [Mismatch] is a well-formed index that does not
+    describe this corpus. *)
+
+type error =
+  | Io of string
+  | Malformed of string
+  | Mismatch of string
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+(** {1 Index files} *)
+
+type meta = {
+  x_version : int;
+  x_variant : Canonical.variant;
+  x_p : int;
+  x_q : int;
+  x_d : int;
+  x_count : int;             (** records in the indexed corpus *)
+  x_corpus_checksum : int64; (** binding to the corpus file *)
+  x_stride : int;            (** records between samples *)
+  x_samples : int;           (** ceil(count / stride) *)
+  x_checksum : int64;        (** index self-checksum *)
+}
+
+val default_stride : int
+(** 64 — block scans stay a few KiB for every enumerable instance. *)
+
+val index_path : string -> string
+(** Conventional sidecar path: the corpus path with [".umrsx"]
+    appended. *)
+
+val build :
+  corpus:string -> ?stride:int -> ?out:string -> unit -> (meta, error) result
+(** Scan [corpus] once (validating record decodability, strict sort
+    order and the checksum as it goes) and write its index to [out]
+    (default [index_path corpus]). Raises [Invalid_argument] only on a
+    caller error ([stride < 1]); everything about the files is
+    reported through [error]. *)
+
+(** {1 Query handles} *)
+
+type t
+
+val open_ : corpus:string -> ?index:string -> unit -> (t, error) result
+(** Validate the index (header, self-checksum, sample payload, binding
+    to the corpus header, file sizes) and load its samples; the corpus
+    records themselves are {e not} scanned — binding to the stored
+    checksum plus the exact file-size check make later seeks safe.
+    Never raises on file content: any damage or mismatch, including
+    truncations and mutated bytes anywhere in the index, comes back as
+    [Error]. *)
+
+val close : t -> unit
+(** Release the underlying channels. Further queries raise
+    [Invalid_argument]. *)
+
+val header : t -> Corpus.header
+val meta : t -> meta
+
+(** {1 Point queries}
+
+    All raise [Invalid_argument] on caller errors (index out of range,
+    shape mismatch, closed handle) and on a corpus that changed on
+    disk after {!open_}. *)
+
+val nth : t -> int -> Matrix.t
+(** Record [i] of the sorted corpus, by direct seek. *)
+
+val mem : t -> Matrix.t -> bool
+(** Membership of a matrix (same [p x q] shape, entries in [{1..d}]). *)
+
+val rank : t -> Matrix.t -> int
+(** Number of records strictly [compare_lex]-below the argument; the
+    position at which it would be inserted. [mem t m] iff
+    [rank t m < count] and [nth t (rank t m) = m]. *)
+
+val range_prefix : t -> int array -> int * int
+(** [range_prefix t prefix] is the half-open record-index range
+    [(lo, hi)] of all records whose row-major entries start with
+    [prefix] (1-based values, length [<= p*q]; [[||]] gives the whole
+    corpus). *)
+
+val cgraph : t -> int -> Cgraph.t
+(** The Lemma-2 graph of constraints of record [i]. Rows are
+    first-occurrence relabelled before building ({!Canonical.normalize_row});
+    for the [Positional] variant this picks one member of the row-
+    relabelling class, which leaves the constraint structure intact. *)
+
+(** {1 Batched queries} *)
+
+type request =
+  | Nth of int
+  | Mem of Matrix.t
+  | Rank of Matrix.t
+  | Range_prefix of int array
+  | Cgraph_of of int
+
+type response =
+  | R_matrix of Matrix.t
+  | R_found of bool
+  | R_rank of int
+  | R_range of int * int
+  | R_graph of Cgraph.t
+
+val batch : ?domains:int -> t -> request array -> response array
+(** Answer a batch, one response per request in request order.
+    Requests are validated up front ([Invalid_argument] before any
+    work), sorted by estimated corpus position so file access is
+    monotone, and fanned out across [domains] (default
+    {!Umrs_graph.Parallel.default_domains}) via
+    {!Umrs_graph.Parallel.map_range_with}, each domain sharing one
+    cursor (its own channel and decode buffers) across its whole
+    slice. Answers are identical to the one-at-a-time functions for
+    every domain count (tested). Emits a [query.batch] telemetry event
+    with per-batch latency when a sink is attached. *)

@@ -33,4 +33,6 @@ let () =
       ("collective", Test_collective.suite);
       ("boundaries", Test_boundaries.suite);
       ("store", Test_store.suite);
+      ("query", Test_query.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

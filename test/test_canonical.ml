@@ -44,6 +44,54 @@ let test_is_canonical () =
   check_true "non-min is not"
     (not (Canonical.is_canonical (Matrix.create [| [| 1; 2 |]; [| 1; 1 |] |])))
 
+(* Random props below draw from Gen (seeded, shrinking, repro-seed
+   printing) rather than ad-hoc per-test RNG. The ~-move pair bundles
+   the move into the generator so the whole counterexample is replayed
+   and printed together. *)
+
+let equiv_pair_arb =
+  (* random_equivalent's alphabet moves require normalized rows *)
+  let matrix = Gen.matrix_normalized () in
+  Gen.make
+    ~print:(fun (m, m') ->
+      Printf.sprintf "%s ~ %s" (Matrix.to_string m) (Matrix.to_string m'))
+    (fun st ->
+      let m = matrix.Gen.gen st in
+      (m, Canonical.random_equivalent st m))
+
+let positional_pair_arb =
+  let matrix = Gen.matrix_normalized () in
+  Gen.make
+    ~print:(fun (m, m') ->
+      Printf.sprintf "%s ~ %s" (Matrix.to_string m) (Matrix.to_string m'))
+    (fun st ->
+      let m = matrix.Gen.gen st in
+      let p, q = Matrix.dims m in
+      let m' =
+        (* positional ~-move: rows and columns only *)
+        Matrix.permute_cols
+          (Matrix.permute_rows m (Umrs_graph.Perm.random st p))
+          (Umrs_graph.Perm.random st q)
+      in
+      (m, m'))
+
+(* Randomized (p, q, d), kept to instances the full d^(pq) enumeration
+   can afford inside the suite. *)
+let instance_arb =
+  let pool =
+    [| (1, 1, 1); (1, 4, 4); (4, 1, 4); (2, 2, 2); (2, 2, 3); (2, 2, 4);
+       (3, 2, 2); (2, 3, 3); (3, 3, 2); (2, 4, 3) |]
+  in
+  Gen.make
+    ~print:(fun ((p, q, d), variant) ->
+      Printf.sprintf "p=%d q=%d d=%d (%s)" p q d
+        (match variant with
+        | Canonical.Full -> "full"
+        | Canonical.Positional -> "positional"))
+    (fun st ->
+      ( pool.(Random.State.int st (Array.length pool)),
+        if Random.State.bool st then Canonical.Full else Canonical.Positional ))
+
 let suite =
   [
     case "normalize_row" test_normalize_row;
@@ -52,15 +100,13 @@ let suite =
     case "full vs positional variants" test_canonical_full_relabels;
     case "equivalent" test_equivalent;
     case "is_canonical" test_is_canonical;
-    prop ~count:200 "canonical is idempotent" arbitrary_matrix (fun m ->
+    Gen.prop ~count:200 "canonical is idempotent" (Gen.matrix ()) (fun m ->
         let c = Canonical.canonical m in
         Matrix.equal c (Canonical.canonical c));
-    prop ~count:200 "canonical invariant under random group action"
-      arbitrary_matrix (fun m ->
-        let st = rng () in
-        let m' = Canonical.random_equivalent st m in
+    Gen.prop ~count:200 "canonical invariant under random ~-moves"
+      equiv_pair_arb (fun (m, m') ->
         Matrix.equal (Canonical.canonical m) (Canonical.canonical m'));
-    prop ~count:200 "canonical result has normalized rows" arbitrary_matrix
+    Gen.prop ~count:200 "canonical result has normalized rows" (Gen.matrix ())
       (fun m ->
         let c = Canonical.canonical m in
         let p, q = Matrix.dims c in
@@ -69,18 +115,20 @@ let suite =
             Canonical.normalize_row (Array.init q (Matrix.get c i))
             = Array.init q (Matrix.get c i))
           (List.init p Fun.id));
-    prop ~count:200 "canonical <= input in lex order" arbitrary_matrix
+    Gen.prop ~count:200 "canonical <= input in lex order" (Gen.matrix ())
       (fun m -> Matrix.compare_lex (Canonical.canonical m) m <= 0);
-    prop ~count:100 "positional canonical also idempotent/invariant"
-      arbitrary_matrix (fun m ->
-        let st = rng () in
+    Gen.prop ~count:100 "positional canonical also idempotent/invariant"
+      positional_pair_arb (fun (m, m') ->
         let pc = Canonical.canonical ~variant:Canonical.Positional in
-        let m' =
-          (* positional group action: rows and columns only *)
-          let p, q = Matrix.dims m in
-          Matrix.permute_cols
-            (Matrix.permute_rows m (Umrs_graph.Perm.random st p))
-            (Umrs_graph.Perm.random st q)
-        in
         Matrix.equal (pc m) (pc m') && Matrix.equal (pc m) (pc (pc m)));
+    Gen.prop ~count:25 "canonical sets are strictly sorted and dup-free"
+      instance_arb (fun ((p, q, d), variant) ->
+        let set = Enumerate.canonical_set ~variant ~p ~q ~d () in
+        let rec strictly_increasing = function
+          | a :: (b :: _ as rest) ->
+            Matrix.compare_lex a b < 0 && strictly_increasing rest
+          | _ -> true
+        in
+        strictly_increasing set
+        && List.for_all (fun m -> Canonical.is_canonical ~variant m) set);
   ]

@@ -1,0 +1,238 @@
+(* Corruption fuzzing for the on-disk formats (corpus + index).
+
+   The contract: no mutation or truncation of either file may escape
+   the error vocabulary. [Corpus.verify]/[Corpus.load] report problems
+   or raise [Invalid_argument]/[Sys_error] only; [Query.open_] never
+   raises on file content - everything comes back as [Error _].
+   Detection guarantees: every corpus record-region mutation and every
+   truncation is reported (corpus header damage may hide in reserved,
+   un-checksummed bytes - corpus format v1 keeps them outside the
+   checksum); the index checksum covers its whole file, so EVERY index
+   mutation is detected.
+
+   All randomness is seeded; a failure message carries the seed and the
+   mutation (offset/length), per the repro convention in
+   doc/TUTORIAL.md. *)
+
+open Umrs_core
+open Umrs_store
+open Helpers
+module Q = Query
+
+let seed = 0xFA22
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "umrs_fuzz" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Bytes.of_string s
+
+let write_file path b =
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+(* A valid corpus+index pair to mutate: the (2,4,3) canonical set plus
+   a random Positional corpus, exercising both decode paths. *)
+let fixtures dir =
+  let a = Filename.concat dir "a.umrs" in
+  ignore
+    (Corpus.write_list ~path:a ~variant:Canonical.Full ~p:2 ~q:4 ~d:3
+       (Enumerate.canonical_set ~p:2 ~q:4 ~d:3 ()));
+  ignore (Result.get_ok (Q.build ~corpus:a ~stride:3 ()));
+  let b = Filename.concat dir "b.umrs" in
+  let st = Random.State.make [| seed; 7 |] in
+  let ms =
+    List.sort_uniq Matrix.compare_lex
+      (List.init 40 (fun _ ->
+           Matrix.create_relaxed
+             (Array.init 3 (fun _ ->
+                  Array.init 3 (fun _ -> 1 + Random.State.int st 3)))))
+  in
+  ignore (Corpus.write_list ~path:b ~variant:Canonical.Positional ~p:3 ~q:3 ~d:3 ms);
+  ignore (Result.get_ok (Q.build ~corpus:b ~stride:5 ()));
+  [ (a, Q.index_path a); (b, Q.index_path b) ]
+
+let flip st bytes =
+  let off = Random.State.int st (Bytes.length bytes) in
+  let b = Bytes.copy bytes in
+  let old = Bytes.get_uint8 b off in
+  Bytes.set_uint8 b off ((old + 1 + Random.State.int st 255) land 0xFF);
+  (off, b)
+
+let test_corpus_byte_flips () =
+  with_tmp_dir @@ fun dir ->
+  let st = Random.State.make [| seed; 1 |] in
+  let mutant = Filename.concat dir "mutant" in
+  List.iter
+    (fun (corpus, _) ->
+      let orig = read_file corpus in
+      for trial = 1 to 150 do
+        let off, b = flip st orig in
+        write_file mutant b;
+        match Corpus.verify ~path:mutant with
+        | v ->
+          if v.Corpus.v_problems = [] && off >= Corpus.header_bytes then
+            Alcotest.failf
+              "record-byte flip undetected (seed %d, %s, offset %d, trial %d)"
+              seed corpus off trial
+        | exception Invalid_argument _ -> ()
+        | exception Sys_error _ -> ()
+        | exception e ->
+          Alcotest.failf "verify raised %s (seed %d, %s, offset %d)"
+            (Printexc.to_string e) seed corpus off
+      done)
+    (fixtures dir)
+
+let test_corpus_truncations () =
+  with_tmp_dir @@ fun dir ->
+  let mutant = Filename.concat dir "mutant" in
+  List.iter
+    (fun (corpus, _) ->
+      let orig = read_file corpus in
+      for len = 0 to Bytes.length orig - 1 do
+        write_file mutant (Bytes.sub orig 0 len);
+        match Corpus.verify ~path:mutant with
+        | v ->
+          if v.Corpus.v_problems = [] then
+            Alcotest.failf "truncation to %d of %d undetected (%s)" len
+              (Bytes.length orig) corpus
+        | exception Invalid_argument _ -> ()
+        | exception Sys_error _ -> ()
+        | exception e ->
+          Alcotest.failf "verify raised %s (%s truncated to %d)"
+            (Printexc.to_string e) corpus len
+      done)
+    (fixtures dir)
+
+let test_index_byte_flips () =
+  with_tmp_dir @@ fun dir ->
+  let st = Random.State.make [| seed; 2 |] in
+  let mutant = Filename.concat dir "mutant" in
+  List.iter
+    (fun (corpus, index) ->
+      let orig = read_file index in
+      for trial = 1 to 150 do
+        let off, b = flip st orig in
+        write_file mutant b;
+        match Q.open_ ~corpus ~index:mutant () with
+        | Error _ -> ()
+        | Ok _ ->
+          Alcotest.failf
+            "index flip accepted (seed %d, %s, offset %d, trial %d)" seed
+            index off trial
+        | exception e ->
+          Alcotest.failf "open_ raised %s (seed %d, %s, offset %d)"
+            (Printexc.to_string e) seed index off
+      done)
+    (fixtures dir)
+
+let test_index_truncations () =
+  with_tmp_dir @@ fun dir ->
+  let mutant = Filename.concat dir "mutant" in
+  List.iter
+    (fun (corpus, index) ->
+      let orig = read_file index in
+      for len = 0 to Bytes.length orig - 1 do
+        write_file mutant (Bytes.sub orig 0 len);
+        match Q.open_ ~corpus ~index:mutant () with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "index truncation to %d accepted (%s)" len index
+        | exception e ->
+          Alcotest.failf "open_ raised %s (%s truncated to %d)"
+            (Printexc.to_string e) index len
+      done)
+    (fixtures dir)
+
+(* Corpus header v1 keeps a few bytes outside any checksum; flips
+   there are undetectable by design (the index checksum closed this gap
+   for .umrsx files, the corpus format is frozen until a schema bump). *)
+let corpus_reserved_byte off =
+  off = 11 || off = 18 || off = 19 || (off >= 36 && off < Corpus.header_bytes)
+
+let test_corpus_mutation_vs_index () =
+  (* Flipping the CORPUS after indexing. open_ deliberately does not
+     rescan records (that is Corpus.verify's job), so the pair of tools
+     must cover every flip: open_ refuses header damage via the
+     count/dims/checksum binding, verify catches record damage, and
+     only reserved-header-byte flips may pass both. *)
+  with_tmp_dir @@ fun dir ->
+  let st = Random.State.make [| seed; 3 |] in
+  let mutant = Filename.concat dir "mutant.umrs" in
+  List.iter
+    (fun (corpus, index) ->
+      let orig = read_file corpus in
+      for trial = 1 to 100 do
+        let off, b = flip st orig in
+        write_file mutant b;
+        match Q.open_ ~corpus:mutant ~index () with
+        | Error _ -> ()
+        | Ok t ->
+          Q.close t;
+          let verify_clean =
+            match Corpus.verify ~path:mutant with
+            | v -> v.Corpus.v_problems = []
+            | exception _ -> false
+          in
+          if verify_clean && not (corpus_reserved_byte off) then
+            Alcotest.failf
+              "flip passed both open_ and verify (seed %d, offset %d, \
+               trial %d)"
+              seed off trial
+        | exception e ->
+          Alcotest.failf "open_ raised %s (seed %d, %s, offset %d)"
+            (Printexc.to_string e) seed corpus off
+      done)
+    (fixtures dir)
+
+let test_garbage_files () =
+  (* Random bytes are neither a corpus nor an index. *)
+  with_tmp_dir @@ fun dir ->
+  let st = Random.State.make [| seed; 4 |] in
+  let corpus = Filename.concat dir "g.umrs" in
+  ignore
+    (Corpus.write_list ~path:corpus ~variant:Canonical.Full ~p:2 ~q:2 ~d:2
+       (Enumerate.canonical_set ~p:2 ~q:2 ~d:2 ()));
+  let garbage = Filename.concat dir "garbage" in
+  for trial = 1 to 150 do
+    let n = Random.State.int st 300 in
+    let b = Bytes.init n (fun _ -> Char.chr (Random.State.int st 256)) in
+    write_file garbage b;
+    (match Q.open_ ~corpus ~index:garbage () with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "garbage index accepted (seed %d, trial %d)" seed trial
+    | exception e ->
+      Alcotest.failf "open_ raised %s on garbage (seed %d, trial %d)"
+        (Printexc.to_string e) seed trial);
+    match Corpus.verify ~path:garbage with
+    | _ -> ()
+    | exception Invalid_argument _ -> ()
+    | exception Sys_error _ -> ()
+    | exception e ->
+      Alcotest.failf "verify raised %s on garbage (seed %d, trial %d)"
+        (Printexc.to_string e) seed trial
+  done
+
+let suite =
+  [
+    case "corpus byte flips" test_corpus_byte_flips;
+    case "corpus truncations" test_corpus_truncations;
+    case "index byte flips" test_index_byte_flips;
+    case "index truncations" test_index_truncations;
+    case "corpus mutated under an index" test_corpus_mutation_vs_index;
+    case "garbage files" test_garbage_files;
+  ]

@@ -44,9 +44,9 @@ let suite =
     case "bipartite" test_bipartite;
     case "average_degree" test_average_degree;
     case "chordal" test_chordal;
-    prop "histogram sums to order" arbitrary_connected_graph (fun g ->
+    Gen.prop "histogram sums to order" (Gen.connected_graph ()) (fun g ->
         List.fold_left (fun acc (_, c) -> acc + c) 0 (Props.degree_histogram g)
         = Graph.order g);
-    prop "trees are chordal and bipartite" arbitrary_tree (fun t ->
+    Gen.prop "trees are chordal and bipartite" (Gen.tree ()) (fun t ->
         Props.is_chordal t && Props.is_bipartite t);
   ]

@@ -1,0 +1,283 @@
+open Umrs_core
+open Umrs_store
+open Helpers
+module Q = Query
+
+(* ---------- fixtures ---------- *)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "umrs_query" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Q.error_to_string e)
+
+(* ---------- differential testing vs a naive oracle ----------
+
+   A random corpus spec: a sorted duplicate-free list of arbitrary
+   matrices over {1..d} (Positional variant, so records need not be
+   canonical), a stride, and probe matrices for negative lookups. The
+   oracle is Corpus.load plus list scans; Query must agree exactly. *)
+
+type spec = {
+  s_p : int;
+  s_q : int;
+  s_d : int;
+  s_ms : Matrix.t list;
+  s_stride : int;
+  s_probes : Matrix.t list;
+}
+
+let spec_arb =
+  let pool =
+    [| (1, 1, 2); (1, 3, 3); (2, 2, 3); (2, 3, 3); (3, 2, 4); (2, 4, 2);
+       (4, 4, 2); (3, 3, 3) |]
+  in
+  Gen.make
+    ~print:(fun s ->
+      Printf.sprintf "p=%d q=%d d=%d count=%d stride=%d" s.s_p s.s_q s.s_d
+        (List.length s.s_ms) s.s_stride)
+    (fun st ->
+      let s_p, s_q, s_d = pool.(Random.State.int st (Array.length pool)) in
+      let raw () =
+        Matrix.create_relaxed
+          (Array.init s_p (fun _ ->
+               Array.init s_q (fun _ -> 1 + Random.State.int st s_d)))
+      in
+      let n = Random.State.int st 80 in
+      let s_ms = List.sort_uniq Matrix.compare_lex (List.init n (fun _ -> raw ())) in
+      { s_p; s_q; s_d; s_ms; s_stride = 1 + Random.State.int st 12;
+        s_probes = List.init 15 (fun _ -> raw ()) })
+
+let oracle_rank arr m =
+  Array.fold_left (fun acc x -> if Matrix.compare_lex x m < 0 then acc + 1 else acc) 0 arr
+
+let oracle_mem arr m = Array.exists (fun x -> Matrix.compare_lex x m = 0) arr
+
+let oracle_range arr prefix =
+  ( Array.fold_left
+      (fun acc x -> if Matrix.compare_lex_prefix prefix x > 0 then acc + 1 else acc)
+      0 arr,
+    Array.fold_left
+      (fun acc x -> if Matrix.compare_lex_prefix prefix x >= 0 then acc + 1 else acc)
+      0 arr )
+
+let check_spec s =
+  with_tmp_dir @@ fun dir ->
+  let path = Filename.concat dir "c.umrs" in
+  ignore
+    (Corpus.write_list ~path ~variant:Canonical.Positional ~p:s.s_p ~q:s.s_q
+       ~d:s.s_d s.s_ms);
+  ignore (ok_exn "build" (Q.build ~corpus:path ~stride:s.s_stride ()));
+  let t = ok_exn "open" (Q.open_ ~corpus:path ()) in
+  Fun.protect ~finally:(fun () -> Q.close t) @@ fun () ->
+  let arr = Array.of_list s.s_ms in
+  let n = Array.length arr in
+  let members_ok =
+    Array.for_all Fun.id
+      (Array.mapi
+         (fun i m ->
+           Matrix.compare_lex (Q.nth t i) m = 0 && Q.mem t m && Q.rank t m = i)
+         arr)
+  in
+  let probes_ok =
+    List.for_all
+      (fun m -> Q.mem t m = oracle_mem arr m && Q.rank t m = oracle_rank arr m)
+      s.s_probes
+  in
+  let prefixes_ok =
+    List.for_all
+      (fun m ->
+        List.for_all
+          (fun len ->
+            let prefix =
+              Array.init len (fun k -> Matrix.get m (k / s.s_q) (k mod s.s_q))
+            in
+            Q.range_prefix t prefix = oracle_range arr prefix)
+          (List.init (s.s_p * s.s_q + 1) Fun.id))
+      (match s.s_probes with [] -> [] | hd :: _ -> List.filteri (fun i _ -> i < 4) s.s_ms @ [ hd ])
+  in
+  let requests =
+    Array.of_list
+      (List.concat
+         [ List.init n (fun i -> Q.Nth (n - 1 - i));
+           List.map (fun m -> Q.Mem m) s.s_probes;
+           List.map (fun m -> Q.Rank m) s.s_probes;
+           List.filteri (fun i _ -> i < 3) s.s_ms
+           |> List.map (fun m -> Q.Range_prefix [| Matrix.get m 0 0 |]);
+           List.init (min n 5) (fun i -> Q.Cgraph_of i) ])
+  in
+  let singles =
+    Array.map
+      (function
+        | Q.Nth i -> Q.R_matrix (Q.nth t i)
+        | Q.Mem m -> Q.R_found (Q.mem t m)
+        | Q.Rank m -> Q.R_rank (Q.rank t m)
+        | Q.Range_prefix prefix ->
+          let lo, hi = Q.range_prefix t prefix in
+          Q.R_range (lo, hi)
+        | Q.Cgraph_of i -> Q.R_graph (Q.cgraph t i))
+      requests
+  in
+  let batch_ok =
+    Q.batch ~domains:1 t requests = singles
+    && Q.batch ~domains:3 t requests = singles
+    && Q.batch t requests = singles
+  in
+  members_ok && probes_ok && prefixes_ok && batch_ok
+
+(* ---------- deterministic cases ---------- *)
+
+let reference_corpus dir =
+  let p, q, d = (2, 4, 3) in
+  let path = Filename.concat dir "ref.umrs" in
+  let ms = Enumerate.canonical_set ~p ~q ~d () in
+  ignore (Corpus.write_list ~path ~variant:Canonical.Full ~p ~q ~d ms);
+  (path, Array.of_list ms)
+
+let test_roundtrip_reference () =
+  with_tmp_dir @@ fun dir ->
+  let path, arr = reference_corpus dir in
+  let m = ok_exn "build" (Q.build ~corpus:path ~stride:4 ()) in
+  check_int "samples" ((Array.length arr + 3) / 4) m.Q.x_samples;
+  check_true "index file exists" (Sys.file_exists (Q.index_path path));
+  let t = ok_exn "open" (Q.open_ ~corpus:path ()) in
+  Array.iteri
+    (fun i x ->
+      check_true "nth" (Matrix.equal (Q.nth t i) x);
+      check_true "mem" (Q.mem t x);
+      check_int "rank" i (Q.rank t x))
+    arr;
+  check_true "whole-corpus range"
+    (Q.range_prefix t [||] = (0, Array.length arr));
+  Q.close t;
+  check_true "closed nth raises"
+    (match Q.nth t 0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_cgraph_bridge () =
+  with_tmp_dir @@ fun dir ->
+  let path, arr = reference_corpus dir in
+  ignore (ok_exn "build" (Q.build ~corpus:path ()));
+  let t = ok_exn "open" (Q.open_ ~corpus:path ()) in
+  Fun.protect ~finally:(fun () -> Q.close t) @@ fun () ->
+  Array.iteri
+    (fun i m ->
+      (* Full-variant records are canonical, hence already normalized:
+         the bridge must agree with Cgraph.of_matrix directly. *)
+      let g = Q.cgraph t i in
+      check_true "cgraph" (g = Cgraph.of_matrix m))
+    arr
+
+let test_empty_and_degenerate () =
+  with_tmp_dir @@ fun dir ->
+  (* empty corpus *)
+  let empty = Filename.concat dir "empty.umrs" in
+  ignore (Corpus.write_list ~path:empty ~variant:Canonical.Full ~p:2 ~q:2 ~d:3 []);
+  ignore (ok_exn "build empty" (Q.build ~corpus:empty ()));
+  let t = ok_exn "open empty" (Q.open_ ~corpus:empty ()) in
+  let probe = Matrix.create [| [| 1; 1 |]; [| 1; 1 |] |] in
+  check_true "empty mem" (not (Q.mem t probe));
+  check_int "empty rank" 0 (Q.rank t probe);
+  check_true "empty range" (Q.range_prefix t [| 1 |] = (0, 0));
+  check_true "empty nth raises"
+    (match Q.nth t 0 with _ -> false | exception Invalid_argument _ -> true);
+  Q.close t;
+  (* d = 1: records pack to zero bytes; only one matrix exists *)
+  let one = Filename.concat dir "one.umrs" in
+  let m1 = Matrix.create [| [| 1; 1 |] |] in
+  ignore (Corpus.write_list ~path:one ~variant:Canonical.Full ~p:1 ~q:2 ~d:1 [ m1 ]);
+  ignore (ok_exn "build d=1" (Q.build ~corpus:one ()));
+  let t = ok_exn "open d=1" (Q.open_ ~corpus:one ()) in
+  check_true "d=1 nth" (Matrix.equal (Q.nth t 0) m1);
+  check_true "d=1 mem" (Q.mem t m1);
+  check_int "d=1 rank" 0 (Q.rank t m1);
+  Q.close t
+
+let test_error_paths () =
+  with_tmp_dir @@ fun dir ->
+  let path, _ = reference_corpus dir in
+  (* no index yet *)
+  check_true "missing index is Io"
+    (match Q.open_ ~corpus:path () with
+    | Error (Q.Io _) -> true
+    | _ -> false);
+  (* stride validation is a caller error *)
+  check_true "stride < 1 raises"
+    (match Q.build ~corpus:path ~stride:0 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  ignore (ok_exn "build" (Q.build ~corpus:path ()));
+  (* an index of a different corpus: same instance, fewer records *)
+  let other = Filename.concat dir "other.umrs" in
+  let ms = Enumerate.canonical_set ~p:2 ~q:4 ~d:3 () in
+  ignore
+    (Corpus.write_list ~path:other ~variant:Canonical.Full ~p:2 ~q:4 ~d:3
+       (List.filteri (fun i _ -> i > 0) ms));
+  ignore (ok_exn "build other" (Q.build ~corpus:other ()));
+  check_true "foreign index is Mismatch"
+    (match Q.open_ ~corpus:path ~index:(Q.index_path other) () with
+    | Error (Q.Mismatch _) -> true
+    | _ -> false);
+  (* different instance entirely *)
+  let alien = Filename.concat dir "alien.umrs" in
+  ignore
+    (Corpus.write_list ~path:alien ~variant:Canonical.Full ~p:2 ~q:2 ~d:2
+       (Enumerate.canonical_set ~p:2 ~q:2 ~d:2 ()));
+  ignore (ok_exn "build alien" (Q.build ~corpus:alien ()));
+  check_true "alien index is Mismatch"
+    (match Q.open_ ~corpus:path ~index:(Q.index_path alien) () with
+    | Error (Q.Mismatch _) -> true
+    | _ -> false);
+  (* shape validation on point queries *)
+  let t = ok_exn "open" (Q.open_ ~corpus:path ()) in
+  Fun.protect ~finally:(fun () -> Q.close t) @@ fun () ->
+  check_true "wrong shape raises"
+    (match Q.mem t (Matrix.create [| [| 1 |] |]) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_true "long prefix raises"
+    (match Q.range_prefix t (Array.make 9 1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_true "batch validates up front"
+    (match Q.batch t [| Q.Nth 0; Q.Nth 99999 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_stride_extremes () =
+  with_tmp_dir @@ fun dir ->
+  let path, arr = reference_corpus dir in
+  List.iter
+    (fun stride ->
+      let out = Filename.concat dir (Printf.sprintf "s%d.umrsx" stride) in
+      ignore (ok_exn "build" (Q.build ~corpus:path ~stride ~out ()));
+      let t = ok_exn "open" (Q.open_ ~corpus:path ~index:out ()) in
+      Array.iteri
+        (fun i m ->
+          check_true "nth" (Matrix.equal (Q.nth t i) m);
+          check_int "rank" i (Q.rank t m))
+        arr;
+      Q.close t)
+    [ 1; 2; Array.length arr; 10 * Array.length arr ]
+
+let suite =
+  [
+    case "reference corpus roundtrip" test_roundtrip_reference;
+    case "cgraph bridge" test_cgraph_bridge;
+    case "empty and d=1 corpora" test_empty_and_degenerate;
+    case "error paths" test_error_paths;
+    case "stride extremes" test_stride_extremes;
+    Gen.prop ~count:60 "query agrees with the naive oracle" spec_arb check_spec;
+  ]
