@@ -1,0 +1,164 @@
+(* Server load-test smoke check (dune alias @serve-smoke).
+
+   Builds a small reference corpus, serves it over a Unix-domain socket
+   in a temp dir, and drives it with a configurable load matrix:
+   connections x in-flight pipeline depth. Every request is well-formed,
+   the queue is sized above the largest in-flight total, and the run
+   FAILS if any such request is dropped, shed, or answered with the
+   wrong payload - backpressure may only ever hit overload traffic, not
+   this. Records throughput and per-request p50/p95 latency at each
+   concurrency level to BENCH_serve.json (override with --json PATH),
+   then drains the server gracefully and verifies the socket is gone. *)
+
+module Q = Umrs_store.Query
+module Wire = Umrs_server.Wire
+module Server = Umrs_server.Server
+module C = Umrs_client
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("serve_smoke: " ^ s);
+                                exit 1) fmt
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1)))
+
+let flag_value name =
+  let rec go i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+(* One connection's worth of load: [total] requests kept [depth] deep in
+   the pipeline; returns per-request latencies. Requests cycle through
+   the corpus read operations so the mix exercises every data-plane
+   opcode the corpus serves. *)
+let drive addr ~records ~depth ~total =
+  let c =
+    match C.connect ~retries:10 addr with
+    | Ok c -> c
+    | Error e -> die "connect: %s" (C.error_to_string e)
+  in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  let request k =
+    match k mod 3 with
+    | 0 -> Wire.Nth (k mod records)
+    | 1 -> Wire.Range_prefix [||]
+    | _ -> Wire.Cgraph_of (k mod records)
+  in
+  let latencies = Array.make total 0.0 in
+  let sent_at = Hashtbl.create (2 * depth) in
+  let in_flight = Queue.create () in
+  let sent = ref 0 and received = ref 0 in
+  let send_one () =
+    let k = !sent in
+    let ticket =
+      match C.send c (request k) with
+      | Ok t -> t
+      | Error e -> die "send %d: %s" k (C.error_to_string e)
+    in
+    Hashtbl.replace sent_at ticket (Unix.gettimeofday ());
+    Queue.push (k, ticket) in_flight;
+    incr sent
+  in
+  let recv_one () =
+    let k, ticket = Queue.pop in_flight in
+    (match C.recv c ticket with
+    | Ok (Wire.R_matrix _ | Wire.R_range _ | Wire.R_graph _) -> ()
+    | Ok _ -> die "request %d: response of the wrong shape" k
+    | Error e ->
+      die "request %d dropped by the server: %s" k (C.error_to_string e));
+    latencies.(k) <- Unix.gettimeofday () -. Hashtbl.find sent_at ticket;
+    Hashtbl.remove sent_at ticket;
+    incr received
+  in
+  while !sent < min depth total do send_one () done;
+  while !received < total do
+    recv_one ();
+    if !sent < total then send_one ()
+  done;
+  latencies
+
+let () =
+  let dir = Filename.temp_file "umrs_serve_smoke" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let p, q, d = (2, 3, 3) in
+  let corpus = Filename.concat dir "ref.corpus" in
+  ignore (Umrs_store.Builder.build ~p ~q ~d ~out:corpus ());
+  (match Q.build ~corpus () with
+  | Ok _ -> ()
+  | Error e -> die "index build: %s" (Q.error_to_string e));
+  let records =
+    match Q.open_ ~corpus () with
+    | Ok t ->
+      let n = (Q.header t).Umrs_store.Corpus.count in
+      Q.close t;
+      n
+    | Error e -> die "open: %s" (Q.error_to_string e)
+  in
+  let sock = Filename.concat dir "serve.sock" in
+  let addr = Wire.Unix_sock sock in
+  let cfg =
+    { (Server.default_config addr) with
+      Server.corpus = Some corpus; workers = 2; queue_capacity = 256 }
+  in
+  let srv =
+    match Server.start cfg with
+    | Ok srv -> srv
+    | Error e -> die "server start: %s" e
+  in
+  (* (connections x depth): per-connection request budget keeps each
+     level's total work comparable *)
+  let levels = [ (1, 4, 400); (4, 8, 150) ] in
+  let results =
+    List.map
+      (fun (conns, depth, per_conn) ->
+        let t0 = Unix.gettimeofday () in
+        let slots = Array.make conns [||] in
+        let threads =
+          List.init conns (fun i ->
+              Thread.create
+                (fun () ->
+                  slots.(i) <- drive addr ~records ~depth ~total:per_conn)
+                ())
+        in
+        List.iter Thread.join threads;
+        let latencies = Array.concat (Array.to_list slots) in
+        let seconds = Unix.gettimeofday () -. t0 in
+        Array.sort compare latencies;
+        let requests = Array.length latencies in
+        (conns, depth, requests, seconds,
+         float_of_int requests /. seconds,
+         percentile latencies 50., percentile latencies 95.))
+      levels
+  in
+  Server.shutdown srv;
+  Server.wait srv;
+  if Sys.file_exists sock then die "socket file survived the drain";
+  let json = Option.value (flag_value "--json") ~default:"BENCH_serve.json" in
+  let oc = open_out json in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"umrs/bench-serve/v1\",\n\
+    \  \"instance\": {\"p\": %d, \"q\": %d, \"d\": %d, \"records\": %d},\n\
+    \  \"workers\": %d,\n  \"levels\": [\n%s\n  ]\n}\n"
+    p q d records cfg.Server.workers
+    (String.concat ",\n"
+       (List.map
+          (fun (conns, depth, requests, seconds, rps, p50, p95) ->
+            Printf.sprintf
+              "    {\"connections\": %d, \"depth\": %d, \"requests\": %d, \
+               \"seconds\": %.6f, \"rps\": %.1f, \
+               \"latency_seconds\": {\"p50\": %.9f, \"p95\": %.9f}}"
+              conns depth requests seconds rps p50 p95)
+          results));
+  close_out oc;
+  List.iter
+    (fun (conns, depth, requests, _, rps, p50, p95) ->
+      Printf.printf
+        "serve_smoke: %dx%d: %d requests, %.0f req/s, p50 %.1fus p95 %.1fus\n"
+        conns depth requests rps (1e6 *. p50) (1e6 *. p95))
+    results;
+  Printf.printf "serve_smoke: OK (%d records served, drained cleanly; %s)\n"
+    records json

@@ -859,6 +859,222 @@ let table1_cmd =
     (Cmd.info "table1" ~doc:"Table 1: memory bounds vs stretch factor.")
     Term.(const run $ n)
 
+(* ---------- serving ---------- *)
+
+let addr_conv =
+  let parse s =
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "unix" ->
+      Ok (Umrs_server.Wire.Unix_sock (String.sub s (i + 1) (String.length s - i - 1)))
+    | Some i when String.sub s 0 i = "tcp" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | None -> Error (`Msg (Printf.sprintf "tcp address %S needs HOST:PORT" s))
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        match int_of_string_opt (String.sub rest (j + 1) (String.length rest - j - 1)) with
+        | Some port when port >= 0 && port <= 0xFFFF ->
+          Ok (Umrs_server.Wire.Tcp (host, port))
+        | _ -> Error (`Msg (Printf.sprintf "bad port in %S" s))))
+    | _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "address %S is neither unix:PATH nor tcp:HOST:PORT" s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf (Umrs_server.Wire.addr_to_string a)
+  in
+  Arg.conv (parse, print)
+
+let addr_arg =
+  Arg.(required & opt (some addr_conv) None
+       & info [ "a"; "addr" ] ~docv:"ADDR"
+           ~doc:"Service address: unix:PATH or tcp:HOST:PORT (port 0 asks \
+                 the kernel; the resolved port is printed).")
+
+let serve_cmd =
+  let run addr workers queue cache corpus index telemetry =
+    with_telemetry telemetry @@ fun () ->
+    let cfg =
+      { (Umrs_server.Server.default_config addr) with
+        Umrs_server.Server.workers; queue_capacity = queue;
+        cache_capacity = cache; corpus; index }
+    in
+    match Umrs_server.Server.start cfg with
+    | Error msg ->
+      Printf.eprintf "routing_lab: serve: %s\n" msg;
+      exit 1
+    | Ok srv ->
+      Umrs_server.Server.install_signal_handlers srv;
+      pf "serving on %s (%d worker%s, queue %d, cache %d%s)@."
+        (Umrs_server.Wire.addr_to_string (Umrs_server.Server.addr srv))
+        workers
+        (if workers = 1 then "" else "s")
+        queue cache
+        (match corpus with
+        | None -> ", no corpus"
+        | Some c -> Printf.sprintf ", corpus %s" c);
+      pf "SIGTERM/SIGINT drain in-flight requests and exit@.";
+      Umrs_server.Server.wait srv
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"K"
+           ~doc:"Worker domains executing requests.")
+  in
+  let queue =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
+           ~doc:"Bounded job queue; a full queue answers OVERLOADED.")
+  in
+  let cache =
+    Arg.(value & opt int 128 & info [ "cache" ] ~docv:"N"
+           ~doc:"Evaluation LRU entries.")
+  in
+  let corpus =
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"FILE"
+           ~doc:"Indexed corpus to serve (enables info/nth/mem/rank/prefix/\
+                 cgraph requests).")
+  in
+  let index =
+    Arg.(value & opt (some string) None & info [ "index" ] ~docv:"FILE"
+           ~doc:"Sidecar index (default: corpus path + .umrsx).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve corpus queries and scheme evaluations over a socket \
+             (bounded queue, deadlines, evaluation cache, graceful drain).")
+    Term.(const run $ addr_arg $ workers $ queue $ cache $ corpus $ index
+          $ telemetry_arg)
+
+let remote_cmd =
+  let module C = Umrs_client in
+  let fail_client ctx e =
+    Printf.eprintf "routing_lab: remote %s: %s\n" ctx (C.error_to_string e);
+    exit 1
+  in
+  let ok ctx = function Ok v -> v | Error e -> fail_client ctx e in
+  let run addr retries deadline ping want_stats want_info nths mems ranks
+      prefixes cgraphs eval_scheme family size seed sleep =
+    let c = ok "connect" (C.connect ~retries addr) in
+    Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+    let deadline_ms = deadline in
+    if ping then begin
+      ok "ping" (C.ping c);
+      pf "ping: ok@."
+    end;
+    if want_info then begin
+      let h = ok "info" (C.corpus_info c) in
+      pf "corpus: p=%d q=%d d=%d count=%d checksum=%016Lx@."
+        h.Umrs_store.Corpus.p h.Umrs_store.Corpus.q h.Umrs_store.Corpus.d
+        h.Umrs_store.Corpus.count h.Umrs_store.Corpus.checksum
+    end;
+    List.iter
+      (fun i ->
+        let m = ok "nth" (C.nth c i) in
+        pf "nth %d: %s@." i (Matrix.to_string m))
+      nths;
+    List.iter
+      (fun s ->
+        let m = Matrix.of_string s in
+        pf "mem %s: %b@." s (ok "mem" (C.mem c m)))
+      mems;
+    List.iter
+      (fun s ->
+        let m = Matrix.of_string s in
+        pf "rank %s: %d@." s (ok "rank" (C.rank c m)))
+      ranks;
+    List.iter
+      (fun s ->
+        let prefix =
+          String.split_on_char ' ' (String.map (function ',' -> ' ' | c -> c) s)
+          |> List.filter (fun f -> f <> "")
+          |> List.map int_of_string |> Array.of_list
+        in
+        let lo, hi = ok "prefix" (C.range_prefix c prefix) in
+        pf "prefix [%s]: records [%d, %d) - %d matching@." s lo hi (hi - lo))
+      prefixes;
+    List.iter
+      (fun i ->
+        let t = ok "cgraph" (C.cgraph c i) in
+        pf "cgraph %d:@." i;
+        pf "%a@." Graph.pp t.Cgraph.graph)
+      cgraphs;
+    (match eval_scheme with
+    | None -> ()
+    | Some scheme ->
+      let g = graph_of_family ~seed family size in
+      let e =
+        ok "evaluate" (C.evaluate c ~deadline_ms ~scheme ~graph_name:family g)
+      in
+      pf "%a@." Scheme.pp_evaluation e);
+    (match sleep with
+    | None -> ()
+    | Some ms ->
+      let slept = ok "sleep" (C.sleep_ms c ~deadline_ms ms) in
+      pf "slept %d ms@." slept);
+    if want_stats then begin
+      let s = ok "stats" (C.stats c) in
+      pf "connections=%d requests=%d overloaded=%d timeouts=%d rejected=%d@."
+        s.Umrs_server.Wire.st_connections s.Umrs_server.Wire.st_requests
+        s.Umrs_server.Wire.st_overloaded s.Umrs_server.Wire.st_timeouts
+        s.Umrs_server.Wire.st_rejected;
+      pf "cache hits=%d misses=%d queue %d/%d workers=%d draining=%b@."
+        s.Umrs_server.Wire.st_cache_hits s.Umrs_server.Wire.st_cache_misses
+        s.Umrs_server.Wire.st_queue_depth s.Umrs_server.Wire.st_queue_capacity
+        s.Umrs_server.Wire.st_workers s.Umrs_server.Wire.st_draining
+    end
+  in
+  let retries =
+    Arg.(value & opt int 5 & info [ "retries" ] ~docv:"K"
+           ~doc:"Connection retries with doubling backoff.")
+  in
+  let deadline =
+    Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Server-side deadline for evaluate/sleep (0 = none).")
+  in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Round-trip a nonce.") in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print server counters.")
+  in
+  let want_info =
+    Arg.(value & flag & info [ "info" ] ~doc:"Print the served corpus header.")
+  in
+  let nths =
+    Arg.(value & opt_all int [] & info [ "nth" ] ~docv:"I"
+           ~doc:"Fetch record I (repeatable).")
+  in
+  let mems =
+    Arg.(value & opt_all string [] & info [ "mem" ] ~docv:"MATRIX"
+           ~doc:"Membership query (repeatable).")
+  in
+  let ranks =
+    Arg.(value & opt_all string [] & info [ "rank" ] ~docv:"MATRIX"
+           ~doc:"Rank query (repeatable).")
+  in
+  let prefixes =
+    Arg.(value & opt_all string [] & info [ "prefix" ] ~docv:"ENTRIES"
+           ~doc:"Prefix range query (repeatable).")
+  in
+  let cgraphs =
+    Arg.(value & opt_all int [] & info [ "cgraph" ] ~docv:"I"
+           ~doc:"Fetch the graph of constraints of record I (repeatable).")
+  in
+  let eval_scheme =
+    Arg.(value & opt (some string) None & info [ "evaluate" ] ~docv:"SCHEME"
+           ~doc:"Evaluate a registered scheme server-side on --graph/--size.")
+  in
+  let sleep =
+    Arg.(value & opt (some int) None & info [ "sleep-ms" ] ~docv:"MS"
+           ~doc:"Hold a worker for MS milliseconds (diagnostics).")
+  in
+  Cmd.v
+    (Cmd.info "remote"
+       ~doc:"Query a running serve instance: ping, stats, corpus lookups, \
+             remote evaluation.")
+    Term.(const run $ addr_arg $ retries $ deadline $ ping $ stats $ want_info
+          $ nths $ mems $ ranks $ prefixes $ cgraphs $ eval_scheme $ family_arg
+          $ size_arg 16 $ seed_arg $ sleep)
+
 let () =
   let doc =
     "Laboratory for 'Local Memory Requirement of Universal Routing Schemes' \
@@ -873,5 +1089,5 @@ let () =
             cgraph_cmd; lemma1_cmd; theorem1_cmd; reconstruct_cmd; figure1_cmd;
             table1_cmd; orbit_cmd; burnside_cmd; estimate_cmd; dot_cmd; global_cmd;
             optimize_cmd; deadlock_cmd; save_cmd; check_cmd; compare_cmd;
-            broadcast_cmd; corpus_cmd;
+            broadcast_cmd; corpus_cmd; serve_cmd; remote_cmd;
           ]))

@@ -1,0 +1,228 @@
+module Wire = Umrs_server.Wire
+
+type error =
+  | Io of string
+  | Protocol of string
+  | Refused of string
+  | Overloaded
+  | Timed_out
+
+let pp_error ppf = function
+  | Io m -> Format.fprintf ppf "io: %s" m
+  | Protocol m -> Format.fprintf ppf "protocol: %s" m
+  | Refused m -> Format.fprintf ppf "refused: %s" m
+  | Overloaded -> Format.pp_print_string ppf "overloaded"
+  | Timed_out -> Format.pp_print_string ppf "timed out"
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+  (* responses that arrived while [recv] was waiting for another id *)
+  stash : (int, Wire.outcome) Hashtbl.t;
+  mutable is_closed : bool;
+  nonce : int ref;
+}
+
+type ticket = int
+
+let close t =
+  if not t.is_closed then begin
+    t.is_closed <- true;
+    Hashtbl.reset t.stash;
+    (* closes [fd]; [ic] shares it *)
+    close_out_noerr t.oc
+  end
+
+(* Every socket interaction funnels through this: OCaml's channel and
+   Unix layers raise three different exception families for the same
+   "peer is gone" condition and callers should see exactly one. *)
+let io_guard f =
+  try Ok (f ()) with
+  | End_of_file -> Error (Io "connection closed by server")
+  | Sys_error m -> Error (Io m)
+  | Unix.Unix_error (e, fn, _) ->
+    Error (Io (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+
+let sockaddr_of = function
+  | Wire.Unix_sock path -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Wire.Tcp (host, port) -> (
+    match
+      try Ok (Unix.inet_addr_of_string host)
+      with Failure _ -> (
+        match (Unix.gethostbyname host).Unix.h_addr_list with
+        | [||] -> Error (Io (Printf.sprintf "no address for host %S" host))
+        | a -> Ok a.(0)
+        | exception Not_found ->
+          Error (Io (Printf.sprintf "unknown host %S" host)))
+    with
+    | Error _ as e -> e
+    | Ok inet -> Ok (Unix.PF_INET, Unix.ADDR_INET (inet, port)))
+
+let handshake fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  output_bytes oc (Wire.hello ());
+  flush oc;
+  let b = Bytes.create Wire.hello_bytes in
+  really_input ic b 0 Wire.hello_bytes;
+  match Wire.check_hello b with
+  | Ok () ->
+    Ok
+      { fd; ic; oc; next_id = 0; stash = Hashtbl.create 8; is_closed = false;
+        nonce = ref 0 }
+  | Error `Bad_magic -> Error (Protocol "server sent a bad hello magic")
+  | Error (`Bad_version v) ->
+    Error
+      (Protocol
+         (Printf.sprintf "server speaks protocol version %d, expected %d" v
+            Wire.protocol_version))
+
+let connect ?(retries = 0) ?(backoff = 0.05) addr =
+  match sockaddr_of addr with
+  | Error _ as e -> e
+  | Ok (pf, sa) ->
+    let attempt () =
+      let fd = Unix.socket pf Unix.SOCK_STREAM 0 in
+      match
+        io_guard (fun () ->
+            Unix.connect fd sa;
+            handshake fd)
+      with
+      | Ok (Ok _ as ok) -> ok
+      | Ok (Error _ as e) | (Error _ as e) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        e
+    in
+    let rec go left delay =
+      match attempt () with
+      | Ok _ as ok -> ok
+      (* a hello mismatch will not improve with patience *)
+      | Error (Protocol _) as e -> e
+      | Error _ as e ->
+        if left <= 0 then e
+        else begin
+          Unix.sleepf delay;
+          go (left - 1) (delay *. 2.0)
+        end
+    in
+    go (max 0 retries) backoff
+
+let send t ?(deadline_ms = 0) req =
+  if t.is_closed then Error (Io "client handle is closed")
+  else begin
+    let id = t.next_id in
+    t.next_id <- (t.next_id + 1) land 0xFFFFFFFF;
+    match
+      io_guard (fun () ->
+          Wire.write_frame t.oc (Wire.encode_request ~id ~deadline_ms req))
+    with
+    | Ok () -> Ok id
+    | Error _ as e -> e
+  end
+
+let outcome_to_result = function
+  | Wire.Reply r -> Ok r
+  | Wire.Rejected m -> Error (Refused m)
+  | Wire.Overloaded -> Error Overloaded
+  | Wire.Timed_out -> Error Timed_out
+
+let recv t ticket =
+  if t.is_closed then Error (Io "client handle is closed")
+  else
+    match Hashtbl.find_opt t.stash ticket with
+    | Some outcome ->
+      Hashtbl.remove t.stash ticket;
+      outcome_to_result outcome
+    | None ->
+      let rec read_until () =
+        match io_guard (fun () -> Wire.read_frame t.ic) with
+        | Error _ as e -> e
+        | Ok None -> Error (Io "connection closed by server")
+        | Ok (Some payload) -> (
+          match Wire.decode_outcome payload with
+          | exception Invalid_argument m -> Error (Protocol m)
+          | id, outcome ->
+            if id = ticket then outcome_to_result outcome
+            else begin
+              Hashtbl.replace t.stash id outcome;
+              read_until ()
+            end)
+      in
+      read_until ()
+
+let call t ?deadline_ms req =
+  match send t ?deadline_ms req with
+  | Error _ as e -> e
+  | Ok ticket -> recv t ticket
+
+(* ---------- typed calls ---------- *)
+
+let shape what = Error (Protocol ("response is not " ^ what))
+
+let ping t =
+  incr t.nonce;
+  let n = !(t.nonce) land 0xFFFFFFFF in
+  match call t (Wire.Ping n) with
+  | Ok (Wire.R_pong m) ->
+    if m = n then Ok ()
+    else Error (Protocol (Printf.sprintf "pong nonce %d, sent %d" m n))
+  | Ok _ -> shape "a pong"
+  | Error _ as e -> e
+
+let stats t =
+  match call t Wire.Stats with
+  | Ok (Wire.R_stats s) -> Ok s
+  | Ok _ -> shape "stats"
+  | Error _ as e -> e
+
+let corpus_info t =
+  match call t Wire.Corpus_info with
+  | Ok (Wire.R_header h) -> Ok h
+  | Ok _ -> shape "a corpus header"
+  | Error _ as e -> e
+
+let nth t i =
+  match call t (Wire.Nth i) with
+  | Ok (Wire.R_matrix m) -> Ok m
+  | Ok _ -> shape "a matrix"
+  | Error _ as e -> e
+
+let mem t m =
+  match call t (Wire.Mem m) with
+  | Ok (Wire.R_found b) -> Ok b
+  | Ok _ -> shape "a membership bit"
+  | Error _ as e -> e
+
+let rank t m =
+  match call t (Wire.Rank m) with
+  | Ok (Wire.R_rank r) -> Ok r
+  | Ok _ -> shape "a rank"
+  | Error _ as e -> e
+
+let range_prefix t prefix =
+  match call t (Wire.Range_prefix prefix) with
+  | Ok (Wire.R_range (lo, hi)) -> Ok (lo, hi)
+  | Ok _ -> shape "a range"
+  | Error _ as e -> e
+
+let cgraph t i =
+  match call t (Wire.Cgraph_of i) with
+  | Ok (Wire.R_graph g) -> Ok g
+  | Ok _ -> shape "a constraint graph"
+  | Error _ as e -> e
+
+let evaluate t ?deadline_ms ~scheme ~graph_name graph =
+  match call t ?deadline_ms (Wire.Evaluate { scheme; graph_name; graph }) with
+  | Ok (Wire.R_evaluation e) -> Ok e
+  | Ok _ -> shape "an evaluation"
+  | Error _ as e -> e
+
+let sleep_ms t ?deadline_ms ms =
+  match call t ?deadline_ms (Wire.Sleep_ms ms) with
+  | Ok (Wire.R_slept n) -> Ok n
+  | Ok _ -> shape "a sleep acknowledgement"
+  | Error _ as e -> e

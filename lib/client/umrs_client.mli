@@ -1,0 +1,86 @@
+(** Client for the {!Umrs_server} corpus/evaluation service.
+
+    Speaks {!Umrs_server.Wire} over TCP or a Unix-domain socket. The
+    design mirrors {!Umrs_store.Query}: connecting and every call
+    return [result] with a typed error — socket trouble ([Io]), bytes
+    that are not the protocol ([Protocol]), and the server's own
+    verdicts ([Refused], [Overloaded], [Timed_out]) are data the caller
+    dispatches on, never exceptions.
+
+    {2 Pipelining}
+
+    [send] writes a request and returns a ticket without waiting;
+    [recv] blocks for that ticket's response. Many requests may be in
+    flight at once and the server completes them in {e any} order (its
+    worker pool is concurrent), so responses are matched by request id:
+    [recv] stashes whatever else arrives until its own id shows up.
+    [call] is [send] + [recv] for the one-at-a-time case.
+
+    A handle is not thread-safe — pipelining gives one thread
+    concurrency against the server; use one handle per thread for
+    client-side parallelism. *)
+
+type t
+
+type error =
+  | Io of string        (** connect/read/write failed at the socket *)
+  | Protocol of string  (** bad hello, undecodable frame, or a
+                            response of the wrong shape *)
+  | Refused of string   (** server rejected a well-formed request
+                            (out of range, unknown scheme, no corpus) *)
+  | Overloaded          (** shed by the server's bounded queue *)
+  | Timed_out           (** the request's deadline expired server-side *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val connect :
+  ?retries:int -> ?backoff:float -> Umrs_server.Wire.addr -> (t, error) result
+(** Connect and exchange hellos. A refused/unreachable address is
+    retried [retries] more times (default 0), sleeping [backoff]
+    seconds (default 0.05) before the first retry and doubling each
+    attempt — enough to ride out a server that is still binding. *)
+
+val close : t -> unit
+(** Close the socket. Idempotent; pending tickets are lost. *)
+
+(** {1 Pipelined interface} *)
+
+type ticket
+
+val send :
+  t -> ?deadline_ms:int -> Umrs_server.Wire.request -> (ticket, error) result
+(** Write one request frame. [deadline_ms] (default 0 = none) is
+    enforced by the server, wall-clock from when it decodes the
+    frame. *)
+
+val recv : t -> ticket -> (Umrs_server.Wire.response, error) result
+(** Block until this ticket's response arrives, stashing out-of-order
+    arrivals for their own [recv]. Each ticket may be received once. *)
+
+val call :
+  t -> ?deadline_ms:int -> Umrs_server.Wire.request
+  -> (Umrs_server.Wire.response, error) result
+
+(** {1 Typed calls}
+
+    One per request constructor; each checks the response shape and
+    reports a mismatch as [Protocol]. *)
+
+val ping : t -> (unit, error) result
+(** Round-trips a fresh nonce and verifies the echo. *)
+
+val stats : t -> (Umrs_server.Wire.server_stats, error) result
+val corpus_info : t -> (Umrs_store.Corpus.header, error) result
+val nth : t -> int -> (Umrs_core.Matrix.t, error) result
+val mem : t -> Umrs_core.Matrix.t -> (bool, error) result
+val rank : t -> Umrs_core.Matrix.t -> (int, error) result
+val range_prefix : t -> int array -> (int * int, error) result
+val cgraph : t -> int -> (Umrs_core.Cgraph.t, error) result
+
+val evaluate :
+  t -> ?deadline_ms:int -> scheme:string -> graph_name:string
+  -> Umrs_graph.Graph.t
+  -> (Umrs_routing.Scheme.evaluation, error) result
+
+val sleep_ms : t -> ?deadline_ms:int -> int -> (int, error) result

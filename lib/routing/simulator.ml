@@ -161,8 +161,8 @@ let run ?round_limit rf ~pairs =
   stats
 
 let run_flaky ?round_limit st ~loss rf ~pairs =
-  if loss < 0.0 || loss >= 1.0 then
-    invalid_arg "Simulator.run_flaky: need 0 <= loss < 1";
+  if loss < 0.0 || loss > 1.0 then
+    invalid_arg "Simulator.run_flaky: need 0 <= loss <= 1";
   let on_cross _ _ = if Random.State.float st 1.0 < loss then Retry else Cross in
   run_hooked ?round_limit ~on_cross rf ~pairs
 

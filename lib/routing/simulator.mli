@@ -59,7 +59,12 @@ val run_flaky :
 (** Transient link faults: each arc crossing independently fails with
     probability [loss] (the packet retries next round). Measures the
     delay inflation of an unreliable network; with [loss < 1] every
-    packet is eventually delivered (within the round limit). *)
+    packet is eventually delivered (within the round limit). The
+    boundaries behave as the probabilities say: [loss = 0.0] reproduces
+    {!run} exactly (same seed irrelevant — no draw changes a crossing),
+    and [loss = 1.0] delivers nothing, spinning until [round_limit]
+    (mandatory there unless [pairs] has only same-vertex traffic).
+    Raises [Invalid_argument] outside [0 <= loss <= 1]. *)
 
 val run_with_dead_links :
   ?round_limit:int ->

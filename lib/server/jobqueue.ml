@@ -1,0 +1,48 @@
+type 'a t = {
+  buf : 'a Queue.t;
+  cap : int;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable is_closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Jobqueue.create: capacity must be >= 1";
+  { buf = Queue.create (); cap = capacity; m = Mutex.create ();
+    nonempty = Condition.create (); is_closed = false }
+
+let capacity t = t.cap
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let length t = with_lock t (fun () -> Queue.length t.buf)
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.is_closed || Queue.length t.buf >= t.cap then false
+      else begin
+        Queue.push x t.buf;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.buf) then Some (Queue.pop t.buf)
+        else if t.is_closed then None
+        else begin
+          Condition.wait t.nonempty t.m;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  with_lock t (fun () ->
+      t.is_closed <- true;
+      Condition.broadcast t.nonempty)
+
+let closed t = with_lock t (fun () -> t.is_closed)

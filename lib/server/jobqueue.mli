@@ -1,0 +1,31 @@
+(** Bounded multi-producer/multi-consumer job queue (mutex + condition).
+
+    The backpressure point of the server: connection readers push,
+    worker domains pop. [try_push] never blocks — a full queue is the
+    signal to shed load (the server answers [Overloaded]) instead of
+    stalling the reader and silently growing latency. [pop] blocks
+    until a job or until the queue is closed {e and} drained, which is
+    exactly the graceful-shutdown contract: closing stops admission
+    while every job already accepted is still handed to a worker. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Jobs currently queued (racy by nature; for gauges and stats). *)
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the queue is full or closed; never blocks. *)
+
+val pop : 'a t -> 'a option
+(** Blocks for the next job; [None] once the queue is closed and every
+    accepted job has been popped. *)
+
+val close : 'a t -> unit
+(** Stop admitting; wake every blocked [pop]. Idempotent. *)
+
+val closed : 'a t -> bool

@@ -1,0 +1,74 @@
+(* Classic doubly-linked list threaded through a hash table, with a
+   sentinel node so unlink/push need no option cases. The sentinel's
+   [next] is the most recently used node, its [prev] the least. *)
+
+type ('k, 'v) node = {
+  mutable key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node;
+  mutable next : ('k, 'v) node;
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  sentinel : ('k, 'v) node;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  let rec sentinel =
+    { key = Obj.magic 0; value = Obj.magic 0; prev = sentinel; next = sentinel }
+  in
+  { cap = capacity; tbl = Hashtbl.create (2 * capacity); sentinel }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
+
+let push_front t n =
+  n.next <- t.sentinel.next;
+  n.prev <- t.sentinel;
+  t.sentinel.next.prev <- n;
+  t.sentinel.next <- n
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+    unlink n;
+    push_front t n;
+    Some n.value
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let add t k v =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+    n.value <- v;
+    unlink n;
+    push_front t n
+  | None ->
+    if Hashtbl.length t.tbl >= t.cap then begin
+      let lru = t.sentinel.prev in
+      (* cap >= 1 and the table is non-empty, so [lru] is a real node *)
+      unlink lru;
+      Hashtbl.remove t.tbl lru.key
+    end;
+    let n = { key = k; value = v; prev = t.sentinel; next = t.sentinel } in
+    push_front t n;
+    Hashtbl.replace t.tbl k n
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.sentinel.next <- t.sentinel;
+  t.sentinel.prev <- t.sentinel
+
+let to_list t =
+  let rec go acc n =
+    if n == t.sentinel then List.rev acc else go ((n.key, n.value) :: acc) n.next
+  in
+  go [] t.sentinel.next

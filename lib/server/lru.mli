@@ -1,0 +1,35 @@
+(** Bounded least-recently-used cache (hash table + intrusive list).
+
+    The server's evaluation cache: scheme evaluation on a graph is
+    orders of magnitude more expensive than a table lookup, and serving
+    workloads repeat (the same benchmark graph, the same hot corpus
+    record), so a small LRU in front of {!Umrs_routing.Scheme.evaluate}
+    absorbs the repeats. [find] and [add] are O(1); eviction removes
+    the least recently touched binding.
+
+    Not thread-safe: callers serialize access (the server wraps one
+    instance in a mutex shared by its worker pool). *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Looks a key up and, on a hit, marks it most recently used. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite a binding as most recently used, evicting the
+    least recently used binding when the cache is full. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Pure membership test — does {e not} touch recency. *)
+
+val clear : ('k, 'v) t -> unit
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Bindings from most to least recently used (test observability). *)

@@ -1,0 +1,448 @@
+type config = {
+  addr : Wire.addr;
+  workers : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  corpus : string option;
+  index : string option;
+  max_frame_bytes : int;
+  max_sleep_ms : int;
+}
+
+let default_config addr =
+  { addr; workers = 2; queue_capacity = 64; cache_capacity = 128;
+    corpus = None; index = None; max_frame_bytes = Wire.default_max_frame;
+    max_sleep_ms = 60_000 }
+
+(* ---------- telemetry ---------- *)
+
+let c_accepted = Telemetry.counter "server.connections"
+let c_requests = Telemetry.counter "server.requests"
+let c_overloaded = Telemetry.counter "server.overloaded"
+let c_timeouts = Telemetry.counter "server.timeouts"
+let c_rejected = Telemetry.counter "server.rejected"
+let c_cache_hits = Telemetry.counter "server.cache_hits"
+let c_cache_misses = Telemetry.counter "server.cache_misses"
+let g_queue_depth = Telemetry.gauge "server.queue_depth"
+
+(* ---------- connections ---------- *)
+
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  c_ic : in_channel;
+  c_oc : out_channel;
+  c_wlock : Mutex.t;
+  mutable c_alive : bool;  (* cleared (under [c_wlock]) before close *)
+}
+
+type job = {
+  j_conn : conn;
+  j_id : int;
+  j_deadline : float;  (* absolute seconds; [infinity] = none *)
+  j_req : Wire.request;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  actual_addr : Wire.addr;
+  queue : job Jobqueue.t;
+  stop : bool Atomic.t;
+  conns : (int, conn) Hashtbl.t;
+  conns_lock : Mutex.t;
+  cache : (string * string * int64, Umrs_routing.Scheme.evaluation) Lru.t;
+  cache_lock : Mutex.t;
+  n_conns : int Atomic.t;
+  n_requests : int Atomic.t;
+  n_overloaded : int Atomic.t;
+  n_timeouts : int Atomic.t;
+  n_rejected : int Atomic.t;
+  n_cache_hits : int Atomic.t;
+  n_cache_misses : int Atomic.t;
+  mutable acceptor : Thread.t option;
+  mutable worker_domains : unit Domain.t list;
+  mutable readers : Thread.t list;  (* under [conns_lock] *)
+  mutable waited : bool;
+}
+
+let addr t = t.actual_addr
+
+let stats_of srv =
+  { Wire.st_connections = Atomic.get srv.n_conns;
+    st_requests = Atomic.get srv.n_requests;
+    st_overloaded = Atomic.get srv.n_overloaded;
+    st_timeouts = Atomic.get srv.n_timeouts;
+    st_rejected = Atomic.get srv.n_rejected;
+    st_cache_hits = Atomic.get srv.n_cache_hits;
+    st_cache_misses = Atomic.get srv.n_cache_misses;
+    st_queue_depth = Jobqueue.length srv.queue;
+    st_queue_capacity = srv.cfg.queue_capacity;
+    st_workers = srv.cfg.workers;
+    st_draining = Atomic.get srv.stop }
+
+(* Only the reader thread ever closes a connection's descriptor;
+   everyone else at most marks it dead and writes under [c_wlock], so a
+   worker can never touch a recycled fd. *)
+let send_outcome conn ~id outcome =
+  Mutex.lock conn.c_wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.c_wlock)
+    (fun () ->
+      if conn.c_alive then
+        try Wire.write_frame conn.c_oc (Wire.encode_outcome ~id outcome)
+        with Sys_error _ | Unix.Unix_error _ -> conn.c_alive <- false)
+
+(* ---------- request execution (worker side) ---------- *)
+
+let exec_corpus query f =
+  match query with
+  | None -> Wire.Rejected "no corpus attached to this server"
+  | Some q -> f q
+
+let exec srv query req =
+  match req with
+  | Wire.Ping nonce -> Wire.Reply (Wire.R_pong nonce)
+  | Wire.Stats -> Wire.Reply (Wire.R_stats (stats_of srv))
+  | Wire.Corpus_info ->
+    exec_corpus query (fun q ->
+        Wire.Reply (Wire.R_header (Umrs_store.Query.header q)))
+  | Wire.Nth i ->
+    exec_corpus query (fun q ->
+        Wire.Reply (Wire.R_matrix (Umrs_store.Query.nth q i)))
+  | Wire.Mem m ->
+    exec_corpus query (fun q ->
+        Wire.Reply (Wire.R_found (Umrs_store.Query.mem q m)))
+  | Wire.Rank m ->
+    exec_corpus query (fun q ->
+        Wire.Reply (Wire.R_rank (Umrs_store.Query.rank q m)))
+  | Wire.Range_prefix prefix ->
+    exec_corpus query (fun q ->
+        let lo, hi = Umrs_store.Query.range_prefix q prefix in
+        Wire.Reply (Wire.R_range (lo, hi)))
+  | Wire.Cgraph_of i ->
+    exec_corpus query (fun q ->
+        Wire.Reply (Wire.R_graph (Umrs_store.Query.cgraph q i)))
+  | Wire.Evaluate { scheme; graph_name; graph } -> (
+    match Umrs_routing.Registry.find scheme with
+    | None -> Wire.Rejected (Printf.sprintf "unknown scheme %S" scheme)
+    | Some s ->
+      let key = (scheme, graph_name, Wire.graph_digest graph) in
+      let cached =
+        Mutex.lock srv.cache_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock srv.cache_lock)
+          (fun () -> Lru.find srv.cache key)
+      in
+      (match cached with
+      | Some e ->
+        Atomic.incr srv.n_cache_hits;
+        Telemetry.add c_cache_hits 1;
+        Wire.Reply (Wire.R_evaluation e)
+      | None ->
+        Atomic.incr srv.n_cache_misses;
+        Telemetry.add c_cache_misses 1;
+        (* The expensive build runs outside the cache lock: two workers
+           racing on the same graph duplicate work once rather than
+           serializing every evaluation. *)
+        let e = Umrs_routing.Scheme.evaluate s ~graph_name graph in
+        Mutex.lock srv.cache_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock srv.cache_lock)
+          (fun () -> Lru.add srv.cache key e);
+        Wire.Reply (Wire.R_evaluation e)))
+  | Wire.Sleep_ms ms ->
+    if ms < 0 || ms > srv.cfg.max_sleep_ms then
+      Wire.Rejected
+        (Printf.sprintf "sleep %d outside [0, %d] ms" ms srv.cfg.max_sleep_ms)
+    else begin
+      if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.0);
+      Wire.Reply (Wire.R_slept ms)
+    end
+
+let handle_job srv query job =
+  let now = Unix.gettimeofday () in
+  if now > job.j_deadline then begin
+    Atomic.incr srv.n_timeouts;
+    Telemetry.add c_timeouts 1;
+    send_outcome job.j_conn ~id:job.j_id Wire.Timed_out
+  end
+  else begin
+    let outcome =
+      (* A request the library layer refuses (out-of-range record, shape
+         mismatch, undecodable graph...) is the caller's problem, never
+         the server's: report it, keep serving. *)
+      try exec srv query job.j_req with
+      | Invalid_argument msg | Failure msg -> Wire.Rejected msg
+      | Not_found -> Wire.Rejected "not found"
+      | e -> Wire.Rejected (Printexc.to_string e)
+    in
+    let finished = Unix.gettimeofday () in
+    let outcome =
+      if finished > job.j_deadline then begin
+        Atomic.incr srv.n_timeouts;
+        Telemetry.add c_timeouts 1;
+        Wire.Timed_out
+      end
+      else begin
+        (match outcome with
+        | Wire.Rejected _ ->
+          Atomic.incr srv.n_rejected;
+          Telemetry.add c_rejected 1
+        | _ -> ());
+        outcome
+      end
+    in
+    if Telemetry.enabled () then
+      Telemetry.emit "server.request"
+        [ ("op", Telemetry.Str (Wire.opcode_name (Wire.opcode job.j_req)));
+          ("seconds", Telemetry.Float (finished -. now));
+          ("ok", Telemetry.Bool (match outcome with Wire.Reply _ -> true | _ -> false)) ];
+    send_outcome job.j_conn ~id:job.j_id outcome
+  end
+
+let worker_loop srv =
+  (* Each worker owns a private Query handle: the point lookups share a
+     seekable cursor that is single-threaded by design. *)
+  let query =
+    match srv.cfg.corpus with
+    | None -> None
+    | Some corpus -> (
+      match Umrs_store.Query.open_ ~corpus ?index:srv.cfg.index () with
+      | Ok q -> Some q
+      | Error _ -> None (* validated at [start]; raced file damage only *))
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Umrs_store.Query.close query)
+    (fun () ->
+      let rec loop () =
+        match Jobqueue.pop srv.queue with
+        | None -> ()
+        | Some job ->
+          Telemetry.set_gauge g_queue_depth
+            (float_of_int (Jobqueue.length srv.queue));
+          handle_job srv query job;
+          loop ()
+      in
+      loop ())
+
+(* ---------- connection reader ---------- *)
+
+let close_conn srv conn =
+  Mutex.lock conn.c_wlock;
+  conn.c_alive <- false;
+  Mutex.unlock conn.c_wlock;
+  Mutex.lock srv.conns_lock;
+  Hashtbl.remove srv.conns conn.c_id;
+  Mutex.unlock srv.conns_lock;
+  (* closes the fd too; the reader is the single closure point *)
+  close_out_noerr conn.c_oc
+
+let handshake conn =
+  let b = Bytes.create Wire.hello_bytes in
+  really_input conn.c_ic b 0 Wire.hello_bytes;
+  match Wire.check_hello b with
+  | Error _ -> false
+  | Ok () ->
+    output_bytes conn.c_oc (Wire.hello ());
+    flush conn.c_oc;
+    true
+
+let reader_loop srv conn =
+  (try
+     if handshake conn then begin
+       let continue = ref true in
+       while !continue do
+         match Wire.read_frame ~max_bytes:srv.cfg.max_frame_bytes conn.c_ic with
+         | None -> continue := false
+         | Some payload -> (
+           match Wire.decode_request payload with
+           | exception _ ->
+             (* protocol violation: drop the connection, don't guess *)
+             continue := false
+           | id, deadline_ms, req -> (
+             Atomic.incr srv.n_requests;
+             Telemetry.add c_requests 1;
+             match req with
+             | Wire.Ping _ | Wire.Stats ->
+               (* control plane: answered inline so a saturated worker
+                  pool never blinds monitoring *)
+               send_outcome conn ~id (exec srv None req)
+             | _ ->
+               let deadline =
+                 if deadline_ms <= 0 then infinity
+                 else Unix.gettimeofday () +. (float_of_int deadline_ms /. 1000.)
+               in
+               let job = { j_conn = conn; j_id = id; j_deadline = deadline; j_req = req } in
+               if Atomic.get srv.stop || not (Jobqueue.try_push srv.queue job)
+               then begin
+                 Atomic.incr srv.n_overloaded;
+                 Telemetry.add c_overloaded 1;
+                 send_outcome conn ~id Wire.Overloaded
+               end
+               else
+                 Telemetry.set_gauge g_queue_depth
+                   (float_of_int (Jobqueue.length srv.queue))))
+       done
+     end
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  close_conn srv conn
+
+(* ---------- acceptor ---------- *)
+
+let accept_loop srv =
+  let next_id = ref 0 in
+  while not (Atomic.get srv.stop) do
+    match Unix.select [ srv.listen_fd ] [] [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept srv.listen_fd with
+      | exception Unix.Unix_error _ -> ()
+      | fd, _ ->
+        Atomic.incr srv.n_conns;
+        Telemetry.add c_accepted 1;
+        incr next_id;
+        let conn =
+          { c_id = !next_id; c_fd = fd;
+            c_ic = Unix.in_channel_of_descr fd;
+            c_oc = Unix.out_channel_of_descr fd;
+            c_wlock = Mutex.create (); c_alive = true }
+        in
+        Mutex.lock srv.conns_lock;
+        Hashtbl.replace srv.conns conn.c_id conn;
+        let th = Thread.create (fun () -> reader_loop srv conn) () in
+        srv.readers <- th :: srv.readers;
+        Mutex.unlock srv.conns_lock)
+  done;
+  Unix.close srv.listen_fd
+
+(* ---------- lifecycle ---------- *)
+
+let validate_corpus cfg =
+  match cfg.corpus with
+  | None -> Ok ()
+  | Some corpus -> (
+    match Umrs_store.Query.open_ ~corpus ?index:cfg.index () with
+    | Ok q ->
+      Umrs_store.Query.close q;
+      Ok ()
+    | Error e -> Error (Umrs_store.Query.error_to_string e))
+
+let bind_listen addr =
+  match addr with
+  | Wire.Unix_sock path ->
+    if Sys.file_exists path then Sys.remove path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 64;
+       Ok (fd, addr)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       Error (Printexc.to_string e))
+  | Wire.Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       let inet =
+         try Unix.inet_addr_of_string host
+         with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+       in
+       Unix.bind fd (Unix.ADDR_INET (inet, port));
+       Unix.listen fd 64;
+       let actual =
+         match Unix.getsockname fd with
+         | Unix.ADDR_INET (_, p) -> Wire.Tcp (host, p)
+         | _ -> addr
+       in
+       Ok (fd, actual)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       Error (Printexc.to_string e))
+
+let start cfg =
+  if cfg.workers < 1 then Error "Server: workers must be >= 1"
+  else if cfg.queue_capacity < 1 then Error "Server: queue_capacity must be >= 1"
+  else if cfg.cache_capacity < 1 then Error "Server: cache_capacity must be >= 1"
+  else
+    match validate_corpus cfg with
+    | Error e -> Error e
+    | Ok () -> (
+      match bind_listen cfg.addr with
+      | Error e -> Error e
+      | Ok (listen_fd, actual_addr) ->
+        (* a worker writing to a connection its client abandoned must
+           not kill the process *)
+        (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+         with Invalid_argument _ -> ());
+        let srv =
+          { cfg; listen_fd; actual_addr;
+            queue = Jobqueue.create ~capacity:cfg.queue_capacity;
+            stop = Atomic.make false;
+            conns = Hashtbl.create 16; conns_lock = Mutex.create ();
+            cache = Lru.create ~capacity:cfg.cache_capacity;
+            cache_lock = Mutex.create ();
+            n_conns = Atomic.make 0; n_requests = Atomic.make 0;
+            n_overloaded = Atomic.make 0; n_timeouts = Atomic.make 0;
+            n_rejected = Atomic.make 0; n_cache_hits = Atomic.make 0;
+            n_cache_misses = Atomic.make 0;
+            acceptor = None; worker_domains = []; readers = [];
+            waited = false }
+        in
+        srv.worker_domains <-
+          List.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop srv));
+        srv.acceptor <- Some (Thread.create (fun () -> accept_loop srv) ());
+        Ok srv)
+
+let shutdown srv = Atomic.set srv.stop true
+
+let wait srv =
+  if not srv.waited then begin
+    srv.waited <- true;
+    (* 0. poll [stop] from an interruptible sleep rather than blocking
+       straight away in a join: OCaml runs signal handlers in the main
+       thread, and a main thread parked in [Thread.join] leaves a
+       SIGTERM pending for over a second, while one waking from
+       [sleepf] handles it within a tick *)
+    while not (Atomic.get srv.stop) do
+      (try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    done;
+    (* 1. the acceptor exits once [stop] is set and closes the listener *)
+    Option.iter Thread.join srv.acceptor;
+    (* 2. stop admission; workers drain every accepted job, answer it,
+       then exit *)
+    Jobqueue.close srv.queue;
+    List.iter Domain.join srv.worker_domains;
+    (* 3. responses are all written: flush telemetry so the JSONL sink
+       holds whole records even if the process dies right after *)
+    Telemetry.flush_metrics ();
+    Telemetry.flush ();
+    (* 4. wake readers blocked mid-read; they close their own fds *)
+    Mutex.lock srv.conns_lock;
+    Hashtbl.iter
+      (fun _ conn ->
+        try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL
+        with Unix.Unix_error _ -> ())
+      srv.conns;
+    let readers = srv.readers in
+    Mutex.unlock srv.conns_lock;
+    List.iter Thread.join readers;
+    match srv.actual_addr with
+    | Wire.Unix_sock path -> (try Sys.remove path with Sys_error _ -> ())
+    | Wire.Tcp _ -> ()
+  end
+
+let install_signal_handlers srv =
+  let stop_now _ = Atomic.set srv.stop true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_now);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_now);
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let run cfg =
+  match start cfg with
+  | Error e -> Error e
+  | Ok srv ->
+    install_signal_handlers srv;
+    wait srv;
+    Ok ()

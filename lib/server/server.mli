@@ -1,0 +1,83 @@
+(** Concurrent corpus/evaluation server.
+
+    Serves the suite's heavy artifacts over a socket: indexed corpus
+    queries ({!Umrs_store.Query}), on-demand Lemma-2 graph
+    construction, and routing-scheme evaluation
+    ({!Umrs_routing.Registry} + {!Umrs_routing.Scheme.evaluate}),
+    speaking the {!Wire} protocol over TCP or a Unix-domain socket.
+
+    {2 Architecture}
+
+    One {e acceptor} thread owns the listening socket; each accepted
+    connection gets a {e reader} thread that performs the hello
+    exchange, decodes frames, answers control-plane requests ([Ping],
+    [Stats]) inline, and pushes everything else onto a bounded
+    {!Jobqueue} consumed by a pool of {e worker domains} (OCaml 5
+    [Domain.spawn]). Responses are written by whichever thread produced
+    them, serialized per connection by a write mutex, so out-of-order
+    completion is expected and clients match responses by request id.
+
+    {2 Backpressure, deadlines, caching}
+
+    A full job queue sheds load: the reader answers [Overloaded]
+    immediately instead of blocking, so a saturated server stays
+    responsive and never builds unbounded latency. Each request may
+    carry a deadline; a job whose deadline expires while queued is
+    answered [Timed_out] without being executed, and one that finishes
+    past its deadline is answered [Timed_out] rather than returning a
+    stale result late. Evaluation results are memoized in an {!Lru}
+    cache keyed by (scheme name, graph name, {!Wire.graph_digest}) —
+    the digest covers ports, so two graphs that differ only in local
+    port numbering never alias.
+
+    {2 Shutdown}
+
+    {!shutdown} (or SIGTERM/SIGINT after
+    {!install_signal_handlers}) stops admission; every request already
+    accepted is still executed and answered, workers drain the queue
+    and exit, telemetry metrics are flushed ({!Telemetry.flush}), and
+    only then are connections closed. Per-worker {!Umrs_store.Query}
+    handles are closed on the way out. *)
+
+type config = {
+  addr : Wire.addr;
+  workers : int;             (** worker-domain count, >= 1 *)
+  queue_capacity : int;      (** bounded job queue, >= 1 *)
+  cache_capacity : int;      (** evaluation LRU entries, >= 1 *)
+  corpus : string option;    (** corpus file to serve (optional) *)
+  index : string option;     (** sidecar index (default: corpus + .umrsx) *)
+  max_frame_bytes : int;     (** reject larger frames before allocating *)
+  max_sleep_ms : int;        (** cap on [Sleep_ms] requests *)
+}
+
+val default_config : Wire.addr -> config
+(** 2 workers, queue 64, cache 128, no corpus, {!Wire.default_max_frame},
+    sleep cap 60000 ms. *)
+
+type t
+
+val start : config -> (t, string) result
+(** Validate the corpus/index (when configured), bind and listen, spawn
+    the acceptor and the worker pool. [Error] (not an exception) on a
+    bad config, unbindable address, or a corpus that fails
+    {!Umrs_store.Query.open_}. A TCP port of 0 is resolved by the
+    kernel; see {!addr}. *)
+
+val addr : t -> Wire.addr
+(** The actual listening address ([Tcp] with the resolved port). *)
+
+val shutdown : t -> unit
+(** Request graceful drain; returns immediately. Idempotent. *)
+
+val wait : t -> unit
+(** Block until the server has fully drained and released every
+    resource. Call once, after {!shutdown} or with handlers installed;
+    with neither it blocks forever. *)
+
+val install_signal_handlers : t -> unit
+(** SIGTERM and SIGINT trigger {!shutdown}; SIGPIPE is ignored (a
+    worker writing to a dead connection must not kill the process). *)
+
+val run : config -> (unit, string) result
+(** [start] + {!install_signal_handlers} + [wait] — the CLI serving
+    loop. *)

@@ -1,0 +1,443 @@
+open Umrs_core
+open Umrs_graph
+module Bitbuf = Umrs_bitcode.Bitbuf
+
+type addr =
+  | Unix_sock of string
+  | Tcp of string * int
+
+let pp_addr fmt = function
+  | Unix_sock path -> Format.fprintf fmt "unix:%s" path
+  | Tcp (host, port) -> Format.fprintf fmt "tcp:%s:%d" host port
+
+let addr_to_string a = Format.asprintf "%a" pp_addr a
+
+type request =
+  | Ping of int
+  | Stats
+  | Corpus_info
+  | Nth of int
+  | Mem of Matrix.t
+  | Rank of Matrix.t
+  | Range_prefix of int array
+  | Cgraph_of of int
+  | Evaluate of { scheme : string; graph_name : string; graph : Graph.t }
+  | Sleep_ms of int
+
+let opcode = function
+  | Ping _ -> 0
+  | Stats -> 1
+  | Corpus_info -> 2
+  | Nth _ -> 3
+  | Mem _ -> 4
+  | Rank _ -> 5
+  | Range_prefix _ -> 6
+  | Cgraph_of _ -> 7
+  | Evaluate _ -> 8
+  | Sleep_ms _ -> 9
+
+let opcode_name = function
+  | 0 -> "ping"
+  | 1 -> "stats"
+  | 2 -> "corpus_info"
+  | 3 -> "nth"
+  | 4 -> "mem"
+  | 5 -> "rank"
+  | 6 -> "range_prefix"
+  | 7 -> "cgraph"
+  | 8 -> "evaluate"
+  | 9 -> "sleep"
+  | n -> Printf.sprintf "opcode-%d" n
+
+type server_stats = {
+  st_connections : int;
+  st_requests : int;
+  st_overloaded : int;
+  st_timeouts : int;
+  st_rejected : int;
+  st_cache_hits : int;
+  st_cache_misses : int;
+  st_queue_depth : int;
+  st_queue_capacity : int;
+  st_workers : int;
+  st_draining : bool;
+}
+
+type response =
+  | R_pong of int
+  | R_stats of server_stats
+  | R_header of Umrs_store.Corpus.header
+  | R_matrix of Matrix.t
+  | R_found of bool
+  | R_rank of int
+  | R_range of int * int
+  | R_graph of Cgraph.t
+  | R_evaluation of Umrs_routing.Scheme.evaluation
+  | R_slept of int
+
+type outcome =
+  | Reply of response
+  | Rejected of string
+  | Overloaded
+  | Timed_out
+
+(* ---------- field primitives ---------- *)
+
+let u8 b x =
+  if x < 0 || x > 0xFF then invalid_arg "Wire: u8 out of range";
+  Bitbuf.add_bits b x ~width:8
+
+let u16 b x =
+  if x < 0 || x > 0xFFFF then invalid_arg "Wire: u16 out of range";
+  Bitbuf.add_bits b x ~width:16
+
+let u32 b x =
+  if x < 0 || x > 0xFFFFFFFF then invalid_arg "Wire: u32 out of range";
+  Bitbuf.add_bits b x ~width:32
+
+let r8 rd = Bitbuf.read_bits rd ~width:8
+let r16 rd = Bitbuf.read_bits rd ~width:16
+let r32 rd = Bitbuf.read_bits rd ~width:32
+
+(* 64-bit quantities as two 32-bit halves, high first (add_bits caps
+   widths at 62, so a single field cannot carry an int64). *)
+let i64 b (x : int64) =
+  u32 b (Int64.to_int (Int64.shift_right_logical x 32));
+  u32 b (Int64.to_int (Int64.logand x 0xFFFFFFFFL))
+
+let ri64 rd =
+  let hi = Int64.of_int (r32 rd) in
+  let lo = Int64.of_int (r32 rd) in
+  Int64.logor (Int64.shift_left hi 32) lo
+
+(* Non-negative OCaml ints that may exceed 32 bits (memory totals,
+   record counts) travel as i64. *)
+let int64_of_nonneg name x =
+  if x < 0 then invalid_arg (Printf.sprintf "Wire: negative %s" name);
+  Int64.of_int x
+
+let rint64 rd name =
+  let x = ri64 rd in
+  if Int64.compare x 0L < 0 || Int64.compare x (Int64.of_int max_int) > 0 then
+    invalid_arg (Printf.sprintf "Wire: %s out of range" name);
+  Int64.to_int x
+
+let f64 b x = i64 b (Int64.bits_of_float x)
+let rf64 rd = Int64.float_of_bits (ri64 rd)
+
+let str b s =
+  u32 b (String.length s);
+  String.iter (fun c -> u8 b (Char.code c)) s
+
+let rstr rd =
+  let n = r32 rd in
+  (* Each character costs 8 bits: bound the allocation by what the
+     buffer can actually hold before trusting the length. *)
+  if n * 8 > Bitbuf.remaining rd then invalid_arg "Wire: truncated string";
+  String.init n (fun _ -> Char.chr (r8 rd))
+
+let wbool b x = Bitbuf.add_bit b x
+let rbool rd = Bitbuf.read_bit rd
+
+(* ---------- composite codecs ---------- *)
+
+let enc_matrix b (m : Matrix.t) =
+  u16 b m.Matrix.p;
+  u16 b m.Matrix.q;
+  Array.iter (Array.iter (fun x -> u16 b x)) m.Matrix.entries
+
+let dec_matrix rd =
+  let p = r16 rd in
+  let q = r16 rd in
+  if p < 1 || q < 1 then invalid_arg "Wire: bad matrix dimensions";
+  if p * q * 16 > Bitbuf.remaining rd then invalid_arg "Wire: truncated matrix";
+  let rows = Array.init p (fun _ -> Array.init q (fun _ -> r16 rd)) in
+  Matrix.create_relaxed rows
+
+(* Adjacency rows in port order: the round-trip preserves the local
+   port numbering the routing model depends on. *)
+let enc_graph b g =
+  let n = Graph.order g in
+  u32 b n;
+  for v = 0 to n - 1 do
+    let nb = Graph.neighbors g v in
+    u16 b (Array.length nb);
+    Array.iter (fun u -> u32 b u) nb
+  done
+
+let dec_graph rd =
+  let n = r32 rd in
+  if n < 1 then invalid_arg "Wire: bad graph order";
+  let adj =
+    Array.init n (fun _ ->
+        let deg = r16 rd in
+        if deg * 32 > Bitbuf.remaining rd then
+          invalid_arg "Wire: truncated graph";
+        Array.init deg (fun _ -> r32 rd))
+  in
+  Graph.of_adjacency adj
+
+let enc_header b (h : Umrs_store.Corpus.header) =
+  u16 b h.Umrs_store.Corpus.version;
+  u8 b (match h.Umrs_store.Corpus.variant with
+        | Canonical.Full -> 0
+        | Canonical.Positional -> 1);
+  u16 b h.Umrs_store.Corpus.p;
+  u16 b h.Umrs_store.Corpus.q;
+  u16 b h.Umrs_store.Corpus.d;
+  i64 b (int64_of_nonneg "count" h.Umrs_store.Corpus.count);
+  i64 b h.Umrs_store.Corpus.checksum
+
+let dec_header rd : Umrs_store.Corpus.header =
+  let version = r16 rd in
+  let variant =
+    match r8 rd with
+    | 0 -> Canonical.Full
+    | 1 -> Canonical.Positional
+    | v -> invalid_arg (Printf.sprintf "Wire: unknown variant byte %d" v)
+  in
+  let p = r16 rd in
+  let q = r16 rd in
+  let d = r16 rd in
+  let count = rint64 rd "count" in
+  let checksum = ri64 rd in
+  { Umrs_store.Corpus.version; variant; p; q; d; count; checksum }
+
+let enc_stats b st =
+  u32 b st.st_connections;
+  u32 b st.st_requests;
+  u32 b st.st_overloaded;
+  u32 b st.st_timeouts;
+  u32 b st.st_rejected;
+  u32 b st.st_cache_hits;
+  u32 b st.st_cache_misses;
+  u32 b st.st_queue_depth;
+  u32 b st.st_queue_capacity;
+  u32 b st.st_workers;
+  wbool b st.st_draining
+
+let dec_stats rd =
+  let st_connections = r32 rd in
+  let st_requests = r32 rd in
+  let st_overloaded = r32 rd in
+  let st_timeouts = r32 rd in
+  let st_rejected = r32 rd in
+  let st_cache_hits = r32 rd in
+  let st_cache_misses = r32 rd in
+  let st_queue_depth = r32 rd in
+  let st_queue_capacity = r32 rd in
+  let st_workers = r32 rd in
+  let st_draining = rbool rd in
+  { st_connections; st_requests; st_overloaded; st_timeouts; st_rejected;
+    st_cache_hits; st_cache_misses; st_queue_depth; st_queue_capacity;
+    st_workers; st_draining }
+
+let enc_evaluation b (e : Umrs_routing.Scheme.evaluation) =
+  str b e.Umrs_routing.Scheme.scheme_name;
+  str b e.Umrs_routing.Scheme.graph_name;
+  u32 b e.Umrs_routing.Scheme.order;
+  u32 b e.Umrs_routing.Scheme.edges;
+  i64 b (int64_of_nonneg "mem_local" e.Umrs_routing.Scheme.mem_local_bits);
+  i64 b (int64_of_nonneg "mem_global" e.Umrs_routing.Scheme.mem_global_bits);
+  let s = e.Umrs_routing.Scheme.stretch in
+  f64 b s.Umrs_routing.Routing_function.max_ratio;
+  u32 b (fst s.Umrs_routing.Routing_function.worst_pair);
+  u32 b (snd s.Umrs_routing.Routing_function.worst_pair);
+  u32 b s.Umrs_routing.Routing_function.worst_route;
+  u32 b s.Umrs_routing.Routing_function.worst_dist;
+  f64 b s.Umrs_routing.Routing_function.mean_ratio
+
+let dec_evaluation rd : Umrs_routing.Scheme.evaluation =
+  let scheme_name = rstr rd in
+  let graph_name = rstr rd in
+  let order = r32 rd in
+  let edges = r32 rd in
+  let mem_local_bits = rint64 rd "mem_local" in
+  let mem_global_bits = rint64 rd "mem_global" in
+  let max_ratio = rf64 rd in
+  let wa = r32 rd in
+  let wb = r32 rd in
+  let worst_route = r32 rd in
+  let worst_dist = r32 rd in
+  let mean_ratio = rf64 rd in
+  { Umrs_routing.Scheme.scheme_name; graph_name; order; edges;
+    mem_local_bits; mem_global_bits;
+    stretch =
+      { Umrs_routing.Routing_function.max_ratio; worst_pair = (wa, wb);
+        worst_route; worst_dist; mean_ratio } }
+
+(* ---------- hello ---------- *)
+
+let magic = "UMRSSRVC"
+let protocol_version = 1
+let hello_bytes = 10
+
+let hello () =
+  let b = Bytes.create hello_bytes in
+  Bytes.blit_string magic 0 b 0 8;
+  Bytes.set_uint16_le b 8 protocol_version;
+  b
+
+let check_hello b =
+  if Bytes.length b <> hello_bytes || Bytes.sub_string b 0 8 <> magic then
+    Error `Bad_magic
+  else
+    let v = Bytes.get_uint16_le b 8 in
+    if v <> protocol_version then Error (`Bad_version v) else Ok ()
+
+(* ---------- requests ---------- *)
+
+let encode_request ~id ~deadline_ms req =
+  let b = Bitbuf.create () in
+  u32 b (id land 0xFFFFFFFF);
+  u32 b (max 0 deadline_ms land 0xFFFFFFFF);
+  u8 b (opcode req);
+  (match req with
+  | Ping nonce -> u32 b nonce
+  | Stats | Corpus_info -> ()
+  | Nth i | Cgraph_of i -> u32 b i
+  | Mem m | Rank m -> enc_matrix b m
+  | Range_prefix prefix ->
+    u16 b (Array.length prefix);
+    Array.iter (fun x -> u16 b x) prefix
+  | Evaluate { scheme; graph_name; graph } ->
+    str b scheme;
+    str b graph_name;
+    enc_graph b graph
+  | Sleep_ms ms -> u32 b ms);
+  Bitbuf.to_bytes b
+
+let decode_request bytes =
+  let buf = Bitbuf.of_bytes bytes ~len:(8 * Bytes.length bytes) in
+  let rd = Bitbuf.reader buf in
+  let id = r32 rd in
+  let deadline_ms = r32 rd in
+  let req =
+    match r8 rd with
+    | 0 -> Ping (r32 rd)
+    | 1 -> Stats
+    | 2 -> Corpus_info
+    | 3 -> Nth (r32 rd)
+    | 4 -> Mem (dec_matrix rd)
+    | 5 -> Rank (dec_matrix rd)
+    | 6 ->
+      let n = r16 rd in
+      if n * 16 > Bitbuf.remaining rd then
+        invalid_arg "Wire: truncated prefix";
+      Range_prefix (Array.init n (fun _ -> r16 rd))
+    | 7 -> Cgraph_of (r32 rd)
+    | 8 ->
+      let scheme = rstr rd in
+      let graph_name = rstr rd in
+      let graph = dec_graph rd in
+      Evaluate { scheme; graph_name; graph }
+    | 9 -> Sleep_ms (r32 rd)
+    | op -> invalid_arg (Printf.sprintf "Wire: unknown opcode %d" op)
+  in
+  (id, deadline_ms, req)
+
+(* ---------- outcomes ---------- *)
+
+let response_tag = function
+  | R_pong _ -> 0
+  | R_stats _ -> 1
+  | R_header _ -> 2
+  | R_matrix _ -> 3
+  | R_found _ -> 4
+  | R_rank _ -> 5
+  | R_range _ -> 6
+  | R_graph _ -> 7
+  | R_evaluation _ -> 8
+  | R_slept _ -> 9
+
+let encode_outcome ~id outcome =
+  let b = Bitbuf.create () in
+  u32 b (id land 0xFFFFFFFF);
+  (match outcome with
+  | Reply r ->
+    u8 b 0;
+    u8 b (response_tag r);
+    (match r with
+    | R_pong nonce -> u32 b nonce
+    | R_stats st -> enc_stats b st
+    | R_header h -> enc_header b h
+    | R_matrix m -> enc_matrix b m
+    | R_found found -> wbool b found
+    | R_rank r -> i64 b (int64_of_nonneg "rank" r)
+    | R_range (lo, hi) ->
+      i64 b (int64_of_nonneg "range lo" lo);
+      i64 b (int64_of_nonneg "range hi" hi)
+    | R_graph t -> enc_matrix b t.Cgraph.matrix
+    | R_evaluation e -> enc_evaluation b e
+    | R_slept ms -> u32 b ms)
+  | Rejected msg ->
+    u8 b 1;
+    str b msg
+  | Overloaded -> u8 b 2
+  | Timed_out -> u8 b 3);
+  Bitbuf.to_bytes b
+
+let decode_outcome bytes =
+  let buf = Bitbuf.of_bytes bytes ~len:(8 * Bytes.length bytes) in
+  let rd = Bitbuf.reader buf in
+  let id = r32 rd in
+  let outcome =
+    match r8 rd with
+    | 0 ->
+      Reply
+        (match r8 rd with
+        | 0 -> R_pong (r32 rd)
+        | 1 -> R_stats (dec_stats rd)
+        | 2 -> R_header (dec_header rd)
+        | 3 -> R_matrix (dec_matrix rd)
+        | 4 -> R_found (rbool rd)
+        | 5 -> R_rank (rint64 rd "rank")
+        | 6 ->
+          let lo = rint64 rd "range lo" in
+          let hi = rint64 rd "range hi" in
+          R_range (lo, hi)
+        | 7 ->
+          (* The matrix fully determines the Lemma-2 graph; rebuild it
+             locally. Rows arrive normalized (Matrix.create checks). *)
+          let m = dec_matrix rd in
+          R_graph (Cgraph.of_matrix (Matrix.create m.Matrix.entries))
+        | 8 -> R_evaluation (dec_evaluation rd)
+        | 9 -> R_slept (r32 rd)
+        | tag -> invalid_arg (Printf.sprintf "Wire: unknown response tag %d" tag))
+    | 1 -> Rejected (rstr rd)
+    | 2 -> Overloaded
+    | 3 -> Timed_out
+    | s -> invalid_arg (Printf.sprintf "Wire: unknown status byte %d" s)
+  in
+  (id, outcome)
+
+(* ---------- frames ---------- *)
+
+let default_max_frame = 16 * 1024 * 1024
+
+let write_frame oc payload =
+  let n = Bytes.length payload in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_le hdr 0 (Int32.of_int n);
+  output_bytes oc hdr;
+  output_bytes oc payload;
+  flush oc
+
+let read_frame ?(max_bytes = default_max_frame) ic =
+  let hdr = Bytes.create 4 in
+  match really_input ic hdr 0 4 with
+  | exception End_of_file -> None
+  | () ->
+    let n = Int32.to_int (Bytes.get_int32_le hdr 0) in
+    if n < 0 || n > max_bytes then
+      invalid_arg (Printf.sprintf "Wire: frame length %d out of bounds" n);
+    let payload = Bytes.create n in
+    really_input ic payload 0 n;
+    Some payload
+
+(* ---------- digests ---------- *)
+
+let graph_digest g =
+  let b = Bitbuf.create () in
+  enc_graph b g;
+  Umrs_store.Corpus.fnv64 Umrs_store.Corpus.fnv64_seed (Bitbuf.to_bytes b)

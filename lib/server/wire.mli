@@ -1,0 +1,157 @@
+(** Wire protocol of the corpus/evaluation service.
+
+    The serving layer ({!Server}, {!Umrs_client}) speaks a
+    length-prefixed binary protocol whose payloads are bit-packed with
+    {!Umrs_bitcode.Bitbuf} — the same codec discipline as the corpus
+    store, so two processes that encode the same value produce the same
+    bytes. This module is the single definition both sides link
+    against; neither re-implements any field layout.
+
+    {2 Framing}
+
+    A connection starts with a 10-byte hello in each direction: the
+    8-byte magic ["UMRSSRVC"] then the protocol version as a 16-bit
+    little-endian integer. After the exchange, each message is a frame:
+
+    {v 4 bytes   payload byte length N (little-endian, >= 0)
+       N bytes   payload (a Bitbuf byte image, padding bits zero) v}
+
+    {2 Payloads}
+
+    Integers are written MSB-first within Bitbuf fields ([u8]/[u16]/
+    [u32]); 64-bit quantities are two 32-bit halves, high first; floats
+    are their IEEE-754 bit image; strings are a [u32] length plus one
+    byte per character. A request payload is
+
+    {v req_id:u32  deadline_ms:u32  opcode:u8  body v}
+
+    and a response payload is
+
+    {v req_id:u32  status:u8  body v}
+
+    with status 0 = reply (body is the response), 1 = rejected (body is
+    a message string: the request was well-formed but unservable — out
+    of range, unknown scheme, no corpus attached), 2 = overloaded (the
+    bounded job queue was full; no body), 3 = timed out (the request's
+    deadline expired before or during execution; no body). A frame that
+    does not decode is a protocol violation: the receiver drops the
+    connection rather than guessing. *)
+
+open Umrs_core
+open Umrs_graph
+
+(** {1 Addresses} *)
+
+type addr =
+  | Unix_sock of string        (** Unix-domain socket path *)
+  | Tcp of string * int        (** host, port *)
+
+val pp_addr : Format.formatter -> addr -> unit
+val addr_to_string : addr -> string
+
+(** {1 Requests}
+
+    [Ping] and [Stats] are control-plane: the server answers them from
+    the connection reader without queueing, so they respond even when
+    the worker pool is saturated. Everything else is data-plane and
+    subject to backpressure. [Sleep_ms] occupies a worker for the given
+    time — the controllable-work primitive load tests are built on. *)
+
+type request =
+  | Ping of int                (** echo the nonce *)
+  | Stats                      (** server counters and queue depth *)
+  | Corpus_info                (** header of the served corpus *)
+  | Nth of int                 (** {!Umrs_store.Query.nth} *)
+  | Mem of Matrix.t            (** {!Umrs_store.Query.mem} *)
+  | Rank of Matrix.t           (** {!Umrs_store.Query.rank} *)
+  | Range_prefix of int array  (** {!Umrs_store.Query.range_prefix} *)
+  | Cgraph_of of int           (** {!Umrs_store.Query.cgraph} *)
+  | Evaluate of { scheme : string; graph_name : string; graph : Graph.t }
+      (** {!Umrs_routing.Registry.find} + {!Umrs_routing.Scheme.evaluate} *)
+  | Sleep_ms of int            (** hold a worker for this many ms *)
+
+val opcode : request -> int
+val opcode_name : int -> string
+
+type server_stats = {
+  st_connections : int;     (** connections accepted since start *)
+  st_requests : int;        (** frames decoded (all opcodes) *)
+  st_overloaded : int;      (** requests shed by the bounded queue *)
+  st_timeouts : int;        (** requests whose deadline expired *)
+  st_rejected : int;        (** well-formed but unservable requests *)
+  st_cache_hits : int;      (** evaluation LRU hits *)
+  st_cache_misses : int;    (** evaluation LRU misses *)
+  st_queue_depth : int;     (** jobs waiting right now *)
+  st_queue_capacity : int;
+  st_workers : int;
+  st_draining : bool;       (** shutdown requested, drain in progress *)
+}
+
+(** {1 Responses}
+
+    A graph of constraints travels as its (normalized) matrix only:
+    {!Umrs_core.Cgraph.of_matrix} is deterministic, so the receiver
+    rebuilds an identical structure and the frame stays a few bytes
+    instead of carrying an adjacency dump. *)
+
+type response =
+  | R_pong of int
+  | R_stats of server_stats
+  | R_header of Umrs_store.Corpus.header
+  | R_matrix of Matrix.t
+  | R_found of bool
+  | R_rank of int
+  | R_range of int * int
+  | R_graph of Cgraph.t
+  | R_evaluation of Umrs_routing.Scheme.evaluation
+  | R_slept of int
+
+type outcome =
+  | Reply of response
+  | Rejected of string
+  | Overloaded
+  | Timed_out
+
+(** {1 Codecs}
+
+    Encoders never fail on values their types admit (dimensions beyond
+    16 bits raise [Invalid_argument], matching the corpus store's
+    limits). Decoders raise [Invalid_argument] on any byte sequence
+    that is not a valid payload; callers treat that as a protocol
+    violation, not data. *)
+
+val protocol_version : int
+
+val hello : unit -> Bytes.t
+(** The 10-byte hello each side sends on connect. *)
+
+val hello_bytes : int
+
+val check_hello : Bytes.t -> (unit, [ `Bad_magic | `Bad_version of int ]) result
+
+val encode_request : id:int -> deadline_ms:int -> request -> Bytes.t
+val decode_request : Bytes.t -> int * int * request
+(** [(id, deadline_ms, request)]. *)
+
+val encode_outcome : id:int -> outcome -> Bytes.t
+val decode_outcome : Bytes.t -> int * outcome
+
+(** {1 Frames} *)
+
+val default_max_frame : int
+(** 16 MiB — no legitimate payload comes close; larger length prefixes
+    are treated as protocol violations before any allocation. *)
+
+val write_frame : out_channel -> Bytes.t -> unit
+(** Length prefix + payload, then flush. *)
+
+val read_frame : ?max_bytes:int -> in_channel -> Bytes.t option
+(** [None] on EOF at a frame boundary; raises [Invalid_argument] on an
+    oversized or negative length prefix, [End_of_file] on a frame cut
+    mid-payload. *)
+
+(** {1 Digests} *)
+
+val graph_digest : Graph.t -> int64
+(** FNV-1a 64 over the graph's wire encoding — the evaluation cache key
+    component identifying the topology (ports included). *)

@@ -125,16 +125,22 @@ let create_writer ~path ~variant ~p ~q ~d =
   if p > 0xFFFF || q > 0xFFFF || d > 0xFFFF then
     invalid_arg "Corpus.create_writer: dimension exceeds 65535";
   let oc = open_out_bin path in
-  let w =
-    { w_oc = oc; w_variant = variant; w_p = p; w_q = q; w_d = d; w_count = 0;
-      w_checksum = fnv64_seed; w_last = None; w_closed = false }
-  in
-  (* Placeholder header; count and checksum are patched on close. *)
-  output_bytes oc
-    (header_image
-       { version = current_version; variant; p; q; d; count = 0;
-         checksum = fnv64_seed });
-  w
+  match
+    let w =
+      { w_oc = oc; w_variant = variant; w_p = p; w_q = q; w_d = d; w_count = 0;
+        w_checksum = fnv64_seed; w_last = None; w_closed = false }
+    in
+    (* Placeholder header; count and checksum are patched on close. *)
+    output_bytes oc
+      (header_image
+         { version = current_version; variant; p; q; d; count = 0;
+           checksum = fnv64_seed });
+    w
+  with
+  | w -> w
+  | exception e ->
+    close_out_noerr oc;
+    raise e
 
 let write w m =
   if w.w_closed then invalid_arg "Corpus.write: writer is closed";
@@ -155,8 +161,15 @@ let close_writer w =
     { version = current_version; variant = w.w_variant; p = w.w_p; q = w.w_q;
       d = w.w_d; count = w.w_count; checksum = w.w_checksum }
   in
-  seek_out w.w_oc 0;
-  output_bytes w.w_oc (header_image h);
+  (match
+     seek_out w.w_oc 0;
+     output_bytes w.w_oc (header_image h)
+   with
+  | () -> ()
+  | exception e ->
+    (* the file is unusable either way, but the descriptor must go *)
+    close_out_noerr w.w_oc;
+    raise e);
   close_out w.w_oc;
   h
 
@@ -172,16 +185,19 @@ type reader = {
 
 let open_reader ~path =
   let ic = open_in_bin path in
+  (* everything after the open is protected: [Record.bytes] rejects
+     absurd claimed dimensions and [in_channel_length] can fail on a
+     vanished file, and neither may leak the descriptor *)
   match
     let b = Bytes.create header_bytes in
     (try really_input ic b 0 header_bytes
      with End_of_file -> invalid_arg "Corpus: truncated header");
-    header_of_image b
-  with
-  | h ->
+    let h = header_of_image b in
     { r_ic = ic; r_header = h;
       r_record_bytes = Record.bytes ~p:h.p ~q:h.q ~d:h.d;
       r_file_bytes = in_channel_length ic; r_read = 0 }
+  with
+  | r -> r
   | exception e ->
     close_in_noerr ic;
     raise e

@@ -214,10 +214,26 @@ type t = {
   mutable t_closed : bool;
 }
 
+(* A block scan touches at most [min stride count] records, so the
+   block buffer is sized by that — an index whose (u32) stride field is
+   absurd cannot force a giant allocation. And if an allocation fails
+   anyway, the just-opened descriptor must not leak: the construction
+   is protected. *)
+let make_cursor ~corpus ~rec_bytes ~stride ~count =
+  let k_ic = open_in_bin corpus in
+  match
+    let block_recs = min stride (max count 1) in
+    { k_ic; k_rec = Bytes.create rec_bytes;
+      k_block = Bytes.create (block_recs * rec_bytes) }
+  with
+  | c -> c
+  | exception e ->
+    close_in_noerr k_ic;
+    raise e
+
 let open_cursor t =
-  { k_ic = open_in_bin t.t_corpus;
-    k_rec = Bytes.create t.t_rec_bytes;
-    k_block = Bytes.create (t.t_meta.x_stride * t.t_rec_bytes) }
+  make_cursor ~corpus:t.t_corpus ~rec_bytes:t.t_rec_bytes
+    ~stride:t.t_meta.x_stride ~count:t.t_meta.x_count
 
 let close_cursor c = close_in_noerr c.k_ic
 
@@ -295,8 +311,7 @@ let open_ ~corpus ?index () =
     { t_corpus = corpus; t_header = h; t_meta = m; t_rec_bytes = rec_bytes;
       t_width = Umrs_bitcode.Codes.bits_needed (d - 1); t_keys = keys;
       t_cursor =
-        { k_ic = open_in_bin corpus; k_rec = Bytes.create rec_bytes;
-          k_block = Bytes.create (m.x_stride * rec_bytes) };
+        make_cursor ~corpus ~rec_bytes ~stride:m.x_stride ~count:m.x_count;
       t_closed = false }
   in
   t

@@ -104,6 +104,15 @@ let flush_metrics () =
     if fields <> [] then emit "metrics" fields
   end
 
+let flush () =
+  match !sink with
+  | None -> ()
+  | Some s ->
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () -> flush s.oc)
+
 let close () =
   match !sink with
   | None -> ()

@@ -39,6 +39,12 @@ val open_file : string -> unit
 (** Attach a JSONL sink appending to the given path (truncates an
     existing file). Replaces any previously attached sink. *)
 
+val flush : unit -> unit
+(** Push buffered event lines to the OS without detaching the sink, so
+    the JSONL file holds only whole records at a safe point (a server's
+    drain path calls this before closing connections). No-op without a
+    sink. *)
+
 val close : unit -> unit
 (** Emit a final [metrics] event summarizing every registered counter
     and gauge, detach and flush the sink. No-op without a sink. *)

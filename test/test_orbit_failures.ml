@@ -98,6 +98,39 @@ let test_flaky_zero_loss_is_clean () =
   let clean = Simulator.run rf ~pairs in
   check_int "same rounds" clean.Simulator.rounds s.Simulator.rounds
 
+let test_flaky_zero_loss_equals_run_exactly () =
+  (* the lower boundary: loss 0.0 must reproduce [run] stat-for-stat,
+     contention and all, not merely match the round count *)
+  let st = rng () in
+  let rf = tables (Generators.torus 4 4) in
+  let pairs = [ (0, 10); (3, 12); (5, 9); (1, 14); (2, 13) ] in
+  let s = Simulator.run_flaky st ~loss:0.0 rf ~pairs in
+  let clean = Simulator.run rf ~pairs in
+  check_true "stats identical" (s = clean)
+
+let test_flaky_total_loss_delivers_nothing () =
+  (* the upper boundary: loss 1.0 fails every crossing, so the run can
+     only end at the round limit with zero deliveries *)
+  let st = rng () in
+  let rf = tables (Generators.cycle 8) in
+  let pairs = [ (0, 4); (1, 5); (2, 6) ] in
+  let limit = 25 in
+  let s = Simulator.run_flaky ~round_limit:limit st ~loss:1.0 rf ~pairs in
+  check_int "zero delivered" 0 s.Simulator.delivered;
+  check_int "zero hops" 0 s.Simulator.total_hops;
+  check_true "every packet undelivered"
+    (Array.for_all (fun r -> r.Simulator.delivered_at = -1) s.Simulator.results)
+
+let test_flaky_loss_bounds_checked () =
+  let rf = tables (Generators.path 3) in
+  let raises loss =
+    match Simulator.run_flaky (rng ()) ~loss rf ~pairs:[ (0, 2) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_true "loss < 0 rejected" (raises (-0.1));
+  check_true "loss > 1 rejected" (raises 1.1)
+
 let test_dead_link_drops () =
   let g = Generators.path 4 in
   let rf = tables g in
@@ -156,6 +189,9 @@ let suite =
     case "burnside at scale" test_burnside_large;
     case "flaky links still deliver" test_flaky_still_delivers;
     case "zero loss = clean run" test_flaky_zero_loss_is_clean;
+    case "loss 0.0 equals run exactly" test_flaky_zero_loss_equals_run_exactly;
+    case "loss 1.0 delivers nothing" test_flaky_total_loss_delivers_nothing;
+    case "loss outside [0,1] rejected" test_flaky_loss_bounds_checked;
     case "dead link drops crossing packets" test_dead_link_drops;
     case "dead links are bidirectional" test_dead_link_direction_blind;
     case "dot renders" test_dot_renders;

@@ -256,6 +256,61 @@ let test_error_paths () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* Every failing open must close what it opened: loop the error
+   branches far past the default 1024-descriptor rlimit, so a leak on
+   any branch either trips EMFILE mid-loop or shows up in the final
+   /proc/self/fd count. *)
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_error_paths_do_not_leak_fds () =
+  with_tmp_dir @@ fun dir ->
+  let path, _ = reference_corpus dir in
+  ignore (ok_exn "build" (Q.build ~corpus:path ()));
+  let corrupt = Filename.concat dir "corrupt.umrsx" in
+  let image =
+    let ic = open_in_bin (Q.index_path path) in
+    let n = in_channel_length ic in
+    let b = Bytes.create n in
+    really_input ic b 0 n;
+    close_in ic;
+    b
+  in
+  let last = Bytes.length image - 1 in
+  Bytes.set image last (Char.chr (Char.code (Bytes.get image last) lxor 0xFF));
+  let oc = open_out_bin corrupt in
+  output_bytes oc image;
+  close_out oc;
+  let junk = Filename.concat dir "junk.umrs" in
+  let oc = open_out_bin junk in
+  output_string oc "this is not a corpus file, but it is long enough to try";
+  close_out oc;
+  let before = count_fds () in
+  for _ = 1 to 2000 do
+    (match Q.open_ ~corpus:path ~index:(Filename.concat dir "no.umrsx") () with
+    | Error (Q.Io _) -> ()
+    | _ -> Alcotest.fail "missing index should be Io");
+    (match Q.open_ ~corpus:path ~index:corrupt () with
+    | Error (Q.Malformed _) -> ()
+    | _ -> Alcotest.fail "corrupt index should be Malformed");
+    (match Q.open_ ~corpus:junk ~index:(Q.index_path path) () with
+    | Error _ -> ()
+    | Ok t ->
+      Q.close t;
+      Alcotest.fail "junk corpus should not open");
+    (match Corpus.open_reader ~path:junk with
+    | exception Invalid_argument _ -> ()
+    | r ->
+      Corpus.close_reader r;
+      Alcotest.fail "junk reader should not open")
+  done;
+  (* and the success path balances too *)
+  for _ = 1 to 50 do
+    let t = ok_exn "open" (Q.open_ ~corpus:path ()) in
+    Q.close t
+  done;
+  check_int "fd count unchanged across open error branches" before
+    (count_fds ())
+
 let test_stride_extremes () =
   with_tmp_dir @@ fun dir ->
   let path, arr = reference_corpus dir in
@@ -278,6 +333,7 @@ let suite =
     case "cgraph bridge" test_cgraph_bridge;
     case "empty and d=1 corpora" test_empty_and_degenerate;
     case "error paths" test_error_paths;
+    case "error paths do not leak fds" test_error_paths_do_not_leak_fds;
     case "stride extremes" test_stride_extremes;
     Gen.prop ~count:60 "query agrees with the naive oracle" spec_arb check_spec;
   ]

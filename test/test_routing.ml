@@ -133,6 +133,15 @@ let test_registry_compare_and_csv () =
   let lines = String.split_on_char '\n' csv |> List.filter (( <> ) "") in
   check_int "header + rows" 10 (List.length lines);
   check_true "header" (List.hd lines = Registry.csv_header);
+  (* header/row arity stays in sync: every row must carry exactly one
+     field per header column, or a consumer silently misaligns *)
+  let arity s = List.length (String.split_on_char ',' s) in
+  let header_arity = arity Registry.csv_header in
+  List.iteri
+    (fun i row ->
+      check_int (Printf.sprintf "row %d arity = header arity" i) header_arity
+        (arity row))
+    (List.tl lines);
   (* all universal schemes respect their declared stretch bounds *)
   List.iter2
     (fun scheme e ->

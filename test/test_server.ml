@@ -1,0 +1,506 @@
+(* The serving layer end to end: wire codec round-trips, the Lru and
+   Jobqueue building blocks, and a live server on a Unix-domain socket
+   in a temp dir - remote answers checked for equality against the
+   local Query/Scheme results, plus the failure contracts: deadline
+   expiry is a typed timeout, a full queue answers Overloaded (never a
+   hang), and SIGTERM drains accepted work before exit. *)
+
+open Umrs_core
+open Umrs_graph
+open Umrs_routing
+open Helpers
+module Q = Umrs_store.Query
+module Wire = Umrs_server.Wire
+module Lru = Umrs_server.Lru
+module Jobqueue = Umrs_server.Jobqueue
+module Server = Umrs_server.Server
+module C = Umrs_client
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "umrs_server" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let ok_client what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (C.error_to_string e)
+
+let ok_server what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+(* ---------- wire codec ---------- *)
+
+let sample_matrix = Matrix.create [| [| 1; 2; 1 |]; [| 1; 1; 2 |] |]
+let sample_graph = Generators.petersen ()
+
+let sample_requests =
+  [ Wire.Ping 12345; Wire.Stats; Wire.Corpus_info; Wire.Nth 7;
+    Wire.Mem sample_matrix; Wire.Rank sample_matrix;
+    Wire.Range_prefix [| 1; 2 |]; Wire.Range_prefix [||]; Wire.Cgraph_of 0;
+    Wire.Evaluate
+      { scheme = "routing-tables"; graph_name = "petersen";
+        graph = sample_graph };
+    Wire.Sleep_ms 250 ]
+
+let test_wire_request_roundtrip () =
+  List.iteri
+    (fun i req ->
+      let id = 1000 + i and deadline_ms = 17 * i in
+      let payload = Wire.encode_request ~id ~deadline_ms req in
+      let id', dl', req' = Wire.decode_request payload in
+      check_int "id" id id';
+      check_int "deadline" deadline_ms dl';
+      check_true (Printf.sprintf "request %d round-trips" i) (req = req'))
+    sample_requests
+
+let sample_stats =
+  { Wire.st_connections = 3; st_requests = 100; st_overloaded = 2;
+    st_timeouts = 1; st_rejected = 4; st_cache_hits = 9; st_cache_misses = 5;
+    st_queue_depth = 7; st_queue_capacity = 64; st_workers = 2;
+    st_draining = true }
+
+let test_wire_outcome_roundtrip () =
+  let evaluation =
+    Scheme.evaluate Table_scheme.scheme ~graph_name:"petersen" sample_graph
+  in
+  let outcomes =
+    [ Wire.Reply (Wire.R_pong 7); Wire.Reply (Wire.R_stats sample_stats);
+      Wire.Reply (Wire.R_matrix sample_matrix); Wire.Reply (Wire.R_found true);
+      Wire.Reply (Wire.R_found false); Wire.Reply (Wire.R_rank 42);
+      Wire.Reply (Wire.R_range (3, 9));
+      Wire.Reply (Wire.R_graph (Cgraph.of_matrix sample_matrix));
+      Wire.Reply (Wire.R_evaluation evaluation); Wire.Reply (Wire.R_slept 250);
+      Wire.Rejected "no such record"; Wire.Overloaded; Wire.Timed_out ]
+  in
+  List.iteri
+    (fun i outcome ->
+      let payload = Wire.encode_outcome ~id:i outcome in
+      let id', outcome' = Wire.decode_outcome payload in
+      check_int "id" i id';
+      check_true (Printf.sprintf "outcome %d round-trips" i)
+        (outcome = outcome'))
+    outcomes
+
+let test_wire_hello_and_frames () =
+  check_true "hello accepted" (Wire.check_hello (Wire.hello ()) = Ok ());
+  let bad = Wire.hello () in
+  Bytes.set bad 0 'X';
+  check_true "bad magic rejected" (Wire.check_hello bad = Error `Bad_magic);
+  let worse = Wire.hello () in
+  Bytes.set worse 8 '\xFF';
+  check_true "bad version rejected"
+    (match Wire.check_hello worse with Error (`Bad_version _) -> true | _ -> false);
+  with_tmp_dir @@ fun dir ->
+  let path = Filename.concat dir "frames.bin" in
+  let payloads = [ Bytes.of_string ""; Bytes.of_string "abc" ] in
+  let oc = open_out_bin path in
+  List.iter (Wire.write_frame oc) payloads;
+  close_out oc;
+  let ic = open_in_bin path in
+  List.iter
+    (fun expect ->
+      match Wire.read_frame ic with
+      | Some got -> check_true "frame payload" (got = expect)
+      | None -> Alcotest.fail "premature EOF")
+    payloads;
+  check_true "clean EOF is None" (Wire.read_frame ic = None);
+  close_in ic;
+  (* an oversized length prefix is rejected before any allocation *)
+  let oc = open_out_bin path in
+  output_bytes oc (Bytes.make 4 '\xFF');
+  close_out oc;
+  let ic = open_in_bin path in
+  check_true "oversized frame is a protocol violation"
+    (match Wire.read_frame ~max_bytes:1024 ic with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  close_in ic
+
+let test_graph_digest_ports_matter () =
+  let a = Generators.cycle 5 in
+  let b = Generators.cycle 6 in
+  check_true "same graph, same digest"
+    (Wire.graph_digest a = Wire.graph_digest (Generators.cycle 5));
+  check_true "different graphs, different digests"
+    (Wire.graph_digest a <> Wire.graph_digest b)
+
+(* ---------- lru ---------- *)
+
+let test_lru () =
+  check_true "capacity < 1 rejected"
+    (match Lru.create ~capacity:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let c = Lru.create ~capacity:3 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "c" 3;
+  check_int "full" 3 (Lru.length c);
+  (* touching "a" makes "b" the eviction victim *)
+  check_true "find promotes" (Lru.find c "a" = Some 1);
+  Lru.add c "d" 4;
+  check_true "lru evicted" (Lru.find c "b" = None);
+  check_true "promoted survives" (Lru.find c "a" = Some 1);
+  check_true "mru order" (Lru.to_list c = [ ("a", 1); ("d", 4); ("c", 3) ]);
+  (* overwrite refreshes, never evicts *)
+  Lru.add c "c" 33;
+  check_int "no growth on overwrite" 3 (Lru.length c);
+  check_true "overwritten" (Lru.find c "c" = Some 33);
+  check_true "mem does not promote" (Lru.mem c "d");
+  Lru.clear c;
+  check_int "cleared" 0 (Lru.length c);
+  check_true "empty list" (Lru.to_list c = [])
+
+let test_lru_single_slot () =
+  let c = Lru.create ~capacity:1 in
+  Lru.add c 1 "one";
+  Lru.add c 2 "two";
+  check_true "only newest" (Lru.find c 1 = None && Lru.find c 2 = Some "two")
+
+(* ---------- jobqueue ---------- *)
+
+let test_jobqueue_bounded () =
+  let q = Jobqueue.create ~capacity:2 in
+  check_true "push 1" (Jobqueue.try_push q 1);
+  check_true "push 2" (Jobqueue.try_push q 2);
+  check_true "full" (not (Jobqueue.try_push q 3));
+  check_int "length" 2 (Jobqueue.length q);
+  check_true "pop fifo" (Jobqueue.pop q = Some 1);
+  check_true "space again" (Jobqueue.try_push q 4);
+  Jobqueue.close q;
+  check_true "closed refuses" (not (Jobqueue.try_push q 5));
+  (* accepted jobs still drain after close, in order *)
+  check_true "drain 2" (Jobqueue.pop q = Some 2);
+  check_true "drain 4" (Jobqueue.pop q = Some 4);
+  check_true "then None" (Jobqueue.pop q = None);
+  Jobqueue.close q;
+  check_true "close idempotent" (Jobqueue.pop q = None)
+
+let test_jobqueue_unblocks_consumers () =
+  let q = Jobqueue.create ~capacity:4 in
+  let popped = Atomic.make (-1) in
+  let consumer =
+    Thread.create (fun () ->
+        match Jobqueue.pop q with
+        | Some v -> Atomic.set popped v
+        | None -> Atomic.set popped (-2)) ()
+  in
+  Thread.yield ();
+  check_true "push wakes consumer" (Jobqueue.try_push q 7);
+  Thread.join consumer;
+  check_int "consumer got the job" 7 (Atomic.get popped);
+  (* close wakes a blocked pop with None *)
+  let consumer2 =
+    Thread.create (fun () ->
+        match Jobqueue.pop q with
+        | Some _ -> ()
+        | None -> Atomic.set popped (-3)) ()
+  in
+  Thread.yield ();
+  Jobqueue.close q;
+  Thread.join consumer2;
+  check_int "close unblocked pop" (-3) (Atomic.get popped)
+
+(* ---------- end-to-end fixtures ---------- *)
+
+let build_corpus dir =
+  let corpus = Filename.concat dir "ref.corpus" in
+  ignore (Umrs_store.Builder.build ~p:2 ~q:3 ~d:3 ~out:corpus ());
+  (match Q.build ~corpus () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "index build: %s" (Q.error_to_string e));
+  corpus
+
+let with_server ?(workers = 2) ?(queue = 32) ?corpus dir f =
+  let addr = Wire.Unix_sock (Filename.concat dir "srv.sock") in
+  let cfg =
+    { (Server.default_config addr) with
+      Server.workers; queue_capacity = queue; cache_capacity = 8; corpus }
+  in
+  let srv = ok_server "start" (Server.start cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown srv;
+      Server.wait srv)
+    (fun () -> f addr srv)
+
+let with_client addr f =
+  let c = ok_client "connect" (C.connect ~retries:5 addr) in
+  Fun.protect ~finally:(fun () -> C.close c) (fun () -> f c)
+
+(* ---------- end-to-end: every request type, remote = local ---------- *)
+
+let test_e2e_remote_equals_local () =
+  with_tmp_dir @@ fun dir ->
+  let corpus = build_corpus dir in
+  let local = ok_client "local open" (
+    match Q.open_ ~corpus () with
+    | Ok t -> Ok t
+    | Error e -> Error (C.Io (Q.error_to_string e)))
+  in
+  Fun.protect ~finally:(fun () -> Q.close local) @@ fun () ->
+  with_server ~corpus dir @@ fun addr _srv ->
+  with_client addr @@ fun c ->
+  ok_client "ping" (C.ping c);
+  let h = ok_client "info" (C.corpus_info c) in
+  check_true "remote header = local header" (h = Q.header local);
+  let n = h.Umrs_store.Corpus.count in
+  check_true "corpus non-trivial" (n >= 3);
+  for i = 0 to n - 1 do
+    let m = ok_client "nth" (C.nth c i) in
+    check_true "nth equal" (Matrix.equal m (Q.nth local i));
+    check_true "mem of stored record" (ok_client "mem" (C.mem c m));
+    check_int "rank agrees" (Q.rank local m) (ok_client "rank" (C.rank c m));
+    check_true "cgraph equal" (ok_client "cgraph" (C.cgraph c i) = Q.cgraph local i)
+  done;
+  let probe = Matrix.create_relaxed [| [| 3; 3; 3 |]; [| 3; 3; 3 |] |] in
+  check_true "mem of absent matrix"
+    (ok_client "mem" (C.mem c probe) = Q.mem local probe);
+  List.iter
+    (fun prefix ->
+      check_true "range_prefix equal"
+        (ok_client "range" (C.range_prefix c prefix)
+        = Q.range_prefix local prefix))
+    [ [||]; [| 1 |]; [| 1; 2 |]; [| 2 |] ];
+  (* remote evaluation = local evaluation, field for field *)
+  let g = Generators.petersen () in
+  let remote =
+    ok_client "evaluate"
+      (C.evaluate c ~scheme:"routing-tables" ~graph_name:"petersen" g)
+  in
+  let local_eval = Scheme.evaluate Table_scheme.scheme ~graph_name:"petersen" g in
+  check_true "evaluation equal" (remote = local_eval);
+  check_int "sleep echoes" 5 (ok_client "sleep" (C.sleep_ms c 5));
+  let s = ok_client "stats" (C.stats c) in
+  check_true "requests counted" (s.Wire.st_requests > 0);
+  check_true "not draining" (not s.Wire.st_draining)
+
+let test_e2e_rejections () =
+  with_tmp_dir @@ fun dir ->
+  let corpus = build_corpus dir in
+  with_server ~corpus dir @@ fun addr _srv ->
+  with_client addr @@ fun c ->
+  let refused what = function
+    | Error (C.Refused _) -> ()
+    | Ok _ -> Alcotest.failf "%s: expected Refused, got a reply" what
+    | Error e ->
+      Alcotest.failf "%s: expected Refused, got %s" what (C.error_to_string e)
+  in
+  refused "nth out of range" (C.nth c 99999);
+  refused "wrong shape" (C.mem c (Matrix.create [| [| 1 |] |]));
+  refused "unknown scheme"
+    (C.evaluate c ~scheme:"no-such-scheme" ~graph_name:"x"
+       (Generators.path 3));
+  (* a negative sleep cannot even be encoded; the server-side guard is
+     the cap on how long a worker may be held *)
+  refused "sleep above the cap" (C.sleep_ms c 3_600_000);
+  (* the connection survives every rejection *)
+  ok_client "ping after rejections" (C.ping c)
+
+let test_e2e_no_corpus_is_refused () =
+  with_tmp_dir @@ fun dir ->
+  with_server dir @@ fun addr _srv ->
+  with_client addr @@ fun c ->
+  (match C.nth c 0 with
+  | Error (C.Refused _) -> ()
+  | _ -> Alcotest.fail "corpus query without a corpus must be Refused");
+  ok_client "ping still fine" (C.ping c)
+
+let test_e2e_pipelining_out_of_order () =
+  with_tmp_dir @@ fun dir ->
+  let corpus = build_corpus dir in
+  with_server ~workers:2 ~corpus dir @@ fun addr _srv ->
+  with_client addr @@ fun c ->
+  (* the slow request is sent first; with two workers the fast one
+     finishes first, so its response arrives ahead of ticket order *)
+  let slow = ok_client "send slow" (C.send c (Wire.Sleep_ms 150)) in
+  let fast = ok_client "send fast" (C.send c (Wire.Nth 0)) in
+  let t0 = Unix.gettimeofday () in
+  (match ok_client "recv fast" (C.recv c fast) with
+  | Wire.R_matrix _ -> ()
+  | _ -> Alcotest.fail "fast response has the wrong shape");
+  check_true "fast did not wait for slow" (Unix.gettimeofday () -. t0 < 0.125);
+  match ok_client "recv slow" (C.recv c slow) with
+  | Wire.R_slept 150 -> ()
+  | _ -> Alcotest.fail "slow response has the wrong shape"
+
+(* ---------- failure contracts ---------- *)
+
+let test_deadline_expiry_is_typed_timeout () =
+  with_tmp_dir @@ fun dir ->
+  let corpus = build_corpus dir in
+  with_server ~workers:1 ~corpus dir @@ fun addr _srv ->
+  with_client addr @@ fun c ->
+  (* one worker, held by the sleep: the deadlined request expires while
+     queued and must come back Timed_out, not late *)
+  let blocker = ok_client "send blocker" (C.send c (Wire.Sleep_ms 250)) in
+  let doomed =
+    ok_client "send doomed" (C.send c ~deadline_ms:50 (Wire.Nth 0))
+  in
+  (match C.recv c doomed with
+  | Error C.Timed_out -> ()
+  | Ok _ -> Alcotest.fail "expired request got a reply"
+  | Error e -> Alcotest.failf "expected Timed_out, got %s" (C.error_to_string e));
+  (match ok_client "recv blocker" (C.recv c blocker) with
+  | Wire.R_slept 250 -> ()
+  | _ -> Alcotest.fail "blocker response has the wrong shape");
+  let s = ok_client "stats" (C.stats c) in
+  check_true "timeout counted" (s.Wire.st_timeouts >= 1)
+
+let test_queue_overflow_is_overloaded_not_a_hang () =
+  with_tmp_dir @@ fun dir ->
+  let corpus = build_corpus dir in
+  with_server ~workers:1 ~queue:1 ~corpus dir @@ fun addr _srv ->
+  with_client addr @@ fun c ->
+  (* occupy the single worker, give it time to pop the job... *)
+  let blocker = ok_client "send blocker" (C.send c (Wire.Sleep_ms 400)) in
+  Unix.sleepf 0.1;
+  (* ...then fill the 1-slot queue and overflow it *)
+  let queued = ok_client "send queued" (C.send c (Wire.Sleep_ms 1)) in
+  let shed1 = ok_client "send shed1" (C.send c (Wire.Nth 0)) in
+  let shed2 = ok_client "send shed2" (C.send c (Wire.Nth 1)) in
+  let overloaded t =
+    match C.recv c t with
+    | Error C.Overloaded -> true
+    | Ok _ -> false
+    | Error e -> Alcotest.failf "unexpected %s" (C.error_to_string e)
+  in
+  check_true "overflow shed" (overloaded shed1 && overloaded shed2);
+  (* control plane still answers while the pool is saturated *)
+  let s = ok_client "stats under load" (C.stats c) in
+  check_true "overloads counted" (s.Wire.st_overloaded >= 2);
+  (* and every accepted request still completes - nothing hangs *)
+  (match ok_client "recv blocker" (C.recv c blocker) with
+  | Wire.R_slept 400 -> ()
+  | _ -> Alcotest.fail "blocker wrong shape");
+  match ok_client "recv queued" (C.recv c queued) with
+  | Wire.R_slept 1 -> ()
+  | _ -> Alcotest.fail "queued wrong shape"
+
+let test_sigterm_drains_in_flight () =
+  with_tmp_dir @@ fun dir ->
+  let sock = Filename.concat dir "sig.sock" in
+  let cfg =
+    { (Server.default_config (Wire.Unix_sock sock)) with Server.workers = 1 }
+  in
+  let srv = ok_server "start" (Server.start cfg) in
+  let prev_term = Sys.signal Sys.sigterm Sys.Signal_default in
+  let prev_int = Sys.signal Sys.sigint Sys.Signal_default in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int)
+    (fun () ->
+      Server.install_signal_handlers srv;
+      with_client (Wire.Unix_sock sock) @@ fun c ->
+      let inflight = ok_client "send" (C.send c (Wire.Sleep_ms 200)) in
+      Unix.sleepf 0.05;
+      (* the worker holds the job; SIGTERM must drain it, not drop it *)
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      (match ok_client "recv across drain" (C.recv c inflight) with
+      | Wire.R_slept 200 -> ()
+      | _ -> Alcotest.fail "in-flight response has the wrong shape");
+      Server.wait srv;
+      check_true "socket removed after drain" (not (Sys.file_exists sock));
+      check_true "new connections refused after drain"
+        (match C.connect (Wire.Unix_sock sock) with
+        | Error (C.Io _) -> true
+        | Ok c2 ->
+          C.close c2;
+          false
+        | Error _ -> true))
+
+let test_requests_during_drain_are_overloaded () =
+  with_tmp_dir @@ fun dir ->
+  let corpus = build_corpus dir in
+  with_server ~workers:1 ~corpus dir @@ fun addr srv ->
+  with_client addr @@ fun c ->
+  let blocker = ok_client "send blocker" (C.send c (Wire.Sleep_ms 150)) in
+  Unix.sleepf 0.05;
+  Server.shutdown srv;
+  (* admission is closed: a new data-plane request is shed, while the
+     accepted one still completes *)
+  (match C.call c (Wire.Nth 0) with
+  | Error C.Overloaded -> ()
+  | Ok _ -> Alcotest.fail "request after shutdown got a reply"
+  | Error e -> Alcotest.failf "expected Overloaded, got %s" (C.error_to_string e));
+  match ok_client "recv blocker" (C.recv c blocker) with
+  | Wire.R_slept 150 -> ()
+  | _ -> Alcotest.fail "blocker wrong shape"
+
+let test_evaluation_cache_hits () =
+  with_tmp_dir @@ fun dir ->
+  with_server dir @@ fun addr _srv ->
+  with_client addr @@ fun c ->
+  let g = Generators.cycle 6 in
+  let e1 =
+    ok_client "evaluate 1"
+      (C.evaluate c ~scheme:"routing-tables" ~graph_name:"c6" g)
+  in
+  let e2 =
+    ok_client "evaluate 2"
+      (C.evaluate c ~scheme:"routing-tables" ~graph_name:"c6" g)
+  in
+  check_true "cached result identical" (e1 = e2);
+  let s = ok_client "stats" (C.stats c) in
+  check_true "a miss then a hit"
+    (s.Wire.st_cache_misses >= 1 && s.Wire.st_cache_hits >= 1);
+  (* a different graph name is a different key even for the same graph *)
+  let hits_before = s.Wire.st_cache_hits in
+  ignore
+    (ok_client "evaluate 3"
+       (C.evaluate c ~scheme:"routing-tables" ~graph_name:"other" g));
+  let s' = ok_client "stats" (C.stats c) in
+  check_int "renamed graph misses" hits_before s'.Wire.st_cache_hits
+
+let test_bad_config_is_error () =
+  with_tmp_dir @@ fun dir ->
+  let addr = Wire.Unix_sock (Filename.concat dir "x.sock") in
+  let bad cfg =
+    match Server.start cfg with
+    | Error _ -> true
+    | Ok srv ->
+      Server.shutdown srv;
+      Server.wait srv;
+      false
+  in
+  check_true "workers < 1"
+    (bad { (Server.default_config addr) with Server.workers = 0 });
+  check_true "queue < 1"
+    (bad { (Server.default_config addr) with Server.queue_capacity = 0 });
+  check_true "missing corpus"
+    (bad
+       { (Server.default_config addr) with
+         Server.corpus = Some (Filename.concat dir "absent.corpus") })
+
+let suite =
+  [
+    case "wire: requests round-trip" test_wire_request_roundtrip;
+    case "wire: outcomes round-trip" test_wire_outcome_roundtrip;
+    case "wire: hello and framing" test_wire_hello_and_frames;
+    case "wire: graph digest" test_graph_digest_ports_matter;
+    case "lru: eviction and promotion" test_lru;
+    case "lru: single slot" test_lru_single_slot;
+    case "jobqueue: bounded fifo" test_jobqueue_bounded;
+    case "jobqueue: wakeups" test_jobqueue_unblocks_consumers;
+    case "e2e: remote = local on every request type" test_e2e_remote_equals_local;
+    case "e2e: rejections are typed and survivable" test_e2e_rejections;
+    case "e2e: no corpus attached" test_e2e_no_corpus_is_refused;
+    case "e2e: pipelined responses out of order" test_e2e_pipelining_out_of_order;
+    case "deadline expiry is a typed timeout" test_deadline_expiry_is_typed_timeout;
+    case "queue overflow is Overloaded, not a hang"
+      test_queue_overflow_is_overloaded_not_a_hang;
+    case "SIGTERM drains in-flight requests" test_sigterm_drains_in_flight;
+    case "requests during drain are shed" test_requests_during_drain_are_overloaded;
+    case "evaluation cache hits" test_evaluation_cache_hits;
+    case "bad configs are errors" test_bad_config_is_error;
+  ]

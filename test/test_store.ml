@@ -391,6 +391,23 @@ let test_telemetry_jsonl_schema () =
   check_true "enumerate instrumented"
     (List.exists (contains ~sub:"\"event\": \"enumerate.") lines)
 
+let test_telemetry_flush_mid_stream () =
+  with_tmp_dir @@ fun dir ->
+  let log = Filename.concat dir "flush.jsonl" in
+  Telemetry.open_file log;
+  Telemetry.emit "first" [ ("k", Telemetry.Int 1) ];
+  Telemetry.flush ();
+  (* the sink is still open, yet the event is already whole on disk -
+     what a server's drain path relies on before closing connections *)
+  let ic = open_in log in
+  let line = input_line ic in
+  close_in ic;
+  check_true "complete line on disk" (valid_event_line line);
+  check_true "it is the event" (contains ~sub:"\"event\": \"first\"" line);
+  Telemetry.close ();
+  (* no sink: flush is a no-op, not an error *)
+  Telemetry.flush ()
+
 let test_telemetry_escaping () =
   with_tmp_dir @@ fun dir ->
   let log = Filename.concat dir "esc.jsonl" in
@@ -449,6 +466,7 @@ let suite =
     case "crash+resume identical (positional)" test_crash_resume_positional;
     case "resume rejects instance mismatch" test_resume_demands_matching_instance;
     case "telemetry jsonl schema" test_telemetry_jsonl_schema;
+    case "telemetry flush mid-stream" test_telemetry_flush_mid_stream;
     case "telemetry escapes strings" test_telemetry_escaping;
     case "telemetry no-op allocates nothing" test_telemetry_noop_allocates_nothing;
     case "telemetry disabled by default" test_telemetry_disabled_by_default;
