@@ -7,12 +7,14 @@ type config = {
   index : string option;
   max_frame_bytes : int;
   max_sleep_ms : int;
+  max_conns : int;
+  handshake_timeout : float;
 }
 
 let default_config addr =
   { addr; workers = 2; queue_capacity = 64; cache_capacity = 128;
     corpus = None; index = None; max_frame_bytes = Wire.default_max_frame;
-    max_sleep_ms = 60_000 }
+    max_sleep_ms = 60_000; max_conns = 256; handshake_timeout = 10.0 }
 
 (* ---------- telemetry ---------- *)
 
@@ -23,6 +25,7 @@ let c_timeouts = Telemetry.counter "server.timeouts"
 let c_rejected = Telemetry.counter "server.rejected"
 let c_cache_hits = Telemetry.counter "server.cache_hits"
 let c_cache_misses = Telemetry.counter "server.cache_misses"
+let c_conn_refused = Telemetry.counter "server.connections_refused"
 let g_queue_depth = Telemetry.gauge "server.queue_depth"
 
 (* ---------- connections ---------- *)
@@ -51,7 +54,7 @@ type t = {
   stop : bool Atomic.t;
   conns : (int, conn) Hashtbl.t;
   conns_lock : Mutex.t;
-  cache : (string * string * int64, Umrs_routing.Scheme.evaluation) Lru.t;
+  cache : (string * string * string, Umrs_routing.Scheme.evaluation) Lru.t;
   cache_lock : Mutex.t;
   n_conns : int Atomic.t;
   n_requests : int Atomic.t;
@@ -127,7 +130,9 @@ let exec srv query req =
     match Umrs_routing.Registry.find scheme with
     | None -> Wire.Rejected (Printf.sprintf "unknown scheme %S" scheme)
     | Some s ->
-      let key = (scheme, graph_name, Wire.graph_digest graph) in
+      (* the key carries the graph's full encoding, not a digest: a
+         hash collision must never serve another graph's result *)
+      let key = (scheme, graph_name, Wire.graph_key graph) in
       let cached =
         Mutex.lock srv.cache_lock;
         Fun.protect
@@ -248,9 +253,20 @@ let handshake conn =
     flush conn.c_oc;
     true
 
+(* best-effort: some socket families refuse the option, and a missing
+   timeout only costs slowloris protection, not correctness *)
+let set_rcvtimeo fd seconds =
+  try Unix.setsockopt_float fd Unix.SO_RCVTIMEO seconds
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
 let reader_loop srv conn =
   (try
+     (* a client that connects and sends nothing must not pin a thread
+        and an fd forever: the hello read is on the clock *)
+     if srv.cfg.handshake_timeout > 0.0 then
+       set_rcvtimeo conn.c_fd srv.cfg.handshake_timeout;
      if handshake conn then begin
+       if srv.cfg.handshake_timeout > 0.0 then set_rcvtimeo conn.c_fd 0.0;
        let continue = ref true in
        while !continue do
          match Wire.read_frame ~max_bytes:srv.cfg.max_frame_bytes conn.c_ic with
@@ -285,8 +301,15 @@ let reader_loop srv conn =
                    (float_of_int (Jobqueue.length srv.queue))))
        done
      end
-   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
-  close_conn srv conn
+   with End_of_file | Sys_error _ | Sys_blocked_io | Unix.Unix_error _ -> ());
+  close_conn srv conn;
+  (* self-prune so a long-lived server accepting many short-lived
+     connections does not grow [readers] (and the channels each entry
+     retains) without bound; [wait] joins whoever is still listed *)
+  let self = Thread.id (Thread.self ()) in
+  Mutex.lock srv.conns_lock;
+  srv.readers <- List.filter (fun th -> Thread.id th <> self) srv.readers;
+  Mutex.unlock srv.conns_lock
 
 (* ---------- acceptor ---------- *)
 
@@ -300,20 +323,31 @@ let accept_loop srv =
       match Unix.accept srv.listen_fd with
       | exception Unix.Unix_error _ -> ()
       | fd, _ ->
-        Atomic.incr srv.n_conns;
-        Telemetry.add c_accepted 1;
-        incr next_id;
-        let conn =
-          { c_id = !next_id; c_fd = fd;
-            c_ic = Unix.in_channel_of_descr fd;
-            c_oc = Unix.out_channel_of_descr fd;
-            c_wlock = Mutex.create (); c_alive = true }
-        in
         Mutex.lock srv.conns_lock;
-        Hashtbl.replace srv.conns conn.c_id conn;
-        let th = Thread.create (fun () -> reader_loop srv conn) () in
-        srv.readers <- th :: srv.readers;
-        Mutex.unlock srv.conns_lock)
+        let live = Hashtbl.length srv.conns in
+        Mutex.unlock srv.conns_lock;
+        if live >= srv.cfg.max_conns then begin
+          (* at capacity: shed the connection instead of minting a
+             reader thread per socket until fd exhaustion *)
+          Telemetry.add c_conn_refused 1;
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end
+        else begin
+          Atomic.incr srv.n_conns;
+          Telemetry.add c_accepted 1;
+          incr next_id;
+          let conn =
+            { c_id = !next_id; c_fd = fd;
+              c_ic = Unix.in_channel_of_descr fd;
+              c_oc = Unix.out_channel_of_descr fd;
+              c_wlock = Mutex.create (); c_alive = true }
+          in
+          Mutex.lock srv.conns_lock;
+          Hashtbl.replace srv.conns conn.c_id conn;
+          let th = Thread.create (fun () -> reader_loop srv conn) () in
+          srv.readers <- th :: srv.readers;
+          Mutex.unlock srv.conns_lock
+        end)
   done;
   Unix.close srv.listen_fd
 
@@ -329,18 +363,43 @@ let validate_corpus cfg =
       Ok ()
     | Error e -> Error (Umrs_store.Query.error_to_string e))
 
+(* Only ever unlink a *stale* socket: a path holding a live server (a
+   probe connect succeeds) is an address-in-use error, and a path
+   holding anything that is not a socket is never deleted. *)
+let clear_unix_path path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ()
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      try
+        Unix.connect probe (Unix.ADDR_UNIX path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then Error (Printf.sprintf "address already in use: %s" path)
+    else (try Ok (Sys.remove path) with Sys_error e -> Error e)
+  | _ ->
+    Error
+      (Printf.sprintf "%s exists and is not a socket; refusing to replace it"
+         path)
+
 let bind_listen addr =
   match addr with
-  | Wire.Unix_sock path ->
-    if Sys.file_exists path then Sys.remove path;
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try
-       Unix.bind fd (Unix.ADDR_UNIX path);
-       Unix.listen fd 64;
-       Ok (fd, addr)
-     with e ->
-       (try Unix.close fd with Unix.Unix_error _ -> ());
-       Error (Printexc.to_string e))
+  | Wire.Unix_sock path -> (
+    match clear_unix_path path with
+    | Error _ as e -> e
+    | Ok () ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.bind fd (Unix.ADDR_UNIX path);
+         Unix.listen fd 64;
+         Ok (fd, addr)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         Error (Printexc.to_string e)))
   | Wire.Tcp (host, port) ->
     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     (try
@@ -365,6 +424,7 @@ let start cfg =
   if cfg.workers < 1 then Error "Server: workers must be >= 1"
   else if cfg.queue_capacity < 1 then Error "Server: queue_capacity must be >= 1"
   else if cfg.cache_capacity < 1 then Error "Server: cache_capacity must be >= 1"
+  else if cfg.max_conns < 1 then Error "Server: max_conns must be >= 1"
   else
     match validate_corpus cfg with
     | Error e -> Error e

@@ -26,9 +26,10 @@
     answered [Timed_out] without being executed, and one that finishes
     past its deadline is answered [Timed_out] rather than returning a
     stale result late. Evaluation results are memoized in an {!Lru}
-    cache keyed by (scheme name, graph name, {!Wire.graph_digest}) —
-    the digest covers ports, so two graphs that differ only in local
-    port numbering never alias.
+    cache keyed by (scheme name, graph name, {!Wire.graph_key}) — the
+    key is the graph's full wire encoding, ports included, so two
+    different graphs (even two that differ only in local port
+    numbering) can never alias, not even by hash collision.
 
     {2 Shutdown}
 
@@ -48,11 +49,15 @@ type config = {
   index : string option;     (** sidecar index (default: corpus + .umrsx) *)
   max_frame_bytes : int;     (** reject larger frames before allocating *)
   max_sleep_ms : int;        (** cap on [Sleep_ms] requests *)
+  max_conns : int;           (** concurrent connections; excess are
+                                 closed at accept, >= 1 *)
+  handshake_timeout : float; (** seconds a fresh connection may take to
+                                 send its hello; <= 0 disables *)
 }
 
 val default_config : Wire.addr -> config
 (** 2 workers, queue 64, cache 128, no corpus, {!Wire.default_max_frame},
-    sleep cap 60000 ms. *)
+    sleep cap 60000 ms, 256 connections, 10 s handshake timeout. *)
 
 type t
 

@@ -168,6 +168,10 @@ let enc_graph b g =
 let dec_graph rd =
   let n = r32 rd in
   if n < 1 then invalid_arg "Wire: bad graph order";
+  (* Every vertex costs at least a 16-bit degree field: an order the
+     payload cannot possibly carry is rejected here, before Array.init
+     can allocate n slots off an attacker-controlled u32. *)
+  if n * 16 > Bitbuf.remaining rd then invalid_arg "Wire: truncated graph";
   let adj =
     Array.init n (fun _ ->
         let deg = r16 rd in
@@ -437,7 +441,11 @@ let read_frame ?(max_bytes = default_max_frame) ic =
 
 (* ---------- digests ---------- *)
 
-let graph_digest g =
+let graph_key g =
   let b = Bitbuf.create () in
   enc_graph b g;
-  Umrs_store.Corpus.fnv64 Umrs_store.Corpus.fnv64_seed (Bitbuf.to_bytes b)
+  Bytes.to_string (Bitbuf.to_bytes b)
+
+let graph_digest g =
+  Umrs_store.Corpus.fnv64 Umrs_store.Corpus.fnv64_seed
+    (Bytes.of_string (graph_key g))

@@ -150,8 +150,14 @@ val read_frame : ?max_bytes:int -> in_channel -> Bytes.t option
     oversized or negative length prefix, [End_of_file] on a frame cut
     mid-payload. *)
 
-(** {1 Digests} *)
+(** {1 Graph identity} *)
+
+val graph_key : Graph.t -> string
+(** The graph's full wire encoding as an immutable string — the
+    evaluation cache key component identifying the topology (ports
+    included). The complete bytes, not a hash: equal keys mean equal
+    graphs, so a cache hit can never serve another graph's result. *)
 
 val graph_digest : Graph.t -> int64
-(** FNV-1a 64 over the graph's wire encoding — the evaluation cache key
-    component identifying the topology (ports included). *)
+(** FNV-1a 64 over {!graph_key} — a compact identifier for logs and
+    telemetry. Not collision-resistant; never used for cache lookups. *)

@@ -131,7 +131,28 @@ let test_graph_digest_ports_matter () =
   check_true "same graph, same digest"
     (Wire.graph_digest a = Wire.graph_digest (Generators.cycle 5));
   check_true "different graphs, different digests"
-    (Wire.graph_digest a <> Wire.graph_digest b)
+    (Wire.graph_digest a <> Wire.graph_digest b);
+  check_true "cache key is the full encoding, equal iff graphs equal"
+    (Wire.graph_key a = Wire.graph_key (Generators.cycle 5)
+    && Wire.graph_key a <> Wire.graph_key b)
+
+let test_wire_huge_graph_order_rejected () =
+  (* an Evaluate frame claiming 2^32-1 vertices while carrying almost
+     no payload must be refused before the decoder allocates the
+     adjacency array - one malformed frame must not OOM the server *)
+  let buf = Umrs_bitcode.Bitbuf.create () in
+  let u width x = Umrs_bitcode.Bitbuf.add_bits buf x ~width in
+  u 32 1;            (* request id *)
+  u 32 0;            (* deadline *)
+  u 8 8;             (* opcode: evaluate *)
+  u 32 0;            (* scheme: empty string *)
+  u 32 0;            (* graph name: empty string *)
+  u 32 0xFFFFFFFF;   (* claimed graph order *)
+  u 16 0;            (* a single zero-degree row *)
+  check_true "impossible graph order is a protocol violation"
+    (match Wire.decode_request (Umrs_bitcode.Bitbuf.to_bytes buf) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
 
 (* ---------- lru ---------- *)
 
@@ -462,6 +483,76 @@ let test_evaluation_cache_hits () =
   let s' = ok_client "stats" (C.stats c) in
   check_int "renamed graph misses" hits_before s'.Wire.st_cache_hits
 
+let test_unix_socket_path_safety () =
+  with_tmp_dir @@ fun dir ->
+  (* a regular file at the socket path is refused, never deleted *)
+  let precious = Filename.concat dir "precious.txt" in
+  let oc = open_out precious in
+  output_string oc "do not delete";
+  close_out oc;
+  (match Server.start (Server.default_config (Wire.Unix_sock precious)) with
+  | Error _ -> ()
+  | Ok srv ->
+    Server.shutdown srv;
+    Server.wait srv;
+    Alcotest.fail "bound over a regular file");
+  check_true "regular file survived" (Sys.file_exists precious);
+  (* a live server's socket is address-in-use, not a silent takeover *)
+  let sock = Filename.concat dir "live.sock" in
+  let srv =
+    ok_server "start" (Server.start (Server.default_config (Wire.Unix_sock sock)))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown srv;
+      Server.wait srv)
+    (fun () ->
+      (match Server.start (Server.default_config (Wire.Unix_sock sock)) with
+      | Error _ -> ()
+      | Ok srv2 ->
+        Server.shutdown srv2;
+        Server.wait srv2;
+        Alcotest.fail "second server stole a live socket");
+      (* the first server kept serving throughout *)
+      with_client (Wire.Unix_sock sock) @@ fun c ->
+      ok_client "ping survivor" (C.ping c));
+  (* a stale socket left by a dead server is cleaned up and reused *)
+  let stale = Filename.concat dir "stale.sock" in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX stale);
+  Unix.close fd;
+  check_true "stale path exists" (Sys.file_exists stale);
+  let srv3 =
+    ok_server "start over stale socket"
+      (Server.start (Server.default_config (Wire.Unix_sock stale)))
+  in
+  Server.shutdown srv3;
+  Server.wait srv3
+
+let test_connection_cap_sheds_excess () =
+  with_tmp_dir @@ fun dir ->
+  let addr = Wire.Unix_sock (Filename.concat dir "cap.sock") in
+  let cfg = { (Server.default_config addr) with Server.max_conns = 1 } in
+  let srv = ok_server "start" (Server.start cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown srv;
+      Server.wait srv)
+    (fun () ->
+      (with_client addr @@ fun c ->
+       ok_client "first connection serves" (C.ping c);
+       (* at the cap, the next connection is closed at accept - the
+          client sees an immediate I/O failure, not a hang *)
+       match C.connect addr with
+       | Error (C.Io _) -> ()
+       | Ok c2 ->
+         C.close c2;
+         Alcotest.fail "connection above the cap was accepted"
+       | Error e ->
+         Alcotest.failf "expected Io, got %s" (C.error_to_string e));
+      (* closing the first connection frees its slot *)
+      with_client addr @@ fun c -> ok_client "slot released" (C.ping c))
+
 let test_bad_config_is_error () =
   with_tmp_dir @@ fun dir ->
   let addr = Wire.Unix_sock (Filename.concat dir "x.sock") in
@@ -477,6 +568,8 @@ let test_bad_config_is_error () =
     (bad { (Server.default_config addr) with Server.workers = 0 });
   check_true "queue < 1"
     (bad { (Server.default_config addr) with Server.queue_capacity = 0 });
+  check_true "max_conns < 1"
+    (bad { (Server.default_config addr) with Server.max_conns = 0 });
   check_true "missing corpus"
     (bad
        { (Server.default_config addr) with
@@ -488,6 +581,8 @@ let suite =
     case "wire: outcomes round-trip" test_wire_outcome_roundtrip;
     case "wire: hello and framing" test_wire_hello_and_frames;
     case "wire: graph digest" test_graph_digest_ports_matter;
+    case "wire: impossible graph order rejected"
+      test_wire_huge_graph_order_rejected;
     case "lru: eviction and promotion" test_lru;
     case "lru: single slot" test_lru_single_slot;
     case "jobqueue: bounded fifo" test_jobqueue_bounded;
@@ -502,5 +597,8 @@ let suite =
     case "SIGTERM drains in-flight requests" test_sigterm_drains_in_flight;
     case "requests during drain are shed" test_requests_during_drain_are_overloaded;
     case "evaluation cache hits" test_evaluation_cache_hits;
+    case "unix socket path is never stolen" test_unix_socket_path_safety;
+    case "connection cap sheds excess connections"
+      test_connection_cap_sheds_excess;
     case "bad configs are errors" test_bad_config_is_error;
   ]
