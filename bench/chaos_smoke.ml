@@ -1,0 +1,157 @@
+(* Chaos smoke check (dune alias @chaos-smoke).
+
+   Two halves, both seeded and reproducible:
+
+   1. Crash matrix: Umrs_chaos.Harness.crash_matrix sweeps a simulated
+      power loss across every fault point of a checkpointed (2, 4, 3)
+      corpus build, single-domain and 3-domain, asserting the store's
+      atomic-publication and byte-identical-resume invariants at each
+      point. Any failure is fatal and printed with the (seed, point)
+      pair that reproduces it.
+
+   2. Storm: Umrs_chaos.Storm.run_level drives a live server through a
+      seeded fault schedule at two intensities with resilient clients.
+      Fatal conditions: a hang (the driver finishing is the check), a
+      level error (malformed reply accounting lives inside the level),
+      a post-storm probe failure, or zero worker crashes across both
+      levels (the supervisor path must actually have been exercised).
+
+   Results go to BENCH_chaos.json (override with --json PATH), schema
+   umrs/bench-chaos/v1. Override the seed with UMRS_TEST_SEED. *)
+
+module Q = Umrs_store.Query
+module Wire = Umrs_server.Wire
+module Harness = Umrs_chaos.Harness
+module Storm = Umrs_chaos.Storm
+
+let die fmt =
+  Printf.ksprintf (fun s -> prerr_endline ("chaos_smoke: " ^ s); exit 1) fmt
+
+let flag_value name =
+  let rec go i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+let () =
+  let seed =
+    match Sys.getenv_opt "UMRS_TEST_SEED" with
+    | Some s -> int_of_string s
+    | None -> 0x5EED42
+  in
+  let dir = Filename.temp_file "umrs_chaos_smoke" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let p, q, d = (2, 4, 3) in
+
+  (* 1: crash matrix, 1 domain then 3 *)
+  let matrices =
+    List.map
+      (fun domains ->
+        let scratch =
+          Filename.concat dir (Printf.sprintf "matrix_d%d" domains)
+        in
+        let s =
+          Harness.crash_matrix ~domains ~checkpoint_every:1024 ~seed ~p ~q ~d
+            ~scratch ()
+        in
+        List.iter
+          (fun f ->
+            Printf.eprintf
+              "chaos_smoke: crash matrix (%d domains) point %d FAILED: %s\n\
+               chaos_smoke: reproduce with UMRS_TEST_SEED=%d (point seed %d)\n"
+              domains f.Harness.f_at f.Harness.f_detail seed f.Harness.f_seed)
+          s.Harness.s_failures;
+        Printf.printf
+          "chaos_smoke: crash matrix (%d,%d,%d) x %d domains: %d points, %d \
+           crashes, %d failures\n%!"
+          p q d domains s.Harness.s_points s.Harness.s_crashes
+          (List.length s.Harness.s_failures);
+        s)
+      [ 1; 3 ]
+  in
+  if List.exists (fun s -> s.Harness.s_failures <> []) matrices then
+    die "crash matrix failed (seed %d)" seed;
+
+  (* 2: storm levels against a live server *)
+  let corpus = Filename.concat dir "storm.corpus" in
+  ignore (Umrs_store.Builder.build ~p ~q ~d ~out:corpus ());
+  (match Q.build ~corpus () with
+  | Ok _ -> ()
+  | Error e -> die "index build: %s" (Q.error_to_string e));
+  let levels =
+    List.map
+      (fun intensity ->
+        let sock =
+          Filename.concat dir (Printf.sprintf "storm_%.0f.sock"
+                                 (1000. *. intensity))
+        in
+        match
+          Storm.run_level ~seed ~requests:300 ~intensity ~corpus
+            ~addr:(Wire.Unix_sock sock) ()
+        with
+        | Error e -> die "storm level %.2f: %s (seed %d)" intensity e seed
+        | Ok l ->
+          if Sys.file_exists sock then
+            die "storm level %.2f: socket survived the drain" intensity;
+          if l.Storm.l_success + l.Storm.l_degraded + l.Storm.l_failed
+             <> l.Storm.l_requests
+          then
+            die "storm level %.2f: %d requests but %d+%d+%d accounted - a \
+                 request was silently lost"
+              intensity l.Storm.l_requests l.Storm.l_success
+              l.Storm.l_degraded l.Storm.l_failed;
+          Printf.printf
+            "chaos_smoke: storm %.2f: %d ok / %d degraded / %d failed, %d \
+             worker crashes, recovery p50 %.1fms p95 %.1fms (%.2fs)\n%!"
+            intensity l.Storm.l_success l.Storm.l_degraded l.Storm.l_failed
+            l.Storm.l_worker_crashes
+            (1e3 *. l.Storm.l_recovery_p50)
+            (1e3 *. l.Storm.l_recovery_p95)
+            l.Storm.l_seconds;
+          l)
+      [ 0.02; 0.10 ]
+  in
+  let crashes =
+    List.fold_left (fun acc l -> acc + l.Storm.l_worker_crashes) 0 levels
+  in
+  if crashes = 0 then
+    die "no worker crash was injected across any level (seed %d) - the \
+         supervisor went unexercised"
+      seed;
+
+  let json = Option.value (flag_value "--json") ~default:"BENCH_chaos.json" in
+  let oc = open_out json in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"umrs/bench-chaos/v1\",\n  \"seed\": %d,\n\
+    \  \"crash_matrix\": [\n%s\n  ],\n  \"levels\": [\n%s\n  ]\n}\n"
+    seed
+    (String.concat ",\n"
+       (List.map
+          (fun s ->
+            Printf.sprintf
+              "    {\"instance\": {\"p\": %d, \"q\": %d, \"d\": %d}, \
+               \"domains\": %d, \"points\": %d, \"crashes\": %d, \
+               \"failures\": %d}"
+              s.Harness.s_p s.Harness.s_q s.Harness.s_d s.Harness.s_domains
+              s.Harness.s_points s.Harness.s_crashes
+              (List.length s.Harness.s_failures))
+          matrices))
+    (String.concat ",\n"
+       (List.map
+          (fun l ->
+            Printf.sprintf
+              "    {\"intensity\": %.3f, \"requests\": %d, \"success\": %d, \
+               \"degraded\": %d, \"failed\": %d, \"worker_crashes\": %d, \
+               \"breaker_opens\": %d, \"breaker_fastfails\": %d, \
+               \"recovery_latency_seconds\": {\"p50\": %.9f, \"p95\": %.9f}, \
+               \"seconds\": %.6f}"
+              l.Storm.l_intensity l.Storm.l_requests l.Storm.l_success
+              l.Storm.l_degraded l.Storm.l_failed l.Storm.l_worker_crashes
+              l.Storm.l_breaker_opens l.Storm.l_breaker_fastfails
+              l.Storm.l_recovery_p50 l.Storm.l_recovery_p95 l.Storm.l_seconds)
+          levels));
+  close_out oc;
+  Printf.printf "chaos_smoke: OK (seed %d; %s)\n" seed json

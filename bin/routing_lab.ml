@@ -1075,6 +1075,118 @@ let remote_cmd =
           $ nths $ mems $ ranks $ prefixes $ cgraphs $ eval_scheme $ family_arg
           $ size_arg 16 $ seed_arg $ sleep)
 
+let chaos_cmd =
+  let run fault_seed crash_matrix p q d domains checkpoint_every intensities
+      requests workers telemetry =
+    with_telemetry telemetry @@ fun () ->
+    let tmp = Filename.temp_file "umrs_chaos" "" in
+    Sys.remove tmp;
+    Unix.mkdir tmp 0o755;
+    pf "fault seed %d (reproduce any outcome below with --fault-seed %d)@."
+      fault_seed fault_seed;
+    if crash_matrix then begin
+      let progress ~at ~points =
+        if at mod 25 = 0 then pf "crash point %d/%d...@." at points
+      in
+      let s =
+        Umrs_chaos.Harness.crash_matrix ~domains ~checkpoint_every
+          ~seed:fault_seed ~on_progress:progress ~p ~q ~d ~scratch:tmp ()
+      in
+      List.iter
+        (fun f ->
+          pf "FAILED at point %d (seed %d): %s@." f.Umrs_chaos.Harness.f_at
+            f.Umrs_chaos.Harness.f_seed f.Umrs_chaos.Harness.f_detail)
+        s.Umrs_chaos.Harness.s_failures;
+      pf "crash matrix (%d,%d,%d) x %d domains: %d points, %d crashes, %d \
+          failures@."
+        p q d domains s.Umrs_chaos.Harness.s_points
+        s.Umrs_chaos.Harness.s_crashes
+        (List.length s.Umrs_chaos.Harness.s_failures);
+      if s.Umrs_chaos.Harness.s_failures <> [] then exit 1
+    end
+    else begin
+      let corpus = Filename.concat tmp "chaos.corpus" in
+      ignore (Umrs_store.Builder.build ~p ~q ~d ~out:corpus ());
+      (match Umrs_store.Query.build ~corpus () with
+      | Ok _ -> ()
+      | Error e ->
+        Printf.eprintf "routing_lab: chaos: index build: %s\n"
+          (Umrs_store.Query.error_to_string e);
+        exit 1);
+      let intensities =
+        if intensities = [] then [ 0.02; 0.10 ] else intensities
+      in
+      List.iter
+        (fun intensity ->
+          let sock =
+            Filename.concat tmp
+              (Printf.sprintf "chaos_%.0f.sock" (1000. *. intensity))
+          in
+          match
+            Umrs_chaos.Storm.run_level ~seed:fault_seed ~requests ~workers
+              ~intensity ~corpus ~addr:(Umrs_server.Wire.Unix_sock sock) ()
+          with
+          | Error e ->
+            Printf.eprintf "routing_lab: chaos: storm %.2f: %s\n" intensity e;
+            exit 1
+          | Ok l ->
+            pf "storm %.2f: %d ok / %d degraded / %d failed, %d worker \
+                crash%s, recovery p50 %.1fms p95 %.1fms (%.2fs)@."
+              intensity l.Umrs_chaos.Storm.l_success
+              l.Umrs_chaos.Storm.l_degraded l.Umrs_chaos.Storm.l_failed
+              l.Umrs_chaos.Storm.l_worker_crashes
+              (if l.Umrs_chaos.Storm.l_worker_crashes = 1 then "" else "es")
+              (1e3 *. l.Umrs_chaos.Storm.l_recovery_p50)
+              (1e3 *. l.Umrs_chaos.Storm.l_recovery_p95)
+              l.Umrs_chaos.Storm.l_seconds)
+        intensities
+    end
+  in
+  let fault_seed =
+    Arg.(value & opt int 0x5EED42 & info [ "fault-seed" ] ~docv:"N"
+           ~doc:"Seed for the deterministic fault schedule; a failure \
+                 reproduces from the seed it was observed under.")
+  in
+  let crash_matrix =
+    Arg.(value & flag & info [ "crash-matrix" ]
+           ~doc:"Instead of storming a live server, sweep a simulated power \
+                 loss across every fault point of a checkpointed corpus \
+                 build and check atomic publication + byte-identical \
+                 resume at each.")
+  in
+  let p = Arg.(value & opt int 2 & info [ "p" ] ~doc:"Rows.") in
+  let q = Arg.(value & opt int 4 & info [ "q" ] ~doc:"Columns.") in
+  let d = Arg.(value & opt int 3 & info [ "d" ] ~doc:"Entry bound.") in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K"
+           ~doc:"Builder domains for --crash-matrix.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 1024 & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Raw matrices between checkpoints for --crash-matrix.")
+  in
+  let intensities =
+    Arg.(value & opt_all float [] & info [ "intensity" ] ~docv:"F"
+           ~doc:"Storm fault probability per fault point (repeatable; \
+                 default 0.02 and 0.10).")
+  in
+  let requests =
+    Arg.(value & opt int 300 & info [ "requests" ] ~docv:"N"
+           ~doc:"Requests per storm level.")
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"K"
+           ~doc:"Server worker domains per storm level.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Fault-injection drills: storm a live server through a seeded \
+             fault schedule, or sweep simulated power loss across every \
+             fault point of a corpus build (--crash-matrix).")
+    Term.(const run $ fault_seed $ crash_matrix $ p $ q $ d $ domains
+          $ checkpoint_every $ intensities $ requests $ workers
+          $ telemetry_arg)
+
 let () =
   let doc =
     "Laboratory for 'Local Memory Requirement of Universal Routing Schemes' \
@@ -1089,5 +1201,5 @@ let () =
             cgraph_cmd; lemma1_cmd; theorem1_cmd; reconstruct_cmd; figure1_cmd;
             table1_cmd; orbit_cmd; burnside_cmd; estimate_cmd; dot_cmd; global_cmd;
             optimize_cmd; deadlock_cmd; save_cmd; check_cmd; compare_cmd;
-            broadcast_cmd; corpus_cmd; serve_cmd; remote_cmd;
+            broadcast_cmd; corpus_cmd; serve_cmd; remote_cmd; chaos_cmd;
           ]))

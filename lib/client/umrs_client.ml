@@ -44,6 +44,9 @@ let io_guard f =
   try Ok (f ()) with
   | End_of_file -> Error (Io "connection closed by server")
   | Sys_error m -> Error (Io m)
+  | Sys_blocked_io ->
+    (* channel read hit [SO_RCVTIMEO] (see [connect]'s [recv_timeout]) *)
+    Error (Io "receive timed out")
   | Unix.Unix_error (e, fn, _) ->
     Error (Io (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
 
@@ -81,15 +84,25 @@ let handshake fd =
          (Printf.sprintf "server speaks protocol version %d, expected %d" v
             Wire.protocol_version))
 
-let connect ?(retries = 0) ?(backoff = 0.05) addr =
+(* best-effort: a missing receive timeout only costs hang protection *)
+let set_rcvtimeo fd seconds =
+  try Unix.setsockopt_float fd Unix.SO_RCVTIMEO seconds
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+let connect ?(retries = 0) ?(backoff = 0.05) ?(max_backoff = 2.0)
+    ?(max_total_wait = 30.0) ?rng ?(recv_timeout = 0.0) addr =
   match sockaddr_of addr with
   | Error _ as e -> e
   | Ok (pf, sa) ->
+    let rng =
+      match rng with Some r -> r | None -> Random.State.make_self_init ()
+    in
     let attempt () =
       let fd = Unix.socket pf Unix.SOCK_STREAM 0 in
       match
         io_guard (fun () ->
-            Unix.connect fd sa;
+            Umrs_fault.Io.connect fd sa;
+            if recv_timeout > 0.0 then set_rcvtimeo fd recv_timeout;
             handshake fd)
       with
       | Ok (Ok _ as ok) -> ok
@@ -97,19 +110,28 @@ let connect ?(retries = 0) ?(backoff = 0.05) addr =
         (try Unix.close fd with Unix.Unix_error _ -> ());
         e
     in
-    let rec go left delay =
+    (* Full jitter: each sleep is uniform on [0, min(max_backoff,
+       backoff * 2^k)]. Retrying clients therefore spread out instead
+       of thundering back in lockstep, and [max_total_wait] bounds the
+       cumulative sleep whatever the retry count. *)
+    let rec go k left slept =
       match attempt () with
       | Ok _ as ok -> ok
       (* a hello mismatch will not improve with patience *)
       | Error (Protocol _) as e -> e
       | Error _ as e ->
-        if left <= 0 then e
+        if left <= 0 || slept >= max_total_wait then e
         else begin
-          Unix.sleepf delay;
-          go (left - 1) (delay *. 2.0)
+          let ceiling = min max_backoff (backoff *. (2.0 ** float_of_int k)) in
+          let delay =
+            min (Random.State.float rng (max 1e-9 ceiling))
+              (max_total_wait -. slept)
+          in
+          Umrs_fault.Io.sleepf delay;
+          go (k + 1) (left - 1) (slept +. delay)
         end
     in
-    go (max 0 retries) backoff
+    go 0 (max 0 retries) 0.0
 
 let send t ?(deadline_ms = 0) req =
   if t.is_closed then Error (Io "client handle is closed")
@@ -226,3 +248,176 @@ let sleep_ms t ?deadline_ms ms =
   | Ok (Wire.R_slept n) -> Ok n
   | Ok _ -> shape "a sleep acknowledgement"
   | Error _ as e -> e
+
+(* ---------- resilience ---------- *)
+
+let idempotent = function
+  | Wire.Ping _ | Wire.Stats | Wire.Corpus_info | Wire.Nth _ | Wire.Mem _
+  | Wire.Rank _ | Wire.Range_prefix _ | Wire.Cgraph_of _ | Wire.Evaluate _ ->
+    true
+  | Wire.Sleep_ms _ -> false
+
+module Robust = struct
+  type policy = {
+    connect_retries : int;
+    call_retries : int;
+    base_backoff : float;
+    max_backoff : float;
+    max_total_wait : float;
+    breaker_threshold : int;
+    breaker_cooldown : float;
+    recv_timeout : float;
+  }
+
+  let default_policy =
+    { connect_retries = 3; call_retries = 2; base_backoff = 0.02;
+      max_backoff = 0.5; max_total_wait = 10.0; breaker_threshold = 5;
+      breaker_cooldown = 0.25; recv_timeout = 10.0 }
+
+  type breaker = Closed | Open of float | Half_open
+
+  type counters = {
+    mutable k_calls : int;
+    mutable k_retries : int;
+    mutable k_reconnects : int;
+    mutable k_breaker_opens : int;
+    mutable k_breaker_fastfails : int;
+  }
+
+  type call_stats = {
+    calls : int;
+    retries : int;
+    reconnects : int;
+    breaker_opens : int;
+    breaker_fastfails : int;
+  }
+
+  type conn = {
+    r_addr : Wire.addr;
+    r_policy : policy;
+    r_rng : Random.State.t;
+    mutable r_handle : t option;
+    mutable r_breaker : breaker;
+    mutable r_failures : int;  (* consecutive *)
+    mutable r_ever_connected : bool;
+    r_k : counters;
+  }
+
+  let create ?(policy = default_policy) ?rng addr =
+    let rng =
+      match rng with Some r -> r | None -> Random.State.make_self_init ()
+    in
+    { r_addr = addr; r_policy = policy; r_rng = rng; r_handle = None;
+      r_breaker = Closed; r_failures = 0; r_ever_connected = false;
+      r_k = { k_calls = 0; k_retries = 0; k_reconnects = 0;
+              k_breaker_opens = 0; k_breaker_fastfails = 0 } }
+
+  let stats c =
+    { calls = c.r_k.k_calls; retries = c.r_k.k_retries;
+      reconnects = c.r_k.k_reconnects;
+      breaker_opens = c.r_k.k_breaker_opens;
+      breaker_fastfails = c.r_k.k_breaker_fastfails }
+
+  let drop_handle c =
+    match c.r_handle with
+    | Some h ->
+      close h;
+      c.r_handle <- None
+    | None -> ()
+
+  let close c = drop_handle c
+
+  let note_success c =
+    c.r_failures <- 0;
+    c.r_breaker <- Closed
+
+  let note_failure c =
+    c.r_failures <- c.r_failures + 1;
+    if c.r_failures >= c.r_policy.breaker_threshold then begin
+      (match c.r_breaker with
+      | Open _ -> ()
+      | Closed | Half_open -> c.r_k.k_breaker_opens <- c.r_k.k_breaker_opens + 1);
+      c.r_breaker <- Open (Unix.gettimeofday () +. c.r_policy.breaker_cooldown)
+    end
+
+  let ensure_handle c =
+    match c.r_handle with
+    | Some h -> Ok h
+    | None -> (
+      if c.r_ever_connected then c.r_k.k_reconnects <- c.r_k.k_reconnects + 1;
+      match
+        connect ~retries:c.r_policy.connect_retries
+          ~backoff:c.r_policy.base_backoff ~max_backoff:c.r_policy.max_backoff
+          ~max_total_wait:c.r_policy.max_total_wait ~rng:c.r_rng
+          ~recv_timeout:c.r_policy.recv_timeout c.r_addr
+      with
+      | Ok h ->
+        c.r_ever_connected <- true;
+        c.r_handle <- Some h;
+        Ok h
+      | Error _ as e -> e)
+
+  let backoff_sleep c k =
+    let ceiling =
+      min c.r_policy.max_backoff
+        (c.r_policy.base_backoff *. (2.0 ** float_of_int k))
+    in
+    Umrs_fault.Io.sleepf (Random.State.float c.r_rng (max 1e-9 ceiling))
+
+  let call c ?deadline_ms req =
+    c.r_k.k_calls <- c.r_k.k_calls + 1;
+    match c.r_breaker with
+    | Open until when Unix.gettimeofday () < until ->
+      c.r_k.k_breaker_fastfails <- c.r_k.k_breaker_fastfails + 1;
+      Error (Io "circuit breaker open")
+    | b ->
+      (match b with Open _ -> c.r_breaker <- Half_open | _ -> ());
+      (* A failure before the request hit the wire is retryable for any
+         request; after that, only idempotent ones may be resent —
+         retrying a non-idempotent request could execute it twice. *)
+      let rec go k =
+        let fail ~sent e =
+          note_failure c;
+          let retryable = ((not sent) || idempotent req)
+                          && k < c.r_policy.call_retries in
+          match c.r_breaker with
+          | Open _ -> e
+          | _ ->
+            if retryable then begin
+              c.r_k.k_retries <- c.r_k.k_retries + 1;
+              backoff_sleep c k;
+              go (k + 1)
+            end
+            else e
+        in
+        match ensure_handle c with
+        | Error e -> fail ~sent:false (Error e)
+        | Ok h -> (
+          match send h ?deadline_ms req with
+          | Error e ->
+            (* the frame may have partially left the machine; be
+               conservative and treat the request as possibly sent *)
+            drop_handle c;
+            fail ~sent:true (Error e)
+          | Ok ticket -> (
+            match recv h ticket with
+            | Ok r ->
+              note_success c;
+              Ok r
+            | Error ((Refused _ | Overloaded | Timed_out) as e) ->
+              (* the server answered: the path is healthy, the verdict
+                 is the caller's to handle *)
+              note_success c;
+              Error e
+            | Error (Protocol _ as e) ->
+              (* a protocol violation is a bug, not weather: drop the
+                 connection but do not retry into it *)
+              drop_handle c;
+              note_failure c;
+              Error e
+            | Error (Io _ as e) ->
+              drop_handle c;
+              fail ~sent:true (Error e)))
+      in
+      go 0
+end

@@ -35,11 +35,20 @@ val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
 val connect :
-  ?retries:int -> ?backoff:float -> Umrs_server.Wire.addr -> (t, error) result
+  ?retries:int -> ?backoff:float -> ?max_backoff:float ->
+  ?max_total_wait:float -> ?rng:Random.State.t -> ?recv_timeout:float ->
+  Umrs_server.Wire.addr -> (t, error) result
 (** Connect and exchange hellos. A refused/unreachable address is
-    retried [retries] more times (default 0), sleeping [backoff]
-    seconds (default 0.05) before the first retry and doubling each
-    attempt — enough to ride out a server that is still binding. *)
+    retried [retries] more times (default 0) with {e full-jitter}
+    exponential backoff: the k-th sleep is uniform on
+    [\[0, min(max_backoff, backoff * 2{^k})\]] (defaults 0.05 base,
+    2.0 cap), so a fleet of retrying clients spreads out instead of
+    thundering back in lockstep. Cumulative sleep never exceeds
+    [max_total_wait] seconds (default 30) regardless of [retries].
+    [rng] makes the jitter deterministic for tests. [recv_timeout] > 0
+    (seconds, default off) sets [SO_RCVTIMEO] so a later [recv]
+    against a hung server surfaces as [Io] instead of blocking
+    forever. *)
 
 val close : t -> unit
 (** Close the socket. Idempotent; pending tickets are lost. *)
@@ -84,3 +93,74 @@ val evaluate :
   -> (Umrs_routing.Scheme.evaluation, error) result
 
 val sleep_ms : t -> ?deadline_ms:int -> int -> (int, error) result
+
+(** {1 Idempotency}
+
+    Every read-only request — [Ping], [Stats], [Corpus_info], [Nth],
+    [Mem], [Rank], [Range_prefix], [Cgraph_of] — is idempotent:
+    executing it twice returns the same answer and changes nothing, so
+    it is safe to resend when a connection dies mid-call and the
+    client cannot know whether the server executed it. [Evaluate] is
+    also idempotent (a pure function of its graph, memoized
+    server-side). [Sleep_ms] is {e not}: each execution occupies a
+    worker for the full duration, so a blind resend doubles the
+    resource cost. {!Robust} enforces exactly this split. *)
+
+val idempotent : Umrs_server.Wire.request -> bool
+
+(** {1 Resilient calls}
+
+    A {!Robust.conn} wraps reconnection, retry, and a circuit breaker
+    around {!call}:
+
+    - failures {e before} a request reaches the wire are retried for
+      any request; failures {e after} only for {!idempotent} ones;
+    - retries sleep with the same full-jitter backoff as {!connect};
+    - after [breaker_threshold] consecutive transport failures the
+      breaker opens and calls fail fast ([Io "circuit breaker open"])
+      for [breaker_cooldown] seconds, then one half-open probe decides
+      between closing it and re-opening.
+
+    Server verdicts ([Refused]/[Overloaded]/[Timed_out]) are answers,
+    not failures: they reset the breaker and are returned as-is —
+    backing off on [Overloaded] is the caller's policy decision. Like
+    {!t}, a [conn] is not thread-safe. *)
+
+module Robust : sig
+  type policy = {
+    connect_retries : int;
+    call_retries : int;
+    base_backoff : float;      (** seconds; full-jitter base *)
+    max_backoff : float;       (** per-sleep ceiling, seconds *)
+    max_total_wait : float;    (** cumulative connect-sleep cap *)
+    breaker_threshold : int;   (** consecutive failures to open *)
+    breaker_cooldown : float;  (** open duration, seconds *)
+    recv_timeout : float;      (** [SO_RCVTIMEO] per connection *)
+  }
+
+  val default_policy : policy
+  (** 3 connect retries, 2 call retries, 0.02 s base / 0.5 s cap
+      backoff, 10 s total wait, breaker 5 failures / 0.25 s cooldown,
+      10 s receive timeout. *)
+
+  type conn
+
+  val create : ?policy:policy -> ?rng:Random.State.t -> Umrs_server.Wire.addr -> conn
+  (** No I/O happens until the first {!call} (connection is lazy). *)
+
+  val call :
+    conn -> ?deadline_ms:int -> Umrs_server.Wire.request
+    -> (Umrs_server.Wire.response, error) result
+
+  val close : conn -> unit
+
+  type call_stats = {
+    calls : int;
+    retries : int;            (** resent or re-attempted calls *)
+    reconnects : int;         (** connections re-established after loss *)
+    breaker_opens : int;
+    breaker_fastfails : int;  (** calls refused while the breaker was open *)
+  }
+
+  val stats : conn -> call_stats
+end

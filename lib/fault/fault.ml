@@ -1,0 +1,309 @@
+(* Deterministic fault injection.
+
+   A [plan] is a pure decision function from (fault point kind, global
+   firing index) to an [action], installed process-wide by [with_plan].
+   Instrumented code calls [fire] at each fault point; with no plan
+   installed that is one atomic load and a branch — the zero-cost-
+   when-disabled contract the hot paths rely on.
+
+   Simulated crashes model power loss, not just process death: the
+   state machine tracks, for every file opened through {!Io}, the
+   prefix guaranteed durable by its last fsync, and every rename not
+   yet pinned by a directory fsync. When a [Crash] action fires, the
+   run is stopped (every later [fire] in any domain raises {!Crashed})
+   and, once the run has unwound, [with_plan] mutilates the filesystem
+   the way a power cut could have: unsynced tails are torn at a seeded
+   byte boundary and unpinned renames may be rolled back. Recovery
+   code is then exercised against that state.
+
+   Decisions depend only on (seed, index, point kind), never on wall
+   clock or interleaving, so a failure reproduces from its printed
+   seed — the same convention as test/gen.ml. Multi-domain runs share
+   one atomic firing counter: the set of decisions is reproducible,
+   their assignment to domains follows the actual schedule. *)
+
+exception Crashed
+exception Injected of string
+
+type point =
+  | File_write
+  | File_fsync
+  | File_close
+  | File_rename
+  | Dir_fsync
+  | Sock_read
+  | Sock_write
+  | Sock_accept
+  | Sock_connect
+  | Worker
+
+let point_tag = function
+  | File_write -> 0
+  | File_fsync -> 1
+  | File_close -> 2
+  | File_rename -> 3
+  | Dir_fsync -> 4
+  | Sock_read -> 5
+  | Sock_write -> 6
+  | Sock_accept -> 7
+  | Sock_connect -> 8
+  | Worker -> 9
+
+let point_name = function
+  | File_write -> "file_write"
+  | File_fsync -> "file_fsync"
+  | File_close -> "file_close"
+  | File_rename -> "file_rename"
+  | Dir_fsync -> "dir_fsync"
+  | Sock_read -> "sock_read"
+  | Sock_write -> "sock_write"
+  | Sock_accept -> "sock_accept"
+  | Sock_connect -> "sock_connect"
+  | Worker -> "worker"
+
+type action =
+  | Pass
+  | Crash
+  | Drop_fsync
+  | Short_write of int
+  | Eintr of int
+  | Delay of float
+  | Reset
+  | Half_close
+  | Exn of string
+
+type plan = {
+  label : string;
+  seed : int;
+  torn_align : int;
+  decide : point -> int -> action;
+}
+
+let make_plan ?(label = "custom") ?(seed = 0) ?(torn_align = 1) decide =
+  if torn_align < 1 then invalid_arg "Fault.make_plan: torn_align";
+  { label; seed; torn_align; decide }
+
+let pass_plan ?(seed = 0) () =
+  make_plan ~label:"pass" ~seed (fun _ _ -> Pass)
+
+let crash_at ?(torn_align = 1) ~seed ~at () =
+  if at < 0 then invalid_arg "Fault.crash_at: at";
+  make_plan ~label:(Printf.sprintf "crash@%d" at) ~seed ~torn_align
+    (fun _ ix -> if ix = at then Crash else Pass)
+
+(* One independent decision per firing: a fresh PRNG keyed on
+   (seed, index, point kind), so the choice at firing [ix] is the same
+   whichever domain gets there and whatever happened before it. *)
+let seeded ?(torn_align = 512) ~seed ~intensity () =
+  if intensity < 0.0 || intensity > 1.0 then
+    invalid_arg "Fault.seeded: intensity outside [0, 1]";
+  let decide point ix =
+    let st = Random.State.make [| 0xFA17; seed; ix; point_tag point |] in
+    if Random.State.float st 1.0 >= intensity then Pass
+    else
+      let delay () = Delay (0.0005 +. Random.State.float st 0.004) in
+      match point with
+      | Sock_read -> (
+        match Random.State.int st 4 with
+        | 0 -> Reset
+        | 1 -> Half_close
+        | _ -> delay ())
+      | Sock_write -> if Random.State.bool st then Reset else delay ()
+      | Sock_accept -> Eintr (1 + Random.State.int st 3)
+      | Sock_connect -> if Random.State.int st 3 = 0 then Reset else delay ()
+      | Worker -> Exn "injected worker fault"
+      | File_fsync | Dir_fsync -> Drop_fsync
+      | File_write | File_close | File_rename -> Pass
+  in
+  make_plan ~label:(Printf.sprintf "seeded:%g" intensity) ~seed ~torn_align
+    decide
+
+(* ---------- tracked filesystem state (used by Io) ---------- *)
+
+type entry = {
+  mutable e_path : string;
+  e_oc : out_channel;
+  mutable e_synced : int;  (* prefix guaranteed durable (bytes) *)
+  mutable e_open : bool;
+  mutable e_dead : bool;   (* inode replaced by a later rename *)
+}
+
+type rename_rec = {
+  rn_src : string;
+  rn_dst : string;
+  rn_prior : string option;  (* dst content before the rename *)
+}
+
+type state = {
+  plan : plan;
+  counter : int Atomic.t;
+  crashed : bool Atomic.t;
+  lock : Mutex.t;
+  mutable files : entry list;          (* registration order, newest first *)
+  mutable renames : rename_rec list;   (* pending (dir not fsynced), newest first *)
+}
+
+let active : state option Atomic.t = Atomic.make None
+
+let enabled () = Atomic.get active <> None
+
+let fire point =
+  match Atomic.get active with
+  | None -> Pass
+  | Some st ->
+    if Atomic.get st.crashed then raise Crashed;
+    let ix = Atomic.fetch_and_add st.counter 1 in
+    (match st.plan.decide point ix with
+    | Crash ->
+      Atomic.set st.crashed true;
+      raise Crashed
+    | a -> a)
+
+let points_fired () =
+  match Atomic.get active with
+  | None -> 0
+  | Some st -> Atomic.get st.counter
+
+(* Registry operations below are called by Io only while a plan is
+   installed; with no plan they are never reached. *)
+
+let track_open ~path oc =
+  match Atomic.get active with
+  | None -> None
+  | Some st ->
+    let e = { e_path = path; e_oc = oc; e_synced = 0; e_open = true;
+              e_dead = false } in
+    Mutex.lock st.lock;
+    st.files <- e :: st.files;
+    Mutex.unlock st.lock;
+    Some e
+
+let read_file_opt path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* Record a rename: remember what the destination held (rolling back
+   means restoring it), retire any tracked entry whose inode the
+   rename just replaced, and move the renamed entry to its new name. *)
+let track_rename ~src ~dst =
+  match Atomic.get active with
+  | None -> Sys.rename src dst
+  | Some st ->
+    Mutex.lock st.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock st.lock)
+      (fun () ->
+        let prior = read_file_opt dst in
+        Sys.rename src dst;
+        List.iter
+          (fun e ->
+            if not e.e_dead then
+              if e.e_path = dst then e.e_dead <- true
+              else if e.e_path = src then e.e_path <- dst)
+          st.files;
+        st.renames <- { rn_src = src; rn_dst = dst; rn_prior = prior }
+                      :: st.renames)
+
+(* A directory fsync pins every pending rename inside that directory:
+   those can no longer be lost to a crash. *)
+let commit_renames ~dir =
+  match Atomic.get active with
+  | None -> ()
+  | Some st ->
+    Mutex.lock st.lock;
+    st.renames <-
+      List.filter (fun rn -> Filename.dirname rn.rn_dst <> dir) st.renames;
+    Mutex.unlock st.lock
+
+(* ---------- crash application ---------- *)
+
+(* Runs single-threaded, after every domain of the crashed run has
+   unwound. Mutates the filesystem into one state a power cut at the
+   crash point could have produced. *)
+let apply_crash st =
+  let rng = Random.State.make [| 0xC4A5; st.plan.seed |] in
+  let align = max 1 st.plan.torn_align in
+  (* 1. Tear unsynced tails. Data beyond the last fsync lives in the
+     page cache; any aligned prefix of it may have reached the disk. *)
+  List.iter
+    (fun e ->
+      if e.e_open then begin
+        (try flush e.e_oc with Sys_error _ -> ());
+        close_out_noerr e.e_oc;
+        e.e_open <- false
+      end;
+      if not e.e_dead then
+        match (Unix.stat e.e_path).Unix.st_size with
+        | exception Unix.Unix_error _ -> ()
+        | size ->
+          if size > e.e_synced then begin
+            let keep = e.e_synced + Random.State.int rng (size - e.e_synced + 1) in
+            let keep = max e.e_synced (keep - (keep mod align)) in
+            if keep < size then Unix.truncate e.e_path keep
+          end)
+    (List.rev st.files);
+  (* 2. Roll back un-pinned renames. For each target path the durable
+     directory entry is some prefix of the rename sequence aimed at
+     it; pick the prefix length and undo the suffix newest-first. *)
+  let by_dst = Hashtbl.create 8 in
+  List.iter
+    (fun rn ->
+      let older = try Hashtbl.find by_dst rn.rn_dst with Not_found -> [] in
+      (* renames list is newest-first, so [older] accumulates with the
+         oldest at the head after this reversal *)
+      Hashtbl.replace by_dst rn.rn_dst (rn :: older))
+    (List.rev st.renames);
+  Hashtbl.iter
+    (fun _dst chain_newest_first ->
+      let n = List.length chain_newest_first in
+      let durable = Random.State.int rng (n + 1) in
+      (* undo the (n - durable) newest renames, newest first *)
+      List.iteri
+        (fun i rn ->
+          if i < n - durable then begin
+            (match read_file_opt rn.rn_dst with
+            | Some data -> write_file rn.rn_src data
+            | None -> ());
+            match rn.rn_prior with
+            | Some data -> write_file rn.rn_dst data
+            | None -> (try Sys.remove rn.rn_dst with Sys_error _ -> ())
+          end)
+        chain_newest_first)
+    by_dst;
+  st.files <- [];
+  st.renames <- []
+
+(* ---------- installation ---------- *)
+
+type 'a run_result = { outcome : ('a, unit) result; points : int }
+
+let with_plan plan f =
+  let st =
+    { plan; counter = Atomic.make 0; crashed = Atomic.make false;
+      lock = Mutex.create (); files = []; renames = [] }
+  in
+  if not (Atomic.compare_and_set active None (Some st)) then
+    invalid_arg "Fault.with_plan: a plan is already installed";
+  let finish () = Atomic.set active None in
+  match f () with
+  | v ->
+    finish ();
+    { outcome = Ok v; points = Atomic.get st.counter }
+  | exception Crashed ->
+    (* the run has unwound through every Fun.protect; now mutilate the
+       tracked files the way the power cut would have *)
+    apply_crash st;
+    finish ();
+    { outcome = Error (); points = Atomic.get st.counter }
+  | exception e ->
+    finish ();
+    raise e

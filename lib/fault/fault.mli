@@ -1,0 +1,130 @@
+(** Deterministic, seeded fault injection.
+
+    A {!plan} maps every fault point the instrumented code reaches to
+    an {!action}, purely from the point's kind and its global firing
+    index — never from wall clock or interleaving — so any failure it
+    provokes reproduces from the seed printed with it (the
+    [UMRS_TEST_SEED] convention of test/gen.ml). With no plan
+    installed, {!fire} is one atomic load: the seam costs nothing in
+    production paths.
+
+    Crashes are simulated as power loss, not mere process death. While
+    a plan is installed, {!Io} reports every file it opens, fsyncs and
+    renames here; when a [Crash] action fires the run is stopped
+    (every subsequent {!fire} in any domain raises {!Crashed}) and
+    {!with_plan}, once the run has unwound, tears each file's
+    un-fsynced tail at a seeded, alignment-respecting byte boundary
+    and rolls back a suffix of the renames not pinned by a directory
+    fsync. Recovery code then faces a filesystem a real power cut
+    could have left behind. *)
+
+exception Crashed
+(** Raised by {!fire} at and after a simulated crash. Instrumented
+    cleanup code must let it propagate — a dead process runs no
+    handlers — except to release in-memory locks. *)
+
+exception Injected of string
+(** An injected handler exception ({!action.Exn}), raised by
+    {!Io.worker_hook} inside server worker domains. *)
+
+(** Where a fault can strike. File and directory points are reached
+    through {!Io}'s tracked file operations; socket points through its
+    syscall wrappers and channel hooks; [Worker] inside the server's
+    request handler. *)
+type point =
+  | File_write
+  | File_fsync
+  | File_close
+  | File_rename
+  | Dir_fsync
+  | Sock_read
+  | Sock_write
+  | Sock_accept
+  | Sock_connect
+  | Worker
+
+val point_tag : point -> int
+val point_name : point -> string
+
+type action =
+  | Pass            (** no fault *)
+  | Crash           (** simulated power loss; {!fire} raises {!Crashed} *)
+  | Drop_fsync      (** the fsync silently does nothing durable *)
+  | Short_write of int  (** first write syscall transfers at most n bytes *)
+  | Eintr of int    (** the next n syscalls fail with [EINTR] *)
+  | Delay of float  (** sleep this many seconds first *)
+  | Reset           (** connection reset / refused, by point kind *)
+  | Half_close      (** reads see EOF although the peer is alive *)
+  | Exn of string   (** raise {!Injected} inside the handler *)
+
+type plan = {
+  label : string;
+  seed : int;
+  torn_align : int;  (** torn writes land on multiples of this *)
+  decide : point -> int -> action;
+      (** Must be pure: called concurrently from any domain, keyed on
+          (point kind, global firing index). *)
+}
+
+val make_plan :
+  ?label:string -> ?seed:int -> ?torn_align:int ->
+  (point -> int -> action) -> plan
+
+val pass_plan : ?seed:int -> unit -> plan
+(** Counts fault points without injecting anything — the measuring run
+    a crash-point sweep starts from. *)
+
+val crash_at : ?torn_align:int -> seed:int -> at:int -> unit -> plan
+(** Simulated power loss exactly at firing index [at]; the seed drives
+    the post-crash tearing and rename rollback. *)
+
+val seeded : ?torn_align:int -> seed:int -> intensity:float -> unit -> plan
+(** Each firing independently suffers a fault with probability
+    [intensity] (in [0, 1]); the fault drawn depends on the point kind
+    — resets, half-closes and delays on socket reads/writes, [EINTR]
+    storms on accept, refusals on connect, {!Injected} in workers,
+    dropped fsyncs on file/directory syncs. Never [Crash]: a seeded
+    storm degrades a live process rather than killing it. *)
+
+val fire : point -> action
+(** Called by instrumented code at each fault point. Returns [Pass]
+    when no plan is installed (the fast path); raises {!Crashed} when
+    the plan decides [Crash] or a crash already happened. *)
+
+val enabled : unit -> bool
+val points_fired : unit -> int
+
+(** {1 Running under a plan} *)
+
+type 'a run_result = {
+  outcome : ('a, unit) result;  (** [Error ()] means a simulated crash *)
+  points : int;                 (** fault points fired during the run *)
+}
+
+val with_plan : plan -> (unit -> 'a) -> 'a run_result
+(** Install [plan], run [f], uninstall. On a simulated crash the
+    post-crash filesystem state is applied before returning
+    [Error ()]. Exceptions other than {!Crashed} propagate. Plans do
+    not nest; concurrent installation is an [Invalid_argument]. *)
+
+(** {1 Seam internals}
+
+    State reporting used by {!Io}'s tracked file operations. Not for
+    application code. *)
+
+type entry = {
+  mutable e_path : string;
+  e_oc : out_channel;
+  mutable e_synced : int;
+  mutable e_open : bool;
+  mutable e_dead : bool;
+}
+
+val track_open : path:string -> out_channel -> entry option
+val track_rename : src:string -> dst:string -> unit
+(** Performs the rename (always) and records it as rollback-eligible
+    while a plan is installed. *)
+
+val commit_renames : dir:string -> unit
+(** A directory fsync reached the disk: renames into [dir] can no
+    longer be lost. *)

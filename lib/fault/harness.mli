@@ -1,0 +1,44 @@
+(** Crash-consistency harness for the corpus builder.
+
+    {!crash_matrix} measures how many fault points a checkpointed
+    build of the (p, q, d) instance passes, then replays the build
+    once per point with a simulated power loss ({!Umrs_fault.Fault})
+    exactly there. After each crash it asserts the store's two
+    recovery claims: a published corpus (if the crash landed after the
+    final rename) verifies clean, and a [--resume] run completes with
+    output byte-identical to an uninterrupted reference build.
+
+    Every replay is deterministic given its seed; a failure carries
+    the (seed, point) pair that reproduces it, following the
+    [UMRS_TEST_SEED] convention. *)
+
+type failure = {
+  f_at : int;       (** crash-point index; -1 for the counting run *)
+  f_seed : int;     (** reproduces the run: seed argument + [f_at] *)
+  f_detail : string;
+}
+
+type summary = {
+  s_p : int;
+  s_q : int;
+  s_d : int;
+  s_domains : int;
+  s_points : int;    (** fault points in one full build *)
+  s_crashes : int;   (** replays that crashed (= points when healthy) *)
+  s_seed : int;
+  s_failures : failure list;  (** empty iff every invariant held *)
+}
+
+val crash_matrix :
+  ?variant:Umrs_core.Canonical.variant ->
+  ?domains:int ->
+  ?checkpoint_every:int ->
+  ?seed:int ->
+  ?torn_align:int ->
+  ?on_progress:(at:int -> points:int -> unit) ->
+  p:int -> q:int -> d:int -> scratch:string -> unit -> summary
+(** Runs entirely under [scratch] (created if needed): a reference
+    corpus, a checkpoint directory, and the crashed/resumed output
+    live there and are reused across replays. Single-domain sweeps are
+    exactly reproducible; multi-domain sweeps fire the same decision
+    sequence but scheduling decides which domain meets the crash. *)

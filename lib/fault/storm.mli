@@ -1,0 +1,45 @@
+(** Fault-schedule load driver for the serving layer.
+
+    {!run_level} starts a fresh server on the given address, installs a
+    {!Umrs_fault.Fault.seeded} plan at the given intensity, and drives
+    the server with {!Umrs_client.Robust} connections through a fixed
+    request mix (pings, corpus reads, graph fetches, short sleeps).
+    Faults hit both sides of every socket and the worker pool, so the
+    run exercises reconnection, idempotency-gated retry, the circuit
+    breaker, and the server's worker supervisor at once.
+
+    The accounting invariant is "no silent loss": every request
+    resolves to success, degraded, or failed — a hang, a malformed
+    reply, or a server that cannot answer a plain fault-free probe
+    afterwards makes the level [Error]. Counted failures (transport
+    gave up after retries) are data for the caller to judge, not
+    fatal. *)
+
+type level = {
+  l_intensity : float;
+  l_requests : int;
+  l_success : int;       (** answered first try, well-shaped *)
+  l_degraded : int;      (** answered after retries/reconnects, or a
+                             server verdict (Rejected/Overloaded/
+                             Timed_out) *)
+  l_failed : int;        (** transport error after retries, breaker
+                             fast-fail, or mis-shaped reply *)
+  l_worker_crashes : int;(** worker domains the supervisor replaced *)
+  l_breaker_opens : int;
+  l_breaker_fastfails : int;
+  l_recovery_p50 : float;(** seconds; over degraded-with-retry calls *)
+  l_recovery_p95 : float;
+  l_seconds : float;     (** wall-clock of the driving loop *)
+}
+
+val run_level :
+  ?seed:int -> ?requests:int -> ?conns:int -> ?workers:int ->
+  ?queue_capacity:int -> intensity:float -> corpus:string ->
+  addr:Umrs_server.Wire.addr -> unit -> (level, string) result
+(** The corpus must already have its sidecar index
+    ({!Umrs_store.Query.build}). The server is started before the plan
+    is installed and drained after it is removed, so setup and teardown
+    run fault-free; each level gets its own server, so levels are
+    independent. Deterministic fault schedule per [seed]; wall-clock
+    classification (what needed a retry) still varies with
+    scheduling. *)

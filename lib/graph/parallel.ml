@@ -1,5 +1,17 @@
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
+(* Run the inline worker and join every spawned domain, even when one
+   of them raises — leaking an unjoined domain would let it keep
+   writing to shared state after the caller has started cleaning up.
+   The first exception seen (inline worker first, then joins in spawn
+   order) is re-raised once all domains have stopped. *)
+let run_joining worker0 handles =
+  let first = ref None in
+  let note e = if !first = None then first := Some e in
+  (try worker0 () with e -> note e);
+  List.iter (fun h -> try Domain.join h with e -> note e) handles;
+  match !first with Some e -> raise e | None -> ()
+
 let map_range ?domains n f =
   if n < 0 then invalid_arg "Parallel.map_range";
   let domains =
@@ -20,8 +32,7 @@ let map_range ?domains n f =
     let handles =
       List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
     in
-    worker 0 ();
-    List.iter Domain.join handles;
+    run_joining (worker 0) handles;
     Array.map
       (function Some x -> x | None -> invalid_arg "Parallel: missing result")
       results
@@ -52,8 +63,7 @@ let map_ranges ?domains n f =
       results.(i) <- Some (f ~lo ~hi)
     in
     let handles = List.init (k - 1) (fun i -> Domain.spawn (worker (i + 1))) in
-    worker 0 ();
-    List.iter Domain.join handles;
+    run_joining (worker 0) handles;
     Array.map
       (function Some x -> x | None -> invalid_arg "Parallel: missing result")
       results
@@ -82,8 +92,7 @@ let map_range_with ?domains ~init ?(finally = fun _ -> ()) n f =
         let handles =
           List.init (k - 1) (fun i -> Domain.spawn (worker (i + 1)))
         in
-        worker 0 ();
-        List.iter Domain.join handles;
+        run_joining (worker 0) handles;
         Array.map
           (function Some x -> x | None -> invalid_arg "Parallel: missing result")
           results

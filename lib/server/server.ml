@@ -26,6 +26,7 @@ let c_rejected = Telemetry.counter "server.rejected"
 let c_cache_hits = Telemetry.counter "server.cache_hits"
 let c_cache_misses = Telemetry.counter "server.cache_misses"
 let c_conn_refused = Telemetry.counter "server.connections_refused"
+let c_worker_crashes = Telemetry.counter "server.worker_crashes"
 let g_queue_depth = Telemetry.gauge "server.queue_depth"
 
 (* ---------- connections ---------- *)
@@ -63,13 +64,26 @@ type t = {
   n_rejected : int Atomic.t;
   n_cache_hits : int Atomic.t;
   n_cache_misses : int Atomic.t;
+  n_worker_crashes : int Atomic.t;
   mutable acceptor : Thread.t option;
-  mutable worker_domains : unit Domain.t list;
+  (* Worker pool under supervision: [workers_arr.(slot)] is the live
+     domain for that slot; a domain killed by an escaped exception
+     reports its slot on [sup_deaths] and the supervisor thread joins
+     it and spawns a replacement, bumping [sup_generation]. All four
+     are guarded by [sup_lock]/[sup_cond]. *)
+  mutable workers_arr : unit Domain.t array;
+  sup_lock : Mutex.t;
+  sup_cond : Condition.t;
+  sup_deaths : int Queue.t;
+  mutable sup_generation : int;
+  mutable sup_stop : bool;
+  mutable supervisor : Thread.t option;
   mutable readers : Thread.t list;  (* under [conns_lock] *)
   mutable waited : bool;
 }
 
 let addr t = t.actual_addr
+let worker_crashes t = Atomic.get t.n_worker_crashes
 
 let stats_of srv =
   { Wire.st_connections = Atomic.get srv.n_conns;
@@ -173,6 +187,7 @@ let handle_job srv query job =
     send_outcome job.j_conn ~id:job.j_id Wire.Timed_out
   end
   else begin
+    Umrs_fault.Io.worker_hook ();
     let outcome =
       (* A request the library layer refuses (out-of-range record, shape
          mismatch, undecodable graph...) is the caller's problem, never
@@ -226,10 +241,61 @@ let worker_loop srv =
         | Some job ->
           Telemetry.set_gauge g_queue_depth
             (float_of_int (Jobqueue.length srv.queue));
-          handle_job srv query job;
+          (match handle_job srv query job with
+          | () -> ()
+          | exception e ->
+            (* An exception escaping the per-request handler is a server
+               bug (or an injected fault): answer the request so its
+               client is never left hanging, then let this domain die —
+               the supervisor replaces it, so one poisoned handler can't
+               bleed state into later requests. *)
+            Atomic.incr srv.n_worker_crashes;
+            Telemetry.add c_worker_crashes 1;
+            Atomic.incr srv.n_rejected;
+            Telemetry.add c_rejected 1;
+            send_outcome job.j_conn ~id:job.j_id
+              (Wire.Rejected ("internal error: " ^ Printexc.to_string e));
+            raise e);
           loop ()
       in
       loop ())
+
+let worker_body srv slot () =
+  try worker_loop srv
+  with _ ->
+    (* the job that killed this domain was already answered and counted
+       in [worker_loop]; report the slot so the supervisor respawns *)
+    Mutex.lock srv.sup_lock;
+    Queue.push slot srv.sup_deaths;
+    Condition.broadcast srv.sup_cond;
+    Mutex.unlock srv.sup_lock
+
+(* Replaces dead workers for as long as the server lives — including
+   during drain, where the replacement finishes draining the queue so
+   accepted jobs are still answered even if the last worker died. *)
+let supervisor_loop srv =
+  let rec loop () =
+    Mutex.lock srv.sup_lock;
+    while Queue.is_empty srv.sup_deaths && not srv.sup_stop do
+      Condition.wait srv.sup_cond srv.sup_lock
+    done;
+    if Queue.is_empty srv.sup_deaths then Mutex.unlock srv.sup_lock
+    else begin
+      let slot = Queue.pop srv.sup_deaths in
+      let dead = srv.workers_arr.(slot) in
+      Mutex.unlock srv.sup_lock;
+      Domain.join dead;
+      let replacement = Domain.spawn (worker_body srv slot) in
+      Mutex.lock srv.sup_lock;
+      srv.workers_arr.(slot) <- replacement;
+      srv.sup_generation <- srv.sup_generation + 1;
+      Mutex.unlock srv.sup_lock;
+      if Telemetry.enabled () then
+        Telemetry.emit "server.worker.respawned" [ ("slot", Telemetry.Int slot) ];
+      loop ()
+    end
+  in
+  loop ()
 
 (* ---------- connection reader ---------- *)
 
@@ -301,7 +367,9 @@ let reader_loop srv conn =
                    (float_of_int (Jobqueue.length srv.queue))))
        done
      end
-   with End_of_file | Sys_error _ | Sys_blocked_io | Unix.Unix_error _ -> ());
+   with
+   | End_of_file | Sys_error _ | Sys_blocked_io | Unix.Unix_error _
+   | Umrs_fault.Fault.Injected _ -> ());
   close_conn srv conn;
   (* self-prune so a long-lived server accepting many short-lived
      connections does not grow [readers] (and the channels each entry
@@ -320,7 +388,7 @@ let accept_loop srv =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | [], _, _ -> ()
     | _ :: _, _, _ -> (
-      match Unix.accept srv.listen_fd with
+      match Umrs_fault.Io.accept srv.listen_fd with
       | exception Unix.Unix_error _ -> ()
       | fd, _ ->
         Mutex.lock srv.conns_lock;
@@ -373,8 +441,10 @@ let clear_unix_path path =
   | { Unix.st_kind = Unix.S_SOCK; _ } ->
     let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     let live =
+      (* EINTR-retrying connect: a signal here must not make a live
+         server's socket look stale *)
       try
-        Unix.connect probe (Unix.ADDR_UNIX path);
+        Umrs_fault.Io.connect probe (Unix.ADDR_UNIX path);
         true
       with Unix.Unix_error _ -> false
     in
@@ -446,12 +516,16 @@ let start cfg =
             n_conns = Atomic.make 0; n_requests = Atomic.make 0;
             n_overloaded = Atomic.make 0; n_timeouts = Atomic.make 0;
             n_rejected = Atomic.make 0; n_cache_hits = Atomic.make 0;
-            n_cache_misses = Atomic.make 0;
-            acceptor = None; worker_domains = []; readers = [];
+            n_cache_misses = Atomic.make 0; n_worker_crashes = Atomic.make 0;
+            acceptor = None; workers_arr = [||];
+            sup_lock = Mutex.create (); sup_cond = Condition.create ();
+            sup_deaths = Queue.create (); sup_generation = 0;
+            sup_stop = false; supervisor = None; readers = [];
             waited = false }
         in
-        srv.worker_domains <-
-          List.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop srv));
+        srv.workers_arr <-
+          Array.init cfg.workers (fun slot -> Domain.spawn (worker_body srv slot));
+        srv.supervisor <- Some (Thread.create supervisor_loop srv);
         srv.acceptor <- Some (Thread.create (fun () -> accept_loop srv) ());
         Ok srv)
 
@@ -471,9 +545,40 @@ let wait srv =
     (* 1. the acceptor exits once [stop] is set and closes the listener *)
     Option.iter Thread.join srv.acceptor;
     (* 2. stop admission; workers drain every accepted job, answer it,
-       then exit *)
+       then exit. A worker that dies mid-drain is replaced by the
+       supervisor (the replacement finishes the drain), so the pool is
+       joined until no death is pending and its generation is stable. *)
     Jobqueue.close srv.queue;
-    List.iter Domain.join srv.worker_domains;
+    let rec join_pool () =
+      Mutex.lock srv.sup_lock;
+      let pending = not (Queue.is_empty srv.sup_deaths) in
+      let gen = srv.sup_generation in
+      let snapshot = Array.copy srv.workers_arr in
+      Mutex.unlock srv.sup_lock;
+      if pending then begin
+        (* let the supervisor process the report first: its join and
+           ours on the same domain are both safe, but the replacement
+           must land in [workers_arr] before we can see it *)
+        (try Unix.sleepf 0.001
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        join_pool ()
+      end
+      else begin
+        Array.iter Domain.join snapshot;
+        Mutex.lock srv.sup_lock;
+        let stable =
+          gen = srv.sup_generation && Queue.is_empty srv.sup_deaths
+        in
+        Mutex.unlock srv.sup_lock;
+        if not stable then join_pool ()
+      end
+    in
+    join_pool ();
+    Mutex.lock srv.sup_lock;
+    srv.sup_stop <- true;
+    Condition.broadcast srv.sup_cond;
+    Mutex.unlock srv.sup_lock;
+    Option.iter Thread.join srv.supervisor;
     (* 3. responses are all written: flush telemetry so the JSONL sink
        holds whole records even if the process dies right after *)
     Telemetry.flush_metrics ();

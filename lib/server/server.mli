@@ -17,6 +17,14 @@
     them, serialized per connection by a write mutex, so out-of-order
     completion is expected and clients match responses by request id.
 
+    A {e supervisor} thread watches the worker pool. An exception that
+    escapes a request handler answers that request [Rejected], kills
+    its domain (never reused: a poisoned handler must not bleed state
+    into later requests), and the supervisor joins the corpse and
+    spawns a replacement — the pool size is an invariant, even during
+    drain. Crashes are counted ({!worker_crashes}, telemetry counter
+    [server.worker_crashes]).
+
     {2 Backpressure, deadlines, caching}
 
     A full job queue sheds load: the reader answers [Overloaded]
@@ -70,6 +78,10 @@ val start : config -> (t, string) result
 
 val addr : t -> Wire.addr
 (** The actual listening address ([Tcp] with the resolved port). *)
+
+val worker_crashes : t -> int
+(** Worker domains lost to escaped handler exceptions (each one was
+    replaced by the supervisor). *)
 
 val shutdown : t -> unit
 (** Request graceful drain; returns immediately. Idempotent. *)

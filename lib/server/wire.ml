@@ -420,6 +420,7 @@ let decode_outcome bytes =
 let default_max_frame = 16 * 1024 * 1024
 
 let write_frame oc payload =
+  Umrs_fault.Io.on_sock_write ();
   let n = Bytes.length payload in
   let hdr = Bytes.create 4 in
   Bytes.set_int32_le hdr 0 (Int32.of_int n);
@@ -428,6 +429,7 @@ let write_frame oc payload =
   flush oc
 
 let read_frame ?(max_bytes = default_max_frame) ic =
+  Umrs_fault.Io.on_sock_read ();
   let hdr = Bytes.create 4 in
   match really_input ic hdr 0 4 with
   | exception End_of_file -> None

@@ -10,18 +10,41 @@ type outcome = {
   o_header : Corpus.header;
 }
 
+let c_ckpt_corrupt = Telemetry.counter "store.checkpoint_corrupt"
+
+(* A checkpoint that does not load cleanly must never kill recovery —
+   the whole point of resume is surviving ungraceful exits, and a
+   half-written file (e.g. an fsync the disk lied about) is one of the
+   states such an exit can leave. The lost range is rebuilt instead. *)
+let corrupt_artifact ~what ~detail =
+  Telemetry.add c_ckpt_corrupt 1;
+  if Telemetry.enabled () then
+    Telemetry.emit "corpus.checkpoint.corrupt"
+      [ ("artifact", Telemetry.Str what); ("detail", Telemetry.Str detail) ]
+
 let build ?(variant = Canonical.Full) ?cap ?domains ?checkpoint_dir
     ?(checkpoint_every = 1 lsl 14) ?(resume = false) ?on_checkpoint ~p ~q ~d
     ~out () =
   if checkpoint_every < 1 then invalid_arg "Builder.build: checkpoint_every";
   let total = Enumerate.checked_total ?cap ~p ~q ~d () in
-  let manifest, resuming =
+  let loaded_manifest =
     match checkpoint_dir with
-    | Some dir when resume && Checkpoint.manifest_exists ~dir ->
-      let m = Checkpoint.load_manifest ~dir in
-      Checkpoint.check_manifest m ~p ~q ~d ~variant ~total;
-      (m, true)
-    | _ ->
+    | Some dir when resume && Checkpoint.manifest_exists ~dir -> (
+      match Checkpoint.load_manifest ~dir with
+      | m ->
+        (* A parameter mismatch is a user error and stays fatal; only
+           unreadable content degrades to a fresh build. *)
+        Checkpoint.check_manifest m ~p ~q ~d ~variant ~total;
+        Some m
+      | exception Invalid_argument detail ->
+        corrupt_artifact ~what:"manifest" ~detail;
+        None)
+    | _ -> None
+  in
+  let manifest, resuming =
+    match loaded_manifest with
+    | Some m -> (m, true)
+    | None ->
       let dcount =
         match domains with
         | Some k -> max 1 k
@@ -61,7 +84,10 @@ let build ?(variant = Canonical.Full) ?cap ?domains ?checkpoint_dir
             (fun m -> Mkey.Tbl.replace tbl (Mkey.of_matrix ~base:d m) m)
             s.Checkpoint.s_matrices;
           s.Checkpoint.s_done
-        | None -> lo)
+        | None -> lo
+        | exception Invalid_argument detail ->
+          corrupt_artifact ~what:(Printf.sprintf "shard_%d" i) ~detail;
+          lo)
       | _ -> lo
     in
     let written = ref 0 in

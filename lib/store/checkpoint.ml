@@ -1,4 +1,5 @@
 open Umrs_core
+module Io = Umrs_fault.Io
 
 type manifest = {
   m_p : int;
@@ -23,18 +24,32 @@ let rec init_dir ~dir =
   else if not (Sys.is_directory dir) then
     invalid_arg (Printf.sprintf "Checkpoint: %s exists and is not a directory" dir)
 
-(* Atomic write: dump to a temp file in the same directory, then
-   rename over the target (rename is atomic on POSIX). *)
+(* Durable atomic write: dump to a temp file in the same directory,
+   fsync it, rename over the target, then fsync the directory. Rename
+   alone is atomic against concurrent readers but not against power
+   loss — without the fsyncs the new name can point at a torn file, or
+   vanish, after a crash. The file content is produced into a buffer
+   and written in one piece so the fault seam sees a bounded number of
+   write points per checkpoint. *)
 let atomic_write ~path f =
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (match f oc with
-  | () -> close_out oc
+  let buf = Buffer.create 512 in
+  f buf;
+  let o = Io.open_out tmp in
+  (match
+     Io.output_string o (Buffer.contents buf);
+     Io.fsync o
+   with
+  | () -> Io.close o
+  | exception (Umrs_fault.Fault.Crashed as e) ->
+    (* simulated power loss: a dead process removes nothing *)
+    raise e
   | exception e ->
-    close_out_noerr oc;
+    Io.close_noerr o;
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e);
-  Sys.rename tmp path
+  Io.rename ~src:tmp ~dst:path;
+  Io.fsync_dir (Filename.dirname path)
 
 let variant_name = function
   | Canonical.Full -> "full"
@@ -51,13 +66,13 @@ let manifest_exists ~dir = Sys.file_exists (Filename.concat dir manifest_name)
 
 let save_manifest ~dir m =
   init_dir ~dir;
-  atomic_write ~path:(Filename.concat dir manifest_name) (fun oc ->
-      Printf.fprintf oc "umrs-corpus-checkpoint v1\n";
-      Printf.fprintf oc "p=%d q=%d d=%d variant=%s total=%d every=%d shards=%d\n"
+  atomic_write ~path:(Filename.concat dir manifest_name) (fun b ->
+      Buffer.add_string b "umrs-corpus-checkpoint v1\n";
+      Printf.bprintf b "p=%d q=%d d=%d variant=%s total=%d every=%d shards=%d\n"
         m.m_p m.m_q m.m_d (variant_name m.m_variant) m.m_total
         m.m_checkpoint_every (Array.length m.m_ranges);
       Array.iteri
-        (fun i (lo, hi) -> Printf.fprintf oc "shard %d %d %d\n" i lo hi)
+        (fun i (lo, hi) -> Printf.bprintf b "shard %d %d %d\n" i lo hi)
         m.m_ranges)
 
 let load_manifest ~dir =
@@ -130,7 +145,7 @@ let shard_header_bytes = 60
 let shard_version = 1
 
 let save_shard ~dir ~p ~q ~d ~variant s =
-  atomic_write ~path:(Filename.concat dir (shard_name s.s_shard)) (fun oc ->
+  atomic_write ~path:(Filename.concat dir (shard_name s.s_shard)) (fun out ->
       let records = List.map (Corpus.Record.encode ~p ~q ~d) s.s_matrices in
       let checksum = List.fold_left Corpus.fnv64 Corpus.fnv64_seed records in
       let b = Bytes.make shard_header_bytes '\000' in
@@ -147,8 +162,8 @@ let save_shard ~dir ~p ~q ~d ~variant s =
       Bytes.set_int64_le b 36 (Int64.of_int s.s_done);
       Bytes.set_int64_le b 44 (Int64.of_int (List.length s.s_matrices));
       Bytes.set_int64_le b 52 checksum;
-      output_bytes oc b;
-      List.iter (output_bytes oc) records)
+      Buffer.add_bytes out b;
+      List.iter (Buffer.add_bytes out) records)
 
 let load_shard ~dir ~p ~q ~d ~variant ~shard =
   let path = Filename.concat dir (shard_name shard) in
@@ -209,6 +224,7 @@ let clear ~dir =
     Array.iter
       (fun name ->
         if name = manifest_name
+           || name = manifest_name ^ ".tmp"
            || (String.length name > 6 && String.sub name 0 6 = "shard_")
         then
           try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())

@@ -10,10 +10,14 @@
     Shard files carry the shard's last completed position [done_hi]
     (the enumeration of [[lo, hi)] has been fully processed on
     [[lo, done_hi)]) and its partial dedup table, serialized with the
-    {!Corpus.Record} codec. All shard writes go through a temp file
-    followed by [Sys.rename], so a checkpoint file is either absent,
-    the previous complete snapshot, or the new complete snapshot —
-    never a torn write, whatever instant the process is killed. *)
+    {!Corpus.Record} codec. All manifest and shard writes go through a
+    temp file that is fsynced, renamed over the target, and pinned by
+    an fsync of the directory, so after a crash — power loss included
+    — a checkpoint file is expected to be absent, the previous
+    complete snapshot, or the new complete snapshot. The one window
+    left open is an fsync the platform silently lied about; {!Builder}
+    therefore treats a corrupt shard or manifest as absent rather than
+    fatal and rebuilds the lost range. *)
 
 open Umrs_core
 
@@ -33,7 +37,8 @@ val init_dir : dir:string -> unit
 val manifest_exists : dir:string -> bool
 
 val save_manifest : dir:string -> manifest -> unit
-(** Atomic (temp file + rename). *)
+(** Atomic and durable (temp file + fsync + rename + directory
+    fsync). *)
 
 val load_manifest : dir:string -> manifest
 (** Raises [Invalid_argument] on a malformed manifest, [Sys_error] if
@@ -56,7 +61,8 @@ type shard_state = {
 val save_shard :
   dir:string ->
   p:int -> q:int -> d:int -> variant:Canonical.variant -> shard_state -> unit
-(** Atomic (temp file + rename). *)
+(** Atomic and durable (temp file + fsync + rename + directory
+    fsync). *)
 
 val load_shard :
   dir:string ->

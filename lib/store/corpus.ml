@@ -1,4 +1,5 @@
 open Umrs_core
+module Io = Umrs_fault.Io
 
 type header = {
   version : int;
@@ -108,8 +109,15 @@ let header_of_image b =
 
 (* ---------- writer ---------- *)
 
+(* A corpus is written to [path ^ ".tmp"] and renamed into place only
+   after the patched header is fsynced, with a directory fsync pinning
+   the name — so [path], whenever it exists, is a complete corpus even
+   across power loss. A crashed build leaves at worst a stale temp
+   file that the next build truncates. *)
 type writer = {
-  w_oc : out_channel;
+  w_o : Io.out;
+  w_tmp : string;
+  w_path : string;
   w_variant : Canonical.variant;
   w_p : int;
   w_q : int;
@@ -124,14 +132,16 @@ let create_writer ~path ~variant ~p ~q ~d =
   if p < 1 || q < 1 || d < 1 then invalid_arg "Corpus.create_writer: dimensions";
   if p > 0xFFFF || q > 0xFFFF || d > 0xFFFF then
     invalid_arg "Corpus.create_writer: dimension exceeds 65535";
-  let oc = open_out_bin path in
+  let tmp = path ^ ".tmp" in
+  let o = Io.open_out tmp in
   match
     let w =
-      { w_oc = oc; w_variant = variant; w_p = p; w_q = q; w_d = d; w_count = 0;
-        w_checksum = fnv64_seed; w_last = None; w_closed = false }
+      { w_o = o; w_tmp = tmp; w_path = path; w_variant = variant; w_p = p;
+        w_q = q; w_d = d; w_count = 0; w_checksum = fnv64_seed; w_last = None;
+        w_closed = false }
     in
     (* Placeholder header; count and checksum are patched on close. *)
-    output_bytes oc
+    Io.output_bytes o
       (header_image
          { version = current_version; variant; p; q; d; count = 0;
            checksum = fnv64_seed });
@@ -139,7 +149,7 @@ let create_writer ~path ~variant ~p ~q ~d =
   with
   | w -> w
   | exception e ->
-    close_out_noerr oc;
+    Io.close_noerr o;
     raise e
 
 let write w m =
@@ -149,7 +159,7 @@ let write w m =
     invalid_arg "Corpus.write: records must be strictly compare_lex-increasing"
   | _ -> ());
   let rec_bytes = Record.encode ~p:w.w_p ~q:w.w_q ~d:w.w_d m in
-  output_bytes w.w_oc rec_bytes;
+  Io.output_bytes w.w_o rec_bytes;
   w.w_checksum <- fnv64 w.w_checksum rec_bytes;
   w.w_count <- w.w_count + 1;
   w.w_last <- Some m
@@ -162,15 +172,21 @@ let close_writer w =
       d = w.w_d; count = w.w_count; checksum = w.w_checksum }
   in
   (match
-     seek_out w.w_oc 0;
-     output_bytes w.w_oc (header_image h)
+     Io.seek w.w_o 0;
+     Io.output_bytes w.w_o (header_image h);
+     Io.fsync w.w_o
    with
   | () -> ()
+  | exception (Umrs_fault.Fault.Crashed as e) ->
+    (* simulated power loss: run no cleanup, like a dead process *)
+    raise e
   | exception e ->
     (* the file is unusable either way, but the descriptor must go *)
-    close_out_noerr w.w_oc;
+    Io.close_noerr w.w_o;
     raise e);
-  close_out w.w_oc;
+  Io.close w.w_o;
+  Io.rename ~src:w.w_tmp ~dst:w.w_path;
+  Io.fsync_dir (Filename.dirname w.w_path);
   h
 
 (* ---------- reader ---------- *)
@@ -230,8 +246,9 @@ let write_list ~path ~variant ~p ~q ~d ms =
   let w = create_writer ~path ~variant ~p ~q ~d in
   match List.iter (write w) ms with
   | () -> close_writer w
+  | exception (Umrs_fault.Fault.Crashed as e) -> raise e
   | exception e ->
-    close_out_noerr w.w_oc;
+    Io.close_noerr w.w_o;
     raise e
 
 let with_reader path f =

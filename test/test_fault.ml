@@ -1,0 +1,257 @@
+(* The fault-injection subsystem itself, and the recovery behaviours it
+   exists to prove: plan determinism, the EINTR/short-write syscall
+   wrappers, a torn-write + dropped-fsync crash that the builder must
+   absorb on resume, connect backoff caps, the Robust circuit breaker,
+   and a live server surviving an injected worker-domain death. *)
+
+open Helpers
+module Fault = Umrs_fault.Fault
+module Io = Umrs_fault.Io
+module Wire = Umrs_server.Wire
+module Server = Umrs_server.Server
+module C = Umrs_client
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "umrs_fault" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let all_points =
+  [ Fault.File_write; Fault.File_fsync; Fault.File_close; Fault.File_rename;
+    Fault.Dir_fsync; Fault.Sock_read; Fault.Sock_write; Fault.Sock_accept;
+    Fault.Sock_connect; Fault.Worker ]
+
+(* ---------- plan determinism ---------- *)
+
+let test_seeded_plans_are_deterministic () =
+  let seed = Gen.base_seed () in
+  let a = Fault.seeded ~seed ~intensity:0.5 () in
+  let b = Fault.seeded ~seed ~intensity:0.5 () in
+  List.iter
+    (fun pt ->
+      for ix = 0 to 199 do
+        if a.Fault.decide pt ix <> b.Fault.decide pt ix then
+          Alcotest.failf "seed %d: decision differs at (%s, %d)" seed
+            (Fault.point_name pt) ix
+      done)
+    all_points;
+  let quiet = Fault.seeded ~seed ~intensity:0.0 () in
+  List.iter
+    (fun pt ->
+      for ix = 0 to 199 do
+        if quiet.Fault.decide pt ix <> Fault.Pass then
+          Alcotest.failf "intensity 0 injected at (%s, %d)"
+            (Fault.point_name pt) ix
+      done)
+    all_points;
+  (* a storm never pulls the plug *)
+  let loud = Fault.seeded ~seed ~intensity:1.0 () in
+  List.iter
+    (fun pt ->
+      for ix = 0 to 199 do
+        if loud.Fault.decide pt ix = Fault.Crash then
+          Alcotest.failf "seeded plan decided Crash at (%s, %d)"
+            (Fault.point_name pt) ix
+      done)
+    all_points
+
+let test_fire_without_plan_is_pass () =
+  check_true "disabled" (not (Fault.enabled ()));
+  List.iter
+    (fun pt -> check_true "pass" (Fault.fire pt = Fault.Pass))
+    all_points
+
+(* ---------- syscall wrappers over a pipe ---------- *)
+
+let test_eintr_and_short_write_wrappers () =
+  let plan =
+    Fault.make_plan ~label:"pipe" (fun pt ix ->
+        match (pt, ix) with
+        | Fault.Sock_write, 0 -> Fault.Short_write 1
+        | Fault.Sock_read, 1 -> Fault.Eintr 3
+        | _ -> Fault.Pass)
+  in
+  let r =
+    Fault.with_plan plan (fun () ->
+        let rd, wr = Unix.pipe () in
+        Fun.protect
+          ~finally:(fun () -> Unix.close rd; Unix.close wr)
+          (fun () ->
+            let msg = Bytes.of_string "torn-but-delivered" in
+            (* short write: write_all must loop to completion *)
+            Io.write_all wr msg 0 (Bytes.length msg);
+            let buf = Bytes.create (Bytes.length msg) in
+            (* EINTR storm on the read: the wrapper retries through it *)
+            let n = ref 0 in
+            while !n < Bytes.length msg do
+              n := !n + Io.read rd buf !n (Bytes.length msg - !n)
+            done;
+            check_true "round-trip" (Bytes.equal buf msg)))
+  in
+  (match r.Fault.outcome with
+  | Ok () -> ()
+  | Error () -> Alcotest.fail "unexpected simulated crash");
+  (* one write_all call + one (storm-absorbing) read call *)
+  check_int "points fired" 2 r.Fault.points
+
+(* ---------- torn write + dropped fsync, then recovery ---------- *)
+
+(* A lying disk: every fsync is dropped, then the power goes out
+   mid-build. Resume faces torn checkpoint artifacts and must degrade
+   them to "absent" and still produce byte-identical output. *)
+let test_torn_write_dropped_fsync_recovery () =
+  with_tmp_dir @@ fun dir ->
+  let seed = Gen.base_seed () in
+  let p, q, d = (2, 3, 2) in
+  let ck = Filename.concat dir "ck" in
+  let out = Filename.concat dir "out.corpus" in
+  let ref_out = Filename.concat dir "ref.corpus" in
+  ignore (Umrs_store.Builder.build ~p ~q ~d ~out:ref_out ());
+  let build () =
+    Umrs_store.Builder.build ~domains:1 ~checkpoint_dir:ck
+      ~checkpoint_every:256 ~p ~q ~d ~out ()
+  in
+  let counted = Fault.with_plan (Fault.pass_plan ~seed ()) build in
+  check_true "counting run survives" (counted.Fault.outcome <> Error ());
+  let points = counted.Fault.points in
+  check_true "enough fault points" (points > 2);
+  Sys.remove out;
+  let at = points / 2 in
+  let liar =
+    Fault.make_plan ~label:"liar" ~seed ~torn_align:64 (fun pt ix ->
+        if ix = at then Fault.Crash
+        else
+          match pt with
+          | Fault.File_fsync | Fault.Dir_fsync -> Fault.Drop_fsync
+          | _ -> Fault.Pass)
+  in
+  let crashed = Fault.with_plan liar build in
+  check_true "crashed" (crashed.Fault.outcome = Error ());
+  (* resume on honest hardware: torn artifacts degrade, output is
+     byte-identical *)
+  let o = Umrs_store.Builder.build ~domains:1 ~checkpoint_dir:ck ~resume:true
+      ~checkpoint_every:256 ~p ~q ~d ~out ()
+  in
+  ignore o;
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  check_true "byte-identical after recovery"
+    (read_file out = read_file ref_out);
+  let v = Umrs_store.Corpus.verify ~path:out in
+  check_true "verify clean" (v.Umrs_store.Corpus.v_problems = [])
+
+(* ---------- connect backoff caps ---------- *)
+
+let test_connect_backoff_caps () =
+  with_tmp_dir @@ fun dir ->
+  let dead = Wire.Unix_sock (Filename.concat dir "nobody-home.sock") in
+  let rng = Random.State.make [| Gen.base_seed (); 7 |] in
+  let t0 = Unix.gettimeofday () in
+  (match C.connect ~retries:4 ~backoff:0.01 ~max_backoff:0.02 ~rng dead with
+  | Ok _ -> Alcotest.fail "connected to a dead socket"
+  | Error (C.Io _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (C.error_to_string e));
+  let per_sleep_cap = Unix.gettimeofday () -. t0 in
+  (* 4 sleeps, each < 0.02 s of jitter: well under a second *)
+  check_true "per-sleep cap respected" (per_sleep_cap < 1.0);
+  let t1 = Unix.gettimeofday () in
+  (match
+     C.connect ~retries:50 ~backoff:10.0 ~max_backoff:10.0
+       ~max_total_wait:0.05 ~rng dead
+   with
+  | Ok _ -> Alcotest.fail "connected to a dead socket"
+  | Error _ -> ());
+  check_true "total-wait cap respected" (Unix.gettimeofday () -. t1 < 2.0)
+
+(* ---------- circuit breaker ---------- *)
+
+let test_circuit_breaker_opens_and_fastfails () =
+  with_tmp_dir @@ fun dir ->
+  let dead = Wire.Unix_sock (Filename.concat dir "nobody-home.sock") in
+  let policy =
+    { C.Robust.default_policy with
+      C.Robust.connect_retries = 0; call_retries = 0; base_backoff = 0.001;
+      max_backoff = 0.002; breaker_threshold = 2; breaker_cooldown = 60.0 }
+  in
+  let conn =
+    C.Robust.create ~policy ~rng:(Random.State.make [| Gen.base_seed () |]) dead
+  in
+  Fun.protect ~finally:(fun () -> C.Robust.close conn) @@ fun () ->
+  for _ = 1 to 5 do
+    match C.Robust.call conn (Wire.Ping 1) with
+    | Ok _ -> Alcotest.fail "dead socket answered"
+    | Error _ -> ()
+  done;
+  let s = C.Robust.stats conn in
+  check_int "calls" 5 s.C.Robust.calls;
+  check_true "breaker opened" (s.C.Robust.breaker_opens >= 1);
+  (* threshold 2, cooldown 60 s: calls 3..5 must not touch the socket *)
+  check_int "fast-fails" 3 s.C.Robust.breaker_fastfails
+
+(* ---------- worker supervisor ---------- *)
+
+let test_worker_crash_is_answered_and_pool_restored () =
+  with_tmp_dir @@ fun dir ->
+  let addr = Wire.Unix_sock (Filename.concat dir "chaos.sock") in
+  let cfg = { (Server.default_config addr) with Server.workers = 1 } in
+  let srv =
+    match Server.start cfg with
+    | Ok srv -> srv
+    | Error e -> Alcotest.failf "server start: %s" e
+  in
+  let c =
+    match C.connect ~retries:5 addr with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "connect: %s" (C.error_to_string e)
+  in
+  Fun.protect
+    ~finally:(fun () -> C.close c; Server.shutdown srv; Server.wait srv)
+    (fun () ->
+      let killer =
+        Fault.make_plan ~label:"killer" (fun pt _ ->
+            match pt with Fault.Worker -> Fault.Exn "boom" | _ -> Fault.Pass)
+      in
+      let r =
+        Fault.with_plan killer (fun () -> C.sleep_ms c 1)
+      in
+      (match r.Fault.outcome with
+      | Ok (Error (C.Refused msg)) ->
+        check_true "explains the crash"
+          (String.length msg >= 14
+           && String.sub msg 0 14 = "internal error")
+      | Ok (Ok _) -> Alcotest.fail "killed handler still replied"
+      | Ok (Error e) -> Alcotest.failf "wrong error: %s" (C.error_to_string e)
+      | Error () -> Alcotest.fail "unexpected simulated crash");
+      check_int "one crash counted" 1 (Server.worker_crashes srv);
+      (* same connection, faults off: the respawned worker answers *)
+      match C.sleep_ms c 1 with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "pool not restored: %s" (C.error_to_string e))
+
+let suite =
+  [
+    case "seeded plans are deterministic" test_seeded_plans_are_deterministic;
+    case "fire without a plan is Pass" test_fire_without_plan_is_pass;
+    case "EINTR storms and short writes are absorbed"
+      test_eintr_and_short_write_wrappers;
+    case "torn write + dropped fsync recovers on resume"
+      test_torn_write_dropped_fsync_recovery;
+    case "connect backoff respects its caps" test_connect_backoff_caps;
+    case "circuit breaker opens and fast-fails"
+      test_circuit_breaker_opens_and_fastfails;
+    case "worker crash: answered, counted, pool restored"
+      test_worker_crash_is_answered_and_pool_restored;
+  ]

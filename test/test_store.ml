@@ -299,6 +299,27 @@ let test_crash_resume_positional () =
   crash_resume_identical ~domains:2 ~variant:Canonical.Positional ~p:3 ~q:3
     ~d:2 ()
 
+(* Power-loss matrix through the fault seam (lib/fault): instead of a
+   checkpoint hook raising mid-build, simulate a power cut at *every*
+   syscall-level fault point the build passes - torn tails, lost
+   renames and all - and require atomic publication plus a
+   byte-identical resume at each point. *)
+let power_loss_matrix ~domains () =
+  with_tmp_dir @@ fun dir ->
+  let s =
+    Umrs_chaos.Harness.crash_matrix ~domains ~checkpoint_every:1024
+      ~seed:(Gen.base_seed ()) ~p:2 ~q:4 ~d:3 ~scratch:dir ()
+  in
+  List.iter
+    (fun f ->
+      Printf.eprintf "power-loss point %d (seed %d): %s\n"
+        f.Umrs_chaos.Harness.f_at f.Umrs_chaos.Harness.f_seed
+        f.Umrs_chaos.Harness.f_detail)
+    s.Umrs_chaos.Harness.s_failures;
+  check_true "every point crashed"
+    (s.Umrs_chaos.Harness.s_crashes = s.Umrs_chaos.Harness.s_points);
+  check_int "failures" 0 (List.length s.Umrs_chaos.Harness.s_failures)
+
 let test_resume_demands_matching_instance () =
   with_tmp_dir @@ fun dir ->
   let ckdir = Filename.concat dir "ck" in
@@ -464,6 +485,8 @@ let suite =
     case "crash+resume identical (1 domain)" test_crash_resume_1_domain;
     case "crash+resume identical (3 domains)" test_crash_resume_3_domains;
     case "crash+resume identical (positional)" test_crash_resume_positional;
+    case "power-loss matrix (1 domain)" (power_loss_matrix ~domains:1);
+    case "power-loss matrix (3 domains)" (power_loss_matrix ~domains:3);
     case "resume rejects instance mismatch" test_resume_demands_matching_instance;
     case "telemetry jsonl schema" test_telemetry_jsonl_schema;
     case "telemetry flush mid-stream" test_telemetry_flush_mid_stream;
