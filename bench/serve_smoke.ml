@@ -1,18 +1,32 @@
 (* Server load-test smoke check (dune alias @serve-smoke).
 
-   Builds a small reference corpus, serves it over a Unix-domain socket
-   in a temp dir, and drives it with a configurable load matrix:
-   connections x in-flight pipeline depth. Every request is well-formed,
-   the queue is sized above the largest in-flight total, and the run
-   FAILS if any such request is dropped, shed, or answered with the
-   wrong payload - backpressure may only ever hit overload traffic, not
-   this. Records throughput and per-request p50/p95 latency at each
-   concurrency level to BENCH_serve.json (override with --json PATH),
-   then drains the server gracefully and verifies the socket is gone. *)
+   Builds a small reference corpus, serves it from a FORKED child
+   process (so the client's descriptor budget never competes with the
+   server's), and drives it with a load matrix: connections x in-flight
+   pipeline depth. The small levels (1x4, 4x8) use the PR-4 threaded
+   driver for baseline comparability; the big levels (1000x8, 10000x4)
+   use a non-blocking event-loop driver - ten thousand client threads
+   would measure the bench, not the server. Every request is
+   well-formed, the server queue is sized above the largest in-flight
+   total, and the run FAILS if any such request is dropped, shed, or
+   answered with the wrong payload - backpressure may only ever hit
+   overload traffic, not this.
+
+   Also asserts the accept path is event-driven: the p50 of 32
+   sequential connect+hello round-trips must come in under 20 ms (the
+   old acceptor polled with a fixed 50 ms select tick).
+
+   Records throughput and per-request p50/p95 latency at each level to
+   BENCH_serve.json, schema umrs/bench-serve/v2 (override with --json
+   PATH). With --baseline PATH the run fails if the 1000x8 level
+   regresses more than 25% below the committed rps - the CI gate.
+   Finally drains the server (SIGTERM) and verifies the socket is
+   gone. *)
 
 module Q = Umrs_store.Query
 module Wire = Umrs_server.Wire
 module Server = Umrs_server.Server
+module Evloop = Umrs_server.Evloop
 module C = Umrs_client
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("serve_smoke: " ^ s);
@@ -30,10 +44,41 @@ let flag_value name =
   in
   go 1
 
-(* One connection's worth of load: [total] requests kept [depth] deep in
-   the pipeline; returns per-request latencies. Requests cycle through
-   the corpus read operations so the mix exercises every data-plane
-   opcode the corpus serves. *)
+(* ---------- server child ---------- *)
+
+(* Queue above the deepest in-flight total (10000 conns x depth 4) so a
+   well-formed request is never shed; max_conns above the widest level
+   so none is refused. *)
+let server_main sock corpus =
+  ignore (Evloop.raise_nofile 16_000);
+  let cfg =
+    { (Server.default_config (Wire.Unix_sock sock)) with
+      Server.corpus = Some corpus; workers = 2; queue_capacity = 65_536;
+      max_conns = 12_000 }
+  in
+  match Server.start cfg with
+  | Error e -> die "server start: %s" e
+  | Ok srv ->
+    Server.install_signal_handlers srv;
+    Server.wait srv;
+    exit 0
+
+(* ---------- request mix ---------- *)
+
+(* Cycles through the corpus read operations so the mix exercises every
+   data-plane opcode the corpus serves. *)
+let request ~records k =
+  match k mod 3 with
+  | 0 -> Wire.Nth (k mod records)
+  | 1 -> Wire.Range_prefix [||]
+  | _ -> Wire.Cgraph_of (k mod records)
+
+let well_shaped = function
+  | Wire.R_matrix _ | Wire.R_range _ | Wire.R_graph _ -> true
+  | _ -> false
+
+(* ---------- threaded driver (small levels; PR-4 comparable) ---------- *)
+
 let drive addr ~records ~depth ~total =
   let c =
     match C.connect ~retries:10 addr with
@@ -41,12 +86,6 @@ let drive addr ~records ~depth ~total =
     | Error e -> die "connect: %s" (C.error_to_string e)
   in
   Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
-  let request k =
-    match k mod 3 with
-    | 0 -> Wire.Nth (k mod records)
-    | 1 -> Wire.Range_prefix [||]
-    | _ -> Wire.Cgraph_of (k mod records)
-  in
   let latencies = Array.make total 0.0 in
   let sent_at = Hashtbl.create (2 * depth) in
   let in_flight = Queue.create () in
@@ -54,7 +93,7 @@ let drive addr ~records ~depth ~total =
   let send_one () =
     let k = !sent in
     let ticket =
-      match C.send c (request k) with
+      match C.send c (request ~records k) with
       | Ok t -> t
       | Error e -> die "send %d: %s" k (C.error_to_string e)
     in
@@ -65,7 +104,7 @@ let drive addr ~records ~depth ~total =
   let recv_one () =
     let k, ticket = Queue.pop in_flight in
     (match C.recv c ticket with
-    | Ok (Wire.R_matrix _ | Wire.R_range _ | Wire.R_graph _) -> ()
+    | Ok r when well_shaped r -> ()
     | Ok _ -> die "request %d: response of the wrong shape" k
     | Error e ->
       die "request %d dropped by the server: %s" k (C.error_to_string e));
@@ -80,7 +119,295 @@ let drive addr ~records ~depth ~total =
   done;
   latencies
 
+let run_threaded addr ~records ~conns ~depth ~per_conn =
+  let slots = Array.make conns [||] in
+  let threads =
+    List.init conns (fun i ->
+        Thread.create
+          (fun () -> slots.(i) <- drive addr ~records ~depth ~total:per_conn)
+          ())
+  in
+  List.iter Thread.join threads;
+  Array.concat (Array.to_list slots)
+
+(* ---------- event-loop driver (big levels) ---------- *)
+
+(* One non-blocking client connection: the hello and the first [depth]
+   requests go out optimistically in one burst (the server parses hello
+   then frames from the same buffer), replies are matched by id, and
+   each reply refills the pipeline until the budget is spent. *)
+type cc = {
+  fd : Unix.file_descr;
+  mutable hello_done : bool;
+  mutable rbuf : Bytes.t;
+  mutable rlen : int;
+  mutable wbuf : Bytes.t;
+  mutable woff : int;
+  mutable wlen : int;
+  mutable want_w : bool;
+  sent_at : float array;
+  lat : float array;
+  mutable sent : int;
+  mutable recvd : int;
+  mutable closed : bool;
+}
+
+let grow_to b needed =
+  let cap = ref (max 1 (Bytes.length b)) in
+  while !cap < needed do cap := !cap * 2 done;
+  let nb = Bytes.create !cap in
+  Bytes.blit b 0 nb 0 (Bytes.length b);
+  nb
+
+let cc_append cc b =
+  let n = Bytes.length b in
+  if cc.woff + cc.wlen + n > Bytes.length cc.wbuf then begin
+    if cc.woff > 0 then begin
+      Bytes.blit cc.wbuf cc.woff cc.wbuf 0 cc.wlen;
+      cc.woff <- 0
+    end;
+    if cc.wlen + n > Bytes.length cc.wbuf then
+      cc.wbuf <- grow_to cc.wbuf (cc.wlen + n)
+  end;
+  Bytes.blit b 0 cc.wbuf (cc.woff + cc.wlen) n;
+  cc.wlen <- cc.wlen + n
+
+let frame payload =
+  let n = Bytes.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.blit payload 0 b 4 n;
+  b
+
+let cc_send_next ~records cc =
+  let k = cc.sent in
+  cc.sent_at.(k) <- Unix.gettimeofday ();
+  cc_append cc (frame (Wire.encode_request ~id:k ~deadline_ms:0
+                         (request ~records k)));
+  cc.sent <- cc.sent + 1
+
+let drive_evloop addr ~records ~conns ~depth ~per_conn =
+  let sa =
+    match addr with
+    | Wire.Unix_sock p -> Unix.ADDR_UNIX p
+    | Wire.Tcp _ -> die "event-loop driver expects a unix socket"
+  in
+  let loop = Evloop.create () in
+  let by_fd = Hashtbl.create conns in
+  let finished = ref 0 in
+  let started = ref 0 in
+  let results = Array.make conns [||] in
+  let connect_window = 64 in
+  let connect_retries = ref 0 in
+  let flush cc =
+    let continue = ref true in
+    while !continue && cc.wlen > 0 do
+      match Unix.write cc.fd cc.wbuf cc.woff cc.wlen with
+      | 0 -> continue := false
+      | n ->
+        cc.woff <- cc.woff + n;
+        cc.wlen <- cc.wlen - n;
+        if cc.wlen = 0 then cc.woff <- 0
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK
+                                   | Unix.EINTR), _, _) ->
+        continue := false
+      | exception Unix.Unix_error (e, _, _) ->
+        die "client write: %s" (Unix.error_message e)
+    done;
+    let w = cc.wlen > 0 in
+    if w <> cc.want_w then begin
+      cc.want_w <- w;
+      Evloop.modify loop cc.fd ~readable:true ~writable:w
+    end
+  in
+  let finish cc =
+    cc.closed <- true;
+    Evloop.remove loop cc.fd;
+    Hashtbl.remove by_fd (Evloop.int_of_fd cc.fd);
+    (try Unix.close cc.fd with Unix.Unix_error _ -> ());
+    results.(!finished) <- cc.lat;
+    incr finished
+  in
+  let parse cc =
+    let off = ref 0 in
+    if (not cc.hello_done) && cc.rlen >= Wire.hello_bytes then begin
+      (match Wire.check_hello (Bytes.sub cc.rbuf 0 Wire.hello_bytes) with
+      | Ok () -> ()
+      | Error _ -> die "server hello rejected");
+      cc.hello_done <- true;
+      off := Wire.hello_bytes
+    end;
+    if cc.hello_done then begin
+      let continue = ref true in
+      while !continue && cc.rlen - !off >= 4 do
+        let len = Int32.to_int (Bytes.get_int32_le cc.rbuf !off) in
+        if cc.rlen - !off - 4 >= len then begin
+          let payload = Bytes.sub cc.rbuf (!off + 4) len in
+          off := !off + 4 + len;
+          (match Wire.decode_outcome payload with
+          | exception Invalid_argument m -> die "undecodable reply: %s" m
+          | id, Wire.Reply r when well_shaped r ->
+            cc.lat.(id) <- Unix.gettimeofday () -. cc.sent_at.(id);
+            cc.recvd <- cc.recvd + 1
+          | id, Wire.Reply _ -> die "request %d: wrong response shape" id
+          | id, outcome ->
+            die "request %d dropped by the server: %s" id
+              (match outcome with
+              | Wire.Overloaded -> "overloaded"
+              | Wire.Timed_out -> "timed out"
+              | Wire.Rejected m -> "rejected: " ^ m
+              | Wire.Reply _ -> assert false));
+          if cc.sent < per_conn then cc_send_next ~records cc
+        end
+        else continue := false
+      done
+    end;
+    if !off > 0 then begin
+      let rem = cc.rlen - !off in
+      if rem > 0 then Bytes.blit cc.rbuf !off cc.rbuf 0 rem;
+      cc.rlen <- rem
+    end;
+    if cc.recvd >= per_conn then finish cc else flush cc
+  in
+  let handle_readable cc =
+    if Bytes.length cc.rbuf - cc.rlen < 4096 then
+      cc.rbuf <- grow_to cc.rbuf (cc.rlen + 4096);
+    match
+      Unix.read cc.fd cc.rbuf cc.rlen (Bytes.length cc.rbuf - cc.rlen)
+    with
+    | 0 -> die "server closed a connection mid-run"
+    | n ->
+      cc.rlen <- cc.rlen + n;
+      parse cc
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK
+                                 | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      die "client read: %s" (Unix.error_message e)
+  in
+  (* Connects go out in a bounded window: a 10k simultaneous connect
+     storm would only measure listen-backlog overflow retries.  A unix
+     socket connect with a full backlog fails EAGAIN immediately (it is
+     not in progress) - retry it later. *)
+  let try_start_one () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock fd;
+    match Unix.connect fd sa with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK
+                                 | Unix.ECONNREFUSED | Unix.EINTR), _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      incr connect_retries;
+      if !connect_retries > 200_000 then die "connect storm never drains";
+      false
+    | exception Unix.Unix_error (e, _, _) ->
+      die "connect: %s" (Unix.error_message e)
+    | () ->
+      let cc =
+        { fd; hello_done = false;
+          rbuf = Bytes.create 4096; rlen = 0;
+          wbuf = Bytes.create 1024; woff = 0; wlen = 0; want_w = false;
+          sent_at = Array.make per_conn 0.0; lat = Array.make per_conn 0.0;
+          sent = 0; recvd = 0; closed = false }
+      in
+      cc_append cc (Wire.hello ());
+      for _ = 1 to min depth per_conn do
+        cc_send_next ~records cc
+      done;
+      Hashtbl.replace by_fd (Evloop.int_of_fd fd) cc;
+      Evloop.add loop fd ~readable:true ~writable:false;
+      flush cc;
+      incr started;
+      true
+  in
+  let deadline = Unix.gettimeofday () +. 300.0 in
+  while !finished < conns do
+    if Unix.gettimeofday () > deadline then
+      die "level %dx%d: 300 s deadline exceeded (%d/%d connections done)"
+        conns depth !finished conns;
+    (* at most [connect_window] fresh connects per loop pass, so the
+       fleet ramps up without overflowing the listen backlog *)
+    let budget = ref connect_window in
+    while !budget > 0 && !started < conns && try_start_one () do
+      decr budget
+    done;
+    let handler fd ~readable ~writable ~hup:_ =
+      match Hashtbl.find_opt by_fd (Evloop.int_of_fd fd) with
+      | None -> ()
+      | Some cc ->
+        if readable then handle_readable cc;
+        if (not cc.closed) && writable then flush cc
+    in
+    ignore (Evloop.wait loop ~timeout_ms:100 ~handler)
+  done;
+  Evloop.close loop;
+  Array.concat (Array.to_list results)
+
+(* ---------- connect latency ---------- *)
+
+let connect_p50 addr =
+  let samples =
+    Array.init 32 (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        (match C.connect addr with
+        | Ok c -> C.close c
+        | Error e -> die "connect-latency probe: %s" (C.error_to_string e));
+        Unix.gettimeofday () -. t0)
+  in
+  Array.sort compare samples;
+  percentile samples 50.
+
+(* ---------- baseline gate ---------- *)
+
+(* Minimal extraction, no JSON dependency: find the level line with
+   "connections": N and read its "rps": value. *)
+let baseline_rps path ~conns =
+  let ic = open_in path in
+  let needle = Printf.sprintf "\"connections\": %d" conns in
+  let found = ref None in
+  (try
+     while !found = None do
+       let line = input_line ic in
+       if String.length line >= String.length needle then begin
+         let has s sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length s
+             && (String.sub s i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         if has line needle then begin
+           let key = "\"rps\": " in
+           let rec find i =
+             if i + String.length key > String.length line then None
+             else if String.sub line i (String.length key) = key then
+               Some (i + String.length key)
+             else find (i + 1)
+           in
+           match find 0 with
+           | None -> ()
+           | Some s ->
+             let e = ref s in
+             while
+               !e < String.length line
+               && (match line.[!e] with
+                  | '0' .. '9' | '.' | '-' -> true
+                  | _ -> false)
+             do incr e done;
+             found := Some (float_of_string (String.sub line s (!e - s)))
+         end
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !found
+
+(* ---------- main ---------- *)
+
 let () =
+  (match Sys.argv with
+  | [| _; "--server"; sock; corpus |] -> server_main sock corpus
+  | _ -> ());
+  ignore (Evloop.raise_nofile 16_000);
   let dir = Filename.temp_file "umrs_serve_smoke" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o755;
@@ -100,32 +427,35 @@ let () =
   in
   let sock = Filename.concat dir "serve.sock" in
   let addr = Wire.Unix_sock sock in
-  let cfg =
-    { (Server.default_config addr) with
-      Server.corpus = Some corpus; workers = 2; queue_capacity = 256 }
+  let exe = Sys.executable_name in
+  let child =
+    Unix.create_process exe [| exe; "--server"; sock; corpus |] Unix.stdin
+      Unix.stdout Unix.stderr
   in
-  let srv =
-    match Server.start cfg with
-    | Ok srv -> srv
-    | Error e -> die "server start: %s" e
+  (* wait until the child is accepting *)
+  (match C.connect ~retries:20 addr with
+  | Ok c -> C.close c
+  | Error e -> die "server never came up: %s" (C.error_to_string e));
+  let conn_p50 = connect_p50 addr in
+  if conn_p50 > 0.020 then
+    die "connect latency p50 %.1f ms exceeds 20 ms - accept path is not \
+         event-driven" (1e3 *. conn_p50);
+  (* (connections x depth x per-connection budget): small levels keep
+     each level's total work comparable with the PR-4 numbers; big
+     levels hold 8k and 40k requests in flight across the fleet *)
+  let levels =
+    [ (1, 4, 400, `Threads); (4, 8, 150, `Threads);
+      (1000, 8, 32, `Evloop); (10_000, 4, 4, `Evloop) ]
   in
-  (* (connections x depth): per-connection request budget keeps each
-     level's total work comparable *)
-  let levels = [ (1, 4, 400); (4, 8, 150) ] in
   let results =
     List.map
-      (fun (conns, depth, per_conn) ->
+      (fun (conns, depth, per_conn, driver) ->
         let t0 = Unix.gettimeofday () in
-        let slots = Array.make conns [||] in
-        let threads =
-          List.init conns (fun i ->
-              Thread.create
-                (fun () ->
-                  slots.(i) <- drive addr ~records ~depth ~total:per_conn)
-                ())
+        let latencies =
+          match driver with
+          | `Threads -> run_threaded addr ~records ~conns ~depth ~per_conn
+          | `Evloop -> drive_evloop addr ~records ~conns ~depth ~per_conn
         in
-        List.iter Thread.join threads;
-        let latencies = Array.concat (Array.to_list slots) in
         let seconds = Unix.gettimeofday () -. t0 in
         Array.sort compare latencies;
         let requests = Array.length latencies in
@@ -134,16 +464,22 @@ let () =
          percentile latencies 50., percentile latencies 95.))
       levels
   in
-  Server.shutdown srv;
-  Server.wait srv;
+  (* graceful drain via the signal path, like a real deployment *)
+  Unix.kill child Sys.sigterm;
+  (match Unix.waitpid [] child with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> die "server child exited %d" n
+  | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) -> die "server child died on signal %d" s);
   if Sys.file_exists sock then die "socket file survived the drain";
   let json = Option.value (flag_value "--json") ~default:"BENCH_serve.json" in
   let oc = open_out json in
   Printf.fprintf oc
-    "{\n  \"schema\": \"umrs/bench-serve/v1\",\n\
+    "{\n  \"schema\": \"umrs/bench-serve/v2\",\n\
     \  \"instance\": {\"p\": %d, \"q\": %d, \"d\": %d, \"records\": %d},\n\
-    \  \"workers\": %d,\n  \"levels\": [\n%s\n  ]\n}\n"
-    p q d records cfg.Server.workers
+    \  \"workers\": 2,\n  \"backend\": \"epoll\",\n\
+    \  \"connect_latency_seconds\": {\"p50\": %.9f},\n\
+    \  \"levels\": [\n%s\n  ]\n}\n"
+    p q d records conn_p50
     (String.concat ",\n"
        (List.map
           (fun (conns, depth, requests, seconds, rps, p50, p95) ->
@@ -160,5 +496,23 @@ let () =
         "serve_smoke: %dx%d: %d requests, %.0f req/s, p50 %.1fus p95 %.1fus\n"
         conns depth requests rps (1e6 *. p50) (1e6 *. p95))
     results;
+  Printf.printf "serve_smoke: connect p50 %.2f ms\n" (1e3 *. conn_p50);
+  (match flag_value "--baseline" with
+  | None -> ()
+  | Some path -> (
+    match baseline_rps path ~conns:1000 with
+    | None ->
+      Printf.printf "serve_smoke: no 1000-connection level in %s; gate skipped\n"
+        path
+    | Some base ->
+      let _, _, _, _, rps, _, _ =
+        List.find (fun (c, _, _, _, _, _, _) -> c = 1000) results
+      in
+      if rps < 0.75 *. base then
+        die "1000x8 rps %.1f regressed more than 25%% below baseline %.1f"
+          rps base
+      else
+        Printf.printf "serve_smoke: baseline gate OK (%.1f vs %.1f rps)\n"
+          rps base));
   Printf.printf "serve_smoke: OK (%d records served, drained cleanly; %s)\n"
     records json

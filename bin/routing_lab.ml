@@ -894,12 +894,23 @@ let addr_arg =
                  the kernel; the resolved port is printed).")
 
 let serve_cmd =
-  let run addr workers queue cache corpus index telemetry =
+  let run addr workers queue cache corpus index backend max_conns no_mmap
+      telemetry =
     with_telemetry telemetry @@ fun () ->
+    let backend =
+      match backend with
+      | "epoll" -> Umrs_server.Server.Epoll
+      | "threads" -> Umrs_server.Server.Threads
+      | other ->
+        Printf.eprintf
+          "routing_lab: serve: unknown backend %S (epoll|threads)\n" other;
+        exit 1
+    in
     let cfg =
       { (Umrs_server.Server.default_config addr) with
         Umrs_server.Server.workers; queue_capacity = queue;
-        cache_capacity = cache; corpus; index }
+        cache_capacity = cache; corpus; index; backend; max_conns;
+        mmap = not no_mmap }
     in
     match Umrs_server.Server.start cfg with
     | Error msg ->
@@ -907,11 +918,15 @@ let serve_cmd =
       exit 1
     | Ok srv ->
       Umrs_server.Server.install_signal_handlers srv;
-      pf "serving on %s (%d worker%s, queue %d, cache %d%s)@."
+      pf "serving on %s (%s backend, %d worker%s, queue %d, cache %d, \
+          max-conns %d%s)@."
         (Umrs_server.Wire.addr_to_string (Umrs_server.Server.addr srv))
+        (match backend with
+        | Umrs_server.Server.Epoll -> "epoll"
+        | Umrs_server.Server.Threads -> "threads")
         workers
         (if workers = 1 then "" else "s")
-        queue cache
+        queue cache max_conns
         (match corpus with
         | None -> ", no corpus"
         | Some c -> Printf.sprintf ", corpus %s" c);
@@ -939,12 +954,27 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "index" ] ~docv:"FILE"
            ~doc:"Sidecar index (default: corpus path + .umrsx).")
   in
+  let backend =
+    Arg.(value & opt string "epoll" & info [ "backend" ] ~docv:"B"
+           ~doc:"Connection backend: $(b,epoll) (single poller thread, \
+                 non-blocking fds, scales past FD_SETSIZE) or $(b,threads) \
+                 (reader thread per connection).")
+  in
+  let max_conns =
+    Arg.(value & opt int 10_240 & info [ "max-conns" ] ~docv:"N"
+           ~doc:"Concurrent connection cap; excess are closed at accept.")
+  in
+  let no_mmap =
+    Arg.(value & flag & info [ "no-mmap" ]
+           ~doc:"Read the corpus through buffered channels instead of a \
+                 shared file mapping.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve corpus queries and scheme evaluations over a socket \
              (bounded queue, deadlines, evaluation cache, graceful drain).")
     Term.(const run $ addr_arg $ workers $ queue $ cache $ corpus $ index
-          $ telemetry_arg)
+          $ backend $ max_conns $ no_mmap $ telemetry_arg)
 
 let remote_cmd =
   let module C = Umrs_client in
@@ -1018,10 +1048,15 @@ let remote_cmd =
         s.Umrs_server.Wire.st_connections s.Umrs_server.Wire.st_requests
         s.Umrs_server.Wire.st_overloaded s.Umrs_server.Wire.st_timeouts
         s.Umrs_server.Wire.st_rejected;
-      pf "cache hits=%d misses=%d queue %d/%d workers=%d draining=%b@."
+      pf "cache hits=%d misses=%d evictions=%d queue %d/%d (hwm %d) \
+          workers=%d draining=%b@."
         s.Umrs_server.Wire.st_cache_hits s.Umrs_server.Wire.st_cache_misses
+        s.Umrs_server.Wire.st_cache_evictions
         s.Umrs_server.Wire.st_queue_depth s.Umrs_server.Wire.st_queue_capacity
-        s.Umrs_server.Wire.st_workers s.Umrs_server.Wire.st_draining
+        s.Umrs_server.Wire.st_queue_hwm
+        s.Umrs_server.Wire.st_workers s.Umrs_server.Wire.st_draining;
+      pf "live connections=%d loop wakeups=%d@."
+        s.Umrs_server.Wire.st_live_conns s.Umrs_server.Wire.st_loop_wakeups
     end
   in
   let retries =

@@ -133,18 +133,20 @@ let connect ?(retries = 0) ?(backoff = 0.05) ?(max_backoff = 2.0)
     in
     go 0 (max 0 retries) 0.0
 
-let send t ?(deadline_ms = 0) req =
+let send_gen t ~flush ?(deadline_ms = 0) req =
   if t.is_closed then Error (Io "client handle is closed")
   else begin
     let id = t.next_id in
     t.next_id <- (t.next_id + 1) land 0xFFFFFFFF;
     match
       io_guard (fun () ->
-          Wire.write_frame t.oc (Wire.encode_request ~id ~deadline_ms req))
+          Wire.write_frame ~flush t.oc (Wire.encode_request ~id ~deadline_ms req))
     with
     | Ok () -> Ok id
     | Error _ as e -> e
   end
+
+let send t ?deadline_ms req = send_gen t ~flush:true ?deadline_ms req
 
 let outcome_to_result = function
   | Wire.Reply r -> Ok r
@@ -180,6 +182,24 @@ let call t ?deadline_ms req =
   match send t ?deadline_ms req with
   | Error _ as e -> e
   | Ok ticket -> recv t ticket
+
+(* One flush for the whole batch: the frames buffer into the channel,
+   so a pipeline of n requests costs one write out and lets the server
+   keep every worker busy instead of idling a round-trip per request.
+   Responses may complete out of order server-side; [recv]'s stash
+   re-sequences them. *)
+let call_pipelined t ?deadline_ms reqs =
+  let tickets =
+    List.map (fun req -> send_gen t ~flush:false ?deadline_ms req) reqs
+  in
+  (match io_guard (fun () -> flush t.oc) with
+  | Ok () -> ()
+  | Error _ -> () (* surfaces as an Io error on the recv below *));
+  List.map
+    (function
+      | Error _ as e -> e
+      | Ok ticket -> recv t ticket)
+    tickets
 
 (* ---------- typed calls ---------- *)
 

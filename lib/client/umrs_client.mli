@@ -71,6 +71,17 @@ val call :
   t -> ?deadline_ms:int -> Umrs_server.Wire.request
   -> (Umrs_server.Wire.response, error) result
 
+val call_pipelined :
+  t -> ?deadline_ms:int -> Umrs_server.Wire.request list
+  -> (Umrs_server.Wire.response, error) result list
+(** Send the whole batch back-to-back — the frames coalesce into one
+    channel flush — then receive every response, returned in request
+    order whatever order the server completed them in. One result per
+    request: a send failure occupies that request's slot and the rest
+    of the batch is still attempted. Equivalent to [List.map (call t)]
+    but with the server's full pipeline depth instead of one
+    round-trip per request. *)
+
 (** {1 Typed calls}
 
     One per request constructor; each checks the response shape and

@@ -1,0 +1,183 @@
+/* C stubs for the event-loop core: epoll + eventfd on Linux, poll(2)
+   and RLIMIT_NOFILE everywhere POSIX.  The OCaml side treats epoll as
+   optional (umrs_evl_epoll_available) and falls back to select. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+#include <errno.h>
+#include <string.h>
+
+#ifndef _WIN32
+#include <poll.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+/* (fd, in|out bitmask, timeout_ms) -> revents bitmask 1=readable
+   2=writable 4=hup/err.  EINTR and timeout both report 0 events; the
+   caller re-checks its own clock. */
+CAMLprim value umrs_evl_poll1(value vfd, value vevents, value vtimeout)
+{
+  struct pollfd p;
+  int n, flags;
+  p.fd = Int_val(vfd);
+  p.events = 0;
+  if (Int_val(vevents) & 1) p.events |= POLLIN;
+  if (Int_val(vevents) & 2) p.events |= POLLOUT;
+  p.revents = 0;
+  caml_release_runtime_system();
+  n = poll(&p, 1, Int_val(vtimeout));
+  caml_acquire_runtime_system();
+  if (n == -1) {
+    if (errno == EINTR) return Val_int(0);
+    uerror("poll", Nothing);
+  }
+  if (n == 0) return Val_int(0);
+  flags = 0;
+  if (p.revents & (POLLIN | POLLHUP | POLLERR)) flags |= 1;
+  if (p.revents & (POLLOUT | POLLHUP | POLLERR)) flags |= 2;
+  if (p.revents & (POLLHUP | POLLERR | POLLNVAL)) flags |= 4;
+  return Val_int(flags);
+}
+
+/* Raise the soft RLIMIT_NOFILE toward [target], capped at the hard
+   limit; returns the soft limit actually in effect. */
+CAMLprim value umrs_evl_raise_nofile(value vtarget)
+{
+  struct rlimit rl;
+  rlim_t want = (rlim_t)Long_val(vtarget);
+  if (getrlimit(RLIMIT_NOFILE, &rl) == -1) uerror("getrlimit", Nothing);
+  if (rl.rlim_cur < want) {
+    rl.rlim_cur = (want > rl.rlim_max) ? rl.rlim_max : want;
+    if (setrlimit(RLIMIT_NOFILE, &rl) == -1) uerror("setrlimit", Nothing);
+  }
+  return Val_long((long)rl.rlim_cur);
+}
+
+#else /* _WIN32 */
+
+CAMLprim value umrs_evl_poll1(value vfd, value vevents, value vtimeout)
+{
+  (void)vfd; (void)vevents; (void)vtimeout;
+  caml_failwith("Umrs_evloop: poll unsupported on this platform");
+}
+
+CAMLprim value umrs_evl_raise_nofile(value vtarget)
+{
+  (void)vtarget;
+  return Val_long(0);
+}
+
+#endif
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+
+CAMLprim value umrs_evl_epoll_available(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+CAMLprim value umrs_evl_epoll_create(value unit)
+{
+  int fd;
+  (void)unit;
+  fd = epoll_create1(EPOLL_CLOEXEC);
+  if (fd == -1) uerror("epoll_create1", Nothing);
+  return Val_int(fd);
+}
+
+/* op: 0=add 1=mod 2=del; events: 1=in 2=out.  EPOLLRDHUP is always
+   armed so a peer half-close surfaces as readable (read returns 0). */
+CAMLprim value umrs_evl_epoll_ctl(value vep, value vop, value vfd, value vevents)
+{
+  static const int ops[3] = { EPOLL_CTL_ADD, EPOLL_CTL_MOD, EPOLL_CTL_DEL };
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof ev);
+  if (Int_val(vevents) & 1) ev.events |= EPOLLIN;
+  if (Int_val(vevents) & 2) ev.events |= EPOLLOUT;
+  ev.events |= EPOLLRDHUP;
+  ev.data.fd = Int_val(vfd);
+  if (epoll_ctl(Int_val(vep), ops[Int_val(vop)], Int_val(vfd), &ev) == -1)
+    uerror("epoll_ctl", Nothing);
+  return Val_unit;
+}
+
+#define UMRS_EVL_MAX_EVENTS 1024
+
+/* Fills [out] (a flat int array) with (fd, flags) pairs; returns the
+   event count.  Releases the runtime lock for the wait so worker
+   domains keep running. */
+CAMLprim value umrs_evl_epoll_wait(value vep, value vout, value vtimeout)
+{
+  struct epoll_event evs[UMRS_EVL_MAX_EVENTS];
+  int max = (int)(Wosize_val(vout) / 2);
+  int i, n, flags;
+  if (max > UMRS_EVL_MAX_EVENTS) max = UMRS_EVL_MAX_EVENTS;
+  caml_release_runtime_system();
+  n = epoll_wait(Int_val(vep), evs, max, Int_val(vtimeout));
+  caml_acquire_runtime_system();
+  if (n == -1) {
+    if (errno == EINTR) return Val_int(0);
+    uerror("epoll_wait", Nothing);
+  }
+  for (i = 0; i < n; i++) {
+    flags = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) flags |= 1;
+    if (evs[i].events & (EPOLLOUT | EPOLLHUP | EPOLLERR)) flags |= 2;
+    if (evs[i].events & (EPOLLHUP | EPOLLERR)) flags |= 4;
+    /* immediates only: no caml_modify needed */
+    Field(vout, 2 * i) = Val_int(evs[i].data.fd);
+    Field(vout, 2 * i + 1) = Val_int(flags);
+  }
+  return Val_int(n);
+}
+
+CAMLprim value umrs_evl_eventfd(value unit)
+{
+  int fd;
+  (void)unit;
+  fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (fd == -1) uerror("eventfd", Nothing);
+  return Val_int(fd);
+}
+
+#else /* !__linux__ */
+
+CAMLprim value umrs_evl_epoll_available(value unit)
+{
+  (void)unit;
+  return Val_false;
+}
+
+CAMLprim value umrs_evl_epoll_create(value unit)
+{
+  (void)unit;
+  caml_failwith("Umrs_evloop: epoll unsupported on this platform");
+}
+
+CAMLprim value umrs_evl_epoll_ctl(value vep, value vop, value vfd, value vevents)
+{
+  (void)vep; (void)vop; (void)vfd; (void)vevents;
+  caml_failwith("Umrs_evloop: epoll unsupported on this platform");
+}
+
+CAMLprim value umrs_evl_epoll_wait(value vep, value vout, value vtimeout)
+{
+  (void)vep; (void)vout; (void)vtimeout;
+  caml_failwith("Umrs_evloop: epoll unsupported on this platform");
+}
+
+CAMLprim value umrs_evl_eventfd(value unit)
+{
+  (void)unit;
+  caml_failwith("Umrs_evloop: eventfd unsupported on this platform");
+}
+
+#endif

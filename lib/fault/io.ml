@@ -171,6 +171,21 @@ let write_all fd buf ofs len =
   in
   go ofs len
 
+(* One write syscall, for non-blocking descriptors owned by an event
+   loop: EAGAIN propagates (the loop re-arms on writability) instead
+   of spinning in a retry loop that would stall every other
+   connection.  Injected [Short_write n] caps the attempt so the
+   partial-write resume path is exercised by storms. *)
+let write_once fd buf ofs len =
+  let a = Fault.fire Fault.Sock_write in
+  (match a with
+  | Fault.Reset -> raise (Unix.Unix_error (Unix.EPIPE, "write", ""))
+  | Fault.Delay s -> sleepf s
+  | _ -> ());
+  let injected = match a with Fault.Eintr n -> n | _ -> 0 in
+  let ask = match a with Fault.Short_write n -> min len (max 1 n) | _ -> len in
+  with_eintr_budget injected (fun () -> Unix.write fd buf ofs ask)
+
 let accept ?(cloexec = false) fd =
   let a = Fault.fire Fault.Sock_accept in
   (match a with Fault.Delay s -> sleepf s | _ -> ());
@@ -185,12 +200,11 @@ let connect fd sa =
   try Unix.connect fd sa
   with Unix.Unix_error (Unix.EINTR, _, _) ->
     (* the kernel continues the attempt asynchronously: wait until the
-       socket has a disposition, then read it *)
+       socket has a disposition, then read it.  poll(2), not select:
+       this fd may be numbered past FD_SETSIZE in a 10k-connection
+       client. *)
     let rec wait () =
-      match Unix.select [] [ fd ] [] 1.0 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
-      | _, [], _ -> wait ()
-      | _ -> ()
+      if not (Umrs_evloop.wait_writable fd ~timeout_ms:1000) then wait ()
     in
     wait ();
     (match Unix.getsockopt_error fd with

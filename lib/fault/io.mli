@@ -52,11 +52,18 @@ val read : Unix.file_descr -> Bytes.t -> int -> int -> int
 val write_all : Unix.file_descr -> Bytes.t -> int -> int -> unit
 (** Writes the whole range, looping over short writes. *)
 
+val write_once : Unix.file_descr -> Bytes.t -> int -> int -> int
+(** A single [Unix.write] with socket faults applied, for non-blocking
+    descriptors: returns the byte count of one syscall, propagates
+    [EAGAIN] to the owning event loop, and honours injected short
+    writes by capping the attempt. *)
+
 val accept : ?cloexec:bool -> Unix.file_descr -> Unix.file_descr * Unix.sockaddr
 val connect : Unix.file_descr -> Unix.sockaddr -> unit
 (** After a real [EINTR] the in-progress connection is awaited with
-    [select] and its disposition read from [SO_ERROR], per POSIX —
-    calling [connect] again would fail with [EALREADY]. *)
+    [poll] (valid above FD_SETSIZE, unlike [select]) and its
+    disposition read from [SO_ERROR], per POSIX — calling [connect]
+    again would fail with [EALREADY]. *)
 
 (** {2 Channel-path hooks}
 

@@ -1,0 +1,3 @@
+(* Re-export so server users name the loop [Umrs_server.Evloop] without
+   depending on the standalone [umrs_evloop] library directly. *)
+include Umrs_evloop

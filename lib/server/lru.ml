@@ -13,6 +13,7 @@ type ('k, 'v) t = {
   cap : int;
   tbl : ('k, ('k, 'v) node) Hashtbl.t;
   sentinel : ('k, 'v) node;
+  mutable evicted : int;  (* entries pushed out by capacity, ever *)
 }
 
 let create ~capacity =
@@ -20,10 +21,11 @@ let create ~capacity =
   let rec sentinel =
     { key = Obj.magic 0; value = Obj.magic 0; prev = sentinel; next = sentinel }
   in
-  { cap = capacity; tbl = Hashtbl.create (2 * capacity); sentinel }
+  { cap = capacity; tbl = Hashtbl.create (2 * capacity); sentinel; evicted = 0 }
 
 let capacity t = t.cap
 let length t = Hashtbl.length t.tbl
+let evictions t = t.evicted
 
 let unlink n =
   n.prev.next <- n.next;
@@ -56,7 +58,8 @@ let add t k v =
       let lru = t.sentinel.prev in
       (* cap >= 1 and the table is non-empty, so [lru] is a real node *)
       unlink lru;
-      Hashtbl.remove t.tbl lru.key
+      Hashtbl.remove t.tbl lru.key;
+      t.evicted <- t.evicted + 1
     end;
     let n = { key = k; value = v; prev = t.sentinel; next = t.sentinel } in
     push_front t n;

@@ -19,6 +19,10 @@ val capacity : ('k, 'v) t -> int
 
 val length : ('k, 'v) t -> int
 
+val evictions : ('k, 'v) t -> int
+(** Entries pushed out by capacity over the cache's lifetime
+    (overwrites and {!clear} do not count). *)
+
 val find : ('k, 'v) t -> 'k -> 'v option
 (** Looks a key up and, on a hit, marks it most recently used. *)
 

@@ -1,3 +1,7 @@
+type backend =
+  | Epoll
+  | Threads
+
 type config = {
   addr : Wire.addr;
   workers : int;
@@ -9,12 +13,16 @@ type config = {
   max_sleep_ms : int;
   max_conns : int;
   handshake_timeout : float;
+  backend : backend;
+  mmap : bool;
+  wbuf_hwm : int;
 }
 
 let default_config addr =
   { addr; workers = 2; queue_capacity = 64; cache_capacity = 128;
     corpus = None; index = None; max_frame_bytes = Wire.default_max_frame;
-    max_sleep_ms = 60_000; max_conns = 256; handshake_timeout = 10.0 }
+    max_sleep_ms = 60_000; max_conns = 10_240; handshake_timeout = 10.0;
+    backend = Epoll; mmap = true; wbuf_hwm = 256 * 1024 }
 
 (* ---------- telemetry ---------- *)
 
@@ -28,8 +36,12 @@ let c_cache_misses = Telemetry.counter "server.cache_misses"
 let c_conn_refused = Telemetry.counter "server.connections_refused"
 let c_worker_crashes = Telemetry.counter "server.worker_crashes"
 let g_queue_depth = Telemetry.gauge "server.queue_depth"
+let g_queue_hwm = Telemetry.gauge "server.queue_hwm"
+let g_live_conns = Telemetry.gauge "server.live_connections"
+let g_loop_wakeups = Telemetry.gauge "server.loop_wakeups"
+let g_cache_evictions = Telemetry.gauge "server.cache_evictions"
 
-(* ---------- connections ---------- *)
+(* ---------- connections (threads backend) ---------- *)
 
 type conn = {
   c_id : int;
@@ -40,11 +52,49 @@ type conn = {
   mutable c_alive : bool;  (* cleared (under [c_wlock]) before close *)
 }
 
+(* ---------- connections (epoll backend) ----------
+
+   One [econn] per socket, owned exclusively by the poller thread:
+   only [ec_id] ever escapes it (inside a worker's respond closure),
+   and completions come back keyed by that id, so a worker finishing
+   after the connection died — and after the fd number was recycled —
+   can never touch the wrong socket. *)
+
+type econn = {
+  ec_id : int;
+  ec_fd : Unix.file_descr;
+  mutable ec_hs_done : bool;
+  ec_hs_deadline : float;  (* absolute; [infinity] = no timeout *)
+  mutable ec_rbuf : Bytes.t;  (* unparsed input, always at offset 0 *)
+  mutable ec_rlen : int;
+  mutable ec_wbuf : Bytes.t;  (* unsent output at [ec_woff, ec_woff+ec_wlen) *)
+  mutable ec_woff : int;
+  mutable ec_wlen : int;
+  mutable ec_int_r : bool;  (* interest currently armed in the loop *)
+  mutable ec_int_w : bool;
+  mutable ec_paused : bool;  (* reads paused: write buffer above hwm *)
+  mutable ec_dirty : bool;   (* batching flag for completion delivery *)
+  mutable ec_closed : bool;
+}
+
+type epoll_state = {
+  ep_loop : Umrs_evloop.t;
+  ep_by_fd : (int, econn) Hashtbl.t;  (* poller-only *)
+  ep_by_id : (int, econn) Hashtbl.t;  (* poller-only *)
+  ep_comp_lock : Mutex.t;
+  mutable ep_completions : (int * Bytes.t) list;  (* newest first *)
+  ep_finish : bool Atomic.t;  (* workers drained: flush and exit *)
+  mutable ep_poller : Thread.t option;
+}
+
+(* A job is backend-neutral: the worker pool only ever answers through
+   [j_respond] (threads: write the frame under the connection's lock;
+   epoll: queue a completion and wake the poller). *)
 type job = {
-  j_conn : conn;
   j_id : int;
   j_deadline : float;  (* absolute seconds; [infinity] = none *)
   j_req : Wire.request;
+  j_respond : Wire.outcome -> unit;
 }
 
 type t = {
@@ -57,7 +107,8 @@ type t = {
   conns_lock : Mutex.t;
   cache : (string * string * string, Umrs_routing.Scheme.evaluation) Lru.t;
   cache_lock : Mutex.t;
-  n_conns : int Atomic.t;
+  n_conns : int Atomic.t;  (* accepted, cumulative *)
+  n_live : int Atomic.t;   (* currently open *)
   n_requests : int Atomic.t;
   n_overloaded : int Atomic.t;
   n_timeouts : int Atomic.t;
@@ -65,6 +116,7 @@ type t = {
   n_cache_hits : int Atomic.t;
   n_cache_misses : int Atomic.t;
   n_worker_crashes : int Atomic.t;
+  n_queue_hwm : int Atomic.t;
   mutable acceptor : Thread.t option;
   (* Worker pool under supervision: [workers_arr.(slot)] is the live
      domain for that slot; a domain killed by an escaped exception
@@ -79,6 +131,7 @@ type t = {
   mutable sup_stop : bool;
   mutable supervisor : Thread.t option;
   mutable readers : Thread.t list;  (* under [conns_lock] *)
+  ep : epoll_state option;  (* Some iff [cfg.backend = Epoll] *)
   mutable waited : bool;
 }
 
@@ -86,6 +139,12 @@ let addr t = t.actual_addr
 let worker_crashes t = Atomic.get t.n_worker_crashes
 
 let stats_of srv =
+  let evictions =
+    Mutex.lock srv.cache_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock srv.cache_lock)
+      (fun () -> Lru.evictions srv.cache)
+  in
   { Wire.st_connections = Atomic.get srv.n_conns;
     st_requests = Atomic.get srv.n_requests;
     st_overloaded = Atomic.get srv.n_overloaded;
@@ -96,7 +155,24 @@ let stats_of srv =
     st_queue_depth = Jobqueue.length srv.queue;
     st_queue_capacity = srv.cfg.queue_capacity;
     st_workers = srv.cfg.workers;
-    st_draining = Atomic.get srv.stop }
+    st_draining = Atomic.get srv.stop;
+    st_live_conns = Atomic.get srv.n_live;
+    st_cache_evictions = evictions;
+    st_loop_wakeups =
+      (match srv.ep with
+      | Some es -> Umrs_evloop.wakeups es.ep_loop
+      | None -> 0);
+    st_queue_hwm = Atomic.get srv.n_queue_hwm }
+
+let note_queue_depth srv =
+  let d = Jobqueue.length srv.queue in
+  let rec bump () =
+    let cur = Atomic.get srv.n_queue_hwm in
+    if d > cur && not (Atomic.compare_and_set srv.n_queue_hwm cur d) then
+      bump ()
+  in
+  bump ();
+  Telemetry.set_gauge g_queue_depth (float_of_int d)
 
 (* Only the reader thread ever closes a connection's descriptor;
    everyone else at most marks it dead and writes under [c_wlock], so a
@@ -184,7 +260,7 @@ let handle_job srv query job =
   if now > job.j_deadline then begin
     Atomic.incr srv.n_timeouts;
     Telemetry.add c_timeouts 1;
-    send_outcome job.j_conn ~id:job.j_id Wire.Timed_out
+    job.j_respond Wire.Timed_out
   end
   else begin
     Umrs_fault.Io.worker_hook ();
@@ -218,17 +294,22 @@ let handle_job srv query job =
         [ ("op", Telemetry.Str (Wire.opcode_name (Wire.opcode job.j_req)));
           ("seconds", Telemetry.Float (finished -. now));
           ("ok", Telemetry.Bool (match outcome with Wire.Reply _ -> true | _ -> false)) ];
-    send_outcome job.j_conn ~id:job.j_id outcome
+    job.j_respond outcome
   end
 
 let worker_loop srv =
   (* Each worker owns a private Query handle: the point lookups share a
-     seekable cursor that is single-threaded by design. *)
+     seekable cursor that is single-threaded by design.  Under [mmap]
+     every handle shares one file mapping, so a pool of N workers costs
+     one mapping, not N channel buffers. *)
   let query =
     match srv.cfg.corpus with
     | None -> None
     | Some corpus -> (
-      match Umrs_store.Query.open_ ~corpus ?index:srv.cfg.index () with
+      match
+        Umrs_store.Query.open_ ~corpus ?index:srv.cfg.index ~mmap:srv.cfg.mmap
+          ()
+      with
       | Ok q -> Some q
       | Error _ -> None (* validated at [start]; raced file damage only *))
   in
@@ -253,7 +334,7 @@ let worker_loop srv =
             Telemetry.add c_worker_crashes 1;
             Atomic.incr srv.n_rejected;
             Telemetry.add c_rejected 1;
-            send_outcome job.j_conn ~id:job.j_id
+            job.j_respond
               (Wire.Rejected ("internal error: " ^ Printexc.to_string e));
             raise e);
           loop ()
@@ -297,15 +378,39 @@ let supervisor_loop srv =
   in
   loop ()
 
-(* ---------- connection reader ---------- *)
+(* ---------- shared admission ---------- *)
+
+let deadline_of deadline_ms =
+  if deadline_ms <= 0 then infinity
+  else Unix.gettimeofday () +. (float_of_int deadline_ms /. 1000.)
+
+(* Admit a decoded data-plane request to the worker pool, or answer
+   [Overloaded] through [respond] — the one backpressure policy both
+   backends share. *)
+let admit srv ~id ~deadline_ms req ~respond =
+  let job =
+    { j_id = id; j_deadline = deadline_of deadline_ms; j_req = req;
+      j_respond = respond }
+  in
+  if Atomic.get srv.stop || not (Jobqueue.try_push srv.queue job) then begin
+    Atomic.incr srv.n_overloaded;
+    Telemetry.add c_overloaded 1;
+    respond Wire.Overloaded
+  end
+  else note_queue_depth srv
+
+(* ---------- connection reader (threads backend) ---------- *)
 
 let close_conn srv conn =
   Mutex.lock conn.c_wlock;
+  let was_alive = conn.c_alive in
   conn.c_alive <- false;
   Mutex.unlock conn.c_wlock;
   Mutex.lock srv.conns_lock;
   Hashtbl.remove srv.conns conn.c_id;
   Mutex.unlock srv.conns_lock;
+  if was_alive || true then Atomic.decr srv.n_live;
+  Telemetry.set_gauge g_live_conns (float_of_int (Atomic.get srv.n_live));
   (* closes the fd too; the reader is the single closure point *)
   close_out_noerr conn.c_oc
 
@@ -351,20 +456,8 @@ let reader_loop srv conn =
                   pool never blinds monitoring *)
                send_outcome conn ~id (exec srv None req)
              | _ ->
-               let deadline =
-                 if deadline_ms <= 0 then infinity
-                 else Unix.gettimeofday () +. (float_of_int deadline_ms /. 1000.)
-               in
-               let job = { j_conn = conn; j_id = id; j_deadline = deadline; j_req = req } in
-               if Atomic.get srv.stop || not (Jobqueue.try_push srv.queue job)
-               then begin
-                 Atomic.incr srv.n_overloaded;
-                 Telemetry.add c_overloaded 1;
-                 send_outcome conn ~id Wire.Overloaded
-               end
-               else
-                 Telemetry.set_gauge g_queue_depth
-                   (float_of_int (Jobqueue.length srv.queue))))
+               admit srv ~id ~deadline_ms req ~respond:(fun outcome ->
+                   send_outcome conn ~id outcome)))
        done
      end
    with
@@ -379,15 +472,16 @@ let reader_loop srv conn =
   srv.readers <- List.filter (fun th -> Thread.id th <> self) srv.readers;
   Mutex.unlock srv.conns_lock
 
-(* ---------- acceptor ---------- *)
+(* ---------- acceptor (threads backend) ---------- *)
 
 let accept_loop srv =
   let next_id = ref 0 in
   while not (Atomic.get srv.stop) do
-    match Unix.select [ srv.listen_fd ] [] [] 0.05 with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | [], _, _ -> ()
-    | _ :: _, _, _ -> (
+    (* poll(2), not select: the listener may be numbered past
+       FD_SETSIZE when the process holds many descriptors.  The 50 ms
+       tick only bounds shutdown latency — a pending connection is
+       accepted as soon as the kernel reports it. *)
+    if Umrs_evloop.wait_readable srv.listen_fd ~timeout_ms:50 then begin
       match Umrs_fault.Io.accept srv.listen_fd with
       | exception Unix.Unix_error _ -> ()
       | fd, _ ->
@@ -402,7 +496,10 @@ let accept_loop srv =
         end
         else begin
           Atomic.incr srv.n_conns;
+          Atomic.incr srv.n_live;
           Telemetry.add c_accepted 1;
+          Telemetry.set_gauge g_live_conns
+            (float_of_int (Atomic.get srv.n_live));
           incr next_id;
           let conn =
             { c_id = !next_id; c_fd = fd;
@@ -415,9 +512,366 @@ let accept_loop srv =
           let th = Thread.create (fun () -> reader_loop srv conn) () in
           srv.readers <- th :: srv.readers;
           Mutex.unlock srv.conns_lock
-        end)
+        end
+    end
   done;
   Unix.close srv.listen_fd
+
+(* ---------- epoll backend: buffers ---------- *)
+
+let initial_rbuf = 4096
+let initial_wbuf = 1024
+let read_chunk = 65536
+
+let grow_to b needed =
+  let cap = ref (max 1 (Bytes.length b)) in
+  while !cap < needed do
+    cap := !cap * 2
+  done;
+  let nb = Bytes.create !cap in
+  Bytes.blit b 0 nb 0 (Bytes.length b);
+  nb
+
+(* Make room for [extra] more output bytes: compact first (cheap, the
+   sent prefix is dead), grow only when the live tail cannot fit. *)
+let wbuf_reserve ec extra =
+  let cap = Bytes.length ec.ec_wbuf in
+  if ec.ec_woff + ec.ec_wlen + extra > cap then begin
+    if ec.ec_woff > 0 then begin
+      Bytes.blit ec.ec_wbuf ec.ec_woff ec.ec_wbuf 0 ec.ec_wlen;
+      ec.ec_woff <- 0
+    end;
+    if ec.ec_wlen + extra > cap then begin
+      let nb = grow_to ec.ec_wbuf (ec.ec_wlen + extra) in
+      (* grow_to copied the whole old buffer; only the live prefix
+         matters and it is already at offset 0 *)
+      ec.ec_wbuf <- nb
+    end
+  end
+
+let append_raw ec b =
+  let n = Bytes.length b in
+  wbuf_reserve ec n;
+  Bytes.blit b 0 ec.ec_wbuf (ec.ec_woff + ec.ec_wlen) n;
+  ec.ec_wlen <- ec.ec_wlen + n
+
+(* The frame header is written straight into the connection's scratch
+   buffer: one reserve, no intermediate 4-byte allocation per reply. *)
+let append_frame ec payload =
+  let n = Bytes.length payload in
+  wbuf_reserve ec (4 + n);
+  let tail = ec.ec_woff + ec.ec_wlen in
+  Bytes.set_int32_le ec.ec_wbuf tail (Int32.of_int n);
+  Bytes.blit payload 0 ec.ec_wbuf (tail + 4) n;
+  ec.ec_wlen <- ec.ec_wlen + 4 + n
+
+(* ---------- epoll backend: poller ---------- *)
+
+let close_econn srv es ec =
+  if not ec.ec_closed then begin
+    ec.ec_closed <- true;
+    Umrs_evloop.remove es.ep_loop ec.ec_fd;
+    Hashtbl.remove es.ep_by_fd (Umrs_evloop.int_of_fd ec.ec_fd);
+    Hashtbl.remove es.ep_by_id ec.ec_id;
+    Atomic.decr srv.n_live;
+    try Unix.close ec.ec_fd with Unix.Unix_error _ -> ()
+  end
+
+let set_interest es ec ~readable ~writable =
+  if readable <> ec.ec_int_r || writable <> ec.ec_int_w then begin
+    ec.ec_int_r <- readable;
+    ec.ec_int_w <- writable;
+    Umrs_evloop.modify es.ep_loop ec.ec_fd ~readable ~writable
+  end
+
+(* Write until the socket blocks or the buffer empties.  Goes through
+   the fault seam so storms can reset, delay, or shorten the write. *)
+let flush_wbuf srv es ec =
+  let continue = ref true in
+  while !continue && ec.ec_wlen > 0 do
+    match
+      Umrs_fault.Io.write_once ec.ec_fd ec.ec_wbuf ec.ec_woff ec.ec_wlen
+    with
+    | 0 -> continue := false
+    | n ->
+      ec.ec_woff <- ec.ec_woff + n;
+      ec.ec_wlen <- ec.ec_wlen - n;
+      if ec.ec_wlen = 0 then ec.ec_woff <- 0
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | exception (Unix.Unix_error _ | Sys_error _ | Umrs_fault.Fault.Injected _)
+      ->
+      (* an injected storm fault (or a real error) on this socket is
+         this connection's problem, never the poller's.  [continue]
+         must clear too: the buffer still holds bytes, and retrying a
+         write on the closed — possibly already recycled — descriptor
+         would spin this loop forever *)
+      close_econn srv es ec;
+      continue := false
+  done
+
+(* Flush, then re-derive pause state and loop interest from the buffer
+   level — the single place the backpressure policy lives.  Above
+   [wbuf_hwm] buffered bytes the socket stops being read (the client
+   feels TCP backpressure); reads resume below half the mark.  In
+   [finishing] mode the connection's only remaining job is emptying
+   its buffer, after which it closes. *)
+let pump srv es ec ~finishing =
+  if not ec.ec_closed then begin
+    flush_wbuf srv es ec;
+    if not ec.ec_closed then begin
+      if finishing && ec.ec_wlen = 0 then close_econn srv es ec
+      else begin
+        if (not ec.ec_paused) && ec.ec_wlen > srv.cfg.wbuf_hwm then
+          ec.ec_paused <- true
+        else if ec.ec_paused && ec.ec_wlen <= srv.cfg.wbuf_hwm / 2 then
+          ec.ec_paused <- false;
+        set_interest es ec
+          ~readable:((not finishing) && not ec.ec_paused)
+          ~writable:(ec.ec_wlen > 0)
+      end
+    end
+  end
+
+let process_frame srv es ec payload =
+  match Wire.decode_request payload with
+  | exception _ ->
+    (* protocol violation: drop the connection, don't guess *)
+    close_econn srv es ec
+  | id, deadline_ms, req -> (
+    Atomic.incr srv.n_requests;
+    Telemetry.add c_requests 1;
+    match req with
+    | Wire.Ping _ | Wire.Stats ->
+      (* control plane: answered inline by the poller so a saturated
+         worker pool never blinds monitoring *)
+      append_frame ec (Wire.encode_outcome ~id (exec srv None req))
+    | _ ->
+      let conn_id = ec.ec_id in
+      admit srv ~id ~deadline_ms req ~respond:(fun outcome ->
+          (* worker side: encode here (in parallel), deliver by conn
+             id — never by fd, which may have been recycled *)
+          let b = Wire.encode_outcome ~id outcome in
+          Mutex.lock es.ep_comp_lock;
+          es.ep_completions <- (conn_id, b) :: es.ep_completions;
+          Mutex.unlock es.ep_comp_lock;
+          Umrs_evloop.wakeup es.ep_loop))
+
+(* Parse everything complete in the read buffer: the 10-byte hello
+   first, then length-prefixed frames.  Partial input stays buffered —
+   a slowloris client holds one connection and one buffer, not a
+   thread. *)
+let parse_input srv es ec =
+  let off = ref 0 in
+  if not ec.ec_hs_done && ec.ec_rlen >= Wire.hello_bytes then begin
+    match Wire.check_hello (Bytes.sub ec.ec_rbuf 0 Wire.hello_bytes) with
+    | Error _ -> close_econn srv es ec
+    | Ok () ->
+      ec.ec_hs_done <- true;
+      off := Wire.hello_bytes;
+      append_raw ec (Wire.hello ())
+  end;
+  if (not ec.ec_closed) && ec.ec_hs_done then begin
+    let continue = ref true in
+    while !continue && ec.ec_rlen - !off >= 4 do
+      let len = Int32.to_int (Bytes.get_int32_le ec.ec_rbuf !off) in
+      if len < 0 || len > srv.cfg.max_frame_bytes then begin
+        close_econn srv es ec;
+        continue := false
+      end
+      else if ec.ec_rlen - !off - 4 >= len then begin
+        let payload = Bytes.sub ec.ec_rbuf (!off + 4) len in
+        off := !off + 4 + len;
+        process_frame srv es ec payload;
+        if ec.ec_closed then continue := false
+      end
+      else continue := false
+    done
+  end;
+  if (not ec.ec_closed) && !off > 0 then begin
+    let rem = ec.ec_rlen - !off in
+    if rem > 0 then Bytes.blit ec.ec_rbuf !off ec.ec_rbuf 0 rem;
+    ec.ec_rlen <- rem
+  end
+
+let handle_readable srv es ec =
+  (* one read per readiness event; the loop is level-triggered, so
+     leftover input re-arms immediately and no connection can starve
+     the others by streaming *)
+  if Bytes.length ec.ec_rbuf - ec.ec_rlen < read_chunk then
+    ec.ec_rbuf <- grow_to ec.ec_rbuf (ec.ec_rlen + read_chunk);
+  match
+    Umrs_fault.Io.read ec.ec_fd ec.ec_rbuf ec.ec_rlen
+      (Bytes.length ec.ec_rbuf - ec.ec_rlen)
+  with
+  | 0 -> close_econn srv es ec (* peer EOF (or injected half-close) *)
+  | n ->
+    ec.ec_rlen <- ec.ec_rlen + n;
+    parse_input srv es ec
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception (Unix.Unix_error _ | Sys_error _ | Umrs_fault.Fault.Injected _)
+    ->
+    close_econn srv es ec
+
+let accept_burst srv es next_id =
+  let continue = ref true in
+  while !continue do
+    match Umrs_fault.Io.accept ~cloexec:true srv.listen_fd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      continue := false
+    | exception (Unix.Unix_error _ | Umrs_fault.Fault.Injected _) ->
+      continue := false
+    | fd, _ ->
+      if Atomic.get srv.stop then begin
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else if Hashtbl.length es.ep_by_id >= srv.cfg.max_conns then begin
+        (* at capacity: shed the connection at accept *)
+        Telemetry.add c_conn_refused 1;
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else begin
+        (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+        Atomic.incr srv.n_conns;
+        Atomic.incr srv.n_live;
+        Telemetry.add c_accepted 1;
+        incr next_id;
+        let ec =
+          { ec_id = !next_id; ec_fd = fd; ec_hs_done = false;
+            ec_hs_deadline =
+              (if srv.cfg.handshake_timeout > 0.0 then
+                 Unix.gettimeofday () +. srv.cfg.handshake_timeout
+               else infinity);
+            ec_rbuf = Bytes.create initial_rbuf; ec_rlen = 0;
+            ec_wbuf = Bytes.create initial_wbuf; ec_woff = 0; ec_wlen = 0;
+            ec_int_r = true; ec_int_w = false; ec_paused = false;
+            ec_dirty = false; ec_closed = false }
+        in
+        Hashtbl.replace es.ep_by_fd (Umrs_evloop.int_of_fd fd) ec;
+        Hashtbl.replace es.ep_by_id ec.ec_id ec;
+        Umrs_evloop.add es.ep_loop fd ~readable:true ~writable:false
+      end
+  done
+
+(* Deliver worker completions queued since the last pass.  Frames are
+   appended per connection first and each touched connection is pumped
+   once — a pipelined burst of replies costs one flush, not one write
+   syscall per reply. *)
+let process_completions srv es ~finishing =
+  Mutex.lock es.ep_comp_lock;
+  let batch = es.ep_completions in
+  es.ep_completions <- [];
+  Mutex.unlock es.ep_comp_lock;
+  match batch with
+  | [] -> ()
+  | _ ->
+    let touched = ref [] in
+    List.iter
+      (fun (cid, payload) ->
+        match Hashtbl.find_opt es.ep_by_id cid with
+        | None -> () (* connection died with the job in flight *)
+        | Some ec ->
+          if not ec.ec_closed then begin
+            append_frame ec payload;
+            if not ec.ec_dirty then begin
+              ec.ec_dirty <- true;
+              touched := ec :: !touched
+            end
+          end)
+      (List.rev batch);
+    List.iter
+      (fun ec ->
+        ec.ec_dirty <- false;
+        pump srv es ec ~finishing)
+      !touched
+
+let sweep_handshakes srv es now =
+  let overdue = ref [] in
+  Hashtbl.iter
+    (fun _ ec ->
+      if (not ec.ec_hs_done) && now > ec.ec_hs_deadline then
+        overdue := ec :: !overdue)
+    es.ep_by_id;
+  List.iter (fun ec -> close_econn srv es ec) !overdue
+
+let sweep_interval = 0.25
+
+let poller_loop srv es =
+  let loop = es.ep_loop in
+  (try Unix.set_nonblock srv.listen_fd with Unix.Unix_error _ -> ());
+  Umrs_evloop.add loop srv.listen_fd ~readable:true ~writable:false;
+  let listen_open = ref true in
+  let next_id = ref 0 in
+  let next_sweep = ref (Unix.gettimeofday () +. sweep_interval) in
+  let finish_deadline = ref infinity in
+  let running = ref true in
+  while !running do
+    let finishing = Atomic.get es.ep_finish in
+    let timeout_ms = if finishing then 20 else 250 in
+    let handler fd ~readable ~writable ~hup =
+      if fd == srv.listen_fd && !listen_open then accept_burst srv es next_id
+      else
+        match Hashtbl.find_opt es.ep_by_fd (Umrs_evloop.int_of_fd fd) with
+        | None -> ()
+        | Some ec -> (
+          (* last-resort containment, mirroring [reader_loop]: whatever
+             a storm injects (or a raced descriptor raises) takes down
+             this one connection, never the poller *)
+          try
+            if readable && not finishing then handle_readable srv es ec;
+            if not ec.ec_closed then begin
+              if writable || ec.ec_wlen > 0 then pump srv es ec ~finishing
+              else if hup && not readable then close_econn srv es ec
+            end
+          with
+          | Unix.Unix_error _ | Sys_error _ | Sys_blocked_io
+          | Umrs_fault.Fault.Injected _ ->
+            close_econn srv es ec)
+    in
+    ignore (Umrs_evloop.wait loop ~timeout_ms ~handler);
+    process_completions srv es ~finishing;
+    if Atomic.get srv.stop && !listen_open then begin
+      (* drain begins: no new connections, existing ones keep being
+         read and answered ([admit] sheds to Overloaded) *)
+      Umrs_evloop.remove loop srv.listen_fd;
+      (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+      listen_open := false
+    end;
+    let now = Unix.gettimeofday () in
+    if now >= !next_sweep then begin
+      next_sweep := now +. sweep_interval;
+      sweep_handshakes srv es now;
+      Telemetry.set_gauge g_live_conns (float_of_int (Atomic.get srv.n_live));
+      Telemetry.set_gauge g_loop_wakeups
+        (float_of_int (Umrs_evloop.wakeups loop));
+      Telemetry.set_gauge g_queue_hwm
+        (float_of_int (Atomic.get srv.n_queue_hwm));
+      if Telemetry.enabled () then
+        Telemetry.set_gauge g_cache_evictions
+          (float_of_int
+             (let () = Mutex.lock srv.cache_lock in
+              let e = Lru.evictions srv.cache in
+              Mutex.unlock srv.cache_lock;
+              e))
+    end;
+    if finishing then begin
+      if !finish_deadline = infinity then begin
+        (* every accepted job is answered and queued by now (workers
+           are joined); what's left is flushing write buffers *)
+        finish_deadline := now +. 5.0;
+        let all = Hashtbl.fold (fun _ ec acc -> ec :: acc) es.ep_by_id [] in
+        List.iter (fun ec -> pump srv es ec ~finishing:true) all
+      end;
+      if Hashtbl.length es.ep_by_id = 0 || now > !finish_deadline then
+        running := false
+    end
+  done;
+  (* stragglers that never drained their buffers within the grace
+     period lose the tail, exactly like a thread-backend shutdown *)
+  let all = Hashtbl.fold (fun _ ec acc -> ec :: acc) es.ep_by_id [] in
+  List.iter (fun ec -> close_econn srv es ec) all;
+  if !listen_open then (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+  Umrs_evloop.close loop
 
 (* ---------- lifecycle ---------- *)
 
@@ -425,7 +879,9 @@ let validate_corpus cfg =
   match cfg.corpus with
   | None -> Ok ()
   | Some corpus -> (
-    match Umrs_store.Query.open_ ~corpus ?index:cfg.index () with
+    match
+      Umrs_store.Query.open_ ~corpus ?index:cfg.index ~mmap:cfg.mmap ()
+    with
     | Ok q ->
       Umrs_store.Query.close q;
       Ok ()
@@ -465,7 +921,7 @@ let bind_listen addr =
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       (try
          Unix.bind fd (Unix.ADDR_UNIX path);
-         Unix.listen fd 64;
+         Unix.listen fd 1024;
          Ok (fd, addr)
        with e ->
          (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -479,7 +935,7 @@ let bind_listen addr =
          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
        in
        Unix.bind fd (Unix.ADDR_INET (inet, port));
-       Unix.listen fd 64;
+       Unix.listen fd 1024;
        let actual =
          match Unix.getsockname fd with
          | Unix.ADDR_INET (_, p) -> Wire.Tcp (host, p)
@@ -495,6 +951,7 @@ let start cfg =
   else if cfg.queue_capacity < 1 then Error "Server: queue_capacity must be >= 1"
   else if cfg.cache_capacity < 1 then Error "Server: cache_capacity must be >= 1"
   else if cfg.max_conns < 1 then Error "Server: max_conns must be >= 1"
+  else if cfg.wbuf_hwm < 1 then Error "Server: wbuf_hwm must be >= 1"
   else
     match validate_corpus cfg with
     | Error e -> Error e
@@ -506,6 +963,16 @@ let start cfg =
            not kill the process *)
         (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
          with Invalid_argument _ -> ());
+        let ep =
+          match cfg.backend with
+          | Threads -> None
+          | Epoll ->
+            Some
+              { ep_loop = Umrs_evloop.create ();
+                ep_by_fd = Hashtbl.create 64; ep_by_id = Hashtbl.create 64;
+                ep_comp_lock = Mutex.create (); ep_completions = [];
+                ep_finish = Atomic.make false; ep_poller = None }
+        in
         let srv =
           { cfg; listen_fd; actual_addr;
             queue = Jobqueue.create ~capacity:cfg.queue_capacity;
@@ -513,23 +980,33 @@ let start cfg =
             conns = Hashtbl.create 16; conns_lock = Mutex.create ();
             cache = Lru.create ~capacity:cfg.cache_capacity;
             cache_lock = Mutex.create ();
-            n_conns = Atomic.make 0; n_requests = Atomic.make 0;
+            n_conns = Atomic.make 0; n_live = Atomic.make 0;
+            n_requests = Atomic.make 0;
             n_overloaded = Atomic.make 0; n_timeouts = Atomic.make 0;
             n_rejected = Atomic.make 0; n_cache_hits = Atomic.make 0;
             n_cache_misses = Atomic.make 0; n_worker_crashes = Atomic.make 0;
+            n_queue_hwm = Atomic.make 0;
             acceptor = None; workers_arr = [||];
             sup_lock = Mutex.create (); sup_cond = Condition.create ();
             sup_deaths = Queue.create (); sup_generation = 0;
             sup_stop = false; supervisor = None; readers = [];
-            waited = false }
+            ep; waited = false }
         in
         srv.workers_arr <-
           Array.init cfg.workers (fun slot -> Domain.spawn (worker_body srv slot));
         srv.supervisor <- Some (Thread.create supervisor_loop srv);
-        srv.acceptor <- Some (Thread.create (fun () -> accept_loop srv) ());
+        (match srv.ep with
+        | Some es ->
+          es.ep_poller <- Some (Thread.create (fun () -> poller_loop srv es) ())
+        | None ->
+          srv.acceptor <- Some (Thread.create (fun () -> accept_loop srv) ()));
         Ok srv)
 
-let shutdown srv = Atomic.set srv.stop true
+let shutdown srv =
+  Atomic.set srv.stop true;
+  match srv.ep with
+  | Some es -> Umrs_evloop.wakeup es.ep_loop
+  | None -> ()
 
 let wait srv =
   if not srv.waited then begin
@@ -542,12 +1019,19 @@ let wait srv =
     while not (Atomic.get srv.stop) do
       (try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
     done;
-    (* 1. the acceptor exits once [stop] is set and closes the listener *)
-    Option.iter Thread.join srv.acceptor;
-    (* 2. stop admission; workers drain every accepted job, answer it,
-       then exit. A worker that dies mid-drain is replaced by the
-       supervisor (the replacement finishes the drain), so the pool is
-       joined until no death is pending and its generation is stable. *)
+    (* 1. stop admission of connections.  Threads: the acceptor exits
+       once [stop] is set and closes the listener.  Epoll: the poller
+       notices [stop] on its next tick (kick it awake) and closes the
+       listener itself; data-plane requests shed to Overloaded from
+       here on ([admit] checks [stop]). *)
+    (match srv.ep with
+    | Some es -> Umrs_evloop.wakeup es.ep_loop
+    | None -> Option.iter Thread.join srv.acceptor);
+    (* 2. stop admission of jobs; workers drain every accepted job,
+       answer it, then exit. A worker that dies mid-drain is replaced
+       by the supervisor (the replacement finishes the drain), so the
+       pool is joined until no death is pending and its generation is
+       stable. *)
     Jobqueue.close srv.queue;
     let rec join_pool () =
       Mutex.lock srv.sup_lock;
@@ -579,27 +1063,42 @@ let wait srv =
     Condition.broadcast srv.sup_cond;
     Mutex.unlock srv.sup_lock;
     Option.iter Thread.join srv.supervisor;
-    (* 3. responses are all written: flush telemetry so the JSONL sink
-       holds whole records even if the process dies right after *)
-    Telemetry.flush_metrics ();
-    Telemetry.flush ();
-    (* 4. wake readers blocked mid-read; they close their own fds *)
-    Mutex.lock srv.conns_lock;
-    Hashtbl.iter
-      (fun _ conn ->
-        try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL
-        with Unix.Unix_error _ -> ())
-      srv.conns;
-    let readers = srv.readers in
-    Mutex.unlock srv.conns_lock;
-    List.iter Thread.join readers;
+    (match srv.ep with
+    | Some es ->
+      (* 3. every job is answered; its reply sits in the completion
+         list or a write buffer.  Tell the poller to flush them all,
+         close every connection, and exit. *)
+      Atomic.set es.ep_finish true;
+      Umrs_evloop.wakeup es.ep_loop;
+      Option.iter Thread.join es.ep_poller;
+      (* 4. responses are on the wire: flush telemetry so the JSONL
+         sink holds whole records even if the process dies right
+         after *)
+      Telemetry.flush_metrics ();
+      Telemetry.flush ()
+    | None ->
+      (* 3. responses are all written: flush telemetry so the JSONL
+         sink holds whole records even if the process dies right
+         after *)
+      Telemetry.flush_metrics ();
+      Telemetry.flush ();
+      (* 4. wake readers blocked mid-read; they close their own fds *)
+      Mutex.lock srv.conns_lock;
+      Hashtbl.iter
+        (fun _ conn ->
+          try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ())
+        srv.conns;
+      let readers = srv.readers in
+      Mutex.unlock srv.conns_lock;
+      List.iter Thread.join readers);
     match srv.actual_addr with
     | Wire.Unix_sock path -> (try Sys.remove path with Sys_error _ -> ())
     | Wire.Tcp _ -> ()
   end
 
 let install_signal_handlers srv =
-  let stop_now _ = Atomic.set srv.stop true in
+  let stop_now _ = shutdown srv in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_now);
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop_now);
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore

@@ -8,14 +8,34 @@
 
     {2 Architecture}
 
-    One {e acceptor} thread owns the listening socket; each accepted
-    connection gets a {e reader} thread that performs the hello
-    exchange, decodes frames, answers control-plane requests ([Ping],
-    [Stats]) inline, and pushes everything else onto a bounded
-    {!Jobqueue} consumed by a pool of {e worker domains} (OCaml 5
-    [Domain.spawn]). Responses are written by whichever thread produced
-    them, serialized per connection by a write mutex, so out-of-order
-    completion is expected and clients match responses by request id.
+    Two interchangeable connection backends share one worker pool and
+    one backpressure/drain policy:
+
+    {e Epoll} (default): a single {e poller} thread owns the listening
+    socket and every connection fd, all non-blocking, multiplexed
+    through {!Evloop} (Linux epoll, [poll(2)]-based select fallback
+    elsewhere). The poller accepts, performs the hello exchange,
+    accumulates per-connection read buffers, decodes complete frames,
+    answers control-plane requests ([Ping], [Stats]) inline, and pushes
+    everything else onto a bounded {!Jobqueue} consumed by a pool of
+    {e worker domains} (OCaml 5 [Domain.spawn]). A worker encodes its
+    reply off-thread, queues it keyed by connection id (never fd, which
+    the kernel recycles), and wakes the poller through an
+    eventfd/self-pipe; the poller appends the frame to the connection's
+    write buffer and flushes opportunistically, arming write interest
+    only while bytes remain. A connection is a few KiB of buffer, not a
+    thread — 10k+ concurrent connections are a Hashtbl, not a stack
+    farm.
+
+    {e Threads}: the PR-4 model — an {e acceptor} thread plus a
+    {e reader} thread per connection, blocking channel I/O, responses
+    written by whichever thread produced them under a per-connection
+    write mutex. Simpler to reason about under ptrace/strace and kept
+    as a behavioral reference; it tops out near the thread and
+    FD_SETSIZE limits the epoll backend exists to remove.
+
+    Out-of-order completion is expected under both backends; clients
+    match responses by request id.
 
     A {e supervisor} thread watches the worker pool. An exception that
     escapes a request handler answers that request [Rejected], kills
@@ -27,26 +47,43 @@
 
     {2 Backpressure, deadlines, caching}
 
-    A full job queue sheds load: the reader answers [Overloaded]
+    A full job queue sheds load: the request is answered [Overloaded]
     immediately instead of blocking, so a saturated server stays
-    responsive and never builds unbounded latency. Each request may
-    carry a deadline; a job whose deadline expires while queued is
-    answered [Timed_out] without being executed, and one that finishes
-    past its deadline is answered [Timed_out] rather than returning a
-    stale result late. Evaluation results are memoized in an {!Lru}
-    cache keyed by (scheme name, graph name, {!Wire.graph_key}) — the
-    key is the graph's full wire encoding, ports included, so two
-    different graphs (even two that differ only in local port
-    numbering) can never alias, not even by hash collision.
+    responsive and never builds unbounded latency. On the epoll backend
+    a slow-reading client gets per-connection write backpressure too:
+    above [wbuf_hwm] buffered reply bytes the poller stops reading that
+    connection (the client feels TCP backpressure) and resumes below
+    half the mark. Each request may carry a deadline; a job whose
+    deadline expires while queued is answered [Timed_out] without being
+    executed, and one that finishes past its deadline is answered
+    [Timed_out] rather than returning a stale result late. Evaluation
+    results are memoized in an {!Lru} cache keyed by (scheme name,
+    graph name, {!Wire.graph_key}) — the key is the graph's full wire
+    encoding, ports included, so two different graphs (even two that
+    differ only in local port numbering) can never alias, not even by
+    hash collision.
+
+    With [mmap] set (the default) workers read the corpus through
+    {!Umrs_store.Mmap} file mappings: every worker shares one mapping
+    of the corpus and one of the index, record ranges come out of the
+    page cache with a single [memcpy], and byte-for-byte identical
+    results to the channel path (tested).
 
     {2 Shutdown}
 
     {!shutdown} (or SIGTERM/SIGINT after
     {!install_signal_handlers}) stops admission; every request already
     accepted is still executed and answered, workers drain the queue
-    and exit, telemetry metrics are flushed ({!Telemetry.flush}), and
+    and exit, pending replies are flushed to their sockets (the epoll
+    backend bounds the flush with a grace period against unreachable
+    peers), telemetry metrics are flushed ({!Telemetry.flush}), and
     only then are connections closed. Per-worker {!Umrs_store.Query}
     handles are closed on the way out. *)
+
+type backend =
+  | Epoll   (** single poller thread, edge-level event loop ({!Evloop});
+                falls back to [poll]/[select] multiplexing off-Linux *)
+  | Threads (** acceptor + reader thread per connection (PR-4 model) *)
 
 type config = {
   addr : Wire.addr;
@@ -61,19 +98,26 @@ type config = {
                                  closed at accept, >= 1 *)
   handshake_timeout : float; (** seconds a fresh connection may take to
                                  send its hello; <= 0 disables *)
+  backend : backend;         (** connection multiplexing model *)
+  mmap : bool;               (** workers read the corpus through shared
+                                 file mappings instead of channels *)
+  wbuf_hwm : int;            (** epoll backend: buffered reply bytes per
+                                 connection above which its reads pause
+                                 (resume at half), >= 1 *)
 }
 
 val default_config : Wire.addr -> config
 (** 2 workers, queue 64, cache 128, no corpus, {!Wire.default_max_frame},
-    sleep cap 60000 ms, 256 connections, 10 s handshake timeout. *)
+    sleep cap 60000 ms, 10240 connections, 10 s handshake timeout,
+    [Epoll] backend, [mmap] on, 256 KiB write high-water mark. *)
 
 type t
 
 val start : config -> (t, string) result
 (** Validate the corpus/index (when configured), bind and listen, spawn
-    the acceptor and the worker pool. [Error] (not an exception) on a
-    bad config, unbindable address, or a corpus that fails
-    {!Umrs_store.Query.open_}. A TCP port of 0 is resolved by the
+    the poller (or acceptor) and the worker pool. [Error] (not an
+    exception) on a bad config, unbindable address, or a corpus that
+    fails {!Umrs_store.Query.open_}. A TCP port of 0 is resolved by the
     kernel; see {!addr}. *)
 
 val addr : t -> Wire.addr

@@ -61,6 +61,11 @@ type server_stats = {
   st_queue_capacity : int;
   st_workers : int;
   st_draining : bool;
+  (* protocol v2: cache and event-loop health *)
+  st_live_conns : int;
+  st_cache_evictions : int;
+  st_loop_wakeups : int;
+  st_queue_hwm : int;
 }
 
 type response =
@@ -218,7 +223,11 @@ let enc_stats b st =
   u32 b st.st_queue_depth;
   u32 b st.st_queue_capacity;
   u32 b st.st_workers;
-  wbool b st.st_draining
+  wbool b st.st_draining;
+  u32 b st.st_live_conns;
+  i64 b (int64_of_nonneg "cache_evictions" st.st_cache_evictions);
+  i64 b (int64_of_nonneg "loop_wakeups" st.st_loop_wakeups);
+  u32 b st.st_queue_hwm
 
 let dec_stats rd =
   let st_connections = r32 rd in
@@ -232,9 +241,14 @@ let dec_stats rd =
   let st_queue_capacity = r32 rd in
   let st_workers = r32 rd in
   let st_draining = rbool rd in
+  let st_live_conns = r32 rd in
+  let st_cache_evictions = rint64 rd "cache_evictions" in
+  let st_loop_wakeups = rint64 rd "loop_wakeups" in
+  let st_queue_hwm = r32 rd in
   { st_connections; st_requests; st_overloaded; st_timeouts; st_rejected;
     st_cache_hits; st_cache_misses; st_queue_depth; st_queue_capacity;
-    st_workers; st_draining }
+    st_workers; st_draining; st_live_conns; st_cache_evictions;
+    st_loop_wakeups; st_queue_hwm }
 
 let enc_evaluation b (e : Umrs_routing.Scheme.evaluation) =
   str b e.Umrs_routing.Scheme.scheme_name;
@@ -273,7 +287,12 @@ let dec_evaluation rd : Umrs_routing.Scheme.evaluation =
 (* ---------- hello ---------- *)
 
 let magic = "UMRSSRVC"
-let protocol_version = 1
+
+(* v2: server_stats gained live-connection, cache-eviction and
+   event-loop health fields.  The hello version is part of the
+   handshake, so mixed-version pairs fail fast instead of misparsing
+   a Stats reply. *)
+let protocol_version = 2
 let hello_bytes = 10
 
 let hello () =
@@ -419,14 +438,14 @@ let decode_outcome bytes =
 
 let default_max_frame = 16 * 1024 * 1024
 
-let write_frame oc payload =
+let write_frame ?(flush = true) oc payload =
   Umrs_fault.Io.on_sock_write ();
   let n = Bytes.length payload in
   let hdr = Bytes.create 4 in
   Bytes.set_int32_le hdr 0 (Int32.of_int n);
   output_bytes oc hdr;
   output_bytes oc payload;
-  flush oc
+  if flush then Stdlib.flush oc
 
 let read_frame ?(max_bytes = default_max_frame) ic =
   Umrs_fault.Io.on_sock_read ();

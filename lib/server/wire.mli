@@ -85,6 +85,11 @@ type server_stats = {
   st_queue_capacity : int;
   st_workers : int;
   st_draining : bool;       (** shutdown requested, drain in progress *)
+  st_live_conns : int;      (** connections open right now *)
+  st_cache_evictions : int; (** evaluation LRU capacity evictions *)
+  st_loop_wakeups : int;    (** poller wakeups (eventfd/self-pipe);
+                                0 on the threads backend *)
+  st_queue_hwm : int;       (** deepest the job queue has been *)
 }
 
 (** {1 Responses}
@@ -142,8 +147,9 @@ val default_max_frame : int
 (** 16 MiB — no legitimate payload comes close; larger length prefixes
     are treated as protocol violations before any allocation. *)
 
-val write_frame : out_channel -> Bytes.t -> unit
-(** Length prefix + payload, then flush. *)
+val write_frame : ?flush:bool -> out_channel -> Bytes.t -> unit
+(** Length prefix + payload, then flush (default). [~flush:false] lets
+    a pipelining sender coalesce a burst of frames into one flush. *)
 
 val read_frame : ?max_bytes:int -> in_channel -> Bytes.t option
 (** [None] on EOF at a frame boundary; raises [Invalid_argument] on an

@@ -1,0 +1,52 @@
+(* Read-only file mappings for the zero-copy corpus path.
+
+   [Unix.map_file] hands back a [Bigarray], whose pages are shared
+   with the page cache: a record-range read is one bounds check and
+   one memcpy, with no seek/read syscalls and no channel buffer in
+   between.  The mapping is reference-counted by the GC like any other
+   bigarray, so cursors across worker domains can share one [t]. *)
+
+type ba =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  m_ba : ba;
+  m_len : int;
+  m_path : string;
+}
+
+external blit_to_bytes_unsafe : ba -> int -> Bytes.t -> int -> int -> unit
+  = "umrs_mmap_blit_to_bytes"
+
+let map path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let len = (Unix.fstat fd).Unix.st_size in
+      (* mapping zero bytes is an error on some platforms; a 1-byte
+         dummy keeps [t] total while [m_len] stays honest *)
+      let g =
+        Unix.map_file fd Bigarray.char Bigarray.c_layout false
+          [| (if len = 0 then 1 else len) |]
+      in
+      { m_ba = Bigarray.array1_of_genarray g; m_len = len; m_path = path })
+
+let length t = t.m_len
+let path t = t.m_path
+
+let blit_to_bytes t ~src_off buf ~dst_off ~len =
+  if len < 0 || src_off < 0 || src_off + len > t.m_len then
+    invalid_arg "Mmap.blit_to_bytes: source range out of bounds";
+  if dst_off < 0 || dst_off + len > Bytes.length buf then
+    invalid_arg "Mmap.blit_to_bytes: destination range out of bounds";
+  if len > 0 then blit_to_bytes_unsafe t.m_ba src_off buf dst_off len
+
+let sub t ~off ~len =
+  let b = Bytes.create len in
+  blit_to_bytes t ~src_off:off b ~dst_off:0 ~len;
+  b
+
+let get t i =
+  if i < 0 || i >= t.m_len then invalid_arg "Mmap.get: out of bounds";
+  Bigarray.Array1.get t.m_ba i

@@ -1,0 +1,28 @@
+(** Read-only file mappings ([Unix.map_file] + [Bigarray]).
+
+    Backs the zero-copy corpus read path: record ranges are copied
+    straight out of the page-cache-backed mapping with one bounds
+    check and one [memcpy], bypassing channel buffers and per-read
+    syscalls.  A mapping is immutable, GC-managed, and safe to share
+    across threads and domains for reading. *)
+
+type t
+
+val map : string -> t
+(** Map a whole file read-only.  Raises [Unix.Unix_error] on open/map
+    failure.  The descriptor is closed before returning; the mapping
+    survives it. *)
+
+val length : t -> int
+(** File size at [map] time, in bytes. *)
+
+val path : t -> string
+
+val blit_to_bytes : t -> src_off:int -> Bytes.t -> dst_off:int -> len:int -> unit
+(** Bounds-checked copy out of the mapping.
+    Raises [Invalid_argument] if either range is out of bounds. *)
+
+val sub : t -> off:int -> len:int -> Bytes.t
+(** Fresh bytes holding [len] bytes at [off]. *)
+
+val get : t -> int -> char

@@ -1,0 +1,18 @@
+/* One memcpy from a read-only file mapping into an OCaml bytes
+   buffer.  The OCaml side bounds-checks both ranges before calling;
+   this stub exists because the stdlib has no Bigarray->Bytes blit and
+   a per-char loop would put a byte-at-a-time interpreter between the
+   page cache and the record decoder. */
+
+#include <caml/mlvalues.h>
+#include <caml/bigarray.h>
+#include <string.h>
+
+CAMLprim value umrs_mmap_blit_to_bytes(value vba, value vsrc, value vbuf,
+                                       value vdst, value vlen)
+{
+  memcpy(Bytes_val(vbuf) + Long_val(vdst),
+         (const char *)Caml_ba_data_val(vba) + Long_val(vsrc),
+         (size_t)Long_val(vlen));
+  return Val_unit;
+}

@@ -194,11 +194,18 @@ let build ~corpus ?(stride = default_stride) ?out () =
 
 (* ---------- open ---------- *)
 
-(* Per-domain query state: a private channel plus reusable buffers, so
+(* Per-domain query state: a record source plus reusable buffers, so
    one decoder's scratch is shared across a whole batch slice without
-   crossing domains. *)
+   crossing domains.  A [Chan] source is a private buffered channel
+   (seek + read per block); a [Map] source shares the handle's single
+   read-only mapping — records come out of the page cache with one
+   memcpy and no syscalls, and cursors cost nothing to open. *)
+type src =
+  | Chan of in_channel
+  | Map of Mmap.t
+
 type cursor = {
-  k_ic : in_channel;
+  k_src : src;
   k_rec : Bytes.t;    (* one record *)
   k_block : Bytes.t;  (* up to [stride] records, for block scans *)
 }
@@ -210,6 +217,7 @@ type t = {
   t_rec_bytes : int;
   t_width : int;              (* bits per entry *)
   t_keys : Matrix.t array;    (* decoded sample keys, records [i * stride] *)
+  t_map : Mmap.t option;      (* corpus mapping, when opened ~mmap:true *)
   t_cursor : cursor;
   mutable t_closed : bool;
 }
@@ -219,25 +227,30 @@ type t = {
    absurd cannot force a giant allocation. And if an allocation fails
    anyway, the just-opened descriptor must not leak: the construction
    is protected. *)
-let make_cursor ~corpus ~rec_bytes ~stride ~count =
-  let k_ic = open_in_bin corpus in
+let make_cursor ~corpus ~map ~rec_bytes ~stride ~count =
+  let k_src =
+    match map with
+    | Some m -> Map m
+    | None -> Chan (open_in_bin corpus)
+  in
   match
     let block_recs = min stride (max count 1) in
-    { k_ic; k_rec = Bytes.create rec_bytes;
+    { k_src; k_rec = Bytes.create rec_bytes;
       k_block = Bytes.create (block_recs * rec_bytes) }
   with
   | c -> c
   | exception e ->
-    close_in_noerr k_ic;
+    (match k_src with Chan ic -> close_in_noerr ic | Map _ -> ());
     raise e
 
 let open_cursor t =
-  make_cursor ~corpus:t.t_corpus ~rec_bytes:t.t_rec_bytes
+  make_cursor ~corpus:t.t_corpus ~map:t.t_map ~rec_bytes:t.t_rec_bytes
     ~stride:t.t_meta.x_stride ~count:t.t_meta.x_count
 
-let close_cursor c = close_in_noerr c.k_ic
+let close_cursor c =
+  match c.k_src with Chan ic -> close_in_noerr ic | Map _ -> ()
 
-let open_ ~corpus ?index () =
+let open_ ~corpus ?index ?(mmap = false) () =
   let index = Option.value index ~default:(index_path corpus) in
   guard_result @@ fun () ->
   let h = corpus_header corpus in
@@ -245,13 +258,39 @@ let open_ ~corpus ?index () =
   let rec_bytes = Corpus.Record.bytes ~p ~q ~d in
   with_in_bin corpus (fun ic ->
       check_corpus_size ~h ~rec_bytes ~file_bytes:(in_channel_length ic));
+  (* The corpus mapping is created before the index is parsed so the
+     size validation above and the binding checks below all apply to
+     the same inode generation we will serve from. *)
+  let map =
+    if not mmap then None
+    else
+      match Mmap.map corpus with
+      | m -> Some m
+      | exception Unix.Unix_error (e, _, _) -> fail (Io (Unix.error_message e))
+  in
+  let read_index_image () =
+    if mmap then begin
+      (* parse the sidecar from a mapping too: same read path, and the
+         pages are shared with every other opener of this index *)
+      match Mmap.map index with
+      | im -> (Mmap.length im, fun off len -> Mmap.sub im ~off ~len)
+      | exception Unix.Unix_error (e, _, _) -> fail (Io (Unix.error_message e))
+    end
+    else
+      let image =
+        with_in_bin index @@ fun ic ->
+        let n = in_channel_length ic in
+        let b = Bytes.create n in
+        really_input ic b 0 n;
+        b
+      in
+      (Bytes.length image, fun off len -> Bytes.sub image off len)
+  in
   let m, payload =
-    with_in_bin index @@ fun ic ->
-    let file_bytes = in_channel_length ic in
+    let file_bytes, slice = read_index_image () in
     if file_bytes < header_bytes then
       fail (Malformed "Query: truncated index header");
-    let hb = Bytes.create header_bytes in
-    really_input ic hb 0 header_bytes;
+    let hb = slice 0 header_bytes in
     let m = header_of_image hb in
     let x_rec_bytes =
       Corpus.Record.bytes ~p:m.x_p ~q:m.x_q ~d:m.x_d
@@ -266,8 +305,7 @@ let open_ ~corpus ?index () =
           && (payload_bytes mod m.x_samples <> 0
              || payload_bytes / m.x_samples <> entry))
     then fail (Malformed "Query: index size inconsistent with its header");
-    let payload = Bytes.create payload_bytes in
-    really_input ic payload 0 payload_bytes;
+    let payload = slice header_bytes payload_bytes in
     (* Over the raw on-disk header bytes, NOT a re-serialized image:
        re-serializing would zero the reserved bytes and let damage
        there slip through. *)
@@ -310,8 +348,9 @@ let open_ ~corpus ?index () =
   let t =
     { t_corpus = corpus; t_header = h; t_meta = m; t_rec_bytes = rec_bytes;
       t_width = Umrs_bitcode.Codes.bits_needed (d - 1); t_keys = keys;
+      t_map = map;
       t_cursor =
-        make_cursor ~corpus ~rec_bytes ~stride:m.x_stride ~count:m.x_count;
+        make_cursor ~corpus ~map ~rec_bytes ~stride:m.x_stride ~count:m.x_count;
       t_closed = false }
   in
   t
@@ -330,9 +369,16 @@ let check_open t = if t.t_closed then invalid_arg "Query: handle is closed"
 (* ---------- point queries ---------- *)
 
 let read_records_into t c ~lo ~n buf =
-  seek_in c.k_ic (record_offset ~rec_bytes:t.t_rec_bytes lo);
-  try really_input c.k_ic buf 0 (n * t.t_rec_bytes)
-  with End_of_file -> invalid_arg "Query: corpus changed on disk"
+  let off = record_offset ~rec_bytes:t.t_rec_bytes lo in
+  let len = n * t.t_rec_bytes in
+  match c.k_src with
+  | Chan ic -> (
+    seek_in ic off;
+    try really_input ic buf 0 len
+    with End_of_file -> invalid_arg "Query: corpus changed on disk")
+  | Map m -> (
+    try Mmap.blit_to_bytes m ~src_off:off buf ~dst_off:0 ~len
+    with Invalid_argument _ -> invalid_arg "Query: corpus changed on disk")
 
 let nth_with t c i =
   if i < 0 || i >= t.t_header.Corpus.count then

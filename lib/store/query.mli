@@ -98,14 +98,22 @@ val build :
 
 type t
 
-val open_ : corpus:string -> ?index:string -> unit -> (t, error) result
+val open_ :
+  corpus:string -> ?index:string -> ?mmap:bool -> unit -> (t, error) result
 (** Validate the index (header, self-checksum, sample payload, binding
     to the corpus header, file sizes) and load its samples; the corpus
     records themselves are {e not} scanned — binding to the stored
     checksum plus the exact file-size check make later seeks safe.
     Never raises on file content: any damage or mismatch, including
     truncations and mutated bytes anywhere in the index, comes back as
-    [Error]. *)
+    [Error].
+
+    With [~mmap:true] (default false) the corpus and the index are
+    read through {!Mmap} file mappings instead of buffered channels:
+    record ranges come out of the page cache with one bounds check and
+    one memcpy, every cursor (including the per-domain cursors minted
+    by {!batch}) shares the single mapping, and [open_cursor] costs no
+    descriptor.  Results are byte-identical to the channel path. *)
 
 val close : t -> unit
 (** Release the underlying channels. Further queries raise

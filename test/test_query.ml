@@ -327,6 +327,36 @@ let test_stride_extremes () =
       Q.close t)
     [ 1; 2; Array.length arr; 10 * Array.length arr ]
 
+(* Mapped and buffered readers are two code paths over the same bytes:
+   every answer must be identical, record for record. *)
+let test_mmap_matches_buffered () =
+  with_tmp_dir @@ fun dir ->
+  let path, arr = reference_corpus dir in
+  ignore (ok_exn "build" (Q.build ~corpus:path ()));
+  let buffered = ok_exn "open buffered" (Q.open_ ~corpus:path ~mmap:false ()) in
+  Fun.protect ~finally:(fun () -> Q.close buffered) @@ fun () ->
+  let mapped = ok_exn "open mapped" (Q.open_ ~corpus:path ~mmap:true ()) in
+  Fun.protect ~finally:(fun () -> Q.close mapped) @@ fun () ->
+  let n = Array.length arr in
+  check_true "corpus non-trivial" (n >= 3);
+  for i = 0 to n - 1 do
+    check_true "nth identical"
+      (Matrix.compare_lex (Q.nth mapped i) (Q.nth buffered i) = 0);
+    check_true "cgraph identical" (Q.cgraph mapped i = Q.cgraph buffered i);
+    let m = arr.(i) in
+    check_true "mem identical" (Q.mem mapped m = Q.mem buffered m);
+    check_int "rank identical" (Q.rank buffered m) (Q.rank mapped m)
+  done;
+  List.iter
+    (fun prefix ->
+      check_true "range_prefix identical"
+        (Q.range_prefix mapped prefix = Q.range_prefix buffered prefix))
+    [ [||]; [| 1 |]; [| 2; 1 |]; [| 3; 3; 3 |] ];
+  (* batch runs through worker domains sharing one mapping *)
+  let reqs = Array.init n (fun i -> Q.Nth i) in
+  check_true "batched reads identical"
+    (Q.batch ~domains:3 mapped reqs = Q.batch ~domains:3 buffered reqs)
+
 let suite =
   [
     case "reference corpus roundtrip" test_roundtrip_reference;
@@ -335,5 +365,7 @@ let suite =
     case "error paths" test_error_paths;
     case "error paths do not leak fds" test_error_paths_do_not_leak_fds;
     case "stride extremes" test_stride_extremes;
+    case "mmap reader matches buffered reader byte for byte"
+      test_mmap_matches_buffered;
     Gen.prop ~count:60 "query agrees with the naive oracle" spec_arb check_spec;
   ]

@@ -66,7 +66,8 @@ let sample_stats =
   { Wire.st_connections = 3; st_requests = 100; st_overloaded = 2;
     st_timeouts = 1; st_rejected = 4; st_cache_hits = 9; st_cache_misses = 5;
     st_queue_depth = 7; st_queue_capacity = 64; st_workers = 2;
-    st_draining = true }
+    st_draining = true; st_live_conns = 11; st_cache_evictions = 6;
+    st_loop_wakeups = 123456; st_queue_hwm = 13 }
 
 let test_wire_outcome_roundtrip () =
   let evaluation =
@@ -575,6 +576,322 @@ let test_bad_config_is_error () =
        { (Server.default_config addr) with
          Server.corpus = Some (Filename.concat dir "absent.corpus") })
 
+(* ---------- event loop unit coverage ---------- *)
+
+module Evloop = Umrs_server.Evloop
+
+let evloop_backends () =
+  if Evloop.epoll_available () then [ Evloop.Epoll; Evloop.Select ]
+  else [ Evloop.Select ]
+
+let test_evloop_readiness_and_wakeup () =
+  List.iter
+    (fun backend ->
+      let name =
+        match backend with Evloop.Epoll -> "epoll" | Evloop.Select -> "select"
+      in
+      let loop = Evloop.create ~backend () in
+      Fun.protect ~finally:(fun () -> Evloop.close loop) @@ fun () ->
+      let r, w = Unix.pipe ~cloexec:true () in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close r with Unix.Unix_error _ -> ());
+          try Unix.close w with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      Evloop.add loop r ~readable:true ~writable:false;
+      check_int (name ^ ": one fd registered") 1 (Evloop.fd_count loop);
+      let events = ref [] in
+      let handler fd ~readable ~writable ~hup =
+        events := (Evloop.int_of_fd fd, readable, writable, hup) :: !events
+      in
+      (* idle pipe: the wait times out with nothing delivered *)
+      check_int (name ^ ": no spurious events") 0
+        (Evloop.wait loop ~timeout_ms:10 ~handler);
+      (* a byte arrives: the read end reports readable *)
+      ignore (Unix.write w (Bytes.of_string "x") 0 1);
+      check_true (name ^ ": readable delivered")
+        (Evloop.wait loop ~timeout_ms:1000 ~handler > 0);
+      (match !events with
+      | [ (fd, true, _, _) ] -> check_int (name ^ ": right fd") (Evloop.int_of_fd r) fd
+      | _ -> Alcotest.failf "%s: expected one readable event" name);
+      (* a wakeup from another thread interrupts a long wait promptly
+         and is never surfaced as an event *)
+      let t0 = Unix.gettimeofday () in
+      let waker =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.05;
+            Evloop.wakeup loop)
+          ()
+      in
+      ignore (Unix.read r (Bytes.create 8) 0 8);
+      events := [];
+      check_int (name ^ ": wakeup is internal") 0
+        (Evloop.wait loop ~timeout_ms:5000 ~handler);
+      Thread.join waker;
+      check_true (name ^ ": wakeup cut the wait short")
+        (Unix.gettimeofday () -. t0 < 2.0);
+      (* modify to watch the write end for writability *)
+      Evloop.remove loop r;
+      Evloop.add loop w ~readable:false ~writable:true;
+      events := [];
+      check_true (name ^ ": writable delivered")
+        (Evloop.wait loop ~timeout_ms:1000 ~handler > 0);
+      (match !events with
+      | (fd, _, true, _) :: _ -> check_int (name ^ ": write end") (Evloop.int_of_fd w) fd
+      | _ -> Alcotest.failf "%s: expected a writable event" name);
+      Evloop.remove loop w;
+      check_int (name ^ ": interest empty") 0 (Evloop.fd_count loop);
+      check_int (name ^ ": removed fd is silent") 0
+        (Evloop.wait loop ~timeout_ms:10 ~handler))
+    (evloop_backends ())
+
+let test_evloop_poll1 () =
+  let r, w = Unix.pipe ~cloexec:true () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  check_true "empty pipe is not readable"
+    (not (Evloop.wait_readable r ~timeout_ms:10));
+  check_true "open pipe is writable" (Evloop.wait_writable w ~timeout_ms:1000);
+  ignore (Unix.write w (Bytes.of_string "y") 0 1);
+  check_true "byte makes it readable" (Evloop.wait_readable r ~timeout_ms:1000)
+
+(* ---------- threads backend: same contract end to end ---------- *)
+
+let test_threads_backend_e2e () =
+  with_tmp_dir @@ fun dir ->
+  let corpus = build_corpus dir in
+  let addr = Wire.Unix_sock (Filename.concat dir "thr.sock") in
+  let cfg =
+    { (Server.default_config addr) with
+      Server.backend = Server.Threads; corpus = Some corpus; workers = 2;
+      queue_capacity = 32 }
+  in
+  let srv = ok_server "start threads" (Server.start cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown srv;
+      Server.wait srv)
+    (fun () ->
+      with_client addr @@ fun c ->
+      ok_client "ping" (C.ping c);
+      ignore (ok_client "nth" (C.nth c 0));
+      let rs =
+        C.call_pipelined c [ Wire.Ping 1; Wire.Nth 0; Wire.Range_prefix [||] ]
+      in
+      check_int "batch answered in full" 3 (List.length rs);
+      List.iter (fun r -> ignore (ok_client "pipelined" r)) rs;
+      let s = ok_client "stats" (C.stats c) in
+      check_true "live connection counted" (s.Wire.st_live_conns >= 1))
+
+(* ---------- slowloris and handshake reaping (epoll backend) ---------- *)
+
+let sock_path_of = function
+  | Wire.Unix_sock p -> p
+  | addr -> Alcotest.failf "expected a unix socket, got %s" (Wire.addr_to_string addr)
+
+let read_exactly fd buf off len =
+  let rec go off len =
+    if len > 0 then
+      match Unix.read fd buf off len with
+      | 0 -> Alcotest.fail "peer closed mid-read"
+      | n -> go (off + n) (len - n)
+  in
+  go off len
+
+(* Raw protocol client: connect, swap hellos, hand back the naked fd. *)
+let raw_connect path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  let hello = Wire.hello () in
+  let n = Unix.write fd hello 0 (Bytes.length hello) in
+  check_int "hello sent whole" (Bytes.length hello) n;
+  let reply = Bytes.create Wire.hello_bytes in
+  read_exactly fd reply 0 Wire.hello_bytes;
+  (match Wire.check_hello reply with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "bad hello from server");
+  fd
+
+let frame_of payload =
+  let n = Bytes.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.blit payload 0 b 4 n;
+  b
+
+let read_reply fd =
+  let hdr = Bytes.create 4 in
+  read_exactly fd hdr 0 4;
+  let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+  let payload = Bytes.create len in
+  read_exactly fd payload 0 len;
+  Wire.decode_outcome payload
+
+let test_slowloris_partial_frame () =
+  with_tmp_dir @@ fun dir ->
+  with_server dir @@ fun addr _srv ->
+  let fd = raw_connect (sock_path_of addr) in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let frame = frame_of (Wire.encode_request ~id:7 ~deadline_ms:0 (Wire.Ping 99)) in
+  (* drip the frame one byte at a time across several poller sweeps; a
+     connection past its handshake is entitled to be slow *)
+  for i = 0 to Bytes.length frame - 1 do
+    check_int "dripped byte" 1 (Unix.write fd frame i 1);
+    if i land 3 = 0 then Unix.sleepf 0.03
+  done;
+  (* the dribbler never blocked anyone else *)
+  with_client addr (fun c -> ok_client "concurrent client" (C.ping c));
+  match read_reply fd with
+  | 7, Wire.Reply (Wire.R_pong 99) -> ()
+  | _ -> Alcotest.fail "dripped ping got the wrong reply"
+
+let test_handshake_timeout_reaps_silent_conns () =
+  with_tmp_dir @@ fun dir ->
+  let addr = Wire.Unix_sock (Filename.concat dir "hs.sock") in
+  let cfg =
+    { (Server.default_config addr) with Server.handshake_timeout = 0.3 }
+  in
+  let srv = ok_server "start" (Server.start cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown srv;
+      Server.wait srv)
+    (fun () ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX (sock_path_of addr));
+          (* send nothing: the server must close us, not hold the fd
+             forever *)
+          let t0 = Unix.gettimeofday () in
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+          (match Unix.read fd (Bytes.create 1) 0 1 with
+          | 0 -> ()
+          | _ -> Alcotest.fail "server spoke to a silent connection"
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+            Alcotest.fail "silent connection was never reaped");
+          check_true "reaped near the deadline, not eventually"
+            (Unix.gettimeofday () -. t0 < 3.0)))
+
+(* ---------- write backpressure (epoll backend) ---------- *)
+
+let test_write_backpressure_tiny_hwm () =
+  with_tmp_dir @@ fun dir ->
+  let corpus = build_corpus dir in
+  let addr = Wire.Unix_sock (Filename.concat dir "bp.sock") in
+  (* a 512-byte high-water mark forces pause/resume cycling while a
+     pipelined burst's replies drain *)
+  let cfg =
+    { (Server.default_config addr) with
+      Server.corpus = Some corpus; workers = 2; queue_capacity = 512;
+      wbuf_hwm = 512 }
+  in
+  let srv = ok_server "start" (Server.start cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown srv;
+      Server.wait srv)
+    (fun () ->
+      with_client addr @@ fun c ->
+      let total = 300 in
+      let reqs = List.init total (fun i -> Wire.Nth (i mod 3)) in
+      let rs = C.call_pipelined c reqs in
+      check_int "every reply arrived" total (List.length rs);
+      List.iter
+        (fun r ->
+          match ok_client "burst reply" r with
+          | Wire.R_matrix _ -> ()
+          | _ -> Alcotest.fail "burst reply has the wrong shape")
+        rs)
+
+(* ---------- beyond FD_SETSIZE ---------- *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let test_thousand_plus_connections () =
+  ignore (Evloop.raise_nofile 8192);
+  with_tmp_dir @@ fun dir ->
+  let addr = Wire.Unix_sock (Filename.concat dir "big.sock") in
+  let cfg = { (Server.default_config addr) with Server.max_conns = 4096 } in
+  let srv = ok_server "start" (Server.start cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown srv;
+      Server.wait srv)
+    (fun () ->
+      let path = sock_path_of addr in
+      let want = 1100 in
+      let fds = Array.init want (fun _ -> raw_connect path) in
+      Fun.protect ~finally:(fun () -> Array.iter close_quietly fds)
+      @@ fun () ->
+      (* the whole point: descriptors past select's universe still work *)
+      check_true "descriptor numbers exceeded FD_SETSIZE"
+        (Evloop.int_of_fd fds.(want - 1) > 1024);
+      List.iter
+        (fun i ->
+          let frame =
+            frame_of (Wire.encode_request ~id:i ~deadline_ms:0 (Wire.Ping i))
+          in
+          ignore (Unix.write fds.(i) frame 0 (Bytes.length frame));
+          match read_reply fds.(i) with
+          | id, Wire.Reply (Wire.R_pong n) when id = i && n = i -> ()
+          | _ -> Alcotest.failf "conn %d: bad ping reply" i)
+        [ 0; 1023; 1024; want - 1 ];
+      with_client addr @@ fun c ->
+      let s = ok_client "stats" (C.stats c) in
+      check_true "live connections visible in stats"
+        (s.Wire.st_live_conns > want - 10))
+
+let test_connection_cap_at_scale () =
+  ignore (Evloop.raise_nofile 8192);
+  with_tmp_dir @@ fun dir ->
+  let addr = Wire.Unix_sock (Filename.concat dir "cap2.sock") in
+  let cap = 64 in
+  let cfg = { (Server.default_config addr) with Server.max_conns = cap } in
+  let srv = ok_server "start" (Server.start cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown srv;
+      Server.wait srv)
+    (fun () ->
+      let path = sock_path_of addr in
+      let fds = Array.init cap (fun _ -> raw_connect path) in
+      Fun.protect ~finally:(fun () -> Array.iter close_quietly fds)
+      @@ fun () ->
+      (* the connection over the cap is shed at accept: the kernel
+         completes the unix-socket connect, then the server closes it
+         without ever sending a hello *)
+      let extra = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect ~finally:(fun () -> close_quietly extra)
+      @@ fun () ->
+      Unix.connect extra (Unix.ADDR_UNIX path);
+      Unix.setsockopt_float extra Unix.SO_RCVTIMEO 5.0;
+      (match Unix.read extra (Bytes.create 1) 0 1 with
+      | 0 -> ()
+      | _ -> Alcotest.fail "server greeted a connection above the cap"
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Alcotest.fail "connection above the cap was left hanging");
+      (* freeing slots reopens the door *)
+      Array.iteri (fun i fd -> if i < cap / 2 then close_quietly fd) fds;
+      let rec retry n =
+        if n = 0 then Alcotest.fail "freed slots were never reusable"
+        else
+          match raw_connect path with
+          | fd -> close_quietly fd
+          | exception _ ->
+            Unix.sleepf 0.05;
+            retry (n - 1)
+      in
+      retry 40)
+
 let suite =
   [
     case "wire: requests round-trip" test_wire_request_roundtrip;
@@ -601,4 +918,16 @@ let suite =
     case "connection cap sheds excess connections"
       test_connection_cap_sheds_excess;
     case "bad configs are errors" test_bad_config_is_error;
+    case "evloop: readiness, interest, wakeup" test_evloop_readiness_and_wakeup;
+    case "evloop: single-fd poll" test_evloop_poll1;
+    case "threads backend serves the same contract" test_threads_backend_e2e;
+    case "slowloris: a dripped frame is buffered, not a thread"
+      test_slowloris_partial_frame;
+    case "handshake timeout reaps silent connections"
+      test_handshake_timeout_reaps_silent_conns;
+    case "write backpressure survives a tiny high-water mark"
+      test_write_backpressure_tiny_hwm;
+    case "a thousand-plus live connections (past FD_SETSIZE)"
+      test_thousand_plus_connections;
+    case "connection cap holds at scale" test_connection_cap_at_scale;
   ]
