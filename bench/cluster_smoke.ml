@@ -1,0 +1,291 @@
+(* Cluster load-test smoke check (dune alias @cluster-smoke).
+
+   Builds a (2,4,3) reference corpus, splits it across a 3-shard
+   cluster with one replica per shard (6 nodes, all in-process, each
+   with its own poller and worker domains), and drives it through the
+   routing client two ways:
+
+   - throughput levels (threads x per-thread budget): every call is a
+     routed read - nth by global rank, rank/mem by key, and the
+     all-shard scatter Range_prefix [||] - and every reply is verified
+     against the locally loaded corpus, so a wrong answer fails the
+     run, not just a slow one;
+
+   - a node-loss storm: reader threads hammer the keyspace while every
+     primary is killed mid-storm, one per shard group. Replicas must
+     absorb the load invisibly: any dropped or wrong answer is a
+     SILENT-LOSS failure. The run also fails if no failovers were
+     recorded (the kills must actually have been felt) or if any
+     worker domain crashed.
+
+   Records multi-node throughput and p50/p95 latency per level to
+   BENCH_cluster.json, schema umrs/bench-cluster/v1 (override with
+   --json PATH). With --baseline PATH every level present in the
+   committed baseline is gated at 50% of its rps - looser than the
+   single-server gate because six servers, their pollers and the
+   client fleet all share one CI box. *)
+
+module Corpus = Umrs_store.Corpus
+module Q = Umrs_store.Query
+module Wire = Umrs_server.Wire
+module C = Umrs_client
+module Cluster = Umrs_cluster.Cluster
+module Cl = Umrs_cluster.Client
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("cluster_smoke: " ^ s);
+                                exit 1) fmt
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1)))
+
+let flag_value name =
+  let rec go i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+let shards = 3
+let replicas = 1
+let workers = 2
+
+(* ---------- verified request mix ---------- *)
+
+(* Every reply is checked against the local corpus: the bench measures
+   a cluster that is RIGHT, not merely fast. *)
+let verified_call client records k =
+  let n = Array.length records in
+  let i = k mod n in
+  match k mod 4 with
+  | 0 -> (
+    match Cl.nth client i with
+    | Ok m when Umrs_core.Matrix.equal m records.(i) -> ()
+    | Ok _ -> die "nth %d: wrong record" i
+    | Error e -> die "nth %d: %s" i (C.error_to_string e))
+  | 1 -> (
+    match Cl.rank client records.(i) with
+    | Ok r when r = i -> ()
+    | Ok r -> die "rank of record %d answered %d" i r
+    | Error e -> die "rank %d: %s" i (C.error_to_string e))
+  | 2 -> (
+    match Cl.mem client records.(i) with
+    | Ok true -> ()
+    | Ok false -> die "mem of stored record %d answered false" i
+    | Error e -> die "mem %d: %s" i (C.error_to_string e))
+  | _ -> (
+    (* the all-shard scatter: every shard answers, replies merge *)
+    match Cl.range_prefix client [||] with
+    | Ok (0, h) when h = n -> ()
+    | Ok (l, h) -> die "empty-prefix range answered (%d, %d), want (0, %d)" l h n
+    | Error e -> die "range: %s" (C.error_to_string e))
+
+(* ---------- throughput levels ---------- *)
+
+let run_level bootstrap records ~threads ~per_thread =
+  let slots = Array.make threads [||] in
+  let spawned =
+    List.init threads (fun t ->
+        Thread.create
+          (fun () ->
+            let client =
+              match Cl.fetch bootstrap with
+              | Ok c -> c
+              | Error e -> die "fetch: %s" (C.error_to_string e)
+            in
+            Fun.protect ~finally:(fun () -> Cl.close client) @@ fun () ->
+            let lat = Array.make per_thread 0.0 in
+            for k = 0 to per_thread - 1 do
+              let t0 = Unix.gettimeofday () in
+              verified_call client records ((t * 7919) + k);
+              lat.(k) <- Unix.gettimeofday () -. t0
+            done;
+            slots.(t) <- lat)
+          ())
+  in
+  List.iter Thread.join spawned;
+  Array.concat (Array.to_list slots)
+
+(* ---------- node-loss storm ---------- *)
+
+let storm cl bootstrap records ~threads =
+  let stop = Atomic.make false in
+  let ops = Array.make threads 0 in
+  let failovers = Array.make threads 0 in
+  let spawned =
+    List.init threads (fun t ->
+        Thread.create
+          (fun () ->
+            let client =
+              match Cl.fetch bootstrap with
+              | Ok c -> c
+              | Error e -> die "storm fetch: %s" (C.error_to_string e)
+            in
+            Fun.protect ~finally:(fun () -> Cl.close client) @@ fun () ->
+            let k = ref 0 in
+            while not (Atomic.get stop) do
+              verified_call client records ((t * 104_729) + !k);
+              incr k
+            done;
+            ops.(t) <- !k;
+            failovers.(t) <- (Cl.stats client).Cl.s_failovers)
+          ())
+  in
+  (* let the storm reach steady state, then take out every primary *)
+  Unix.sleepf 0.3;
+  for k = 0 to Cluster.shard_count cl - 1 do
+    Cluster.kill_primary cl k;
+    Unix.sleepf 0.15
+  done;
+  Unix.sleepf 0.5;
+  Atomic.set stop true;
+  List.iter Thread.join spawned;
+  ( Array.fold_left ( + ) 0 ops,
+    Array.fold_left ( + ) 0 failovers )
+
+(* ---------- baseline gate ---------- *)
+
+let baseline_rps path ~threads =
+  let ic = open_in path in
+  let needle = Printf.sprintf "\"threads\": %d," threads in
+  let found = ref None in
+  (try
+     while !found = None do
+       let line = input_line ic in
+       let has s sub =
+         let n = String.length sub in
+         let rec go i =
+           i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+         in
+         go 0
+       in
+       if has line needle then begin
+         let key = "\"rps\": " in
+         let rec find i =
+           if i + String.length key > String.length line then None
+           else if String.sub line i (String.length key) = key then
+             Some (i + String.length key)
+           else find (i + 1)
+         in
+         match find 0 with
+         | None -> ()
+         | Some s ->
+           let e = ref s in
+           while
+             !e < String.length line
+             && (match line.[!e] with
+                | '0' .. '9' | '.' | '-' -> true
+                | _ -> false)
+           do incr e done;
+           found := Some (float_of_string (String.sub line s (!e - s)))
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !found
+
+(* ---------- main ---------- *)
+
+let () =
+  let dir = Filename.temp_file "umrs_cluster_smoke" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let p, q, d = (2, 4, 3) in
+  let corpus = Filename.concat dir "ref.corpus" in
+  ignore (Umrs_store.Builder.build ~p ~q ~d ~out:corpus ());
+  (match Q.build ~corpus () with
+  | Ok _ -> ()
+  | Error e -> die "index build: %s" (Q.error_to_string e));
+  let _, record_list = Corpus.load ~path:corpus in
+  let records = Array.of_list record_list in
+  let n = Array.length records in
+  if n < shards then die "corpus too small to shard %d ways" shards;
+  let cdir = Filename.concat dir "cluster" in
+  let cl =
+    match Cluster.start ~corpus ~shards ~dir:cdir ~replicas ~workers () with
+    | Ok t -> t
+    | Error e -> die "cluster start: %s" e
+  in
+  let nodes = shards * (replicas + 1) in
+  if Cluster.live_nodes cl <> nodes then die "not every node came up";
+  let bootstrap = Cluster.addr cl ~shard:0 ~role:0 in
+  (* throughput: single caller, then a small fleet *)
+  let levels = [ (1, 600); (8, 250) ] in
+  let results =
+    List.map
+      (fun (threads, per_thread) ->
+        let t0 = Unix.gettimeofday () in
+        let latencies = run_level bootstrap records ~threads ~per_thread in
+        let seconds = Unix.gettimeofday () -. t0 in
+        Array.sort compare latencies;
+        let requests = Array.length latencies in
+        (threads, requests, seconds,
+         float_of_int requests /. seconds,
+         percentile latencies 50., percentile latencies 95.))
+      levels
+  in
+  (* the storm: every primary dies under live, verified load *)
+  let storm_threads = 4 in
+  let storm_ops, storm_failovers = storm cl bootstrap records ~threads:storm_threads in
+  if Cluster.live_nodes cl <> nodes - shards then
+    die "kills did not stick: %d nodes live" (Cluster.live_nodes cl);
+  if storm_failovers = 0 then
+    die "no failovers recorded: the storm never felt the kills";
+  if storm_ops < storm_threads * 10 then
+    die "storm too small to mean anything (%d ops)" storm_ops;
+  let crashes = Cluster.worker_crashes cl in
+  if crashes <> 0 then die "%d worker domains crashed" crashes;
+  Cluster.shutdown cl;
+  Cluster.wait cl;
+  let json = Option.value (flag_value "--json") ~default:"BENCH_cluster.json" in
+  let oc = open_out json in
+  Printf.fprintf oc
+    "{\n  \"schema\": \"umrs/bench-cluster/v1\",\n\
+    \  \"instance\": {\"p\": %d, \"q\": %d, \"d\": %d, \"records\": %d},\n\
+    \  \"topology\": {\"shards\": %d, \"replicas\": %d, \"nodes\": %d, \
+     \"workers\": %d},\n\
+    \  \"levels\": [\n%s\n  ],\n\
+    \  \"chaos\": {\"threads\": %d, \"requests\": %d, \"primaries_killed\": %d, \
+     \"failovers\": %d, \"silent_losses\": 0}\n}\n"
+    p q d n shards replicas nodes workers
+    (String.concat ",\n"
+       (List.map
+          (fun (threads, requests, seconds, rps, p50, p95) ->
+            Printf.sprintf
+              "    {\"threads\": %d, \"requests\": %d, \"seconds\": %.6f, \
+               \"rps\": %.1f, \
+               \"latency_seconds\": {\"p50\": %.9f, \"p95\": %.9f}}"
+              threads requests seconds rps p50 p95)
+          results))
+    storm_threads storm_ops shards storm_failovers;
+  close_out oc;
+  List.iter
+    (fun (threads, requests, _, rps, p50, p95) ->
+      Printf.printf
+        "cluster_smoke: %d threads: %d requests, %.0f req/s, p50 %.1fus p95 %.1fus\n"
+        threads requests rps (1e6 *. p50) (1e6 *. p95))
+    results;
+  Printf.printf
+    "cluster_smoke: storm: %d verified requests, %d primaries killed, \
+     %d failovers, 0 silent losses\n"
+    storm_ops shards storm_failovers;
+  (match flag_value "--baseline" with
+  | None -> ()
+  | Some path ->
+    List.iter
+      (fun (threads, _, _, rps, _, _) ->
+        match baseline_rps path ~threads with
+        | None ->
+          Printf.printf "cluster_smoke: no %d-thread level in %s; gate skipped\n"
+            threads path
+        | Some base ->
+          if rps < 0.5 *. base then
+            die "%d-thread rps %.1f regressed more than 50%% below baseline %.1f"
+              threads rps base
+          else
+            Printf.printf
+              "cluster_smoke: %d-thread baseline gate OK (%.1f vs %.1f rps)\n"
+              threads rps base)
+      results);
+  Printf.printf "cluster_smoke: OK (%d records over %d nodes; %s)\n" n nodes json

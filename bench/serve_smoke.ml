@@ -18,8 +18,10 @@
 
    Records throughput and per-request p50/p95 latency at each level to
    BENCH_serve.json, schema umrs/bench-serve/v2 (override with --json
-   PATH). With --baseline PATH the run fails if the 1000x8 level
-   regresses more than 25% below the committed rps - the CI gate.
+   PATH). With --baseline PATH the run fails if ANY level present in
+   the committed baseline regressed: fleet levels (>= 100 connections)
+   may lose at most 25% rps; the tiny levels (1x4, 4x8) are dominated
+   by scheduler noise on shared CI runners and get a looser 50% gate.
    Finally drains the server (SIGTERM) and verifies the socket is
    gone. *)
 
@@ -358,10 +360,10 @@ let connect_p50 addr =
 (* ---------- baseline gate ---------- *)
 
 (* Minimal extraction, no JSON dependency: find the level line with
-   "connections": N and read its "rps": value. *)
-let baseline_rps path ~conns =
+   "connections": N, "depth": D and read its "rps": value. *)
+let baseline_rps path ~conns ~depth =
   let ic = open_in path in
-  let needle = Printf.sprintf "\"connections\": %d" conns in
+  let needle = Printf.sprintf "\"connections\": %d, \"depth\": %d," conns depth in
   let found = ref None in
   (try
      while !found = None do
@@ -499,20 +501,24 @@ let () =
   Printf.printf "serve_smoke: connect p50 %.2f ms\n" (1e3 *. conn_p50);
   (match flag_value "--baseline" with
   | None -> ()
-  | Some path -> (
-    match baseline_rps path ~conns:1000 with
-    | None ->
-      Printf.printf "serve_smoke: no 1000-connection level in %s; gate skipped\n"
-        path
-    | Some base ->
-      let _, _, _, _, rps, _, _ =
-        List.find (fun (c, _, _, _, _, _, _) -> c = 1000) results
-      in
-      if rps < 0.75 *. base then
-        die "1000x8 rps %.1f regressed more than 25%% below baseline %.1f"
-          rps base
-      else
-        Printf.printf "serve_smoke: baseline gate OK (%.1f vs %.1f rps)\n"
-          rps base));
+  | Some path ->
+    List.iter
+      (fun (conns, depth, _, _, rps, _, _) ->
+        match baseline_rps path ~conns ~depth with
+        | None ->
+          Printf.printf "serve_smoke: no %dx%d level in %s; gate skipped\n"
+            conns depth path
+        | Some base ->
+          (* every committed level is gated; the single-digit levels sit
+             in scheduler-noise territory, so their floor is looser *)
+          let floor_factor = if conns >= 100 then 0.75 else 0.50 in
+          if rps < floor_factor *. base then
+            die "%dx%d rps %.1f regressed more than %.0f%% below baseline %.1f"
+              conns depth rps ((1. -. floor_factor) *. 100.) base
+          else
+            Printf.printf
+              "serve_smoke: %dx%d baseline gate OK (%.1f vs %.1f rps)\n"
+              conns depth rps base)
+      results);
   Printf.printf "serve_smoke: OK (%d records served, drained cleanly; %s)\n"
     records json

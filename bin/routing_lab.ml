@@ -559,11 +559,62 @@ let corpus_cmd =
       Term.(const run $ file_arg $ index_arg $ nths $ mems $ ranks $ prefixes
             $ cgraphs $ domains $ telemetry_arg)
   in
+  let shard_cmd =
+    let run path shards out_dir stride no_index =
+      match
+        Umrs_store.Shard.split ~corpus:path ~shards ?out_dir ?stride
+          ~index:(not no_index) ()
+      with
+      | Ok pieces ->
+        Array.iter
+          (fun pc ->
+            pf "shard %d: records [%d, %d) -> %s@."
+              pc.Umrs_store.Shard.pc_index pc.Umrs_store.Shard.pc_lo
+              pc.Umrs_store.Shard.pc_hi pc.Umrs_store.Shard.pc_corpus)
+          pieces;
+        pf "split %d records into %d contiguous key-range shard%s@."
+          (Array.fold_left
+             (fun acc pc ->
+               acc + pc.Umrs_store.Shard.pc_hi - pc.Umrs_store.Shard.pc_lo)
+             0 pieces)
+          shards
+          (if shards = 1 then "" else "s")
+      | Error msg ->
+        Printf.eprintf "routing_lab: corpus shard: %s\n" msg;
+        exit 1
+      | exception Invalid_argument msg ->
+        Printf.eprintf "routing_lab: corpus shard: %s\n" msg;
+        exit 2
+    in
+    let shards =
+      Arg.(required & opt (some int) None & info [ "shards" ] ~docv:"N"
+             ~doc:"Number of contiguous key-range pieces to cut.")
+    in
+    let out_dir =
+      Arg.(value & opt (some string) None & info [ "out-dir" ] ~docv:"DIR"
+             ~doc:"Directory for the pieces (default: the corpus's own \
+                   directory; created if missing).")
+    in
+    let stride =
+      Arg.(value & opt (some int) None & info [ "stride" ] ~docv:"N"
+             ~doc:"Index sample stride for each piece's sidecar.")
+    in
+    let no_index =
+      Arg.(value & flag & info [ "no-index" ]
+             ~doc:"Skip building the per-piece .umrsx sidecar indexes.")
+    in
+    Cmd.v
+      (Cmd.info "shard"
+         ~doc:"Cut a corpus into contiguous key-range pieces - one \
+               well-formed, individually indexed corpus per cluster node.")
+      Term.(const run $ file_arg $ shards $ out_dir $ stride $ no_index)
+  in
   Cmd.group
     (Cmd.info "corpus"
        ~doc:"Persistent on-disk canonical-set store: build (checkpointed, \
-             resumable), info, verify, show, index, query.")
-    [ build_cmd; info_cmd; verify_cmd; show_cmd; index_cmd; query_cmd ]
+             resumable), info, verify, show, index, query, shard.")
+    [ build_cmd; info_cmd; verify_cmd; show_cmd; index_cmd; query_cmd;
+      shard_cmd ]
 
 let cgraph_cmd =
   let run s pad =
@@ -1222,6 +1273,248 @@ let chaos_cmd =
           $ checkpoint_every $ intensities $ requests $ workers
           $ telemetry_arg)
 
+(* ---------- cluster ---------- *)
+
+let cluster_cmd =
+  let module Cluster = Umrs_cluster.Cluster in
+  let module Cl = Umrs_cluster.Client in
+  let module Wire = Umrs_server.Wire in
+  let serve_cmd =
+    let run corpus shards dir replicas workers queue cache map_version
+        kill_primaries kill_after =
+      match
+        Cluster.start ~corpus ~shards ~dir ~replicas ~workers
+          ~queue_capacity:queue ~cache_capacity:cache ~map_version ()
+      with
+      | Error msg ->
+        Printf.eprintf "routing_lab: cluster serve: %s\n" msg;
+        exit 1
+      | Ok cl ->
+        pf "cluster up: %d shard%s x %d node%s (map v%d -> %s)@." shards
+          (if shards = 1 then "" else "s")
+          (replicas + 1)
+          (if replicas = 0 then "" else "s")
+          map_version (Cluster.map_path cl);
+        Array.iteri
+          (fun k sh ->
+            pf "  shard %d: records [%d, %d) primary %s%s@." k sh.Wire.sh_lo
+              sh.Wire.sh_hi
+              (Wire.addr_to_string sh.Wire.sh_primary)
+              (match sh.Wire.sh_replicas with
+              | [] -> ""
+              | rs ->
+                ", replicas "
+                ^ String.concat ", " (List.map Wire.addr_to_string rs)))
+          (Cluster.map cl).Wire.sm_shards;
+        let stop = Atomic.make false in
+        let drain _ = Atomic.set stop true in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+        pf "SIGTERM/SIGINT drain every node and exit@.";
+        (* the node-loss drill: kill the named primaries after a delay,
+           under whatever live traffic the operator is running *)
+        (match (kill_primaries, kill_after) with
+        | [], _ -> ()
+        | ks, delay ->
+          ignore
+            (Thread.create
+               (fun () ->
+                 Unix.sleepf delay;
+                 List.iter
+                   (fun k ->
+                     if k < 0 || k >= shards then
+                       Printf.eprintf
+                         "routing_lab: cluster serve: no shard %d to kill\n" k
+                     else begin
+                       pf "drill: killing primary of shard %d@." k;
+                       Cluster.kill_primary cl k
+                     end)
+                   ks)
+               ()));
+        while not (Atomic.get stop) do
+          try Unix.sleepf 0.2
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done;
+        Cluster.wait cl;
+        pf "cluster drained (%d worker crash%s)@."
+          (Cluster.worker_crashes cl)
+          (if Cluster.worker_crashes cl = 1 then "" else "es")
+    in
+    let corpus =
+      Arg.(required & opt (some string) None & info [ "corpus" ] ~docv:"FILE"
+             ~doc:"Corpus to shard and serve.")
+    in
+    let shards =
+      Arg.(value & opt int 3 & info [ "shards" ] ~docv:"N"
+             ~doc:"Number of key-range shards.")
+    in
+    let dir =
+      Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Directory for the pieces, the shard-map file and every \
+                   node's unix socket.")
+    in
+    let replicas =
+      Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"R"
+             ~doc:"Failover nodes per shard beyond the primary.")
+    in
+    let workers =
+      Arg.(value & opt int 1 & info [ "workers" ] ~docv:"K"
+             ~doc:"Worker domains per node.")
+    in
+    let queue =
+      Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
+             ~doc:"Bounded job queue per node.")
+    in
+    let cache =
+      Arg.(value & opt int 8 & info [ "cache" ] ~docv:"N"
+             ~doc:"Evaluation LRU entries per node.")
+    in
+    let map_version =
+      Arg.(value & opt int 1 & info [ "map-version" ] ~docv:"V"
+             ~doc:"Topology version stamped into the shard map.")
+    in
+    let kill_primaries =
+      Arg.(value & opt_all int [] & info [ "kill-primary" ] ~docv:"K"
+             ~doc:"Node-loss drill: kill shard K's primary after \
+                   --kill-after seconds (repeatable).")
+    in
+    let kill_after =
+      Arg.(value & opt float 5.0 & info [ "kill-after" ] ~docv:"S"
+             ~doc:"Delay before the --kill-primary drill fires.")
+    in
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:"Shard a corpus and serve it from a multi-node cluster: one \
+               primary plus replicas per key range, shard map on disk and \
+               over the wire, optional node-loss drill.")
+      Term.(const run $ corpus $ shards $ dir $ replicas $ workers $ queue
+            $ cache $ map_version $ kill_primaries $ kill_after)
+  in
+  let query_cmd =
+    let fail_client ctx e =
+      Printf.eprintf "routing_lab: cluster query: %s: %s\n" ctx
+        (Umrs_client.error_to_string e);
+      exit 1
+    in
+    let ok ctx = function Ok v -> v | Error e -> fail_client ctx e in
+    let run addr ping want_info want_map nths mems ranks prefixes cgraphs
+        want_stats =
+      let c = ok "fetch" (Cl.fetch addr) in
+      Fun.protect ~finally:(fun () -> Cl.close c) @@ fun () ->
+      if ping then begin
+        ok "ping" (Cl.ping c);
+        pf "ping: every shard group answered@."
+      end;
+      if want_info then begin
+        let h = ok "info" (Cl.corpus_info c) in
+        pf "corpus: p=%d q=%d d=%d count=%d checksum=%016Lx@."
+          h.Umrs_store.Corpus.p h.Umrs_store.Corpus.q h.Umrs_store.Corpus.d
+          h.Umrs_store.Corpus.count h.Umrs_store.Corpus.checksum
+      end;
+      if want_map then begin
+        let m = Cl.map c in
+        pf "shard map v%d: %d records over %d shard%s@." m.Wire.sm_version
+          m.Wire.sm_count
+          (Array.length m.Wire.sm_shards)
+          (if Array.length m.Wire.sm_shards = 1 then "" else "s");
+        Array.iteri
+          (fun k sh ->
+            pf "  shard %d: [%d, %d) primary %s (%d replica%s)@." k
+              sh.Wire.sh_lo sh.Wire.sh_hi
+              (Wire.addr_to_string sh.Wire.sh_primary)
+              (List.length sh.Wire.sh_replicas)
+              (if List.length sh.Wire.sh_replicas = 1 then "" else "s"))
+          m.Wire.sm_shards
+      end;
+      List.iter
+        (fun i ->
+          let m = ok "nth" (Cl.nth c i) in
+          pf "nth %d: %s@." i (Matrix.to_string m))
+        nths;
+      List.iter
+        (fun s ->
+          pf "mem %s: %b@." s (ok "mem" (Cl.mem c (Matrix.of_string s))))
+        mems;
+      List.iter
+        (fun s ->
+          pf "rank %s: %d@." s (ok "rank" (Cl.rank c (Matrix.of_string s))))
+        ranks;
+      List.iter
+        (fun s ->
+          let prefix =
+            String.split_on_char ' '
+              (String.map (function ',' -> ' ' | c -> c) s)
+            |> List.filter (fun f -> f <> "")
+            |> List.map int_of_string |> Array.of_list
+          in
+          let lo, hi = ok "prefix" (Cl.range_prefix c prefix) in
+          pf "prefix [%s]: records [%d, %d) - %d matching@." s lo hi (hi - lo))
+        prefixes;
+      List.iter
+        (fun i ->
+          let t = ok "cgraph" (Cl.cgraph c i) in
+          pf "cgraph %d:@." i;
+          pf "%a@." Graph.pp t.Cgraph.graph)
+        cgraphs;
+      if want_stats then begin
+        let s = Cl.stats c in
+        pf "routed calls=%d failovers=%d map refreshes=%d@." s.Cl.s_calls
+          s.Cl.s_failovers s.Cl.s_refreshes
+      end
+    in
+    let ping =
+      Arg.(value & flag & info [ "ping" ]
+             ~doc:"Round-trip a nonce through every shard group.")
+    in
+    let want_info =
+      Arg.(value & flag & info [ "info" ]
+             ~doc:"Print the unsharded corpus's identity (from the map, no \
+                   round-trip).")
+    in
+    let want_map =
+      Arg.(value & flag & info [ "map" ] ~doc:"Print the fetched shard map.")
+    in
+    let nths =
+      Arg.(value & opt_all int [] & info [ "nth" ] ~docv:"I"
+             ~doc:"Fetch record I by global rank (repeatable).")
+    in
+    let mems =
+      Arg.(value & opt_all string [] & info [ "mem" ] ~docv:"MATRIX"
+             ~doc:"Membership query, routed by key (repeatable).")
+    in
+    let ranks =
+      Arg.(value & opt_all string [] & info [ "rank" ] ~docv:"MATRIX"
+             ~doc:"Global rank query, routed by key (repeatable).")
+    in
+    let prefixes =
+      Arg.(value & opt_all string [] & info [ "prefix" ] ~docv:"ENTRIES"
+             ~doc:"Prefix range query; scatters over the owning shards and \
+                   merges (repeatable).")
+    in
+    let cgraphs =
+      Arg.(value & opt_all int [] & info [ "cgraph" ] ~docv:"I"
+             ~doc:"Graph of constraints of record I (repeatable).")
+    in
+    let want_stats =
+      Arg.(value & flag & info [ "stats" ]
+             ~doc:"Print client routing counters (calls, failovers, \
+                   refreshes).")
+    in
+    Cmd.v
+      (Cmd.info "query"
+         ~doc:"Query a cluster through its shard map: bootstrap from any \
+               node, route by rank or key, scatter prefix ranges, fail \
+               over to replicas.")
+      Term.(const run $ addr_arg $ ping $ want_info $ want_map $ nths $ mems
+            $ ranks $ prefixes $ cgraphs $ want_stats)
+  in
+  Cmd.group
+    (Cmd.info "cluster"
+       ~doc:"Multi-node sharded serving: split a corpus across key-range \
+             shards with replicas, serve the topology over the wire, query \
+             through the routing client.")
+    [ serve_cmd; query_cmd ]
+
 let () =
   let doc =
     "Laboratory for 'Local Memory Requirement of Universal Routing Schemes' \
@@ -1236,5 +1529,6 @@ let () =
             cgraph_cmd; lemma1_cmd; theorem1_cmd; reconstruct_cmd; figure1_cmd;
             table1_cmd; orbit_cmd; burnside_cmd; estimate_cmd; dot_cmd; global_cmd;
             optimize_cmd; deadlock_cmd; save_cmd; check_cmd; compare_cmd;
-            broadcast_cmd; corpus_cmd; serve_cmd; remote_cmd; chaos_cmd;
+            broadcast_cmd; corpus_cmd; serve_cmd; remote_cmd; cluster_cmd;
+            chaos_cmd;
           ]))

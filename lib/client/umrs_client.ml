@@ -269,11 +269,18 @@ let sleep_ms t ?deadline_ms ms =
   | Ok _ -> shape "a sleep acknowledgement"
   | Error _ as e -> e
 
+let shard_map t =
+  match call t Wire.Get_shard_map with
+  | Ok (Wire.R_shard_map sm) -> Ok sm
+  | Ok _ -> shape "a shard map"
+  | Error _ as e -> e
+
 (* ---------- resilience ---------- *)
 
 let idempotent = function
   | Wire.Ping _ | Wire.Stats | Wire.Corpus_info | Wire.Nth _ | Wire.Mem _
-  | Wire.Rank _ | Wire.Range_prefix _ | Wire.Cgraph_of _ | Wire.Evaluate _ ->
+  | Wire.Rank _ | Wire.Range_prefix _ | Wire.Cgraph_of _ | Wire.Evaluate _
+  | Wire.Get_shard_map ->
     true
   | Wire.Sleep_ms _ -> false
 
@@ -440,4 +447,53 @@ module Robust = struct
               fail ~sent:true (Error e)))
       in
       go 0
+
+  (* Pipelined batch on the underlying handle: one flush for the whole
+     list, responses re-sequenced by ticket (the cluster client's
+     per-shard transport). The whole batch is sent before any response
+     is read, so when the connection dies mid-batch every request must
+     be assumed to have hit the wire: failed slots are re-driven
+     individually through [call] — same reconnect/backoff/breaker
+     treatment — but only when idempotent. *)
+  let call_many c ?deadline_ms reqs =
+    match reqs with
+    | [] -> []
+    | _ -> (
+      let n = List.length reqs in
+      match c.r_breaker with
+      | Open until when Unix.gettimeofday () < until ->
+        c.r_k.k_breaker_fastfails <- c.r_k.k_breaker_fastfails + n;
+        List.map (fun _ -> Error (Io "circuit breaker open")) reqs
+      | b -> (
+        (match b with Open _ -> c.r_breaker <- Half_open | _ -> ());
+        c.r_k.k_calls <- c.r_k.k_calls + n;
+        match ensure_handle c with
+        | Error _ ->
+          (* nothing was sent: every slot may go through [call]'s full
+             retry policy, idempotent or not *)
+          note_failure c;
+          List.map (fun req -> call c ?deadline_ms req) reqs
+        | Ok h ->
+          let results = call_pipelined h ?deadline_ms reqs in
+          let transport_failure =
+            List.exists
+              (function Error (Io _ | Protocol _) -> true | _ -> false)
+              results
+          in
+          if transport_failure then begin
+            drop_handle c;
+            note_failure c
+          end
+          else note_success c;
+          List.map2
+            (fun req r ->
+              match r with
+              | Ok _ | Error (Refused _ | Overloaded | Timed_out) -> r
+              | Error (Io _ | Protocol _) ->
+                if idempotent req then begin
+                  c.r_k.k_retries <- c.r_k.k_retries + 1;
+                  call c ?deadline_ms req
+                end
+                else r)
+            reqs results))
 end

@@ -105,6 +105,10 @@ val evaluate :
 
 val sleep_ms : t -> ?deadline_ms:int -> int -> (int, error) result
 
+val shard_map : t -> (Umrs_server.Wire.shard_map, error) result
+(** The cluster topology this node serves under; [Refused] when the
+    server is not part of a cluster. *)
+
 (** {1 Idempotency}
 
     Every read-only request — [Ping], [Stats], [Corpus_info], [Nth],
@@ -162,6 +166,17 @@ module Robust : sig
   val call :
     conn -> ?deadline_ms:int -> Umrs_server.Wire.request
     -> (Umrs_server.Wire.response, error) result
+
+  val call_many :
+    conn -> ?deadline_ms:int -> Umrs_server.Wire.request list
+    -> (Umrs_server.Wire.response, error) result list
+  (** {!call_pipelined} through the robust connection: the batch
+      coalesces into one flush, results come back in request order, one
+      per request. Because the whole batch is on the wire before any
+      response is read, a connection loss mid-batch re-drives only the
+      {!idempotent} failed slots (each through {!call}'s full
+      reconnect/backoff policy); non-idempotent slots keep their
+      transport error. Breaker accounting counts every slot. *)
 
   val close : conn -> unit
 

@@ -1,0 +1,383 @@
+module Wire = Umrs_server.Wire
+module C = Umrs_client
+
+(* Cluster failover wants to move to a replica within a second of a
+   node dying, so the per-endpoint policy is much snappier than
+   Robust's single-server default: the group, not the endpoint, is the
+   unit of availability. *)
+let default_policy =
+  { C.Robust.default_policy with
+    connect_retries = 1; call_retries = 1; max_total_wait = 1.0;
+    breaker_cooldown = 0.1 }
+
+type group = {
+  g_addrs : Wire.addr array;  (* primary first, then replicas *)
+  g_conns : C.Robust.conn option array;
+  mutable g_active : int;  (* endpoint currently preferred *)
+}
+
+type stats = {
+  s_calls : int;
+  s_failovers : int;
+  s_refreshes : int;
+}
+
+type t = {
+  mutable map : Wire.shard_map;
+  policy : C.Robust.policy;
+  rng : Random.State.t;
+  mutable groups : group array;
+  mutable rr : int;  (* round-robin cursor for unrouted requests *)
+  nonce : int ref;
+  mutable k_calls : int;
+  mutable k_failovers : int;
+  mutable k_refreshes : int;
+}
+
+let group_of_shard sh =
+  let addrs = Array.of_list (sh.Wire.sh_primary :: sh.Wire.sh_replicas) in
+  { g_addrs = addrs;
+    g_conns = Array.make (Array.length addrs) None;
+    g_active = 0 }
+
+let groups_of_map map = Array.map group_of_shard map.Wire.sm_shards
+
+let of_map ?(policy = default_policy) ?rng map =
+  (match Wire.validate_shard_map map with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Cluster client: " ^ m));
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make_self_init ()
+  in
+  { map; policy; rng; groups = groups_of_map map; rr = 0; nonce = ref 0;
+    k_calls = 0; k_failovers = 0; k_refreshes = 0 }
+
+let fetch ?policy ?rng addr =
+  let pol = match policy with Some p -> p | None -> default_policy in
+  let c = C.Robust.create ~policy:pol ?rng addr in
+  let r = C.Robust.call c Wire.Get_shard_map in
+  C.Robust.close c;
+  match r with
+  | Ok (Wire.R_shard_map sm) -> (
+    match Wire.validate_shard_map sm with
+    | Ok () -> Ok (of_map ?policy ?rng sm)
+    | Error m -> Error (C.Protocol ("fetched shard map invalid: " ^ m)))
+  | Ok _ -> Error (C.Protocol "response is not a shard map")
+  | Error _ as e -> e
+
+let map t = t.map
+
+let stats t =
+  { s_calls = t.k_calls; s_failovers = t.k_failovers;
+    s_refreshes = t.k_refreshes }
+
+let close_groups groups =
+  Array.iter
+    (fun g ->
+      Array.iter
+        (function Some c -> C.Robust.close c | None -> ())
+        g.g_conns)
+    groups
+
+let close t = close_groups t.groups
+
+let conn t g i =
+  match g.g_conns.(i) with
+  | Some c -> c
+  | None ->
+    let c = C.Robust.create ~policy:t.policy ~rng:t.rng g.g_addrs.(i) in
+    g.g_conns.(i) <- Some c;
+    c
+
+(* ---------- failover ---------- *)
+
+(* Drive [f] against shard [k]'s endpoints starting from the group's
+   preferred one. A transport-level failure (Io — which covers refused
+   connections and the breaker's fast-fail alike) rotates to the next
+   endpoint, and so does an Overloaded shed: the server sheds BEFORE
+   executing (bounded-queue overflow, or the drain path of a node on
+   its way down), so re-driving the request against a replica serving
+   the same piece is always safe — and it is exactly what makes a
+   graceful node loss invisible. Other server verdicts and protocol
+   violations return as-is. The preferred index sticks, so once a
+   primary dies the group keeps talking to its replica instead of
+   re-probing the corpse on every call. *)
+let with_group t k f =
+  let g = t.groups.(k) in
+  let n = Array.length g.g_addrs in
+  let rec go tries =
+    match f (conn t g g.g_active) with
+    | Error (C.Io _ | C.Overloaded) as e ->
+      if tries + 1 >= n then e
+      else begin
+        g.g_active <- (g.g_active + 1) mod n;
+        t.k_failovers <- t.k_failovers + 1;
+        go (tries + 1)
+      end
+    | r -> r
+  in
+  go 0
+
+(* Batched transport against one group with the same rotation: slots
+   that still carry a transport error or an Overloaded shed after
+   {!C.Robust.call_many}'s own retries are re-driven — corpus requests
+   are all idempotent, and sheds never executed — against the next
+   endpoint; everything already answered stays answered. *)
+let with_group_many t k ?deadline_ms reqs =
+  let g = t.groups.(k) in
+  let n = Array.length g.g_addrs in
+  let arr = Array.of_list reqs in
+  let out = Array.make (Array.length arr) (Error (C.Io "unsent")) in
+  let rec go tries pending =
+    let rs =
+      C.Robust.call_many (conn t g g.g_active) ?deadline_ms
+        (List.map (fun s -> arr.(s)) pending)
+    in
+    List.iter2 (fun s r -> out.(s) <- r) pending rs;
+    let failed =
+      List.filter
+        (fun s ->
+          match out.(s) with
+          | Error (C.Io _ | C.Overloaded) -> true
+          | _ -> false)
+        pending
+    in
+    if failed <> [] && tries + 1 < n then begin
+      g.g_active <- (g.g_active + 1) mod n;
+      t.k_failovers <- t.k_failovers + 1;
+      go (tries + 1) failed
+    end
+  in
+  go 0 (List.init (Array.length arr) Fun.id);
+  Array.to_list out
+
+(* ---------- map refresh ---------- *)
+
+let install_map t sm =
+  close_groups t.groups;
+  t.map <- sm;
+  t.groups <- groups_of_map sm;
+  t.k_refreshes <- t.k_refreshes + 1
+
+let refresh t =
+  (* any live node can serve the map; ask each group in turn *)
+  let n = Array.length t.groups in
+  let rec go k =
+    if k >= n then Error (C.Io "no node answered the shard-map refresh")
+    else
+      match with_group t k (fun c -> C.Robust.call c Wire.Get_shard_map) with
+      | Ok (Wire.R_shard_map sm) -> (
+        match Wire.validate_shard_map sm with
+        | Ok () ->
+          install_map t sm;
+          Ok ()
+        | Error m -> Error (C.Protocol ("refreshed shard map invalid: " ^ m)))
+      | Ok _ -> Error (C.Protocol "response is not a shard map")
+      | Error _ -> go (k + 1)
+  in
+  go 0
+
+(* ---------- routing plans ---------- *)
+
+type plan =
+  | To of int             (* exactly one shard owns the answer *)
+  | Scatter of int * int  (* inclusive shard span; merge the replies *)
+  | Anywhere              (* not corpus-routed: any node can serve it *)
+
+let plan_of t req =
+  match req with
+  | Wire.Nth i | Wire.Cgraph_of i -> To (Wire.route_index t.map i)
+  | Wire.Mem m | Wire.Rank m -> To (Wire.route_matrix t.map m)
+  | Wire.Range_prefix prefix ->
+    let a, b = Wire.route_prefix t.map prefix in
+    if a = b then To a else Scatter (a, b)
+  | Wire.Ping _ | Wire.Stats | Wire.Corpus_info | Wire.Evaluate _
+  | Wire.Sleep_ms _ | Wire.Get_shard_map ->
+    Anywhere
+
+let next_rr t =
+  let k = t.rr in
+  t.rr <- (t.rr + 1) mod Array.length t.groups;
+  k
+
+(* Merge scatter replies for a range-prefix, given in shard order over
+   the span. Every shard reports its slice of the global range (already
+   in global coordinates); non-empty slices are contiguous across
+   consecutive shards, so the union is (min lo, max hi). When every
+   slice is empty the anchor shard — the last of the span, the one
+   whose key range contains the prefix's insertion point — holds the
+   true global (lo, lo). *)
+let merge_ranges results =
+  match List.find_opt Result.is_error results with
+  | Some e -> e
+  | None -> (
+    match
+      List.map
+        (function Ok (Wire.R_range (lo, hi)) -> (lo, hi) | _ -> raise Exit)
+        results
+    with
+    | exception Exit -> Error (C.Protocol "response is not a range")
+    | [] -> Error (C.Protocol "scatter produced no replies")
+    | ranges -> (
+      match List.filter (fun (lo, hi) -> lo < hi) ranges with
+      | [] ->
+        let lo, hi = List.nth ranges (List.length ranges - 1) in
+        Ok (Wire.R_range (lo, hi))
+      | nonempty ->
+        let lo = List.fold_left (fun a (l, _) -> min a l) max_int nonempty in
+        let hi = List.fold_left (fun a (_, h) -> max a h) min_int nonempty in
+        Ok (Wire.R_range (lo, hi))))
+
+(* ---------- single calls ---------- *)
+
+(* A stale-shard rejection means this client routed with an outdated
+   map: refresh and re-route exactly once — a second stale verdict
+   surfaces to the caller, so topology churn can never loop a call. *)
+let rec dispatch t ?deadline_ms ~retried req =
+  match plan_of t req with
+  | exception Invalid_argument m -> Error (C.Refused m)
+  | Anywhere ->
+    with_group t (next_rr t) (fun c -> C.Robust.call c ?deadline_ms req)
+  | To k ->
+    finish t ?deadline_ms ~retried req
+      (with_group t k (fun c -> C.Robust.call c ?deadline_ms req))
+  | Scatter (a, b) ->
+    let results =
+      List.init (b - a + 1) (fun off ->
+          with_group t (a + off) (fun c -> C.Robust.call c ?deadline_ms req))
+    in
+    finish t ?deadline_ms ~retried req (merge_ranges results)
+
+and finish t ?deadline_ms ~retried req r =
+  match r with
+  | Error (C.Refused msg)
+    when (not retried) && Wire.stale_shard_version msg <> None -> (
+    match refresh t with
+    | Ok () -> dispatch t ?deadline_ms ~retried:true req
+    | Error _ -> r)
+  | r -> r
+
+let call t ?deadline_ms req =
+  t.k_calls <- t.k_calls + 1;
+  dispatch t ?deadline_ms ~retried:false req
+
+(* ---------- typed wrappers ---------- *)
+
+let shape what = Error (C.Protocol ("response is not " ^ what))
+
+let corpus_info t =
+  (* the map carries the unsharded corpus's identity: answered locally *)
+  Ok (Wire.corpus_header_of_map t.map)
+
+let nth t i =
+  match call t (Wire.Nth i) with
+  | Ok (Wire.R_matrix m) -> Ok m
+  | Ok _ -> shape "a matrix"
+  | Error _ as e -> e
+
+let mem t m =
+  match call t (Wire.Mem m) with
+  | Ok (Wire.R_found b) -> Ok b
+  | Ok _ -> shape "a membership bit"
+  | Error _ as e -> e
+
+let rank t m =
+  match call t (Wire.Rank m) with
+  | Ok (Wire.R_rank r) -> Ok r
+  | Ok _ -> shape "a rank"
+  | Error _ as e -> e
+
+let range_prefix t prefix =
+  match call t (Wire.Range_prefix prefix) with
+  | Ok (Wire.R_range (lo, hi)) -> Ok (lo, hi)
+  | Ok _ -> shape "a range"
+  | Error _ as e -> e
+
+let cgraph t i =
+  match call t (Wire.Cgraph_of i) with
+  | Ok (Wire.R_graph g) -> Ok g
+  | Ok _ -> shape "a constraint graph"
+  | Error _ as e -> e
+
+let ping t =
+  (* every shard group must answer through some endpoint *)
+  let n = Array.length t.groups in
+  let rec go k =
+    if k >= n then Ok ()
+    else begin
+      incr t.nonce;
+      let nonce = !(t.nonce) land 0xFFFFFFFF in
+      match with_group t k (fun c -> C.Robust.call c (Wire.Ping nonce)) with
+      | Ok (Wire.R_pong m) when m = nonce -> go (k + 1)
+      | Ok _ -> shape "a pong"
+      | Error _ as e -> e
+    end
+  in
+  go 0
+
+(* ---------- scatter-gather batches ---------- *)
+
+(* One bucket per shard, filled in request order; each bucket goes out
+   as a single pipelined {!C.Robust.call_many} through the group's
+   failover rotation, so a batch costs one flush per shard touched
+   rather than one round-trip per request. Results reassemble by slot;
+   scatter slots merge their per-shard replies in key order; stale
+   verdicts re-drive through the single-call path after one refresh. *)
+let batch t ?deadline_ms reqs =
+  let reqs = Array.of_list reqs in
+  let n = Array.length reqs in
+  t.k_calls <- t.k_calls + n;
+  let nshards = Array.length t.groups in
+  let buckets = Array.make nshards [] in  (* (slot, req), newest first *)
+  let plans = Array.make n Anywhere in
+  let precomputed = Array.make n None in
+  Array.iteri
+    (fun slot req ->
+      match plan_of t req with
+      | exception Invalid_argument m ->
+        precomputed.(slot) <- Some (Error (C.Refused m))
+      | p ->
+        plans.(slot) <- p;
+        let targets =
+          match p with
+          | To k -> [ k ]
+          | Scatter (a, b) -> List.init (b - a + 1) (fun off -> a + off)
+          | Anywhere -> [ next_rr t ]
+        in
+        List.iter (fun k -> buckets.(k) <- (slot, req) :: buckets.(k)) targets)
+    reqs;
+  let replies = Array.make n [] in  (* (shard, result), newest first *)
+  Array.iteri
+    (fun k bucket ->
+      match List.rev bucket with
+      | [] -> ()
+      | items ->
+        let rs = with_group_many t k ?deadline_ms (List.map snd items) in
+        List.iter2
+          (fun (slot, _) r -> replies.(slot) <- (k, r) :: replies.(slot))
+          items rs)
+    buckets;
+  Array.to_list
+    (Array.mapi
+       (fun slot req ->
+         match precomputed.(slot) with
+         | Some e -> e
+         | None -> (
+           (* ascending shard order — the order merge_ranges expects *)
+           let rs = List.map snd (List.rev replies.(slot)) in
+           let merged =
+             match plans.(slot) with
+             | Scatter _ -> merge_ranges rs
+             | To _ | Anywhere -> (
+               match rs with
+               | [ r ] -> r
+               | _ -> Error (C.Protocol "batch slot lost its reply"))
+           in
+           match merged with
+           | Error (C.Refused msg) when Wire.stale_shard_version msg <> None
+             -> (
+             match refresh t with
+             | Ok () -> dispatch t ?deadline_ms ~retried:true req
+             | Error _ -> merged)
+           | r -> r))
+       reqs)

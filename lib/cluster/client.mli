@@ -1,0 +1,104 @@
+(** Routing client for a sharded cluster.
+
+    Sits on top of {!Umrs_client.Robust} — one robust connection per
+    endpoint, created lazily — and adds the three things a cluster
+    needs beyond a resilient point-to-point call:
+
+    {ul
+    {- {b Key-range routing.} Point queries ([Nth], [Cgraph_of] by
+       global rank; [Mem], [Rank] by key) go to exactly the shard the
+       map says owns them ({!Umrs_server.Wire.route_index}/[route_key]);
+       prefix ranges scatter over the owning span and the replies merge
+       in key order, so every answer is in {e global} coordinates —
+       byte-identical to a single server over the unsharded corpus.}
+    {- {b Failover.} Each shard group rotates primary → replicas on
+       transport failures ([Io] — refused connections and the circuit
+       breaker's fast-fail included) and on [Overloaded] sheds, which
+       the server issues {e before} executing (queue overflow, or the
+       drain path of a node shutting down) — so re-driving a replica is
+       always safe and a graceful node loss stays invisible. The
+       preferred endpoint sticks across calls, so a dead primary is not
+       re-probed per request. [Refused] and [Timed_out] verdicts pass
+       through: they prove the path works.}
+    {- {b Map refresh.} A {!Umrs_server.Wire.stale_shard_reject}
+       verdict triggers one [Get_shard_map] refresh and one re-route;
+       a second stale verdict surfaces, so topology churn can never
+       loop a call.}}
+
+    Like the handles it wraps, a client is not thread-safe: use one per
+    thread. *)
+
+type t
+
+val default_policy : Umrs_client.Robust.policy
+(** {!Umrs_client.Robust.default_policy} tightened for failover duty
+    (1 connect retry, 1 call retry, 1 s total connect wait, 0.1 s
+    breaker cooldown): the group, not the endpoint, is the unit of
+    availability, so a dead endpoint should be abandoned for a replica
+    in well under a second. *)
+
+val of_map :
+  ?policy:Umrs_client.Robust.policy -> ?rng:Random.State.t ->
+  Umrs_server.Wire.shard_map -> t
+(** No I/O: connections are created on first use. Raises
+    [Invalid_argument] on a map that fails
+    {!Umrs_server.Wire.validate_shard_map}. *)
+
+val fetch :
+  ?policy:Umrs_client.Robust.policy -> ?rng:Random.State.t ->
+  Umrs_server.Wire.addr -> (t, Umrs_client.error) result
+(** Bootstrap from any cluster node: ask it [Get_shard_map] and build a
+    client from the answer. *)
+
+val map : t -> Umrs_server.Wire.shard_map
+(** The map currently routed by (updated by stale-shard refreshes). *)
+
+val close : t -> unit
+
+(** {1 Calls} *)
+
+val call :
+  t -> ?deadline_ms:int -> Umrs_server.Wire.request
+  -> (Umrs_server.Wire.response, Umrs_client.error) result
+(** Route one request. Unrouted requests ([Ping], [Stats], [Evaluate],
+    [Sleep_ms], ...) go to the shard groups round-robin. A globally
+    out-of-range index comes back [Refused], as a single server would
+    answer. *)
+
+val batch :
+  t -> ?deadline_ms:int -> Umrs_server.Wire.request list
+  -> (Umrs_server.Wire.response, Umrs_client.error) result list
+(** Scatter-gather: requests bucket by owning shard, each bucket is one
+    pipelined {!Umrs_client.Robust.call_many} (so a batch costs one
+    flush per shard touched), and results reassemble in request order —
+    multi-shard range slots merging their per-shard replies in key
+    order. One result per request. *)
+
+(** {1 Typed wrappers}
+
+    Same contracts as the corresponding {!Umrs_client} calls, global
+    coordinates throughout. *)
+
+val corpus_info : t -> (Umrs_store.Corpus.header, Umrs_client.error) result
+(** Answered locally from the map (which carries the unsharded corpus's
+    identity) — no round-trip. *)
+
+val ping : t -> (unit, Umrs_client.error) result
+(** Round-trips a nonce through {e every} shard group (via any of its
+    endpoints): the cluster-is-serving probe. *)
+
+val nth : t -> int -> (Umrs_core.Matrix.t, Umrs_client.error) result
+val mem : t -> Umrs_core.Matrix.t -> (bool, Umrs_client.error) result
+val rank : t -> Umrs_core.Matrix.t -> (int, Umrs_client.error) result
+val range_prefix : t -> int array -> (int * int, Umrs_client.error) result
+val cgraph : t -> int -> (Umrs_core.Cgraph.t, Umrs_client.error) result
+
+(** {1 Introspection} *)
+
+type stats = {
+  s_calls : int;      (** routed calls (batch slots included) *)
+  s_failovers : int;  (** endpoint rotations on transport failure *)
+  s_refreshes : int;  (** shard-map refreshes after stale verdicts *)
+}
+
+val stats : t -> stats

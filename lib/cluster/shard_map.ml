@@ -1,0 +1,89 @@
+module Wire = Umrs_server.Wire
+module Corpus = Umrs_store.Corpus
+module Io = Umrs_fault.Io
+
+let magic = "UMRSSMAP"
+let schema_version = 1
+let header_bytes = 22
+
+let build ~source ~version ~pieces ~endpoints =
+  let n = Array.length pieces in
+  if n = 0 then invalid_arg "Shard_map.build: no pieces";
+  if Array.length endpoints <> n then
+    invalid_arg "Shard_map.build: one endpoint group per piece required";
+  let shards =
+    Array.map2
+      (fun pc (primary, replicas) ->
+        { Wire.sh_lo = pc.Umrs_store.Shard.pc_lo;
+          sh_hi = pc.Umrs_store.Shard.pc_hi;
+          sh_key = pc.Umrs_store.Shard.pc_key;
+          sh_primary = primary; sh_replicas = replicas })
+      pieces endpoints
+  in
+  let sm =
+    { Wire.sm_version = version;
+      sm_corpus_version = source.Corpus.version;
+      sm_variant = source.Corpus.variant;
+      sm_p = source.Corpus.p; sm_q = source.Corpus.q; sm_d = source.Corpus.d;
+      sm_count = source.Corpus.count; sm_checksum = source.Corpus.checksum;
+      sm_shards = shards }
+  in
+  match Wire.validate_shard_map sm with
+  | Ok () -> sm
+  | Error m -> invalid_arg ("Shard_map.build: " ^ m)
+
+let save ~path sm =
+  let payload = Wire.shard_map_to_bytes sm in
+  let hdr = Bytes.create header_bytes in
+  Bytes.blit_string magic 0 hdr 0 8;
+  Bytes.set_uint16_le hdr 8 schema_version;
+  Bytes.set_int32_le hdr 10 (Int32.of_int (Bytes.length payload));
+  Bytes.set_int64_le hdr 14 (Corpus.fnv64 Corpus.fnv64_seed payload);
+  (* tmp + fsync + rename + dir fsync: the map is either the old
+     topology or the new one, never a torn hybrid *)
+  let tmp = path ^ ".tmp" in
+  let o = Io.open_out tmp in
+  (try
+     Io.output_bytes o hdr;
+     Io.output_bytes o payload;
+     Io.fsync o;
+     Io.close o
+   with e ->
+     Io.close_noerr o;
+     raise e);
+  Io.rename ~src:tmp ~dst:path;
+  Io.fsync_dir (Filename.dirname path)
+
+let load ~path =
+  match In_channel.open_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    let b = Bytes.of_string (In_channel.input_all ic) in
+    In_channel.close ic;
+    if Bytes.length b < header_bytes then Error "shard map file too short"
+    else if Bytes.sub_string b 0 8 <> magic then
+      Error "not a shard map file (bad magic)"
+    else begin
+      let sv = Bytes.get_uint16_le b 8 in
+      if sv <> schema_version then
+        Error (Printf.sprintf "unsupported shard map schema %d" sv)
+      else begin
+        let len = Int32.to_int (Bytes.get_int32_le b 10) in
+        if len < 0 || Bytes.length b <> header_bytes + len then
+          Error "shard map payload length mismatch"
+        else begin
+          let payload = Bytes.sub b header_bytes len in
+          if
+            Bytes.get_int64_le b 14
+            <> Corpus.fnv64 Corpus.fnv64_seed payload
+          then Error "shard map checksum mismatch"
+          else
+            match Wire.shard_map_of_bytes payload with
+            | exception Invalid_argument m -> Error m
+            | sm -> (
+              match Wire.validate_shard_map sm with
+              | Error m -> Error m
+              | Ok () -> Ok sm)
+        end
+      end
+    end

@@ -1,0 +1,39 @@
+(** Building and persisting {!Umrs_server.Wire.shard_map} values.
+
+    The wire layer owns the shard-map {e type} and codec (both sides of
+    every connection link against it); this module owns its life
+    outside a connection: construction from the pieces a
+    {!Umrs_store.Shard.split} produced, and a small checksummed file
+    format so a supervisor restart or an offline client can recover the
+    topology without a live node.
+
+    File layout (integers little-endian):
+
+    {v offset  size  field
+       0       8     magic "UMRSSMAP"
+       8       2     schema version (currently 1)
+       10      4     payload byte length
+       14      8     FNV-1a 64 of the payload
+       22      -     payload: the map's wire image
+                     ({!Umrs_server.Wire.shard_map_to_bytes}) v} *)
+
+val build :
+  source:Umrs_store.Corpus.header -> version:int ->
+  pieces:Umrs_store.Shard.piece array ->
+  endpoints:(Umrs_server.Wire.addr * Umrs_server.Wire.addr list) array ->
+  Umrs_server.Wire.shard_map
+(** Assemble a map: identity from the {e unsharded} source corpus's
+    header, ranges and boundary keys from the pieces, one
+    [(primary, replicas)] endpoint group per piece. The result is
+    validated ({!Umrs_server.Wire.validate_shard_map}); a mismatched or
+    malformed assembly raises [Invalid_argument]. *)
+
+val save : path:string -> Umrs_server.Wire.shard_map -> unit
+(** Atomic publication through the {!Umrs_fault.Io} seam (tmp + fsync +
+    rename + directory fsync): readers see the old map or the new map,
+    never a torn hybrid. *)
+
+val load : path:string -> (Umrs_server.Wire.shard_map, string) result
+(** Never raises on file content: bad magic, schema, length, checksum,
+    undecodable payload and invalid topology all come back as
+    [Error]. *)

@@ -71,7 +71,14 @@ let create ?backend () =
   let backend =
     match backend with
     | Some b -> b
-    | None -> if epoll_available () then Epoll else Select
+    | None -> (
+      (* UMRS_EVLOOP_BACKEND=select forces the portable fallback — how
+         CI exercises the Select data path end to end on boxes where
+         epoll exists and would otherwise always win the auto-pick. *)
+      match Sys.getenv_opt "UMRS_EVLOOP_BACKEND" with
+      | Some "select" -> Select
+      | Some "epoll" -> Epoll
+      | _ -> if epoll_available () then Epoll else Select)
   in
   let ep =
     match backend with

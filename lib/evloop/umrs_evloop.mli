@@ -20,7 +20,10 @@ type backend =
 val epoll_available : unit -> bool
 
 val create : ?backend:backend -> unit -> t
-(** Defaults to [Epoll] when the platform supports it. *)
+(** Defaults to [Epoll] when the platform supports it. The environment
+    variable [UMRS_EVLOOP_BACKEND] ([select] or [epoll]) overrides the
+    auto-pick — but never an explicit [?backend] argument — so tests
+    and CI can force the portable fallback on Linux. *)
 
 val backend : t -> backend
 

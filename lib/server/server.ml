@@ -16,13 +16,14 @@ type config = {
   backend : backend;
   mmap : bool;
   wbuf_hwm : int;
+  shard : (Wire.shard_map * int) option;
 }
 
 let default_config addr =
   { addr; workers = 2; queue_capacity = 64; cache_capacity = 128;
     corpus = None; index = None; max_frame_bytes = Wire.default_max_frame;
     max_sleep_ms = 60_000; max_conns = 10_240; handshake_timeout = 10.0;
-    backend = Epoll; mmap = true; wbuf_hwm = 256 * 1024 }
+    backend = Epoll; mmap = true; wbuf_hwm = 256 * 1024; shard = None }
 
 (* ---------- telemetry ---------- *)
 
@@ -193,10 +194,60 @@ let exec_corpus query f =
   | None -> Wire.Rejected "no corpus attached to this server"
   | Some q -> f q
 
+(* A shard node serves *global* indices and ranks: corpus requests are
+   validated against the node's slice of the shard map, translated to
+   local coordinates inward and back to global outward, so a sharded
+   cluster is byte-identical to a single node over the whole corpus. A
+   request the map routes elsewhere gets a structured stale-shard
+   rejection carrying this node's map version — the client's cue to
+   refresh its map and re-route. *)
+let exec_sharded query map me req =
+  let sh = map.Wire.sm_shards.(me) in
+  let lo = sh.Wire.sh_lo in
+  let stale () = Wire.stale_shard_reject ~version:map.Wire.sm_version in
+  match req with
+  | Wire.Nth i ->
+    if Wire.route_index map i <> me then stale ()
+    else
+      exec_corpus query (fun q ->
+          Wire.Reply (Wire.R_matrix (Umrs_store.Query.nth q (i - lo))))
+  | Wire.Cgraph_of i ->
+    if Wire.route_index map i <> me then stale ()
+    else
+      exec_corpus query (fun q ->
+          Wire.Reply (Wire.R_graph (Umrs_store.Query.cgraph q (i - lo))))
+  | Wire.Mem m ->
+    if Wire.route_matrix map m <> me then stale ()
+    else
+      exec_corpus query (fun q ->
+          Wire.Reply (Wire.R_found (Umrs_store.Query.mem q m)))
+  | Wire.Rank m ->
+    if Wire.route_matrix map m <> me then stale ()
+    else
+      exec_corpus query (fun q ->
+          Wire.Reply (Wire.R_rank (lo + Umrs_store.Query.rank q m)))
+  | Wire.Range_prefix prefix ->
+    let a, b = Wire.route_prefix map prefix in
+    if me < a || me > b then stale ()
+    else
+      exec_corpus query (fun q ->
+          let l, h = Umrs_store.Query.range_prefix q prefix in
+          Wire.Reply (Wire.R_range (lo + l, lo + h)))
+  | _ -> assert false (* only corpus-query requests are dispatched here *)
+
 let exec srv query req =
   match req with
   | Wire.Ping nonce -> Wire.Reply (Wire.R_pong nonce)
   | Wire.Stats -> Wire.Reply (Wire.R_stats (stats_of srv))
+  | Wire.Get_shard_map -> (
+    match srv.cfg.shard with
+    | Some (map, _) -> Wire.Reply (Wire.R_shard_map map)
+    | None -> Wire.Rejected "this server is not part of a cluster")
+  | (Wire.Nth _ | Wire.Mem _ | Wire.Rank _ | Wire.Range_prefix _
+    | Wire.Cgraph_of _)
+    when srv.cfg.shard <> None ->
+    let map, me = Option.get srv.cfg.shard in
+    exec_sharded query map me req
   | Wire.Corpus_info ->
     exec_corpus query (fun q ->
         Wire.Reply (Wire.R_header (Umrs_store.Query.header q)))
@@ -451,9 +502,9 @@ let reader_loop srv conn =
              Atomic.incr srv.n_requests;
              Telemetry.add c_requests 1;
              match req with
-             | Wire.Ping _ | Wire.Stats ->
+             | Wire.Ping _ | Wire.Stats | Wire.Get_shard_map ->
                (* control plane: answered inline so a saturated worker
-                  pool never blinds monitoring *)
+                  pool never blinds monitoring or map refresh *)
                send_outcome conn ~id (exec srv None req)
              | _ ->
                admit srv ~id ~deadline_ms req ~respond:(fun outcome ->
@@ -642,9 +693,9 @@ let process_frame srv es ec payload =
     Atomic.incr srv.n_requests;
     Telemetry.add c_requests 1;
     match req with
-    | Wire.Ping _ | Wire.Stats ->
+    | Wire.Ping _ | Wire.Stats | Wire.Get_shard_map ->
       (* control plane: answered inline by the poller so a saturated
-         worker pool never blinds monitoring *)
+         worker pool never blinds monitoring or map refresh *)
       append_frame ec (Wire.encode_outcome ~id (exec srv None req))
     | _ ->
       let conn_id = ec.ec_id in
@@ -952,6 +1003,13 @@ let start cfg =
   else if cfg.cache_capacity < 1 then Error "Server: cache_capacity must be >= 1"
   else if cfg.max_conns < 1 then Error "Server: max_conns must be >= 1"
   else if cfg.wbuf_hwm < 1 then Error "Server: wbuf_hwm must be >= 1"
+  else if
+    (match cfg.shard with
+    | None -> false
+    | Some (map, me) ->
+      me < 0 || me >= Array.length map.Wire.sm_shards
+      || Result.is_error (Wire.validate_shard_map map))
+  then Error "Server: invalid shard configuration"
   else
     match validate_corpus cfg with
     | Error e -> Error e

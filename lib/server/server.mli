@@ -104,6 +104,13 @@ type config = {
   wbuf_hwm : int;            (** epoll backend: buffered reply bytes per
                                  connection above which its reads pause
                                  (resume at half), >= 1 *)
+  shard : (Wire.shard_map * int) option;
+      (** when this node is one shard of a cluster: the shard map it
+          serves under and its own index in [sm_shards]. The node then
+          serves {e global} indices and ranks (validated against its key
+          range, translated to its local slice), answers
+          [Get_shard_map] inline, and rejects mis-routed requests with
+          {!Wire.stale_shard_reject} so stale clients refresh. *)
 }
 
 val default_config : Wire.addr -> config

@@ -12,6 +12,26 @@ let pp_addr fmt = function
 
 let addr_to_string a = Format.asprintf "%a" pp_addr a
 
+type shard = {
+  sh_lo : int;
+  sh_hi : int;
+  sh_key : int array;
+  sh_primary : addr;
+  sh_replicas : addr list;
+}
+
+type shard_map = {
+  sm_version : int;
+  sm_corpus_version : int;
+  sm_variant : Umrs_core.Canonical.variant;
+  sm_p : int;
+  sm_q : int;
+  sm_d : int;
+  sm_count : int;
+  sm_checksum : int64;
+  sm_shards : shard array;
+}
+
 type request =
   | Ping of int
   | Stats
@@ -23,6 +43,7 @@ type request =
   | Cgraph_of of int
   | Evaluate of { scheme : string; graph_name : string; graph : Graph.t }
   | Sleep_ms of int
+  | Get_shard_map
 
 let opcode = function
   | Ping _ -> 0
@@ -35,6 +56,7 @@ let opcode = function
   | Cgraph_of _ -> 7
   | Evaluate _ -> 8
   | Sleep_ms _ -> 9
+  | Get_shard_map -> 10
 
 let opcode_name = function
   | 0 -> "ping"
@@ -47,6 +69,7 @@ let opcode_name = function
   | 7 -> "cgraph"
   | 8 -> "evaluate"
   | 9 -> "sleep"
+  | 10 -> "shard_map"
   | n -> Printf.sprintf "opcode-%d" n
 
 type server_stats = {
@@ -79,6 +102,7 @@ type response =
   | R_graph of Cgraph.t
   | R_evaluation of Umrs_routing.Scheme.evaluation
   | R_slept of int
+  | R_shard_map of shard_map
 
 type outcome =
   | Reply of response
@@ -284,15 +308,207 @@ let dec_evaluation rd : Umrs_routing.Scheme.evaluation =
       { Umrs_routing.Routing_function.max_ratio; worst_pair = (wa, wb);
         worst_route; worst_dist; mean_ratio } }
 
+(* ---------- shard maps ---------- *)
+
+let enc_addr b = function
+  | Unix_sock path ->
+    u8 b 0;
+    str b path
+  | Tcp (host, port) ->
+    u8 b 1;
+    str b host;
+    u16 b port
+
+let dec_addr rd =
+  match r8 rd with
+  | 0 -> Unix_sock (rstr rd)
+  | 1 ->
+    let host = rstr rd in
+    let port = r16 rd in
+    Tcp (host, port)
+  | t -> invalid_arg (Printf.sprintf "Wire: unknown address tag %d" t)
+
+let enc_shard b sh =
+  i64 b (int64_of_nonneg "shard lo" sh.sh_lo);
+  i64 b (int64_of_nonneg "shard hi" sh.sh_hi);
+  u16 b (Array.length sh.sh_key);
+  Array.iter (fun x -> u16 b x) sh.sh_key;
+  enc_addr b sh.sh_primary;
+  u16 b (List.length sh.sh_replicas);
+  List.iter (enc_addr b) sh.sh_replicas
+
+let dec_shard rd =
+  let sh_lo = rint64 rd "shard lo" in
+  let sh_hi = rint64 rd "shard hi" in
+  let nk = r16 rd in
+  if nk * 16 > Bitbuf.remaining rd then invalid_arg "Wire: truncated shard key";
+  let sh_key = Array.init nk (fun _ -> r16 rd) in
+  let sh_primary = dec_addr rd in
+  let nr = r16 rd in
+  (* An address costs at least a tag byte plus a length word: bound the
+     list allocation before trusting the count. *)
+  if nr * 40 > Bitbuf.remaining rd then invalid_arg "Wire: truncated replicas";
+  let sh_replicas = List.init nr (fun _ -> dec_addr rd) in
+  { sh_lo; sh_hi; sh_key; sh_primary; sh_replicas }
+
+let enc_shard_map b sm =
+  u32 b sm.sm_version;
+  u16 b sm.sm_corpus_version;
+  u8 b (match sm.sm_variant with
+        | Canonical.Full -> 0
+        | Canonical.Positional -> 1);
+  u16 b sm.sm_p;
+  u16 b sm.sm_q;
+  u16 b sm.sm_d;
+  i64 b (int64_of_nonneg "count" sm.sm_count);
+  i64 b sm.sm_checksum;
+  u16 b (Array.length sm.sm_shards);
+  Array.iter (enc_shard b) sm.sm_shards
+
+let dec_shard_map rd =
+  let sm_version = r32 rd in
+  let sm_corpus_version = r16 rd in
+  let sm_variant =
+    match r8 rd with
+    | 0 -> Canonical.Full
+    | 1 -> Canonical.Positional
+    | v -> invalid_arg (Printf.sprintf "Wire: unknown variant byte %d" v)
+  in
+  let sm_p = r16 rd in
+  let sm_q = r16 rd in
+  let sm_d = r16 rd in
+  let sm_count = rint64 rd "count" in
+  let sm_checksum = ri64 rd in
+  let ns = r16 rd in
+  (* Each shard carries at minimum two i64 bounds: bound the array
+     allocation before trusting the count. *)
+  if ns * 128 > Bitbuf.remaining rd then invalid_arg "Wire: truncated shards";
+  let sm_shards = Array.init ns (fun _ -> dec_shard rd) in
+  { sm_version; sm_corpus_version; sm_variant; sm_p; sm_q; sm_d;
+    sm_count; sm_checksum; sm_shards }
+
+let shard_map_to_bytes sm =
+  let b = Bitbuf.create () in
+  enc_shard_map b sm;
+  Bitbuf.to_bytes b
+
+let shard_map_of_bytes bytes =
+  let buf = Bitbuf.of_bytes bytes ~len:(8 * Bytes.length bytes) in
+  dec_shard_map (Bitbuf.reader buf)
+
+let validate_shard_map sm =
+  let n = Array.length sm.sm_shards in
+  if n = 0 then Error "shard map has no shards"
+  else if sm.sm_shards.(0).sh_lo <> 0 then
+    Error "first shard does not start at rank 0"
+  else if sm.sm_shards.(n - 1).sh_hi <> sm.sm_count then
+    Error "last shard does not end at the corpus count"
+  else begin
+    let err = ref None in
+    let fail msg = if !err = None then err := Some msg in
+    Array.iteri
+      (fun i sh ->
+        if sh.sh_lo >= sh.sh_hi then
+          fail (Printf.sprintf "shard %d is empty" i);
+        if Array.length sh.sh_key <> sm.sm_p * sm.sm_q then
+          fail (Printf.sprintf "shard %d key has wrong arity" i);
+        if i > 0 then begin
+          let prev = sm.sm_shards.(i - 1) in
+          if prev.sh_hi <> sh.sh_lo then
+            fail (Printf.sprintf "gap between shards %d and %d" (i - 1) i);
+          if compare prev.sh_key sh.sh_key >= 0 then
+            fail (Printf.sprintf "shard keys not increasing at %d" i)
+        end)
+      sm.sm_shards;
+    match !err with Some msg -> Error msg | None -> Ok ()
+  end
+
+let corpus_header_of_map sm : Umrs_store.Corpus.header =
+  { Umrs_store.Corpus.version = sm.sm_corpus_version;
+    variant = sm.sm_variant; p = sm.sm_p; q = sm.sm_q; d = sm.sm_d;
+    count = sm.sm_count; checksum = sm.sm_checksum }
+
+(* ---------- key-range routing ---------- *)
+
+let matrix_key (m : Matrix.t) = Array.concat (Array.to_list m.Matrix.entries)
+
+(* Lexicographic comparison of [prefix] against the first |prefix|
+   elements of [key].  A key shorter than the prefix compares as
+   smaller once its elements run out. *)
+let cmp_prefix prefix key =
+  let np = Array.length prefix and nk = Array.length key in
+  let rec go i =
+    if i >= np then 0
+    else if i >= nk then 1
+    else
+      let c = compare prefix.(i) key.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let route_index sm i =
+  if i < 0 || i >= sm.sm_count then
+    invalid_arg (Printf.sprintf "Wire: record index %d out of range" i);
+  let j = ref 0 in
+  Array.iteri (fun k sh -> if i >= sh.sh_lo then j := k) sm.sm_shards;
+  !j
+
+let route_key sm key =
+  (* Largest shard whose boundary key is <= [key]; shard 0 owns
+     everything below the second boundary by construction. *)
+  let j = ref 0 in
+  Array.iteri
+    (fun k sh -> if k > 0 && cmp_prefix sh.sh_key key <= 0 then j := k)
+    sm.sm_shards;
+  !j
+
+let route_matrix sm m = route_key sm (matrix_key m)
+
+let route_prefix sm prefix =
+  (* Records matching [prefix] are contiguous in key order.  They can
+     only live in shards a..b where b is the largest shard whose
+     boundary key truncated to |prefix| is <= prefix (the anchor: a
+     prefix below every boundary belongs to shard 0), and a is the
+     largest shard whose truncated boundary key is strictly < prefix
+     (every earlier boundary precedes all matches). *)
+  let a = ref 0 and b = ref 0 in
+  Array.iteri
+    (fun k sh ->
+      if k > 0 then begin
+        let c = cmp_prefix prefix sh.sh_key in
+        if c >= 0 then b := k;
+        if c > 0 then a := k
+      end)
+    sm.sm_shards;
+  (!a, !b)
+
+(* ---------- stale-shard redirect ---------- *)
+
+(* A shard server that receives a request outside its key range answers
+   with a structured rejection carrying its own map version, so a
+   client holding an outdated map can refresh and re-route instead of
+   surfacing a spurious error. *)
+let stale_shard_prefix = "stale shard map: server has version "
+
+let stale_shard_reject ~version =
+  Rejected (stale_shard_prefix ^ string_of_int version)
+
+let stale_shard_version msg =
+  let n = String.length stale_shard_prefix in
+  if String.length msg > n && String.sub msg 0 n = stale_shard_prefix then
+    int_of_string_opt (String.sub msg n (String.length msg - n))
+  else None
+
 (* ---------- hello ---------- *)
 
 let magic = "UMRSSRVC"
 
 (* v2: server_stats gained live-connection, cache-eviction and
-   event-loop health fields.  The hello version is part of the
-   handshake, so mixed-version pairs fail fast instead of misparsing
-   a Stats reply. *)
-let protocol_version = 2
+   event-loop health fields.  v3: the Get_shard_map request and
+   R_shard_map response for cluster routing.  The hello version is part
+   of the handshake, so mixed-version pairs fail fast instead of
+   misparsing a reply. *)
+let protocol_version = 3
 let hello_bytes = 10
 
 let hello () =
@@ -327,7 +543,8 @@ let encode_request ~id ~deadline_ms req =
     str b scheme;
     str b graph_name;
     enc_graph b graph
-  | Sleep_ms ms -> u32 b ms);
+  | Sleep_ms ms -> u32 b ms
+  | Get_shard_map -> ());
   Bitbuf.to_bytes b
 
 let decode_request bytes =
@@ -355,6 +572,7 @@ let decode_request bytes =
       let graph = dec_graph rd in
       Evaluate { scheme; graph_name; graph }
     | 9 -> Sleep_ms (r32 rd)
+    | 10 -> Get_shard_map
     | op -> invalid_arg (Printf.sprintf "Wire: unknown opcode %d" op)
   in
   (id, deadline_ms, req)
@@ -372,6 +590,7 @@ let response_tag = function
   | R_graph _ -> 7
   | R_evaluation _ -> 8
   | R_slept _ -> 9
+  | R_shard_map _ -> 10
 
 let encode_outcome ~id outcome =
   let b = Bitbuf.create () in
@@ -392,7 +611,8 @@ let encode_outcome ~id outcome =
       i64 b (int64_of_nonneg "range hi" hi)
     | R_graph t -> enc_matrix b t.Cgraph.matrix
     | R_evaluation e -> enc_evaluation b e
-    | R_slept ms -> u32 b ms)
+    | R_slept ms -> u32 b ms
+    | R_shard_map sm -> enc_shard_map b sm)
   | Rejected msg ->
     u8 b 1;
     str b msg
@@ -426,6 +646,7 @@ let decode_outcome bytes =
           R_graph (Cgraph.of_matrix (Matrix.create m.Matrix.entries))
         | 8 -> R_evaluation (dec_evaluation rd)
         | 9 -> R_slept (r32 rd)
+        | 10 -> R_shard_map (dec_shard_map rd)
         | tag -> invalid_arg (Printf.sprintf "Wire: unknown response tag %d" tag))
     | 1 -> Rejected (rstr rd)
     | 2 -> Overloaded

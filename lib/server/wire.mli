@@ -49,6 +49,38 @@ type addr =
 val pp_addr : Format.formatter -> addr -> unit
 val addr_to_string : addr -> string
 
+(** {1 Shard maps}
+
+    A cluster serves one corpus split into contiguous key ranges. The
+    shard map is the routing contract every node and client shares: the
+    corpus identity (so a client can detect it is talking to the wrong
+    corpus entirely) plus, per shard, the global record-rank range
+    [\[sh_lo, sh_hi)], the boundary key (the row-major entries of record
+    [sh_lo] — shards are ordered by it), and the endpoints that serve
+    the range. [sm_version] increments whenever the topology changes;
+    servers embed their version in stale-shard rejections so clients
+    refresh instead of erroring. *)
+
+type shard = {
+  sh_lo : int;                 (** first global rank served, inclusive *)
+  sh_hi : int;                 (** one past the last global rank *)
+  sh_key : int array;          (** row-major entries of record [sh_lo] *)
+  sh_primary : addr;
+  sh_replicas : addr list;     (** failover targets, in preference order *)
+}
+
+type shard_map = {
+  sm_version : int;            (** topology version, monotonically increasing *)
+  sm_corpus_version : int;     (** {!Umrs_store.Corpus.header} version field *)
+  sm_variant : Umrs_core.Canonical.variant;
+  sm_p : int;
+  sm_q : int;
+  sm_d : int;
+  sm_count : int;              (** total records across all shards *)
+  sm_checksum : int64;         (** checksum of the unsharded corpus *)
+  sm_shards : shard array;     (** ordered by [sh_lo]; contiguous cover *)
+}
+
 (** {1 Requests}
 
     [Ping] and [Stats] are control-plane: the server answers them from
@@ -69,6 +101,8 @@ type request =
   | Evaluate of { scheme : string; graph_name : string; graph : Graph.t }
       (** {!Umrs_routing.Registry.find} + {!Umrs_routing.Scheme.evaluate} *)
   | Sleep_ms of int            (** hold a worker for this many ms *)
+  | Get_shard_map              (** the cluster topology this node belongs
+                                   to; control-plane, answered inline *)
 
 val opcode : request -> int
 val opcode_name : int -> string
@@ -110,6 +144,7 @@ type response =
   | R_graph of Cgraph.t
   | R_evaluation of Umrs_routing.Scheme.evaluation
   | R_slept of int
+  | R_shard_map of shard_map
 
 type outcome =
   | Reply of response
@@ -140,6 +175,60 @@ val decode_request : Bytes.t -> int * int * request
 
 val encode_outcome : id:int -> outcome -> Bytes.t
 val decode_outcome : Bytes.t -> int * outcome
+
+(** {1 Shard-map codec and routing}
+
+    The routing helpers live here — next to the codec — so the server's
+    bounds validation and the cluster client's dispatch share one
+    definition of who owns what. All of them assume a map that passed
+    {!validate_shard_map}. *)
+
+val shard_map_to_bytes : shard_map -> Bytes.t
+val shard_map_of_bytes : Bytes.t -> shard_map
+(** Standalone Bitbuf image of a map — the payload the cluster's
+    on-disk format and the [R_shard_map] response both embed. The
+    decoder raises [Invalid_argument] on malformed bytes. *)
+
+val validate_shard_map : shard_map -> (unit, string) result
+(** Structural invariants: at least one shard, ranges contiguous from 0
+    to [sm_count] with every shard non-empty, boundary keys strictly
+    increasing with arity [p*q]. *)
+
+val corpus_header_of_map : shard_map -> Umrs_store.Corpus.header
+(** The identity of the unsharded corpus the map was cut from. *)
+
+val matrix_key : Matrix.t -> int array
+(** Row-major entries — the key by which records are ordered. *)
+
+val route_index : shard_map -> int -> int
+(** Shard owning global rank [i]; raises [Invalid_argument] when [i] is
+    outside [\[0, sm_count)]. *)
+
+val route_key : shard_map -> int array -> int
+(** Shard owning the given full key: the largest shard whose boundary
+    key is [<=] the key. Keys below every boundary route to shard 0,
+    whose membership answer is correctly [false]. *)
+
+val route_matrix : shard_map -> Matrix.t -> int
+(** [route_key] on {!matrix_key}. *)
+
+val route_prefix : shard_map -> int array -> int * int
+(** Inclusive shard span [(a, b)] that can hold records matching the
+    prefix: [b] is the largest shard whose boundary key truncated to
+    the prefix length is [<=] the prefix (the anchor), [a] the largest
+    whose truncated key is strictly [<]. Always [a <= b]. *)
+
+(** {2 Stale-shard redirects}
+
+    [stale_shard_reject ~version] is the structured [Rejected] a shard
+    server sends for a well-formed request outside its key range —
+    evidence the client routed with an outdated map. The client parses
+    the server's map version back out with [stale_shard_version]
+    ([None] for ordinary rejection messages), refreshes, and re-routes
+    once. *)
+
+val stale_shard_reject : version:int -> outcome
+val stale_shard_version : string -> int option
 
 (** {1 Frames} *)
 

@@ -1,0 +1,93 @@
+open Umrs_core
+
+type piece = {
+  pc_index : int;
+  pc_lo : int;
+  pc_hi : int;
+  pc_key : int array;
+  pc_corpus : string;
+  pc_header : Corpus.header;
+}
+
+let matrix_key (m : Matrix.t) = Array.concat (Array.to_list m.Matrix.entries)
+
+let piece_path ~out_dir ~base k =
+  Filename.concat out_dir (Printf.sprintf "%s.shard%d" base k)
+
+(* Near-equal contiguous rank ranges: shard k covers
+   [k*count/n, (k+1)*count/n).  Every shard is non-empty when
+   count >= n, and the ranges tile [0, count) exactly. *)
+let bounds ~count ~shards k =
+  (k * count / shards, (k + 1) * count / shards)
+
+let split ~corpus ~shards ?(out_dir = Filename.dirname corpus)
+    ?(stride = Query.default_stride) ?(index = true) () =
+  if shards < 1 then invalid_arg "Shard.split: shards must be >= 1";
+  if stride < 1 then invalid_arg "Shard.split: stride must be >= 1";
+  match Corpus.open_reader ~path:corpus with
+  | exception Sys_error m -> Error m
+  | exception Invalid_argument m -> Error m
+  | reader ->
+    let h = Corpus.reader_header reader in
+    if h.Corpus.count < shards then begin
+      Corpus.close_reader reader;
+      Error
+        (Printf.sprintf "corpus has %d records, cannot cut %d non-empty shards"
+           h.Corpus.count shards)
+    end
+    else begin
+      if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+      let base = Filename.basename corpus in
+      (* One sequential pass over the source: records stream from the
+         reader straight into the current piece's writer, so memory
+         stays one record regardless of corpus size. *)
+      let pieces = ref [] in
+      let finish () =
+        Corpus.close_reader reader;
+        Ok (Array.of_list (List.rev !pieces))
+      in
+      let rec write_piece k =
+        if k >= shards then finish ()
+        else begin
+          let lo, hi = bounds ~count:h.Corpus.count ~shards k in
+          let path = piece_path ~out_dir ~base k in
+          let w =
+            Corpus.create_writer ~path ~variant:h.Corpus.variant ~p:h.Corpus.p
+              ~q:h.Corpus.q ~d:h.Corpus.d
+          in
+          let key = ref [||] in
+          (match
+             for i = lo to hi - 1 do
+               match Corpus.read_next reader with
+               | None -> invalid_arg "Shard.split: corpus shorter than header"
+               | Some m ->
+                 if i = lo then key := matrix_key m;
+                 Corpus.write w m
+             done
+           with
+          | exception e ->
+            (try ignore (Corpus.close_writer w) with _ -> ());
+            Corpus.close_reader reader;
+            raise e
+          | () -> ());
+          let ph = Corpus.close_writer w in
+          (match
+             if index then
+               match Query.build ~corpus:path ~stride () with
+               | Ok _ -> Ok ()
+               | Error e -> Error (Query.error_to_string e)
+             else Ok ()
+           with
+          | Error m ->
+            Corpus.close_reader reader;
+            Error m
+          | Ok () ->
+            pieces :=
+              { pc_index = k; pc_lo = lo; pc_hi = hi; pc_key = !key;
+                pc_corpus = path; pc_header = ph }
+              :: !pieces;
+            write_piece (k + 1))
+        end
+      in
+      write_piece 0
+    end

@@ -1,0 +1,51 @@
+(** Cutting a corpus into contiguous key-range shards.
+
+    The cluster layer serves one corpus from many nodes by giving each
+    node a contiguous slice of the global record-rank order. This
+    module produces those slices: a single streaming pass over the
+    source corpus writes one well-formed corpus file per shard (each
+    with its own header, count and checksum — {!Corpus.verify} passes
+    on every piece), optionally with a fresh [.umrsx] sidecar so each
+    node can answer indexed queries over its slice.
+
+    Because records are stored in strictly increasing
+    {!Umrs_core.Matrix.compare_lex} order, rank ranges {e are} key
+    ranges: piece [k]'s first record key is the boundary key the shard
+    map routes by. *)
+
+open Umrs_core
+
+type piece = {
+  pc_index : int;          (** shard number, [0 .. shards-1] *)
+  pc_lo : int;             (** first global rank, inclusive *)
+  pc_hi : int;             (** one past the last global rank *)
+  pc_key : int array;      (** row-major entries of record [pc_lo] *)
+  pc_corpus : string;      (** path of the piece's corpus file *)
+  pc_header : Corpus.header;  (** header of the written piece *)
+}
+
+val matrix_key : Matrix.t -> int array
+(** Row-major entries — the ordering key of the store. *)
+
+val bounds : count:int -> shards:int -> int -> int * int
+(** [bounds ~count ~shards k] is shard [k]'s half-open global rank
+    range [(k*count/shards, (k+1)*count/shards)]: near-equal,
+    contiguous, non-empty whenever [count >= shards]. *)
+
+val piece_path : out_dir:string -> base:string -> int -> string
+(** [out_dir/base.shardK] — where {!split} writes piece [K]. *)
+
+val split :
+  corpus:string -> shards:int -> ?out_dir:string -> ?stride:int ->
+  ?index:bool -> unit -> (piece array, string) result
+(** Cut [corpus] into [shards] near-equal contiguous pieces under
+    [out_dir] (default: the corpus's own directory, created if
+    missing), building a sidecar index per piece ([index], default
+    [true], with [stride], default {!Query.default_stride}). Streaming:
+    memory stays one record regardless of corpus size.
+
+    Returns the pieces in shard order. A corpus with fewer records
+    than shards, an unreadable or malformed source, or an index-build
+    failure comes back as [Error]; [shards < 1] or [stride < 1] raise
+    [Invalid_argument] (caller errors). Writes go through the
+    {!Umrs_fault.Io} seam like every other store path. *)

@@ -1,0 +1,453 @@
+(* The cluster subsystem end to end: shard-map codec and routing
+   invariants, corpus splitting (pieces re-concatenate to the source,
+   byte for byte), the checksummed map file, and live clusters - a
+   differential check that a sharded cluster answers byte-identically
+   to a single server over the unsharded corpus, replica failover when
+   primaries die, and transparent shard-map refresh after a stale
+   verdict. *)
+
+open Umrs_core
+open Helpers
+module Corpus = Umrs_store.Corpus
+module Shard = Umrs_store.Shard
+module Q = Umrs_store.Query
+module Wire = Umrs_server.Wire
+module Server = Umrs_server.Server
+module C = Umrs_client
+module Shard_map = Umrs_cluster.Shard_map
+module Cluster = Umrs_cluster.Cluster
+module Cl = Umrs_cluster.Client
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "umrs_cluster" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let ok_client what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (C.error_to_string e)
+
+let ok_server what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+let build_corpus dir =
+  let corpus = Filename.concat dir "ref.corpus" in
+  ignore (Umrs_store.Builder.build ~p:2 ~q:3 ~d:3 ~out:corpus ());
+  (match Q.build ~corpus () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "index build: %s" (Q.error_to_string e));
+  corpus
+
+(* A corpus split three ways plus a map over synthetic endpoints - the
+   fixture for every test that needs a topology but no live servers. *)
+let split_fixture dir ~shards =
+  let corpus = build_corpus dir in
+  let pieces =
+    match Shard.split ~corpus ~shards () with
+    | Ok ps -> ps
+    | Error e -> Alcotest.failf "split: %s" e
+  in
+  let endpoints =
+    Array.init (Array.length pieces) (fun k ->
+        ( Wire.Unix_sock (Printf.sprintf "/run/n%dp.sock" k),
+          [ Wire.Tcp (Printf.sprintf "replica-%d.local" k, 7700 + k) ] ))
+  in
+  let map =
+    Shard_map.build ~source:(Corpus.info ~path:corpus) ~version:3 ~pieces
+      ~endpoints
+  in
+  (corpus, pieces, map)
+
+let with_cluster ~shards ?(replicas = 0) ?map_version dir f =
+  let corpus = build_corpus dir in
+  let cdir = Filename.concat dir "cluster" in
+  match Cluster.start ~corpus ~shards ~dir:cdir ~replicas ?map_version () with
+  | Error e -> Alcotest.failf "cluster start: %s" e
+  | Ok t ->
+    Fun.protect
+      ~finally:(fun () ->
+        Cluster.shutdown t;
+        Cluster.wait t)
+      (fun () -> f corpus t)
+
+(* ---------- wire codec and stale verdicts ---------- *)
+
+let test_map_codec_roundtrip () =
+  with_tmp_dir @@ fun dir ->
+  let _, _, map = split_fixture dir ~shards:3 in
+  check_true "built map validates" (Wire.validate_shard_map map = Ok ());
+  let map' = Wire.shard_map_of_bytes (Wire.shard_map_to_bytes map) in
+  check_true "map round-trips through the codec" (map = map');
+  check_true "corpus identity preserved"
+    (Wire.corpus_header_of_map map' = Wire.corpus_header_of_map map);
+  (* a stale-shard verdict carries a version the client can parse back *)
+  (match Wire.stale_shard_reject ~version:7 with
+  | Wire.Rejected msg ->
+    check_true "stale verdict parses back"
+      (Wire.stale_shard_version msg = Some 7)
+  | _ -> Alcotest.fail "stale reject must be a Rejected verdict");
+  check_true "ordinary rejections do not parse as stale"
+    (Wire.stale_shard_version "no such record" = None)
+
+let test_validate_rejects_broken_maps () =
+  with_tmp_dir @@ fun dir ->
+  let _, _, map = split_fixture dir ~shards:3 in
+  let broken what m =
+    match Wire.validate_shard_map m with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "%s: accepted" what
+  in
+  let sh = map.Wire.sm_shards in
+  broken "no shards" { map with Wire.sm_shards = [||] };
+  broken "range gap"
+    { map with
+      Wire.sm_shards =
+        [| sh.(0); { sh.(1) with Wire.sh_lo = sh.(1).Wire.sh_lo + 1 }; sh.(2) |] };
+  broken "last shard stops short"
+    { map with
+      Wire.sm_shards =
+        [| sh.(0); sh.(1); { sh.(2) with Wire.sh_hi = sh.(2).Wire.sh_hi - 1 } |] };
+  broken "empty shard"
+    { map with
+      Wire.sm_shards =
+        [| sh.(0); { sh.(1) with Wire.sh_hi = sh.(1).Wire.sh_lo } |] };
+  broken "boundary keys out of order"
+    { map with
+      Wire.sm_shards =
+        [| sh.(0); { sh.(1) with Wire.sh_key = sh.(0).Wire.sh_key }; sh.(2) |] };
+  broken "boundary key arity"
+    { map with
+      Wire.sm_shards = [| { sh.(0) with Wire.sh_key = [| 1; 1 |] }; sh.(1); sh.(2) |] }
+
+(* ---------- routing invariants against a real corpus ---------- *)
+
+let test_routing_invariants () =
+  with_tmp_dir @@ fun dir ->
+  let corpus, _, map = split_fixture dir ~shards:3 in
+  let _, records = Corpus.load ~path:corpus in
+  let count = List.length records in
+  let ns = Array.length map.Wire.sm_shards in
+  check_int "three shards" 3 ns;
+  List.iteri
+    (fun i m ->
+      let owner = Wire.route_index map i in
+      let sh = map.Wire.sm_shards.(owner) in
+      check_true "rank lies inside its owner's range"
+        (sh.Wire.sh_lo <= i && i < sh.Wire.sh_hi);
+      check_int "key routes to the rank's shard" owner (Wire.route_matrix map m);
+      check_int "raw key agrees" owner (Wire.route_key map (Wire.matrix_key m));
+      let a, b = Wire.route_prefix map (Wire.matrix_key m) in
+      check_true "full-key span covers the owner" (a <= owner && owner <= b))
+    records;
+  check_true "rank = count is out of range"
+    (match Wire.route_index map count with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_true "negative rank is out of range"
+    (match Wire.route_index map (-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_int "a key below every boundary routes to shard 0" 0
+    (Wire.route_key map (Array.make 6 0));
+  check_true "the empty prefix spans every shard"
+    (Wire.route_prefix map [||] = (0, ns - 1))
+
+(* ---------- splitting: nothing lost, nothing reordered ---------- *)
+
+let test_split_preserves_the_corpus () =
+  with_tmp_dir @@ fun dir ->
+  let corpus, pieces, _ = split_fixture dir ~shards:3 in
+  let _, originals = Corpus.load ~path:corpus in
+  let count = List.length originals in
+  let reassembled =
+    Array.to_list pieces
+    |> List.concat_map (fun pc -> snd (Corpus.load ~path:pc.Shard.pc_corpus))
+  in
+  check_int "every record present" count (List.length reassembled);
+  List.iter2
+    (fun a b -> check_true "records equal, in source order" (Matrix.equal a b))
+    originals reassembled;
+  Array.iteri
+    (fun k pc ->
+      let v = Corpus.verify ~path:pc.Shard.pc_corpus in
+      check_true "piece is an intact corpus" (v.Corpus.v_problems = []);
+      check_int "piece count matches its range" (pc.Shard.pc_hi - pc.Shard.pc_lo)
+        v.Corpus.v_records_read;
+      let lo, hi = Shard.bounds ~count ~shards:3 k in
+      check_int "lo is the contract" lo pc.Shard.pc_lo;
+      check_int "hi is the contract" hi pc.Shard.pc_hi;
+      check_true "boundary key is the first record's key"
+        (pc.Shard.pc_key = Shard.matrix_key (List.nth originals pc.Shard.pc_lo));
+      check_true "piece has a usable index"
+        (match Q.open_ ~corpus:pc.Shard.pc_corpus () with
+        | Ok q ->
+          Q.close q;
+          true
+        | Error _ -> false))
+    pieces;
+  check_true "more shards than records is an error, not a crash"
+    (match Shard.split ~corpus ~shards:(count + 1) () with
+    | Error _ -> true
+    | Ok _ -> false);
+  check_true "shards < 1 is a caller error"
+    (match Shard.split ~corpus ~shards:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- the map file ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+let write_file path b =
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let test_map_file_roundtrip_and_corruption () =
+  with_tmp_dir @@ fun dir ->
+  let _, _, map = split_fixture dir ~shards:3 in
+  let path = Filename.concat dir "m.umrsm" in
+  Shard_map.save ~path map;
+  (match Shard_map.load ~path with
+  | Ok m -> check_true "load returns what save wrote" (m = map)
+  | Error e -> Alcotest.failf "load: %s" e);
+  let original = read_file path in
+  let flip b i =
+    let c = Bytes.copy b in
+    Bytes.set c i (Char.chr (Char.code (Bytes.get c i) lxor 0xFF));
+    c
+  in
+  let corrupt what bytes =
+    write_file path bytes;
+    match Shard_map.load ~path with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s went undetected" what
+  in
+  corrupt "a bad magic" (flip original 0);
+  corrupt "an unknown schema" (flip original 8);
+  corrupt "a flipped payload byte" (flip original (Bytes.length original - 1));
+  corrupt "a truncated payload" (Bytes.sub original 0 (Bytes.length original - 3));
+  corrupt "a file shorter than the header" (Bytes.sub original 0 10);
+  (* corruption detection is non-destructive: the original still loads *)
+  write_file path original;
+  check_true "pristine bytes still load"
+    (match Shard_map.load ~path with Ok m -> m = map | Error _ -> false)
+
+(* ---------- live cluster: differential against a single node ---------- *)
+
+let test_differential_cluster_equals_single_node () =
+  with_tmp_dir @@ fun dir ->
+  with_cluster ~shards:3 ~replicas:1 dir @@ fun corpus cl ->
+  check_int "nodes running" 6 (Cluster.live_nodes cl);
+  (match Shard_map.load ~path:(Cluster.map_path cl) with
+  | Ok m -> check_true "persisted map matches the live one" (m = Cluster.map cl)
+  | Error e -> Alcotest.failf "persisted map: %s" e);
+  (* the reference: one server over the unsharded corpus *)
+  let saddr = Wire.Unix_sock (Filename.concat dir "single.sock") in
+  let cfg =
+    { (Server.default_config saddr) with
+      Server.corpus = Some corpus; workers = 2; queue_capacity = 32;
+      cache_capacity = 8 }
+  in
+  let srv = ok_server "single start" (Server.start cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown srv;
+      Server.wait srv)
+  @@ fun () ->
+  let sc = ok_client "single connect" (C.connect ~retries:5 saddr) in
+  Fun.protect ~finally:(fun () -> C.close sc) @@ fun () ->
+  (* bootstrap the routing client from a replica, not a primary *)
+  let cc = ok_client "fetch map" (Cl.fetch (Cluster.addr cl ~shard:1 ~role:1)) in
+  Fun.protect ~finally:(fun () -> Cl.close cc) @@ fun () ->
+  ok_client "cluster ping" (Cl.ping cc);
+  let h = ok_client "cluster info" (Cl.corpus_info cc) in
+  check_true "cluster header = single header"
+    (h = ok_client "single info" (C.corpus_info sc));
+  let n = h.Corpus.count in
+  check_true "corpus non-trivial" (n >= 3);
+  for i = 0 to n - 1 do
+    let m = ok_client "single nth" (C.nth sc i) in
+    check_true "nth equal" (Matrix.equal m (ok_client "cluster nth" (Cl.nth cc i)));
+    check_true "mem equal"
+      (ok_client "cluster mem" (Cl.mem cc m) = ok_client "single mem" (C.mem sc m));
+    check_int "rank equal"
+      (ok_client "single rank" (C.rank sc m))
+      (ok_client "cluster rank" (Cl.rank cc m));
+    check_true "cgraph equal"
+      (ok_client "cluster cgraph" (Cl.cgraph cc i)
+      = ok_client "single cgraph" (C.cgraph sc i))
+  done;
+  (* prefix ranges exercise every span shape: all shards, one shard,
+     shard boundaries, and prefixes with no matches *)
+  List.iter
+    (fun prefix ->
+      check_true "range_prefix equal"
+        (ok_client "cluster range" (Cl.range_prefix cc prefix)
+        = ok_client "single range" (C.range_prefix sc prefix)))
+    [ [||]; [| 1 |]; [| 2 |]; [| 3 |]; [| 1; 2 |]; [| 1; 1; 2 |];
+      [| 2; 3; 1 |]; [| 1; 2; 1; 1; 1; 2 |] ];
+  let absent = Matrix.create_relaxed [| [| 3; 3; 3 |]; [| 3; 3; 3 |] |] in
+  check_true "absent mem equal"
+    (ok_client "cluster mem" (Cl.mem cc absent)
+    = ok_client "single mem" (C.mem sc absent));
+  check_int "absent rank equal"
+    (ok_client "single rank" (C.rank sc absent))
+    (ok_client "cluster rank" (Cl.rank cc absent));
+  (* one batch of every shape: buckets per shard, reassembles in order *)
+  let m0 = ok_client "m0" (C.nth sc 0) in
+  let reqs =
+    [ Wire.Ping 77; Wire.Nth 0; Wire.Range_prefix [||]; Wire.Mem m0;
+      Wire.Rank m0; Wire.Nth (n - 1); Wire.Range_prefix [| 1 |];
+      Wire.Nth (n / 2) ]
+  in
+  let cluster_rs = Cl.batch cc reqs in
+  let single_rs = C.call_pipelined sc reqs in
+  check_int "batch answered in full" (List.length reqs) (List.length cluster_rs);
+  List.iter2
+    (fun a b ->
+      check_true "batch slot equal"
+        (ok_client "cluster slot" a = ok_client "single slot" b))
+    cluster_rs single_rs;
+  (* out of range comes back Refused, exactly as a single server answers *)
+  (match Cl.nth cc (n + 5) with
+  | Error (C.Refused _) -> ()
+  | _ -> Alcotest.fail "out-of-range nth must be Refused");
+  match Cl.nth cc (-1) with
+  | Error (C.Refused _) -> ()
+  | _ -> Alcotest.fail "negative nth must be Refused"
+
+(* ---------- failover: killing primaries is invisible ---------- *)
+
+let test_failover_survives_primary_loss () =
+  with_tmp_dir @@ fun dir ->
+  with_cluster ~shards:2 ~replicas:1 dir @@ fun corpus cl ->
+  let _, records = Corpus.load ~path:corpus in
+  let n = List.length records in
+  let cc = ok_client "fetch" (Cl.fetch (Cluster.addr cl ~shard:0 ~role:0)) in
+  Fun.protect ~finally:(fun () -> Cl.close cc) @@ fun () ->
+  (* warm every group through its primary *)
+  for i = 0 to n - 1 do
+    ignore (ok_client "warm nth" (Cl.nth cc i))
+  done;
+  check_int "all nodes up" 4 (Cluster.live_nodes cl);
+  (* kill every primary: the replicas must absorb the whole keyspace *)
+  Cluster.kill_primary cl 0;
+  Cluster.kill_primary cl 1;
+  check_int "only replicas left" 2 (Cluster.live_nodes cl);
+  List.iteri
+    (fun i m ->
+      check_true "answers unchanged after the kill"
+        (Matrix.equal m (ok_client "nth after kill" (Cl.nth cc i))))
+    records;
+  check_true "ranges still merge"
+    (match Cl.range_prefix cc [||] with Ok (0, h) -> h = n | _ -> false);
+  ok_client "ping after kill" (Cl.ping cc);
+  let s = Cl.stats cc in
+  check_true "failovers recorded" (s.Cl.s_failovers >= 2);
+  check_int "graceful kills crash no workers" 0 (Cluster.worker_crashes cl);
+  (* kill is idempotent *)
+  Cluster.kill_primary cl 0;
+  check_int "idempotent kill" 2 (Cluster.live_nodes cl)
+
+(* ---------- stale shard map: refresh, re-route, answer ---------- *)
+
+let test_stale_map_refreshes_transparently () =
+  with_tmp_dir @@ fun dir ->
+  with_cluster ~shards:2 ~map_version:2 dir @@ fun corpus cl ->
+  let _, records = Corpus.load ~path:corpus in
+  (* a client holding version 1 with the endpoint groups swapped: every
+     routed request lands on the wrong node, whose stale verdict names
+     version 2; the client must refresh once and answer correctly *)
+  let live = Cluster.map cl in
+  let sh = live.Wire.sm_shards in
+  let doctored =
+    { live with
+      Wire.sm_version = 1;
+      sm_shards =
+        [| { sh.(0) with Wire.sh_primary = sh.(1).Wire.sh_primary;
+             sh_replicas = sh.(1).Wire.sh_replicas };
+           { sh.(1) with Wire.sh_primary = sh.(0).Wire.sh_primary;
+             sh_replicas = sh.(0).Wire.sh_replicas } |] }
+  in
+  check_true "the doctored map still validates"
+    (Wire.validate_shard_map doctored = Ok ());
+  let cc = Cl.of_map doctored in
+  Fun.protect ~finally:(fun () -> Cl.close cc) @@ fun () ->
+  let got = ok_client "nth through a stale map" (Cl.nth cc 0) in
+  check_true "right record despite the stale map"
+    (Matrix.equal (List.hd records) got);
+  let s = Cl.stats cc in
+  check_true "a refresh happened" (s.Cl.s_refreshes >= 1);
+  check_int "client converged on the live version" 2 (Cl.map cc).Wire.sm_version;
+  (* and the refreshed topology routes everything *)
+  List.iteri
+    (fun i m ->
+      check_true "post-refresh answers"
+        (Matrix.equal m (ok_client "nth" (Cl.nth cc i))))
+    records
+
+(* ---------- supervisor edges ---------- *)
+
+let test_cluster_start_failures_leak_nothing () =
+  with_tmp_dir @@ fun dir ->
+  (match
+     Cluster.start
+       ~corpus:(Filename.concat dir "absent.corpus")
+       ~shards:2
+       ~dir:(Filename.concat dir "c1")
+       ()
+   with
+  | Error _ -> ()
+  | Ok t ->
+    Cluster.shutdown t;
+    Cluster.wait t;
+    Alcotest.fail "a missing corpus must fail to start");
+  let corpus = build_corpus dir in
+  (match
+     Cluster.start ~corpus ~shards:10_000 ~dir:(Filename.concat dir "c2") ()
+   with
+  | Error _ -> ()
+  | Ok t ->
+    Cluster.shutdown t;
+    Cluster.wait t;
+    Alcotest.fail "more shards than records must fail to start");
+  check_true "negative replicas are a caller error"
+    (match
+       Cluster.start ~corpus ~shards:1 ~dir:(Filename.concat dir "c3")
+         ~replicas:(-1) ()
+     with
+    | exception Invalid_argument _ -> true
+    | Error _ | Ok _ -> false)
+
+let suite =
+  [
+    case "shard map round-trips the wire codec" test_map_codec_roundtrip;
+    case "validation rejects broken maps" test_validate_rejects_broken_maps;
+    case "routing invariants hold over a real corpus" test_routing_invariants;
+    case "splitting preserves the corpus exactly" test_split_preserves_the_corpus;
+    case "map file round-trips; corruption is detected"
+      test_map_file_roundtrip_and_corruption;
+    case "cluster answers = single node, every request shape"
+      test_differential_cluster_equals_single_node;
+    case "replica failover survives losing every primary"
+      test_failover_survives_primary_loss;
+    case "a stale shard map refreshes transparently"
+      test_stale_map_refreshes_transparently;
+    case "start failures unwind cleanly" test_cluster_start_failures_leak_nothing;
+  ]

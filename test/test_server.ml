@@ -49,7 +49,7 @@ let sample_requests =
     Wire.Evaluate
       { scheme = "routing-tables"; graph_name = "petersen";
         graph = sample_graph };
-    Wire.Sleep_ms 250 ]
+    Wire.Sleep_ms 250; Wire.Get_shard_map ]
 
 let test_wire_request_roundtrip () =
   List.iteri
@@ -69,6 +69,20 @@ let sample_stats =
     st_draining = true; st_live_conns = 11; st_cache_evictions = 6;
     st_loop_wakeups = 123456; st_queue_hwm = 13 }
 
+let sample_shard_map =
+  { Wire.sm_version = 4; sm_corpus_version = 1;
+    sm_variant = Umrs_core.Canonical.Full; sm_p = 2; sm_q = 3; sm_d = 3;
+    sm_count = 10; sm_checksum = 0x1234_5678_9ABC_DEF0L;
+    sm_shards =
+      [| { Wire.sh_lo = 0; sh_hi = 4; sh_key = [| 1; 1; 1; 1; 1; 1 |];
+           sh_primary = Wire.Unix_sock "/tmp/a.sock";
+           sh_replicas = [ Wire.Unix_sock "/tmp/a2.sock" ] };
+         { Wire.sh_lo = 4; sh_hi = 10; sh_key = [| 1; 2; 1; 1; 1; 2 |];
+           sh_primary = Wire.Tcp ("shard-b.local", 7700);
+           sh_replicas =
+             [ Wire.Tcp ("shard-b2.local", 7700); Wire.Unix_sock "/tmp/b3" ] }
+      |] }
+
 let test_wire_outcome_roundtrip () =
   let evaluation =
     Scheme.evaluate Table_scheme.scheme ~graph_name:"petersen" sample_graph
@@ -80,6 +94,7 @@ let test_wire_outcome_roundtrip () =
       Wire.Reply (Wire.R_range (3, 9));
       Wire.Reply (Wire.R_graph (Cgraph.of_matrix sample_matrix));
       Wire.Reply (Wire.R_evaluation evaluation); Wire.Reply (Wire.R_slept 250);
+      Wire.Reply (Wire.R_shard_map sample_shard_map);
       Wire.Rejected "no such record"; Wire.Overloaded; Wire.Timed_out ]
   in
   List.iteri
@@ -892,6 +907,114 @@ let test_connection_cap_at_scale () =
       in
       retry 40)
 
+(* ---------- select fallback, forced end to end via the env knob ---------- *)
+
+let test_select_backend_e2e () =
+  let prior = Sys.getenv_opt "UMRS_EVLOOP_BACKEND" in
+  Unix.putenv "UMRS_EVLOOP_BACKEND" "select";
+  Fun.protect
+    ~finally:(fun () ->
+      (* putenv cannot unset; an empty value falls back to the auto-pick *)
+      Unix.putenv "UMRS_EVLOOP_BACKEND" (Option.value prior ~default:""))
+    (fun () ->
+      let loop = Evloop.create () in
+      Fun.protect ~finally:(fun () -> Evloop.close loop) @@ fun () ->
+      check_true "env knob steers the auto-pick"
+        (Evloop.backend loop = Evloop.Select);
+      (if Evloop.epoll_available () then begin
+         (* ...but an explicit request always wins *)
+         let l2 = Evloop.create ~backend:Evloop.Epoll () in
+         Fun.protect ~finally:(fun () -> Evloop.close l2) @@ fun () ->
+         check_true "explicit backend beats the env"
+           (Evloop.backend l2 = Evloop.Epoll)
+       end);
+      (* a whole server runs its poller on select and serves the same
+         contract: typed calls, a pipelined burst, raw-fd traffic *)
+      with_tmp_dir @@ fun dir ->
+      let corpus = build_corpus dir in
+      with_server ~queue:128 ~corpus dir @@ fun addr _srv ->
+      (with_client addr @@ fun c ->
+       ok_client "ping over select" (C.ping c);
+       let m = ok_client "nth over select" (C.nth c 0) in
+       check_true "mem over select" (ok_client "mem" (C.mem c m));
+       let rs =
+         C.call_pipelined c (List.init 50 (fun i -> Wire.Nth (i mod 3)))
+       in
+       check_int "pipelined burst answered" 50 (List.length rs);
+       List.iter (fun r -> ignore (ok_client "burst reply" r)) rs);
+      let fd = raw_connect (sock_path_of addr) in
+      Fun.protect ~finally:(fun () -> close_quietly fd) @@ fun () ->
+      let frame =
+        frame_of (Wire.encode_request ~id:9 ~deadline_ms:0 (Wire.Ping 9))
+      in
+      ignore (Unix.write fd frame 0 (Bytes.length frame));
+      match read_reply fd with
+      | 9, Wire.Reply (Wire.R_pong 9) -> ()
+      | _ -> Alcotest.fail "select backend: bad raw ping reply")
+
+(* ---------- protocol version mismatch, both directions ---------- *)
+
+let test_version_mismatch_is_typed_and_clean () =
+  with_tmp_dir @@ fun dir ->
+  (* client side: a server greeting with the wrong version is a typed
+     Protocol error naming both versions - never a hang or a crash *)
+  let path = Filename.concat dir "old.sock" in
+  let lfd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> close_quietly lfd) @@ fun () ->
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 1;
+  let impostor =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept ~cloexec:true lfd in
+        let greeting = Wire.hello () in
+        Bytes.set_uint16_le greeting 8 (Wire.protocol_version + 1);
+        ignore (Unix.write fd greeting 0 (Bytes.length greeting));
+        (* drain the client's hello so its write never blocks *)
+        (try read_exactly fd (Bytes.create Wire.hello_bytes) 0 Wire.hello_bytes
+         with _ -> ());
+        close_quietly fd)
+      ()
+  in
+  (match C.connect (Wire.Unix_sock path) with
+  | Error (C.Protocol msg) ->
+    check_true "mismatch names the offered version"
+      (let needle = string_of_int (Wire.protocol_version + 1) in
+       let nl = String.length needle and ml = String.length msg in
+       let rec scan i =
+         i + nl <= ml && (String.sub msg i nl = needle || scan (i + 1))
+       in
+       scan 0)
+  | Ok c ->
+    C.close c;
+    Alcotest.fail "client accepted a wrong-version hello"
+  | Error e -> Alcotest.failf "expected Protocol, got %s" (C.error_to_string e));
+  Thread.join impostor;
+  (* server side: a client hello with the wrong version is answered by a
+     clean close, promptly, with the server still serving others *)
+  with_server dir @@ fun addr _srv ->
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> close_quietly fd) @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX (sock_path_of addr));
+  let bad = Wire.hello () in
+  Bytes.set_uint16_le bad 8 (Wire.protocol_version + 1);
+  ignore (Unix.write fd bad 0 (Bytes.length bad));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  let buf = Bytes.create (2 * Wire.hello_bytes) in
+  let rec drain_to_eof budget =
+    if budget = 0 then Alcotest.fail "server never closed a wrong-version peer"
+    else
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | _ -> drain_to_eof (budget - 1) (* a server hello in flight is fine *)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Alcotest.fail "wrong-version connection was left hanging"
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  drain_to_eof 4;
+  with_client addr @@ fun c ->
+  ok_client "server survives a version mismatch" (C.ping c)
+
 let suite =
   [
     case "wire: requests round-trip" test_wire_request_roundtrip;
@@ -930,4 +1053,8 @@ let suite =
     case "a thousand-plus live connections (past FD_SETSIZE)"
       test_thousand_plus_connections;
     case "connection cap holds at scale" test_connection_cap_at_scale;
+    case "select fallback serves the same contract end to end"
+      test_select_backend_e2e;
+    case "protocol version mismatch is typed and clean"
+      test_version_mismatch_is_typed_and_clean;
   ]
