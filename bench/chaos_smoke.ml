@@ -16,9 +16,13 @@
       a post-storm probe failure, or zero worker crashes across both
       levels (the supervisor path must actually have been exercised).
 
-   Results go to BENCH_chaos.json (override with --json PATH), schema
-   umrs/bench-chaos/v1. Override the seed with UMRS_TEST_SEED. *)
+   Results land in BENCH_chaos.json as a umrs/bench/v1 report (--json
+   PATH overrides) and append to the history; with --baseline PATH the
+   storm levels' recovery_p95 is gated against the committed baseline —
+   the metric the resilience layer exists to bound. Override the seed
+   with UMRS_TEST_SEED. *)
 
+module B = Umrs_bench
 module Q = Umrs_store.Query
 module Wire = Umrs_server.Wire
 module Harness = Umrs_chaos.Harness
@@ -27,13 +31,8 @@ module Storm = Umrs_chaos.Storm
 let die fmt =
   Printf.ksprintf (fun s -> prerr_endline ("chaos_smoke: " ^ s); exit 1) fmt
 
-let flag_value name =
-  let rec go i =
-    if i + 1 >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
-    else go (i + 1)
-  in
-  go 1
+let count_metric name v =
+  B.Report.metric ~better:B.Report.Higher name (float_of_int v)
 
 let () =
   let seed =
@@ -53,7 +52,8 @@ let () =
         let scratch =
           Filename.concat dir (Printf.sprintf "matrix_d%d" domains)
         in
-        let s =
+        let s, secs =
+          B.Clock.time @@ fun () ->
           Harness.crash_matrix ~domains ~checkpoint_every:1024 ~seed ~p ~q ~d
             ~scratch ()
         in
@@ -69,10 +69,10 @@ let () =
            crashes, %d failures\n%!"
           p q d domains s.Harness.s_points s.Harness.s_crashes
           (List.length s.Harness.s_failures);
-        s)
+        (s, secs))
       [ 1; 3 ]
   in
-  if List.exists (fun s -> s.Harness.s_failures <> []) matrices then
+  if List.exists (fun (s, _) -> s.Harness.s_failures <> []) matrices then
     die "crash matrix failed (seed %d)" seed;
 
   (* 2: storm levels against a live server *)
@@ -122,36 +122,55 @@ let () =
          supervisor went unexercised"
       seed;
 
-  let json = Option.value (flag_value "--json") ~default:"BENCH_chaos.json" in
-  let oc = open_out json in
-  Printf.fprintf oc
-    "{\n  \"schema\": \"umrs/bench-chaos/v1\",\n  \"seed\": %d,\n\
-    \  \"crash_matrix\": [\n%s\n  ],\n  \"levels\": [\n%s\n  ]\n}\n"
-    seed
-    (String.concat ",\n"
-       (List.map
-          (fun s ->
-            Printf.sprintf
-              "    {\"instance\": {\"p\": %d, \"q\": %d, \"d\": %d}, \
-               \"domains\": %d, \"points\": %d, \"crashes\": %d, \
-               \"failures\": %d}"
-              s.Harness.s_p s.Harness.s_q s.Harness.s_d s.Harness.s_domains
-              s.Harness.s_points s.Harness.s_crashes
-              (List.length s.Harness.s_failures))
-          matrices))
-    (String.concat ",\n"
-       (List.map
-          (fun l ->
-            Printf.sprintf
-              "    {\"intensity\": %.3f, \"requests\": %d, \"success\": %d, \
-               \"degraded\": %d, \"failed\": %d, \"worker_crashes\": %d, \
-               \"breaker_opens\": %d, \"breaker_fastfails\": %d, \
-               \"recovery_latency_seconds\": {\"p50\": %.9f, \"p95\": %.9f}, \
-               \"seconds\": %.6f}"
-              l.Storm.l_intensity l.Storm.l_requests l.Storm.l_success
-              l.Storm.l_degraded l.Storm.l_failed l.Storm.l_worker_crashes
-              l.Storm.l_breaker_opens l.Storm.l_breaker_fastfails
-              l.Storm.l_recovery_p50 l.Storm.l_recovery_p95 l.Storm.l_seconds)
-          levels));
-  close_out oc;
-  Printf.printf "chaos_smoke: OK (seed %d; %s)\n" seed json
+  let matrix_benches =
+    List.map
+      (fun (s, secs) ->
+        { B.Report.b_name =
+            Printf.sprintf "chaos/matrix_d%d" s.Harness.s_domains;
+          b_iters = s.Harness.s_points; b_warmup = 0; b_seconds = secs;
+          b_metrics =
+            [ count_metric "points" s.Harness.s_points;
+              count_metric "crashes" s.Harness.s_crashes;
+              B.Report.metric "failures"
+                (float_of_int (List.length s.Harness.s_failures)) ] })
+      matrices
+  in
+  let storm_benches =
+    List.map
+      (fun l ->
+        { B.Report.b_name =
+            Printf.sprintf "chaos/storm_%.2f" l.Storm.l_intensity;
+          b_iters = l.Storm.l_requests; b_warmup = 0;
+          b_seconds = l.Storm.l_seconds;
+          b_metrics =
+            [ B.Report.metric ~unit_:"s" "recovery_p50"
+                l.Storm.l_recovery_p50;
+              (* the metric the resilience layer exists to bound: how
+                 long a faulted request takes to come back healthy.
+                 Identical runs swing ~3x on one box, so the gate only
+                 fires past 5x baseline — a real resilience regression
+                 (broken breaker, runaway backoff) lands at 100x *)
+              B.Report.metric ~unit_:"s" ~gated:true ~threshold:4.0
+                "recovery_p95" l.Storm.l_recovery_p95;
+              count_metric "success" l.Storm.l_success;
+              count_metric "degraded" l.Storm.l_degraded;
+              count_metric "failed" l.Storm.l_failed;
+              count_metric "worker_crashes" l.Storm.l_worker_crashes;
+              count_metric "breaker_opens" l.Storm.l_breaker_opens;
+              count_metric "breaker_fastfails" l.Storm.l_breaker_fastfails ]
+        })
+      levels
+  in
+  let report =
+    B.Report.make ~suite:"chaos"
+      ~context:
+        [ ("seed", B.Json.Num (float_of_int seed));
+          ("instance",
+           B.Json.Obj
+             [ ("p", B.Json.Num (float_of_int p));
+               ("q", B.Json.Num (float_of_int q));
+               ("d", B.Json.Num (float_of_int d)) ]) ]
+      (matrix_benches @ storm_benches)
+  in
+  B.Cli.finish ~default_json:"BENCH_chaos.json" report;
+  Printf.printf "chaos_smoke: OK (seed %d)\n" seed

@@ -18,13 +18,13 @@
      recorded (the kills must actually have been felt) or if any
      worker domain crashed.
 
-   Records multi-node throughput and p50/p95 latency per level to
-   BENCH_cluster.json, schema umrs/bench-cluster/v1 (override with
-   --json PATH). With --baseline PATH every level present in the
-   committed baseline is gated at 50% of its rps - looser than the
-   single-server gate because six servers, their pollers and the
-   client fleet all share one CI box. *)
+   Each level is a bench (cluster/<threads>t) in the umrs/bench/v1
+   report written to BENCH_cluster.json (--json PATH overrides) and
+   appended to the history; with --baseline PATH every level's rps is
+   gated at 50% — looser than the single-server gate because six
+   servers, their pollers and the client fleet all share one CI box. *)
 
+module B = Umrs_bench
 module Corpus = Umrs_store.Corpus
 module Q = Umrs_store.Query
 module Wire = Umrs_server.Wire
@@ -35,17 +35,10 @@ module Cl = Umrs_cluster.Client
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("cluster_smoke: " ^ s);
                                 exit 1) fmt
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  sorted.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1)))
-
-let flag_value name =
-  let rec go i =
-    if i + 1 >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
-    else go (i + 1)
-  in
-  go 1
+(* one monotonic origin for every latency measurement in the run *)
+let now_s =
+  let t0 = B.Clock.now_ns () in
+  fun () -> B.Clock.since_s t0
 
 let shards = 3
 let replicas = 1
@@ -97,9 +90,9 @@ let run_level bootstrap records ~threads ~per_thread =
             Fun.protect ~finally:(fun () -> Cl.close client) @@ fun () ->
             let lat = Array.make per_thread 0.0 in
             for k = 0 to per_thread - 1 do
-              let t0 = Unix.gettimeofday () in
+              let t0 = now_s () in
               verified_call client records ((t * 7919) + k);
-              lat.(k) <- Unix.gettimeofday () -. t0
+              lat.(k) <- now_s () -. t0
             done;
             slots.(t) <- lat)
           ())
@@ -144,47 +137,6 @@ let storm cl bootstrap records ~threads =
   ( Array.fold_left ( + ) 0 ops,
     Array.fold_left ( + ) 0 failovers )
 
-(* ---------- baseline gate ---------- *)
-
-let baseline_rps path ~threads =
-  let ic = open_in path in
-  let needle = Printf.sprintf "\"threads\": %d," threads in
-  let found = ref None in
-  (try
-     while !found = None do
-       let line = input_line ic in
-       let has s sub =
-         let n = String.length sub in
-         let rec go i =
-           i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
-         in
-         go 0
-       in
-       if has line needle then begin
-         let key = "\"rps\": " in
-         let rec find i =
-           if i + String.length key > String.length line then None
-           else if String.sub line i (String.length key) = key then
-             Some (i + String.length key)
-           else find (i + 1)
-         in
-         match find 0 with
-         | None -> ()
-         | Some s ->
-           let e = ref s in
-           while
-             !e < String.length line
-             && (match line.[!e] with
-                | '0' .. '9' | '.' | '-' -> true
-                | _ -> false)
-           do incr e done;
-           found := Some (float_of_string (String.sub line s (!e - s)))
-       end
-     done
-   with End_of_file -> ());
-  close_in ic;
-  !found
-
 (* ---------- main ---------- *)
 
 let () =
@@ -212,22 +164,24 @@ let () =
   let bootstrap = Cluster.addr cl ~shard:0 ~role:0 in
   (* throughput: single caller, then a small fleet *)
   let levels = [ (1, 600); (8, 250) ] in
-  let results =
+  let level_benches =
     List.map
       (fun (threads, per_thread) ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = now_s () in
         let latencies = run_level bootstrap records ~threads ~per_thread in
-        let seconds = Unix.gettimeofday () -. t0 in
-        Array.sort compare latencies;
-        let requests = Array.length latencies in
-        (threads, requests, seconds,
-         float_of_int requests /. seconds,
-         percentile latencies 50., percentile latencies 95.))
+        let seconds = now_s () -. t0 in
+        (* six servers plus the client fleet share one CI box: every
+           level gets the looser 50% rps floor *)
+        B.Harness.of_samples
+          ~name:(Printf.sprintf "cluster/%dt" threads)
+          ~seconds ~threshold:0.5 latencies)
       levels
   in
   (* the storm: every primary dies under live, verified load *)
   let storm_threads = 4 in
+  let t0 = now_s () in
   let storm_ops, storm_failovers = storm cl bootstrap records ~threads:storm_threads in
+  let storm_seconds = now_s () -. t0 in
   if Cluster.live_nodes cl <> nodes - shards then
     die "kills did not stick: %d nodes live" (Cluster.live_nodes cl);
   if storm_failovers = 0 then
@@ -238,54 +192,52 @@ let () =
   if crashes <> 0 then die "%d worker domains crashed" crashes;
   Cluster.shutdown cl;
   Cluster.wait cl;
-  let json = Option.value (flag_value "--json") ~default:"BENCH_cluster.json" in
-  let oc = open_out json in
-  Printf.fprintf oc
-    "{\n  \"schema\": \"umrs/bench-cluster/v1\",\n\
-    \  \"instance\": {\"p\": %d, \"q\": %d, \"d\": %d, \"records\": %d},\n\
-    \  \"topology\": {\"shards\": %d, \"replicas\": %d, \"nodes\": %d, \
-     \"workers\": %d},\n\
-    \  \"levels\": [\n%s\n  ],\n\
-    \  \"chaos\": {\"threads\": %d, \"requests\": %d, \"primaries_killed\": %d, \
-     \"failovers\": %d, \"silent_losses\": 0}\n}\n"
-    p q d n shards replicas nodes workers
-    (String.concat ",\n"
-       (List.map
-          (fun (threads, requests, seconds, rps, p50, p95) ->
-            Printf.sprintf
-              "    {\"threads\": %d, \"requests\": %d, \"seconds\": %.6f, \
-               \"rps\": %.1f, \
-               \"latency_seconds\": {\"p50\": %.9f, \"p95\": %.9f}}"
-              threads requests seconds rps p50 p95)
-          results))
-    storm_threads storm_ops shards storm_failovers;
-  close_out oc;
+  let count name v =
+    B.Report.metric ~better:B.Report.Higher name (float_of_int v)
+  in
+  let storm_bench =
+    { B.Report.b_name = "cluster/storm"; b_iters = storm_ops; b_warmup = 0;
+      b_seconds = storm_seconds;
+      b_metrics =
+        [ count "requests" storm_ops;
+          count "primaries_killed" shards;
+          count "failovers" storm_failovers;
+          B.Report.metric "silent_losses" 0.;
+          B.Report.metric "worker_crashes" (float_of_int crashes) ] }
+  in
+  let report =
+    B.Report.make ~suite:"cluster"
+      ~context:
+        [ ("instance",
+           B.Json.Obj
+             [ ("p", B.Json.Num (float_of_int p));
+               ("q", B.Json.Num (float_of_int q));
+               ("d", B.Json.Num (float_of_int d));
+               ("records", B.Json.Num (float_of_int n)) ]);
+          ("topology",
+           B.Json.Obj
+             [ ("shards", B.Json.Num (float_of_int shards));
+               ("replicas", B.Json.Num (float_of_int replicas));
+               ("nodes", B.Json.Num (float_of_int nodes));
+               ("workers", B.Json.Num (float_of_int workers)) ]) ]
+      (level_benches @ [ storm_bench ])
+  in
   List.iter
-    (fun (threads, requests, _, rps, p50, p95) ->
-      Printf.printf
-        "cluster_smoke: %d threads: %d requests, %.0f req/s, p50 %.1fus p95 %.1fus\n"
-        threads requests rps (1e6 *. p50) (1e6 *. p95))
-    results;
+    (fun (b : B.Report.bench) ->
+      match
+        (B.Report.find_metric b "rps", B.Report.find_metric b "latency_p50",
+         B.Report.find_metric b "latency_p95")
+      with
+      | Some rps, Some l50, Some l95 ->
+        Printf.printf
+          "cluster_smoke: %s: %d requests, %.0f req/s, p50 %.1fus p95 %.1fus\n"
+          b.B.Report.b_name b.B.Report.b_iters rps.B.Report.m_value
+          (1e6 *. l50.B.Report.m_value) (1e6 *. l95.B.Report.m_value)
+      | _ -> ())
+    level_benches;
   Printf.printf
     "cluster_smoke: storm: %d verified requests, %d primaries killed, \
      %d failovers, 0 silent losses\n"
     storm_ops shards storm_failovers;
-  (match flag_value "--baseline" with
-  | None -> ()
-  | Some path ->
-    List.iter
-      (fun (threads, _, _, rps, _, _) ->
-        match baseline_rps path ~threads with
-        | None ->
-          Printf.printf "cluster_smoke: no %d-thread level in %s; gate skipped\n"
-            threads path
-        | Some base ->
-          if rps < 0.5 *. base then
-            die "%d-thread rps %.1f regressed more than 50%% below baseline %.1f"
-              threads rps base
-          else
-            Printf.printf
-              "cluster_smoke: %d-thread baseline gate OK (%.1f vs %.1f rps)\n"
-              threads rps base)
-      results);
-  Printf.printf "cluster_smoke: OK (%d records over %d nodes; %s)\n" n nodes json
+  B.Cli.finish ~default_json:"BENCH_cluster.json" report;
+  Printf.printf "cluster_smoke: OK (%d records over %d nodes)\n" n nodes

@@ -1,36 +1,53 @@
-(* Sub-second enumeration smoke benchmark (dune alias @bench-smoke).
+(* Enumeration smoke benchmark (dune alias @bench-smoke).
 
-   Times Enumerate.canonical_set on a handful of small instances,
-   cross-checks the class counts against the Burnside closed form, and
-   exits non-zero on any mismatch — cheap enough for tier-1-adjacent
-   verification, honest enough to catch gross perf or correctness
-   regressions in the enumeration engine. *)
+   Cross-checks Enumerate.canonical_set class counts against the
+   Burnside closed form on a handful of small instances (any mismatch
+   is fatal), then times each instance through the shared Umrs_bench
+   harness and gates the timings against the committed BENCH_enum.json
+   baseline: sub-floor instances are noise-skipped, the larger ones
+   fail the run when enumeration slows past their threshold. *)
 
 open Umrs_core
-
-let wall f =
-  let t0 = Unix.gettimeofday () in
-  let x = f () in
-  (x, Unix.gettimeofday () -. t0)
+module B = Umrs_bench
 
 let () =
   let instances = [ (2, 2, 3); (2, 3, 3); (3, 3, 2); (2, 2, 4); (2, 4, 3) ] in
   let failures = ref 0 in
-  Printf.printf "%-10s %8s %10s %10s\n" "(p,q,d)" "classes" "seconds" "burnside";
+  Printf.printf "%-10s %8s %10s\n" "(p,q,d)" "classes" "burnside";
   List.iter
     (fun (p, q, d) ->
-      let set, secs = wall (fun () -> Enumerate.canonical_set ~p ~q ~d ()) in
+      let set = Enumerate.canonical_set ~p ~q ~d () in
       let classes = List.length set in
       let expected = Bignat.to_int_opt (Count.full_exact ~p ~q ~d) in
       let ok = expected = Some classes in
       if not ok then incr failures;
-      Printf.printf "%-10s %8d %10.4f %10s%s\n"
-        (Printf.sprintf "(%d,%d,%d)" p q d)
-        classes secs
+      Printf.printf "%-10s %8d %10s%s\n" (Printf.sprintf "(%d,%d,%d)" p q d)
+        classes
         (match expected with Some e -> string_of_int e | None -> "?")
-        (if ok then "" else "  MISMATCH"))
+        (if ok then "" else "  MISMATCH");
+      (* enumeration timing varies across machines more than server rps
+         does, so the gate only fires on a 2x slowdown *)
+      B.Harness.register
+        ~name:(Printf.sprintf "enum/(%d,%d,%d)" p q d)
+        ~budget:{ B.Harness.warmup = 1; min_iters = 3; max_iters = 25;
+                  max_seconds = 1.0 }
+        ~items_per_iter:(float_of_int classes) ~threshold:1.0
+        (fun () -> ignore (Enumerate.canonical_set ~p ~q ~d ())))
     instances;
   if !failures > 0 then begin
     Printf.eprintf "enum_smoke: %d mismatches\n" !failures;
     exit 1
-  end
+  end;
+  let report =
+    B.Harness.run_all ~suite:"enum"
+      ~context:
+        [ ("instances",
+           B.Json.Arr
+             (List.map
+                (fun (p, q, d) ->
+                  B.Json.Str (Printf.sprintf "(%d,%d,%d)" p q d))
+                instances)) ]
+      ()
+  in
+  B.Cli.finish ~default_json:"BENCH_enum.json" report;
+  Printf.printf "enum_smoke: OK\n"

@@ -9,8 +9,13 @@
      detects every mutation of the record region and every truncation;
    - [Query.open_] NEVER raises: every mutation or truncation of the
      index file (whose checksum covers its own header) comes back as
-     [Error _]. *)
+     [Error _].
 
+   Detection is a hard pass/fail; the Umrs_bench report carries the
+   sweep throughput (trials/sec, ungated — corruption checking speed is
+   trajectory data, not a gate) into BENCH_fuzz.json and the history. *)
+
+module B = Umrs_bench
 module Q = Umrs_store.Query
 
 let die fmt =
@@ -48,61 +53,96 @@ let () =
   (* byte flips in the corpus: verify must stay inside its error
      vocabulary, and must detect any record-region damage (header
      damage may hide in reserved, un-checksummed bytes). *)
-  for k = 1 to trials do
-    let b = Bytes.copy corpus_bytes in
-    let off = Random.State.int st (Bytes.length b) in
-    let old = Bytes.get_uint8 b off in
-    let fresh = (old + 1 + Random.State.int st 255) land 0xFF in
-    Bytes.set_uint8 b off fresh;
-    write_file mutant b;
-    (match Umrs_store.Corpus.verify ~path:mutant with
-    | v ->
-      if v.Umrs_store.Corpus.v_problems <> [] then incr corpus_detected
-      else if off >= Umrs_store.Corpus.header_bytes then
-        die "record-byte flip at %d undetected (trial %d)" off k
-    | exception Invalid_argument _ -> incr corpus_detected
-    | exception Sys_error _ -> incr corpus_detected
-    | exception e ->
-      die "corpus flip at %d: unexpected %s" off (Printexc.to_string e))
-  done;
+  let (), corpus_secs =
+    B.Clock.time @@ fun () ->
+    for k = 1 to trials do
+      let b = Bytes.copy corpus_bytes in
+      let off = Random.State.int st (Bytes.length b) in
+      let old = Bytes.get_uint8 b off in
+      let fresh = (old + 1 + Random.State.int st 255) land 0xFF in
+      Bytes.set_uint8 b off fresh;
+      write_file mutant b;
+      match Umrs_store.Corpus.verify ~path:mutant with
+      | v ->
+        if v.Umrs_store.Corpus.v_problems <> [] then incr corpus_detected
+        else if off >= Umrs_store.Corpus.header_bytes then
+          die "record-byte flip at %d undetected (trial %d)" off k
+      | exception Invalid_argument _ -> incr corpus_detected
+      | exception Sys_error _ -> incr corpus_detected
+      | exception e ->
+        die "corpus flip at %d: unexpected %s" off (Printexc.to_string e)
+    done
+  in
 
   (* byte flips in the index: open_ must return Error, never raise. *)
-  for k = 1 to trials do
-    let b = Bytes.copy index_bytes in
-    let off = Random.State.int st (Bytes.length b) in
-    let old = Bytes.get_uint8 b off in
-    Bytes.set_uint8 b off ((old + 1 + Random.State.int st 255) land 0xFF);
-    write_file mutant b;
-    match Q.open_ ~corpus ~index:mutant () with
-    | Error _ -> incr index_detected
-    | Ok _ -> die "index flip at %d accepted (trial %d)" off k
-    | exception e ->
-      die "index flip at %d: raised %s" off (Printexc.to_string e)
-  done;
+  let (), index_secs =
+    B.Clock.time @@ fun () ->
+    for k = 1 to trials do
+      let b = Bytes.copy index_bytes in
+      let off = Random.State.int st (Bytes.length b) in
+      let old = Bytes.get_uint8 b off in
+      Bytes.set_uint8 b off ((old + 1 + Random.State.int st 255) land 0xFF);
+      write_file mutant b;
+      match Q.open_ ~corpus ~index:mutant () with
+      | Error _ -> incr index_detected
+      | Ok _ -> die "index flip at %d accepted (trial %d)" off k
+      | exception e ->
+        die "index flip at %d: raised %s" off (Printexc.to_string e)
+    done
+  in
 
   (* truncations of both files at every prefix length *)
-  for len = 0 to Bytes.length corpus_bytes - 1 do
-    write_file mutant (Bytes.sub corpus_bytes 0 len);
-    match Umrs_store.Corpus.verify ~path:mutant with
-    | v ->
-      if v.Umrs_store.Corpus.v_problems = [] then
-        die "corpus truncation to %d undetected" len
-    | exception Invalid_argument _ -> ()
-    | exception Sys_error _ -> ()
-    | exception e ->
-      die "corpus truncation to %d: unexpected %s" len (Printexc.to_string e)
-  done;
-  for len = 0 to Bytes.length index_bytes - 1 do
-    write_file mutant (Bytes.sub index_bytes 0 len);
-    match Q.open_ ~corpus ~index:mutant () with
-    | Error _ -> ()
-    | Ok _ -> die "index truncation to %d accepted" len
-    | exception e ->
-      die "index truncation to %d: raised %s" len (Printexc.to_string e)
-  done;
+  let truncations = Bytes.length corpus_bytes + Bytes.length index_bytes in
+  let (), trunc_secs =
+    B.Clock.time @@ fun () ->
+    for len = 0 to Bytes.length corpus_bytes - 1 do
+      write_file mutant (Bytes.sub corpus_bytes 0 len);
+      match Umrs_store.Corpus.verify ~path:mutant with
+      | v ->
+        if v.Umrs_store.Corpus.v_problems = [] then
+          die "corpus truncation to %d undetected" len
+      | exception Invalid_argument _ -> ()
+      | exception Sys_error _ -> ()
+      | exception e ->
+        die "corpus truncation to %d: unexpected %s" len (Printexc.to_string e)
+    done;
+    for len = 0 to Bytes.length index_bytes - 1 do
+      write_file mutant (Bytes.sub index_bytes 0 len);
+      match Q.open_ ~corpus ~index:mutant () with
+      | Error _ -> ()
+      | Ok _ -> die "index truncation to %d accepted" len
+      | exception e ->
+        die "index truncation to %d: raised %s" len (Printexc.to_string e)
+    done
+  in
 
+  let sweep_bench name ~trials ~detected ~seconds =
+    { B.Report.b_name = name; b_iters = trials; b_warmup = 0;
+      b_seconds = seconds;
+      b_metrics =
+        [ B.Report.metric ~unit_:"1/s" ~better:B.Report.Higher
+            "trials_per_sec" (float_of_int trials /. seconds);
+          B.Report.metric ~better:B.Report.Higher "detected"
+            (float_of_int detected) ] }
+  in
+  let report =
+    B.Report.make ~suite:"fuzz"
+      ~context:
+        [ ("instance",
+           B.Json.Obj
+             [ ("p", B.Json.Num (float_of_int p));
+               ("q", B.Json.Num (float_of_int q));
+               ("d", B.Json.Num (float_of_int d)) ]) ]
+      [ sweep_bench "fuzz/corpus_flips" ~trials ~detected:!corpus_detected
+          ~seconds:corpus_secs;
+        sweep_bench "fuzz/index_flips" ~trials ~detected:!index_detected
+          ~seconds:index_secs;
+        sweep_bench "fuzz/truncations" ~trials:truncations
+          ~detected:truncations ~seconds:trunc_secs ]
+  in
   Printf.printf
-    "fuzz_smoke: OK (%d/%d corpus flips detected, %d/%d index flips \
-     detected, %d+%d truncations rejected)\n"
-    !corpus_detected trials !index_detected trials
-    (Bytes.length corpus_bytes) (Bytes.length index_bytes)
+    "fuzz_smoke: %d/%d corpus flips detected, %d/%d index flips detected, \
+     %d truncations rejected\n"
+    !corpus_detected trials !index_detected trials truncations;
+  B.Cli.finish ~default_json:"BENCH_fuzz.json" report;
+  Printf.printf "fuzz_smoke: OK\n"

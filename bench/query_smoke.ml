@@ -4,32 +4,18 @@
    Builds the (3,4,3) reference corpus, indexes it, and (a) checks
    nth/mem/rank/range_prefix and batches against the loaded corpus on
    every record, (b) times indexed point lookups against the no-index
-   baseline (a full-file scan per lookup) and writes the p50/p95
-   latencies to BENCH_query.json (override with --json PATH). Fails if
-   the indexed path does not beat the scan. *)
+   baseline (a full-file scan per lookup) through the shared Umrs_bench
+   harness. Fails if the indexed path does not beat the scan; the
+   committed BENCH_query.json gates the indexed-vs-scan speedup ratio
+   (machine-relative, so stable across CI hosts) rather than the raw
+   microsecond timings, which sit under the noise floor. *)
 
 open Umrs_core
+module B = Umrs_bench
 module Q = Umrs_store.Query
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("query_smoke: " ^ s);
                                 exit 1) fmt
-
-let percentile sorted p =
-  let n = Array.length sorted in
-  sorted.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1)))
-
-let time_one f =
-  let t0 = Unix.gettimeofday () in
-  f ();
-  Unix.gettimeofday () -. t0
-
-let flag_value name =
-  let rec go i =
-    if i + 1 >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
-    else go (i + 1)
-  in
-  go 1
 
 let () =
   let dir = Filename.temp_file "umrs_query_smoke" "" in
@@ -72,11 +58,18 @@ let () =
   let many = Q.batch ~domains:4 t reqs in
   if one <> many then die "batch answers differ across domain counts";
 
-  (* (b) indexed point lookup vs full-file scan *)
-  let iters = 200 in
-  let pick k = (k * 7919) mod n in
+  (* (b) indexed point lookup vs full-file scan, one lookup per
+     iteration so seconds_p50 is per-lookup latency *)
+  let pick = ref 0 in
+  let next () =
+    pick := !pick + 1;
+    !pick * 7919 mod n
+  in
   let indexed =
-    Array.init iters (fun k -> time_one (fun () -> ignore (Q.nth t (pick k))))
+    B.Harness.measure
+      ~budget:{ B.Harness.warmup = 10; min_iters = 200; max_iters = 200;
+                max_seconds = 5.0 }
+      (fun () -> ignore (Q.nth t (next ())))
   in
   let scan_nth i =
     (* the no-index baseline: walk the file from the top *)
@@ -88,28 +81,45 @@ let () =
     match !res with Some m -> m | None -> die "scan_nth out of range"
   in
   let scanned =
-    Array.init iters (fun k -> time_one (fun () -> ignore (scan_nth (pick k))))
+    B.Harness.measure
+      ~budget:{ B.Harness.warmup = 2; min_iters = 50; max_iters = 50;
+                max_seconds = 10.0 }
+      (fun () -> ignore (scan_nth (next ())))
   in
-  Array.sort compare indexed;
-  Array.sort compare scanned;
-  let i50 = percentile indexed 50. and i95 = percentile indexed 95. in
-  let s50 = percentile scanned 50. and s95 = percentile scanned 95. in
+  let i50 = B.Quantile.p50 indexed.B.Harness.runs in
+  let s50 = B.Quantile.p50 scanned.B.Harness.runs in
   if i50 >= s50 then
     die "indexed lookup (p50 %.1fus) does not beat full scan (p50 %.1fus)"
       (1e6 *. i50) (1e6 *. s50);
-  let json = Option.value (flag_value "--json") ~default:"BENCH_query.json" in
-  let oc = open_out json in
-  Printf.fprintf oc
-    "{\n  \"schema\": \"umrs/bench-query/v1\",\n\
-    \  \"instance\": {\"p\": %d, \"q\": %d, \"d\": %d, \"records\": %d},\n\
-    \  \"stride\": %d,\n  \"iterations\": %d,\n\
-    \  \"indexed_seconds\": {\"p50\": %.9f, \"p95\": %.9f},\n\
-    \  \"scan_seconds\": {\"p50\": %.9f, \"p95\": %.9f},\n\
-    \  \"speedup_p50\": %.2f\n}\n"
-    p q d n stride iters i50 i95 s50 s95 (s50 /. i50);
-  close_out oc;
+  let benches =
+    [ B.Harness.bench_of_measured ~name:"query/indexed_nth" ~gate_time:false
+        indexed;
+      B.Harness.bench_of_measured ~name:"query/scan_nth" ~gate_time:false
+        scanned;
+      (* the gated ratio: both sides measured on the same box *)
+      { B.Report.b_name = "query/speedup"; b_iters = indexed.B.Harness.iters;
+        b_warmup = 0;
+        b_seconds = indexed.B.Harness.seconds +. scanned.B.Harness.seconds;
+        b_metrics =
+          [ B.Report.metric ~unit_:"x" ~better:B.Report.Higher ~gated:true
+              ~threshold:0.5 "speedup_p50" (s50 /. i50) ] } ]
+  in
+  let report =
+    B.Report.make ~suite:"query"
+      ~context:
+        [ ("instance",
+           B.Json.Obj
+             [ ("p", B.Json.Num (float_of_int p));
+               ("q", B.Json.Num (float_of_int q));
+               ("d", B.Json.Num (float_of_int d));
+               ("records", B.Json.Num (float_of_int n)) ]);
+          ("stride", B.Json.Num (float_of_int stride)) ]
+      benches
+  in
   Q.close t;
   Printf.printf
-    "query_smoke: OK (%d records; indexed p50 %.1fus p95 %.1fus, scan p50 \
-     %.1fus p95 %.1fus, speedup %.1fx; %s)\n"
-    n (1e6 *. i50) (1e6 *. i95) (1e6 *. s50) (1e6 *. s95) (s50 /. i50) json
+    "query_smoke: %d records; indexed p50 %.1fus, scan p50 %.1fus, speedup \
+     %.1fx\n"
+    n (1e6 *. i50) (1e6 *. s50) (s50 /. i50);
+  B.Cli.finish ~default_json:"BENCH_query.json" report;
+  Printf.printf "query_smoke: OK\n"

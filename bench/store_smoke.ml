@@ -1,12 +1,20 @@
-(* Sub-second corpus-store smoke check (dune alias @store-smoke).
+(* Corpus-store smoke check and bench (dune alias @store-smoke).
 
-   Exercises the full persistence loop on a tiny instance: build a
-   corpus with checkpointing, crash the build right after the first
-   checkpoint (via the on_checkpoint hook), resume it, and check that
-   the resumed corpus is byte-identical to an uninterrupted build and
-   reads back as a sorted canonical set of the expected size. *)
+   Correctness first, exactly as before: build a corpus with
+   checkpointing, crash the build right after the first checkpoint (via
+   the on_checkpoint hook), resume it, and check that the resumed
+   corpus is byte-identical to an uninterrupted build and reads back as
+   a sorted canonical set of the expected size.
+
+   Then the timing: straight builds run through the shared Umrs_bench
+   harness (fresh output path per iteration) and the report is gated
+   against the committed BENCH_store.json. The (2,4,3) build is
+   millisecond-scale, so in practice the gate's tiny-timing floor
+   applies — the bench exists for the history trajectory and to catch
+   order-of-magnitude collapses. *)
 
 open Umrs_core
+module B = Umrs_bench
 
 exception Crash
 
@@ -68,7 +76,42 @@ let () =
     exit 1
   end;
   Printf.printf
-    "store_smoke: OK (%d classes, resumed past %d of %d raw matrices, \
-     checksum %016Lx)\n"
+    "store_smoke: correctness OK (%d classes, resumed past %d of %d raw \
+     matrices, checksum %016Lx)\n"
     expected o.Umrs_store.Builder.o_resumed_from o.Umrs_store.Builder.o_total
-    h1.Umrs_store.Corpus.checksum
+    h1.Umrs_store.Corpus.checksum;
+
+  (* timing: straight builds, fresh target each iteration *)
+  let bytes = float_of_int (String.length (read_file straight)) in
+  let scratch = Filename.concat dir "bench.corpus" in
+  let m =
+    B.Harness.measure
+      ~budget:{ B.Harness.warmup = 1; min_iters = 3; max_iters = 50;
+                max_seconds = 1.0 }
+      (fun () ->
+        if Sys.file_exists scratch then Sys.remove scratch;
+        ignore (Umrs_store.Builder.build ~p ~q ~d ~out:scratch ()))
+  in
+  let bench =
+    B.Harness.bench_of_measured
+      ~name:(Printf.sprintf "store/build(%d,%d,%d)" p q d)
+      ~items_per_iter:(float_of_int expected) ~threshold:1.0
+      ~extra:
+        [ B.Report.metric ~unit_:"B/s" ~better:B.Report.Higher
+            "bytes_per_sec"
+            (bytes *. float_of_int m.B.Harness.iters /. m.B.Harness.seconds) ]
+      m
+  in
+  let report =
+    B.Report.make ~suite:"store"
+      ~context:
+        [ ("instance",
+           B.Json.Obj
+             [ ("p", B.Json.Num (float_of_int p));
+               ("q", B.Json.Num (float_of_int q));
+               ("d", B.Json.Num (float_of_int d));
+               ("records", B.Json.Num (float_of_int expected)) ]) ]
+      [ bench ]
+  in
+  B.Cli.finish ~default_json:"BENCH_store.json" report;
+  Printf.printf "store_smoke: OK\n"

@@ -1,0 +1,18 @@
+/* Monotonic clock for benchmark timing.
+
+   Unix.gettimeofday is wall time: NTP slews and steps flow straight
+   into measured latencies. CLOCK_MONOTONIC is immune, and a single
+   int64 of nanoseconds keeps the hot timing path allocation-cheap
+   (one boxed int64 per reading). */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value umrs_bench_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -1,0 +1,49 @@
+let flag name =
+  let rec go i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+let env_float name default =
+  match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+  | Some v -> v
+  | None -> default
+
+let config () =
+  { Gate.threshold =
+      env_float "UMRS_GATE_THRESHOLD" Gate.default_config.Gate.threshold;
+    floor_seconds =
+      env_float "UMRS_GATE_FLOOR_MS"
+        (1e3 *. Gate.default_config.Gate.floor_seconds)
+      /. 1e3 }
+
+let finish ~default_json (report : Report.t) =
+  let suite = report.Report.r_suite in
+  let json = Option.value (flag "--json") ~default:default_json in
+  Report.save ~path:json report;
+  History.append report;
+  Printf.printf "%s: report %s (+%s)\n%!" suite json
+    (History.resolved_path ());
+  match flag "--baseline" with
+  | None -> Printf.printf "%s: no --baseline given; gate skipped\n%!" suite
+  | Some path -> (
+    match Report.load ~path with
+    | Error e ->
+      Printf.eprintf "%s: cannot read baseline %s: %s\n%!" suite path e;
+      exit 1
+    | Ok baseline ->
+      let r = Gate.compare_reports ~config:(config ()) ~baseline report in
+      print_string (Gate.render r);
+      let md = Printf.sprintf "BENCH_GATE_%s.md" suite in
+      let oc = open_out md in
+      Printf.fprintf oc "### `%s` baseline gate (vs %s)\n\n%s" suite path
+        (Gate.render_markdown r);
+      close_out oc;
+      if not (Gate.ok r) then begin
+        Printf.eprintf
+          "%s: baseline gate FAILED against %s (see table above)\n%!" suite
+          path;
+        exit 1
+      end)

@@ -1,0 +1,27 @@
+(** Shared command-line driver for the smokes under [bench/].
+
+    Every smoke ends the same way: write the report, append the
+    history, and — when [--baseline PATH] is given — compare against
+    the committed baseline, print the delta table, mirror it to a
+    markdown file for the CI job summary, and exit non-zero on any
+    regression. This module is that ending, written once. *)
+
+val flag : string -> string option
+(** [flag "--json"] returns the argument following the flag on the
+    command line, if present. *)
+
+val finish : default_json:string -> Report.t -> unit
+(** The common epilogue:
+
+    - save the report to [--json PATH] (default [default_json]);
+    - append every bench to the history file ({!History.resolved_path});
+    - with [--baseline PATH]: load it (a malformed baseline is fatal —
+      a gate that cannot read its baseline must not pass silently),
+      run {!Gate.compare_reports}, print {!Gate.render} to stdout,
+      write {!Gate.render_markdown} to [BENCH_GATE_<suite>.md] next to
+      the report, and [exit 1] when {!Gate.ok} is false;
+    - without [--baseline]: print that the gate was skipped.
+
+    Gate thresholds come from the metrics themselves (their [gated] and
+    [threshold] fields); [UMRS_GATE_THRESHOLD] / [UMRS_GATE_FLOOR_MS]
+    override the config defaults for local experiments. *)

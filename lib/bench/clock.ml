@@ -1,0 +1,8 @@
+external now_ns : unit -> int64 = "umrs_bench_monotonic_ns"
+
+let since_s t0 = Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9
+
+let time f =
+  let t0 = now_ns () in
+  let x = f () in
+  (x, since_s t0)

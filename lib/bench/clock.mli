@@ -1,0 +1,14 @@
+(** Monotonic timing for benchmarks.
+
+    All bench measurements go through this module, never
+    [Unix.gettimeofday]: the wall clock is subject to NTP steps that
+    show up as negative or wildly inflated latencies. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on CLOCK_MONOTONIC. Only differences are meaningful. *)
+
+val since_s : int64 -> float
+(** [since_s t0] is the seconds elapsed since the reading [t0]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed seconds. *)

@@ -1,0 +1,38 @@
+(** Append-only perf history: one JSONL line per (commit, bench) so the
+    cross-PR trajectory of every metric is queryable with a one-liner
+    instead of being lost in overwritten snapshots.
+
+    Line shape:
+
+    {v {"ts": 1754650000, "commit": "<sha>", "suite": "serve",
+        "bench": "serve/1000x8", "seconds": 0.674,
+        "metrics": {"rps": 47460.3, "latency_p50": 0.1105, ...}} v}
+
+    The file is opened [O_APPEND] and each line is a single [write], so
+    concurrent smokes interleave whole lines. A torn final line (power
+    loss, ctrl-C) must never poison the file: [load] skips unparsable
+    lines and reports how many it skipped. *)
+
+type entry = {
+  h_ts : float;
+  h_commit : string;
+  h_suite : string;
+  h_bench : string;
+  h_seconds : float;
+  h_metrics : (string * float) list;
+}
+
+val default_path : string
+(** ["BENCH_HISTORY.jsonl"], overridden by the [UMRS_BENCH_HISTORY]
+    environment variable. *)
+
+val resolved_path : ?path:string -> unit -> string
+
+val append : ?path:string -> Report.t -> unit
+(** Append one line per bench in the report. Best-effort: an unwritable
+    path is reported on stderr, never an exception — history must not
+    fail a bench run. *)
+
+val load : ?path:string -> unit -> entry list * int
+(** All parsable entries in file order, plus the count of skipped
+    (corrupt or truncated) lines. A missing file is [([], 0)]. *)
