@@ -44,8 +44,8 @@ let report_table1 ~fast () =
   Bounds_table.print ~n:(if fast then 256 else 4096) Format.std_formatter ();
   let size = if fast then 16 else 32 in
   pf "@.Measured columns (graph corpus of order ~%d, bits):@." size;
-  pf "%-18s %-18s %5s %6s %9s %10s %8s %8s@." "scheme" "graph" "n" "m"
-    "local" "global" "stretch" "mean";
+  pf "%-18s %-18s %5s %6s %9s %10s %8s %8s %8s %8s@." "scheme" "graph" "n" "m"
+    "local" "global" "stretch" "mean" "p50" "p95";
   let st = Random.State.make [| 0xBE5C; size |] in
   let corpus = Generators.corpus st ~size in
   List.iter
@@ -54,16 +54,19 @@ let report_table1 ~fast () =
         (fun (gname, g) ->
           let e = Scheme.evaluate scheme ~graph_name:gname g in
           csv_rows := e :: !csv_rows;
-          pf "%-18s %-18s %5d %6d %9d %10d %8.3f %8.3f@." e.Scheme.scheme_name
-            e.Scheme.graph_name e.Scheme.order e.Scheme.edges
-            e.Scheme.mem_local_bits e.Scheme.mem_global_bits
+          pf "%-18s %-18s %5d %6d %9d %10d %8.3f %8.3f %8.3f %8.3f@."
+            e.Scheme.scheme_name e.Scheme.graph_name e.Scheme.order
+            e.Scheme.edges e.Scheme.mem_local_bits e.Scheme.mem_global_bits
             e.Scheme.stretch.Routing_function.max_ratio
-            e.Scheme.stretch.Routing_function.mean_ratio)
+            e.Scheme.stretch.Routing_function.mean_ratio
+            e.Scheme.stretch.Routing_function.p50_ratio
+            e.Scheme.stretch.Routing_function.p95_ratio)
         corpus)
     schemes_for_table;
   pf "@.Reading: stretch-1 schemes (tables, interval) sit on the s=1 row;@.";
-  pf "the landmark scheme realizes the s=3 regime; spanner schemes the@.";
-  pf "s=3/s=5 regimes with global memory well below full tables.@."
+  pf "the landmark and Thorup-Zwick schemes realize the s=3 regime;@.";
+  pf "spanner schemes the s=3/s=5 regimes with global memory well below@.";
+  pf "full tables. p50/p95 are per-pair stretch quantiles.@."
 
 let report_table1_scaling ~fast () =
   section "T1b. Table 1, the shape: local memory growth with n";

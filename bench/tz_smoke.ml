@@ -1,0 +1,101 @@
+(* Thorup-Zwick smoke benchmark (dune alias @tz-smoke).
+
+   Hard correctness gates first (any failure is fatal): on seeded
+   Barabasi-Albert and Chung-Lu power-law graphs the TZ scheme must
+   deliver every pair within stretch 3, its average stretch on the BA
+   graph must sit well under 1.5 (the Krioukov/Fall/Yang regime), its
+   global memory must stay within the ~n^(3/2) TZ bound, and both its
+   local and global footprints must undercut the Cowen-style landmark
+   scheme on the same graph. Then build and routing throughput are
+   timed through the shared Umrs_bench harness and gated against the
+   committed BENCH_tz.json baseline. *)
+
+open Umrs_graph
+open Umrs_routing
+module B = Umrs_bench
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("tz_smoke: " ^ s);
+      exit 1)
+    fmt
+
+let check_graph name g ~mean_limit =
+  let n = Graph.order g in
+  let b = Tz_scheme.build g in
+  let d = Stretch_dist.exact b.Scheme.rf in
+  if d.Stretch_dist.ds_max > 3.0 +. 1e-9 then
+    die "%s: max stretch %.4f exceeds the stretch-3 guarantee" name
+      d.Stretch_dist.ds_max;
+  (match mean_limit with
+  | Some lim ->
+    if d.Stretch_dist.ds_mean >= lim then
+      die "%s: mean stretch %.4f not below %.2f" name d.Stretch_dist.ds_mean
+        lim
+  | None -> ());
+  (* the TZ memory bound: O(n^(3/2)) table entries of O(log n) bits *)
+  let log2n = Umrs_bitcode.Codes.ceil_log2 (max 2 n) in
+  let bound = 12 * int_of_float (float_of_int n ** 1.5) * log2n in
+  let global = Scheme.mem_global b in
+  if global > bound then
+    die "%s: global memory %d bits above the TZ bound %d" name global bound;
+  let lm = Landmark_scheme.build g in
+  if global >= Scheme.mem_global lm then
+    die "%s: global memory %d not below landmark-3's %d" name global
+      (Scheme.mem_global lm);
+  if Scheme.mem_local b >= Scheme.mem_local lm then
+    die "%s: local memory %d not below landmark-3's %d" name
+      (Scheme.mem_local b) (Scheme.mem_local lm);
+  Printf.printf
+    "%-14s n=%d mean=%.3f p50=%.3f p95=%.3f max=%.3f local=%d global=%d \
+     (landmark-3: %d/%d)\n"
+    name n d.Stretch_dist.ds_mean d.Stretch_dist.ds_p50
+    d.Stretch_dist.ds_p95 d.Stretch_dist.ds_max (Scheme.mem_local b) global
+    (Scheme.mem_local lm) (Scheme.mem_global lm);
+  (b, d)
+
+let () =
+  let st = Random.State.make [| 0x72; 0x5EED |] in
+  let ba = Generators.barabasi_albert st ~n:256 ~m:2 in
+  let pl = Generators.chung_lu st ~n:256 ~exponent:2.5 in
+  let b_ba, d_ba = check_graph "ba-256" ba ~mean_limit:(Some 1.5) in
+  let _b_pl, d_pl = check_graph "powerlaw-256" pl ~mean_limit:None in
+  (* timing benches, gated loosely (build/route jitter across machines) *)
+  B.Harness.register ~name:"tz/build(ba-256)"
+    ~budget:{ B.Harness.warmup = 1; min_iters = 3; max_iters = 15;
+              max_seconds = 2.0 }
+    ~threshold:1.0
+    (fun () -> ignore (Tz_scheme.build ba));
+  let rf = b_ba.Scheme.rf in
+  let pair_st = Random.State.make [| 0xAB; 256 |] in
+  let pairs =
+    Array.init 2000 (fun _ ->
+        let u = Random.State.int pair_st 256 in
+        let rec draw () =
+          let v = Random.State.int pair_st 256 in
+          if v = u then draw () else v
+        in
+        (u, draw ()))
+  in
+  B.Harness.register ~name:"tz/route(ba-256)"
+    ~budget:{ B.Harness.warmup = 1; min_iters = 3; max_iters = 25;
+              max_seconds = 2.0 }
+    ~items_per_iter:(float_of_int (Array.length pairs)) ~threshold:1.0
+    (fun () ->
+      Array.iter
+        (fun (u, v) -> ignore (Routing_function.route_length rf u v))
+        pairs);
+  let report =
+    B.Harness.run_all ~suite:"tz"
+      ~context:
+        [ ("ba_mean_stretch", B.Json.Num d_ba.Stretch_dist.ds_mean);
+          ("ba_p95_stretch", B.Json.Num d_ba.Stretch_dist.ds_p95);
+          ("ba_max_stretch", B.Json.Num d_ba.Stretch_dist.ds_max);
+          ("powerlaw_mean_stretch", B.Json.Num d_pl.Stretch_dist.ds_mean);
+          ("ba_mem_global_bits",
+           B.Json.Num (float_of_int (Scheme.mem_global b_ba))) ]
+      ()
+  in
+  B.Cli.finish ~default_json:"BENCH_tz.json" report;
+  Printf.printf "tz_smoke: OK\n"

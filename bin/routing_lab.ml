@@ -57,6 +57,9 @@ let graph_of_family ~seed family size =
       ~m:(min (size * (size - 1) / 2) (size * size / 4))
   | "regular" ->
     Generators.random_regular st ~n:(size + (size mod 2)) ~d:3
+  | "ba" -> Generators.barabasi_albert st ~n:size ~m:2
+  | "ba3" -> Generators.barabasi_albert st ~n:size ~m:3
+  | "powerlaw" -> Generators.chung_lu st ~n:size ~exponent:2.5
   | other -> invalid_arg (Printf.sprintf "unknown graph family %S" other)
 
 let scheme_of_name ~seed name =
@@ -67,6 +70,7 @@ let scheme_of_name ~seed name =
   | "interval" -> Interval_routing.scheme
   | "interval-id" -> Interval_routing.scheme_identity
   | "landmark" -> Landmark_scheme.scheme
+  | "tz" -> Tz_scheme.scheme
   | "spanner3" -> Spanner_scheme.scheme ~k:2
   | "spanner5" -> Spanner_scheme.scheme ~k:3
   | "ecube" ->
@@ -92,7 +96,8 @@ let family_arg =
   let doc =
     "Graph family: path, cycle, complete, star, wheel, hypercube, grid, \
      torus, petersen, tree, caterpillar, ktree, outerplanar, debruijn, \
-     globe, random, dense, regular - or file:PATH for a saved graph."
+     globe, random, dense, regular, ba, ba3, powerlaw - or file:PATH for a \
+     saved graph."
   in
   Arg.(value & opt string "petersen" & info [ "g"; "graph" ] ~docv:"FAMILY" ~doc)
 
@@ -106,7 +111,7 @@ let seed_arg =
 let scheme_arg =
   let doc =
     "Routing scheme: tables, tables-rle, interval, interval-id, landmark, \
-     spanner3, spanner5, hierarchical, tree-cover, ecube, ring, \
+     tz, spanner3, spanner5, hierarchical, tree-cover, ecube, ring, \
      kn-adversarial."
   in
   Arg.(value & opt string "tables" & info [ "s"; "scheme" ] ~docv:"SCHEME" ~doc)
@@ -910,6 +915,176 @@ let table1_cmd =
     (Cmd.info "table1" ~doc:"Table 1: memory bounds vs stretch factor.")
     Term.(const run $ n)
 
+let table2_cmd =
+  let run family size seed scheme_names cutoff pairs csv =
+    let g = graph_of_family ~seed family size in
+    let names =
+      List.filter
+        (fun s -> s <> "")
+        (String.split_on_char ',' scheme_names)
+    in
+    let schemes = List.map (scheme_of_name ~seed) names in
+    if csv then
+      pf "scheme,graph,n,m,mem_local_bits,mem_global_bits,pairs,method,mean,p50,p95,p99,max@."
+    else begin
+      pf "Table 2: stretch distributions vs bit-exact memory@.";
+      pf "graph=%s n=%d m=%d seed=%d (exact all-pairs at n <= %d, else %d sampled pairs)@.@."
+        family (Graph.order g) (Graph.size g) seed cutoff pairs;
+      pf "%-14s %9s %11s %7s %7s %7s %7s %7s %9s %s@." "scheme" "local"
+        "global" "mean" "p50" "p95" "p99" "max" "pairs" "method"
+    end;
+    List.iter
+      (fun s ->
+        let b = s.Scheme.build g in
+        let d =
+          Stretch_dist.measure ~cutoff ~pairs ~seed b.Scheme.rf
+        in
+        let meth = if d.Stretch_dist.ds_exact then "exact" else "sampled" in
+        if csv then
+          pf "%s,%s,%d,%d,%d,%d,%d,%s,%.6f,%.6f,%.6f,%.6f,%.6f@."
+            s.Scheme.name family (Graph.order g) (Graph.size g)
+            (Scheme.mem_local b) (Scheme.mem_global b)
+            d.Stretch_dist.ds_pairs meth d.Stretch_dist.ds_mean
+            d.Stretch_dist.ds_p50 d.Stretch_dist.ds_p95
+            d.Stretch_dist.ds_p99 d.Stretch_dist.ds_max
+        else
+          pf "%-14s %9d %11d %7.3f %7.3f %7.3f %7.3f %7.3f %9d %s@."
+            s.Scheme.name (Scheme.mem_local b) (Scheme.mem_global b)
+            d.Stretch_dist.ds_mean d.Stretch_dist.ds_p50
+            d.Stretch_dist.ds_p95 d.Stretch_dist.ds_p99
+            d.Stretch_dist.ds_max d.Stretch_dist.ds_pairs meth)
+      schemes
+  in
+  let schemes_arg =
+    Arg.(value & opt string "landmark,tz"
+         & info [ "schemes" ] ~docv:"NAMES"
+             ~doc:"Comma-separated scheme names to compare.")
+  in
+  let cutoff_arg =
+    Arg.(value & opt int Stretch_dist.default_cutoff
+         & info [ "cutoff" ] ~docv:"N"
+             ~doc:"Exact all-pairs at or below this order; sampled above.")
+  in
+  let pairs_arg =
+    Arg.(value & opt int Stretch_dist.default_sample_pairs
+         & info [ "pairs" ] ~docv:"K"
+             ~doc:"Sampled source/destination pairs above the cutoff.")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV.") in
+  Cmd.v
+    (Cmd.info "table2"
+       ~doc:"Stretch distributions (mean/p50/p95/p99/max) vs bit-exact \
+             memory on one graph - the Thorup-Zwick vs landmark comparison \
+             on Internet-like workloads.")
+    Term.(const run $ family_arg $ size_arg 1000 $ seed_arg $ schemes_arg
+          $ cutoff_arg $ pairs_arg $ csv)
+
+(* ---------- bench history tooling ---------- *)
+
+let bench_cmd =
+  let trend_cmd =
+    let run path threshold =
+      let entries, skipped = Umrs_bench.History.load ?path () in
+      if skipped > 0 then pf "(skipped %d corrupt history lines)@." skipped;
+      if entries = [] then begin
+        pf "no history at %s@." (Umrs_bench.History.resolved_path ?path ());
+        exit 0
+      end;
+      (* Group values per (suite, bench, metric), in file (= time) order. *)
+      let tbl = Hashtbl.create 64 in
+      let keys = ref [] in
+      List.iter
+        (fun e ->
+          List.iter
+            (fun (metric, v) ->
+              let key =
+                (e.Umrs_bench.History.h_suite, e.Umrs_bench.History.h_bench,
+                 metric)
+              in
+              if not (Hashtbl.mem tbl key) then keys := key :: !keys;
+              Hashtbl.replace tbl key
+                (v :: (try Hashtbl.find tbl key with Not_found -> [])))
+            e.Umrs_bench.History.h_metrics)
+        entries;
+      let keys = List.rev !keys in
+      (* Direction heuristic: throughput-like metrics improve upward,
+         everything else (seconds, latency, bits) improves downward. *)
+      let higher_better metric =
+        let has sub =
+          let ls = String.lowercase_ascii metric in
+          let n = String.length sub and m = String.length ls in
+          let rec at i = i + n <= m && (String.sub ls i n = sub || at (i + 1)) in
+          at 0
+        in
+        has "per_sec" || has "rps" || has "ops" || has "throughput"
+      in
+      pf "%-10s %-26s %-22s %4s %12s %12s %12s %8s@." "suite" "bench"
+        "metric" "runs" "min" "max" "last" "vs first";
+      let flagged = ref [] in
+      List.iter
+        (fun ((suite, bench, metric) as key) ->
+          let vs = List.rev (Hashtbl.find tbl key) in
+          let first = List.hd vs in
+          let last = List.nth vs (List.length vs - 1) in
+          let mn = List.fold_left min first vs in
+          let mx = List.fold_left max first vs in
+          let delta =
+            if Float.abs first > 0.0 then (last -. first) /. first *. 100.0
+            else 0.0
+          in
+          let improved v =
+            if Float.abs first <= 0.0 then false
+            else if higher_better metric then
+              v >= first *. (1.0 +. threshold)
+            else v <= first *. (1.0 -. threshold)
+          in
+          (* sustained: the last three runs all clear the threshold vs
+             the first recorded value *)
+          let tail3 =
+            let k = List.length vs in
+            List.filteri (fun i _ -> i >= k - 3) vs
+          in
+          let sustained = List.length vs >= 4 && List.for_all improved tail3 in
+          if sustained then flagged := key :: !flagged;
+          pf "%-10s %-26s %-22s %4d %12.4g %12.4g %12.4g %+7.1f%%%s@." suite
+            bench metric (List.length vs) mn mx last delta
+            (if sustained then "  <- refresh?" else ""))
+        keys;
+      match List.rev !flagged with
+      | [] -> pf "@.no sustained >%.0f%% improvements@." (threshold *. 100.0)
+      | fl ->
+        pf "@.baseline-refresh candidates (last 3 runs all >%.0f%% better \
+            than the first):@."
+          (threshold *. 100.0);
+        List.iter
+          (fun (suite, bench, metric) ->
+            pf "  %s %s %s@." suite bench metric)
+          fl
+    in
+    let path_arg =
+      Arg.(value & opt (some string) None
+           & info [ "history" ] ~docv:"FILE"
+               ~doc:"History file (default BENCH_HISTORY.jsonl, or \
+                     UMRS_BENCH_HISTORY).")
+    in
+    let threshold_arg =
+      Arg.(value & opt float 0.25
+           & info [ "threshold" ] ~docv:"FRAC"
+               ~doc:"Improvement fraction that makes a committed baseline \
+                     look slack.")
+    in
+    Cmd.v
+      (Cmd.info "trend"
+         ~doc:"Per-(bench, metric) trajectory over BENCH_HISTORY.jsonl: \
+               min/max/last, and flag sustained improvements as \
+               baseline-refresh candidates.")
+      Term.(const run $ path_arg $ threshold_arg)
+  in
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"Tooling over the append-only bench history.")
+    [ trend_cmd ]
+
 (* ---------- serving ---------- *)
 
 let addr_conv =
@@ -1527,8 +1702,8 @@ let () =
           [
             evaluate_cmd; route_cmd; simulate_cmd; canon_cmd; enumerate_cmd;
             cgraph_cmd; lemma1_cmd; theorem1_cmd; reconstruct_cmd; figure1_cmd;
-            table1_cmd; orbit_cmd; burnside_cmd; estimate_cmd; dot_cmd; global_cmd;
-            optimize_cmd; deadlock_cmd; save_cmd; check_cmd; compare_cmd;
-            broadcast_cmd; corpus_cmd; serve_cmd; remote_cmd; cluster_cmd;
-            chaos_cmd;
+            table1_cmd; table2_cmd; orbit_cmd; burnside_cmd; estimate_cmd;
+            dot_cmd; global_cmd; optimize_cmd; deadlock_cmd; save_cmd;
+            check_cmd; compare_cmd; broadcast_cmd; corpus_cmd; serve_cmd;
+            remote_cmd; cluster_cmd; chaos_cmd; bench_cmd;
           ]))

@@ -326,6 +326,95 @@ let de_bruijn_like dim =
   done;
   Graph.of_edges ~n !edges
 
+let barabasi_albert st ~n ~m =
+  if m < 1 || n < m + 1 then invalid_arg "Generators.barabasi_albert";
+  (* Preferential attachment seeded with a complete graph on m+1
+     vertices: every vertex ends with degree >= m (the last vertex has
+     exactly m) and the graph is connected by construction. Sampling is
+     by the half-edge multiset, so a vertex is drawn with probability
+     proportional to its current degree. *)
+  let total_edges = (m * (m + 1) / 2) + ((n - m - 1) * m) in
+  let ends = Array.make (max 2 (2 * total_edges)) 0 in
+  let fill = ref 0 in
+  let edges = ref [] in
+  let add_edge u v =
+    edges := (u, v) :: !edges;
+    ends.(!fill) <- u;
+    incr fill;
+    ends.(!fill) <- v;
+    incr fill
+  in
+  for u = 0 to m do
+    for v = u + 1 to m do
+      add_edge u v
+    done
+  done;
+  let chosen = Array.make m (-1) in
+  for v = m + 1 to n - 1 do
+    let k = ref 0 in
+    while !k < m do
+      let t = ends.(Random.State.int st !fill) in
+      let dup = ref false in
+      for j = 0 to !k - 1 do
+        if chosen.(j) = t then dup := true
+      done;
+      if not !dup then begin
+        chosen.(!k) <- t;
+        incr k
+      end
+    done;
+    (* attach all m edges at once (degrees update between vertices, not
+       between the m draws), in sorted target order so port labels are a
+       deterministic function of the drawn set *)
+    let picks = Array.sub chosen 0 m in
+    Array.sort compare picks;
+    Array.iter (fun t -> add_edge t v) picks
+  done;
+  Graph.of_edges ~n (List.rev !edges)
+
+let chung_lu st ~n ~exponent =
+  if n < 2 || exponent <= 2.0 then invalid_arg "Generators.chung_lu";
+  (* Expected-degree (Chung-Lu) model: weight w_i = (n/(i+1))^(1/(b-1))
+     yields a degree power law with exponent b. Each pair {i,j} is an
+     edge independently with probability min(1, w_i w_j / sum w). *)
+  let p = 1.0 /. (exponent -. 1.0) in
+  let w =
+    Array.init n (fun i -> (float_of_int n /. float_of_int (i + 1)) ** p)
+  in
+  let s = Array.fold_left ( +. ) 0.0 w in
+  let edges = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      if Random.State.float st 1.0 < w.(i) *. w.(j) /. s then
+        edges := (i, j) :: !edges
+    done
+  done;
+  (* The sampled graph may be disconnected; deterministically hang each
+     stray component (by its smallest vertex) off vertex 0, the
+     largest-weight hub. Cross-component pairs have no edge yet, so no
+     duplicates arise. *)
+  let parent = Array.init n Fun.id in
+  let rec find x =
+    if parent.(x) = x then x
+    else begin
+      let r = find parent.(x) in
+      parent.(x) <- r;
+      r
+    end
+  in
+  let union u v =
+    let a = find u and b = find v in
+    if a <> b then parent.(max a b) <- min a b
+  in
+  List.iter (fun (u, v) -> union u v) !edges;
+  for v = 1 to n - 1 do
+    if find v <> find 0 then begin
+      edges := (0, v) :: !edges;
+      union 0 v
+    end
+  done;
+  Graph.of_edges ~n !edges
+
 let n_choose_2 n = n * (n - 1) / 2
 
 let corpus st ~size =
@@ -367,6 +456,8 @@ let corpus st ~size =
       ( "random_dense",
         random_connected st ~n:size ~m:(min (n_choose_2 size) (size * size / 4)) );
       ("random_regular", random_regular st ~n:(size + (size * 3 mod 2)) ~d:3);
+      ("barabasi_albert", barabasi_albert st ~n:size ~m:2);
+      ("power_law", chung_lu st ~n:size ~exponent:2.5);
     ]
   in
   match uca with

@@ -94,6 +94,22 @@ val de_bruijn_like : int -> Graph.t
     edges [v ~ (2v mod n)] and [v ~ (2v+1 mod n)], loops and duplicates
     dropped. Diameter [dim] with degree [<= 4]. *)
 
+val barabasi_albert : Random.State.t -> n:int -> m:int -> Graph.t
+(** Barabási–Albert preferential attachment: a complete seed graph on
+    [m+1] vertices, then each new vertex attaches [m] edges to distinct
+    existing vertices drawn proportionally to degree. Connected, min
+    degree exactly [m], heavy-tailed degree distribution — the
+    Internet-like workload of Krioukov/Fall/Yang's TZ evaluation.
+    Requires [n >= m+1], [m >= 1]. *)
+
+val chung_lu : Random.State.t -> n:int -> exponent:float -> Graph.t
+(** Chung–Lu expected-degree power law: vertex [i] has weight
+    [(n/(i+1))^(1/(exponent-1))] and each pair is an edge independently
+    with probability proportional to the weight product, giving degree
+    exponent [exponent]. Stray components are deterministically attached
+    to the hub vertex [0], so the result is always connected. Requires
+    [n >= 2], [exponent > 2]. *)
+
 val corpus : Random.State.t -> size:int -> (string * Graph.t) list
 (** A named sample of every family above, each of order approximately
     [size] — the workload set for the Table-1 benchmarks. All graphs

@@ -7,48 +7,6 @@ let default_landmark_count n =
   let l = int_of_float (Float.ceil (sqrt (f *. (1.0 +. (Float.log f /. Float.log 2.0))))) in
   max 1 (min n l)
 
-type tree_info = {
-  parent : int array;        (* -1 at the root *)
-  dfs_number : int array;
-  children : (int * int * int) array array;
-      (* children.(x) = (port at x, interval lo, interval hi) per child *)
-}
-
-let bfs_tree_info g root =
-  let n = Graph.order g in
-  let _, parent = Bfs.distances_with_parents g root in
-  let kids = Array.make n [] in
-  for v = n - 1 downto 0 do
-    if v <> root && parent.(v) >= 0 then kids.(parent.(v)) <- v :: kids.(parent.(v))
-  done;
-  (* order children by the port leading to them, for determinism *)
-  let port_of u w =
-    match Graph.port_to g ~src:u ~dst:w with Some k -> k | None -> assert false
-  in
-  let kids =
-    Array.mapi
-      (fun u l -> List.sort (fun a b -> compare (port_of u a) (port_of u b)) l)
-      kids
-  in
-  let dfs_number = Array.make n (-1) in
-  let subtree_hi = Array.make n (-1) in
-  let counter = ref 0 in
-  let rec visit x =
-    dfs_number.(x) <- !counter;
-    incr counter;
-    List.iter visit kids.(x);
-    subtree_hi.(x) <- !counter - 1
-  in
-  visit root;
-  let children =
-    Array.mapi
-      (fun u l ->
-        Array.of_list
-          (List.map (fun c -> (port_of u c, dfs_number.(c), subtree_hi.(c))) l))
-      kids
-  in
-  { parent; dfs_number; children }
-
 type data = {
   graph : Graph.t;
   landmark : int array;              (* the landmark set, sorted *)
@@ -56,7 +14,7 @@ type data = {
   home : int array;                  (* vertex -> index of nearest landmark *)
   to_landmark : int array array;     (* to_landmark.(v).(i) = port toward landmark i *)
   cluster : (int * int) array array; (* cluster.(v) = sorted (dst, port) *)
-  trees : tree_info array;           (* one per landmark *)
+  trees : Tree_labels.t array;       (* one per landmark *)
 }
 
 type strategy = Random_landmarks | High_degree | K_center
@@ -179,7 +137,7 @@ let prepare ?(seed = 0xC0C0A) ?landmarks ?(strategy = Random_landmarks) g =
         a)
       cluster_lists
   in
-  let trees = Array.map (bfs_tree_info g) chosen in
+  let trees = Array.map (Tree_labels.of_bfs g) chosen in
   { graph = g; landmark = chosen; landmark_index; home; to_landmark; cluster; trees }
 
 let cluster_lookup d v dst =
@@ -198,7 +156,7 @@ let routing_function d =
   let g = d.graph in
   let init _u v =
     let li = d.home.(v) in
-    Routing_function.Packed [| v; li; d.trees.(li).dfs_number.(v) |]
+    Routing_function.Packed [| v; li; d.trees.(li).Tree_labels.dfs_number.(v) |]
   in
   let port x h =
     match h with
@@ -209,16 +167,8 @@ let routing_function d =
         match cluster_lookup d x v with
         | Some p -> Some p
         | None ->
-          let tree = d.trees.(li) in
           (* descend if v sits in one of my child subtrees of tree li *)
-          let rec scan i =
-            if i >= Array.length tree.children.(x) then None
-            else begin
-              let p, lo, hi = tree.children.(x).(i) in
-              if lo <= dfs && dfs <= hi then Some p else scan (i + 1)
-            end
-          in
-          (match scan 0 with
+          (match Tree_labels.child_port d.trees.(li) x ~dfs with
           | Some p -> Some p
           | None ->
             (* head toward the landmark of v *)
@@ -256,13 +206,14 @@ let encode_vertex d v =
   (* child intervals in each landmark tree *)
   Array.iter
     (fun tree ->
-      Codes.write_gamma buf (Array.length tree.children.(v) + 1);
+      let row = tree.Tree_labels.children.(v) in
+      Codes.write_gamma buf (Array.length row + 1);
       Array.iter
         (fun (p, lo, hi) ->
           Codes.write_fixed buf (p - 1) ~width:pwidth;
           Codes.write_fixed buf lo ~width:vwidth;
           Codes.write_fixed buf hi ~width:vwidth)
-        tree.children.(v))
+        row)
     d.trees;
   buf
 

@@ -5,6 +5,7 @@ let universal () =
     Interval_routing.scheme;
     Interval_routing.scheme_identity;
     Landmark_scheme.scheme;
+    Tz_scheme.scheme;
     Spanner_scheme.scheme ~k:2;
     Spanner_scheme.scheme ~k:3;
     Hierarchical_scheme.scheme;
@@ -23,14 +24,16 @@ let compare_on ?dist ~graph_name g schemes =
   List.map (fun s -> Scheme.evaluate ~dist s ~graph_name g) schemes
 
 let csv_header =
-  "scheme,graph,n,m,mem_local_bits,mem_global_bits,max_stretch,mean_stretch"
+  "scheme,graph,n,m,mem_local_bits,mem_global_bits,max_stretch,mean_stretch,p50_stretch,p95_stretch"
 
 let to_csv_row e =
-  Printf.sprintf "%s,%s,%d,%d,%d,%d,%.6f,%.6f" e.Scheme.scheme_name
+  Printf.sprintf "%s,%s,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f" e.Scheme.scheme_name
     e.Scheme.graph_name e.Scheme.order e.Scheme.edges e.Scheme.mem_local_bits
     e.Scheme.mem_global_bits
     e.Scheme.stretch.Routing_function.max_ratio
     e.Scheme.stretch.Routing_function.mean_ratio
+    e.Scheme.stretch.Routing_function.p50_ratio
+    e.Scheme.stretch.Routing_function.p95_ratio
 
 let to_csv evals =
   String.concat "\n" (csv_header :: List.map to_csv_row evals) ^ "\n"

@@ -8,7 +8,7 @@
 
 val universal : unit -> Scheme.t list
 (** All universal schemes, deterministic order: tables, tables-rle,
-    interval (DFS and identity), landmark-3, spanner-3, spanner-5,
+    interval (DFS and identity), landmark-3, tz-3, spanner-3, spanner-5,
     hierarchical, tree-cover. *)
 
 val find : string -> Scheme.t option

@@ -77,6 +77,8 @@ type stretch_report = {
   worst_route : int;
   worst_dist : int;
   mean_ratio : float;
+  p50_ratio : float;
+  p95_ratio : float;
 }
 
 let with_dist ?dist rf f =
@@ -95,10 +97,13 @@ let stretch ?dist rf =
           worst_route = 0;
           worst_dist = 0;
           mean_ratio = 1.0;
+          p50_ratio = 1.0;
+          p95_ratio = 1.0;
         }
       else begin
         let worst = ref (0, 0) and wr = ref 0 and wd = ref 1 in
         let sum = ref 0.0 and count = ref 0 in
+        let ratios = Array.make (n * (n - 1)) 1.0 in
         for u = 0 to n - 1 do
           for v = 0 to n - 1 do
             if u <> v then begin
@@ -112,17 +117,21 @@ let stretch ?dist rf =
                 wr := dr;
                 wd := dg
               end;
-              sum := !sum +. (float_of_int dr /. float_of_int dg);
+              ratios.(!count) <- float_of_int dr /. float_of_int dg;
+              sum := !sum +. ratios.(!count);
               incr count
             end
           done
         done;
+        let q = Umrs_bench.Quantile.of_array ratios in
         {
           max_ratio = float_of_int !wr /. float_of_int !wd;
           worst_pair = !worst;
           worst_route = !wr;
           worst_dist = !wd;
           mean_ratio = !sum /. float_of_int !count;
+          p50_ratio = Umrs_bench.Quantile.p50 q;
+          p95_ratio = Umrs_bench.Quantile.p95 q;
         }
       end)
 

@@ -67,6 +67,8 @@ type stretch_report = {
   worst_route : int;      (** [dR] on the worst pair *)
   worst_dist : int;       (** [dG] on the worst pair *)
   mean_ratio : float;     (** average over ordered pairs *)
+  p50_ratio : float;      (** median per-pair ratio (nearest rank) *)
+  p95_ratio : float;      (** 95th-percentile per-pair ratio *)
 }
 
 val stretch : ?dist:int array array -> t -> stretch_report

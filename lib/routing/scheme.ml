@@ -56,13 +56,18 @@ let evaluate ?dist scheme ~graph_name g =
         ("mem_local_bits", Telemetry.Int e.mem_local_bits);
         ("mem_global_bits", Telemetry.Int e.mem_global_bits);
         ("stretch_max", Telemetry.Float e.stretch.Routing_function.max_ratio);
-        ("stretch_mean", Telemetry.Float e.stretch.Routing_function.mean_ratio)
+        ("stretch_mean", Telemetry.Float e.stretch.Routing_function.mean_ratio);
+        ("stretch_p50", Telemetry.Float e.stretch.Routing_function.p50_ratio);
+        ("stretch_p95", Telemetry.Float e.stretch.Routing_function.p95_ratio)
       ];
   e
 
 let pp_evaluation fmt e =
   Format.fprintf fmt
-    "%-18s %-18s n=%-5d m=%-6d local=%-8d global=%-10d stretch=%.3f (mean %.3f)"
+    "%-18s %-18s n=%-5d m=%-6d local=%-8d global=%-10d stretch=%.3f (mean \
+     %.3f p50 %.3f p95 %.3f)"
     e.scheme_name e.graph_name e.order e.edges e.mem_local_bits
     e.mem_global_bits e.stretch.Routing_function.max_ratio
     e.stretch.Routing_function.mean_ratio
+    e.stretch.Routing_function.p50_ratio
+    e.stretch.Routing_function.p95_ratio

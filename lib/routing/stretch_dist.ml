@@ -1,0 +1,84 @@
+open Umrs_graph
+module Q = Umrs_bench.Quantile
+
+type summary = {
+  ds_pairs : int;
+  ds_exact : bool;
+  ds_mean : float;
+  ds_p50 : float;
+  ds_p95 : float;
+  ds_p99 : float;
+  ds_max : float;
+}
+
+let default_cutoff = 1200
+let default_sample_pairs = 20_000
+
+let of_ratios ~exact ratios =
+  if Array.length ratios = 0 then invalid_arg "Stretch_dist.of_ratios: empty";
+  let q = Q.of_array ratios in
+  {
+    ds_pairs = Array.length ratios;
+    ds_exact = exact;
+    ds_mean = Q.mean q;
+    ds_p50 = Q.p50 q;
+    ds_p95 = Q.p95 q;
+    ds_p99 = Q.p99 q;
+    ds_max = Q.max q;
+  }
+
+let exact ?dist rf =
+  of_ratios ~exact:true (Routing_function.stretch_ratios ?dist rf)
+
+let sampled ?(seed = 0xD157) ?(pairs = default_sample_pairs) ?domains rf =
+  let g = rf.Routing_function.graph in
+  let n = Graph.order g in
+  if n < 2 then invalid_arg "Stretch_dist.sampled: need n >= 2";
+  let pairs = max 1 pairs in
+  (* Draw the pair sample up front (seeded, sequential), group the
+     destinations by source, then fan the per-source BFS + routes out
+     over domains. The result is a deterministic function of the seed
+     regardless of the domain count. *)
+  let st = Random.State.make [| seed; n; pairs; 0xD157 |] in
+  let by_src = Array.make n [] in
+  for _ = 1 to pairs do
+    let u = Random.State.int st n in
+    let rec draw () =
+      let v = Random.State.int st n in
+      if v = u then draw () else v
+    in
+    by_src.(u) <- draw () :: by_src.(u)
+  done;
+  let sources =
+    Array.of_list
+      (List.filter (fun u -> by_src.(u) <> []) (List.init n Fun.id))
+  in
+  let per_source =
+    Parallel.map_range ?domains (Array.length sources) (fun i ->
+        let u = sources.(i) in
+        let d = Bfs.distances g u in
+        List.rev_map
+          (fun v ->
+            let dr = Routing_function.route_length rf u v in
+            float_of_int dr /. float_of_int d.(v))
+          by_src.(u))
+  in
+  let ratios = Array.make pairs 1.0 in
+  let k = ref 0 in
+  Array.iter
+    (List.iter (fun r ->
+         ratios.(!k) <- r;
+         incr k))
+    per_source;
+  assert (!k = pairs);
+  of_ratios ~exact:false ratios
+
+let measure ?(cutoff = default_cutoff) ?pairs ?seed ?domains rf =
+  let n = Graph.order rf.Routing_function.graph in
+  if n <= cutoff then exact rf else sampled ?seed ?pairs ?domains rf
+
+let pp fmt s =
+  Format.fprintf fmt
+    "%s over %d pairs: mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f"
+    (if s.ds_exact then "exact" else "sampled")
+    s.ds_pairs s.ds_mean s.ds_p50 s.ds_p95 s.ds_p99 s.ds_max

@@ -1,0 +1,62 @@
+open Umrs_graph
+
+type t = {
+  parent : int array;        (* -1 at the root *)
+  dfs_number : int array;
+  children : (int * int * int) array array;
+      (* children.(x) = (port at x, interval lo, interval hi) per child *)
+}
+
+let of_bfs g root =
+  let n = Graph.order g in
+  let _, parent = Bfs.distances_with_parents g root in
+  let kids = Array.make n [] in
+  for v = n - 1 downto 0 do
+    if v <> root && parent.(v) >= 0 then kids.(parent.(v)) <- v :: kids.(parent.(v))
+  done;
+  (* order children by the port leading to them, for determinism *)
+  let port_of u w =
+    match Graph.port_to g ~src:u ~dst:w with Some k -> k | None -> assert false
+  in
+  let kids =
+    Array.mapi
+      (fun u l -> List.sort (fun a b -> compare (port_of u a) (port_of u b)) l)
+      kids
+  in
+  let dfs_number = Array.make n (-1) in
+  let subtree_hi = Array.make n (-1) in
+  let counter = ref 0 in
+  let rec visit x =
+    dfs_number.(x) <- !counter;
+    incr counter;
+    List.iter visit kids.(x);
+    subtree_hi.(x) <- !counter - 1
+  in
+  visit root;
+  let children =
+    Array.mapi
+      (fun u l ->
+        Array.of_list
+          (List.map (fun c -> (port_of u c, dfs_number.(c), subtree_hi.(c))) l))
+      kids
+  in
+  { parent; dfs_number; children }
+
+let parent_ports g t =
+  Array.init (Graph.order g) (fun v ->
+      if t.parent.(v) < 0 then 0
+      else
+        match Graph.port_to g ~src:v ~dst:t.parent.(v) with
+        | Some k -> k
+        | None -> assert false)
+
+let child_port t x ~dfs =
+  let row = t.children.(x) in
+  let rec scan i =
+    if i >= Array.length row then None
+    else begin
+      let p, lo, hi = row.(i) in
+      if lo <= dfs && dfs <= hi then Some p else scan (i + 1)
+    end
+  in
+  scan 0

@@ -1,0 +1,28 @@
+(** DFS-interval labellings of BFS trees — the shared machinery behind
+    every landmark-style scheme (Cowen landmark routing, Thorup–Zwick):
+    route down a shortest-path tree by matching the destination's DFS
+    number against per-child subtree intervals, or up toward the root
+    through the parent port. *)
+
+open Umrs_graph
+
+type t = {
+  parent : int array;  (** [-1] at the root *)
+  dfs_number : int array;
+  children : (int * int * int) array array;
+      (** [children.(x)] lists [(port at x, dfs lo, dfs hi)] per child,
+          ordered by port. A vertex [v] lies in the subtree of the child
+          iff [lo <= dfs_number.(v) <= hi]. *)
+}
+
+val of_bfs : Graph.t -> Graph.vertex -> t
+(** BFS tree rooted at the vertex (smallest-port-first parents), DFS
+    numbered with children visited in port order — deterministic for a
+    given graph. *)
+
+val parent_ports : Graph.t -> t -> int array
+(** Port from each vertex toward its tree parent; [0] at the root. *)
+
+val child_port : t -> Graph.vertex -> dfs:int -> Graph.port option
+(** The port of the child of [x] whose subtree interval contains [dfs],
+    if any — the descent step of interval tree routing. *)

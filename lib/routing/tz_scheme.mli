@@ -1,0 +1,88 @@
+(** The Thorup–Zwick universal compact routing scheme for stretch 3
+    ("Compact routing schemes", SPAA 2001, with k = 2 levels) — the
+    concrete nearly-memory-optimal point on the paper's stretch-3 row,
+    and the scheme whose *average* stretch collapses to ~1.1 on
+    Internet-like power-law graphs (Krioukov, Fall & Yang).
+
+    Construction, seeded for deterministic replay:
+    - sample a landmark set [A] with Bernoulli rate [~ n^(-1/2)]
+      (expected [sqrt n] landmarks);
+    - [p(v)] is the landmark nearest to [v], smallest id on ties, and
+      [d(v,A) = d(v, p(v))];
+    - the {e bunch} [B(v) = { w : d(v,w) < d(v,A) }];
+    - the {e cluster} table at [x] stores a shortest-path port for every
+      destination [v] with [d(x,v) < d(v,A)]; by definition
+      [w ∈ B(v) ⇔ v ∈ C(w)] (the tables and bunches are transposes);
+    - every vertex also stores, per landmark BFS tree, its parent port
+      and one DFS interval per child arc.
+
+    Routing [u -> v] (handshake-free, headers
+    [(v, index of p(v), DFS number of v in p(v)'s tree)]): deliver if
+    local; take the cluster port if [v] is in the table (it then stays
+    in every table en route — [d(x,v)] is strictly decreasing); else
+    descend into the child interval containing [v] in [p(v)]'s tree, or
+    go up toward [p(v)].
+
+    Stretch [<= 3]: a cluster hit at the source is a shortest path;
+    otherwise [d(u,v) >= d(v,A)] and the tree route costs at most
+    [d(u, p(v)) + d(p(v), v) <= d(u,v) + 2 d(v,A) <= 3 d(u,v)]
+    (switching into a cluster mid-route only shortens the tail). *)
+
+open Umrs_graph
+
+val default_rate : int -> float
+(** [1 / sqrt n] — expected [sqrt n] landmarks, balancing the
+    [~sqrt n] expected cluster size against the per-tree state. *)
+
+type data
+(** The prepared per-graph state (landmarks, bunches/clusters, trees). *)
+
+val prepare : ?seed:int -> ?rate:float -> Graph.t -> data
+(** Sample and precompute on a non-empty connected graph. [seed]
+    defaults to a fixed constant (builds are reproducible); [rate]
+    defaults to {!default_rate} and must lie in [(0, 1]]. An empty
+    sample falls back to the single landmark [{0}]. *)
+
+val landmarks : data -> int array
+(** The sampled set [A], sorted ascending. *)
+
+val home : data -> Graph.vertex -> int
+(** Index into {!landmarks} of [p(v)]. *)
+
+val dist_to_landmarks : data -> Graph.vertex -> int
+(** [d(v, A)]; [0] iff [v] is a landmark. *)
+
+val bunch : data -> Graph.vertex -> int array
+(** [B(v) = { w : d(v,w) < d(v,A) }], sorted — recomputed directly from
+    distances, so tests can check the [w ∈ B(v) ⇔ v ∈ C(w)] transpose
+    property against {!cluster_members}. *)
+
+val cluster_members : data -> Graph.vertex -> int array
+(** Destinations in [x]'s stored cluster table
+    [{ v : d(x,v) < d(v,A) }], sorted. *)
+
+val routing_function : data -> Routing_function.t
+
+val build : ?seed:int -> ?rate:float -> Graph.t -> Scheme.built
+
+val scheme : Scheme.t
+(** ["tz-3"] with default parameters; stretch bound 3. *)
+
+val cluster_sizes : ?seed:int -> ?rate:float -> Graph.t -> int array
+(** Per-vertex cluster-table sizes (the memory-dominant term). *)
+
+(** {1 Decoding} *)
+
+type decoded = {
+  dec_order : int;
+  dec_self : Graph.vertex;
+  dec_up_ports : int array;
+      (** per landmark tree: port toward the parent, 0 at the root *)
+  dec_cluster : (Graph.vertex * Graph.port) array;
+  dec_children : (Graph.port * int * int) array array;
+      (** per landmark tree: (port, dfs lo, dfs hi) per child *)
+}
+
+val decode_vertex : Umrs_bitcode.Bitbuf.t -> degree:int -> decoded
+(** Inverse of the per-router encoding (round-trip tested): everything
+    a TZ router stores is recoverable from its bits plus its degree. *)

@@ -287,7 +287,9 @@ let enc_evaluation b (e : Umrs_routing.Scheme.evaluation) =
   u32 b (snd s.Umrs_routing.Routing_function.worst_pair);
   u32 b s.Umrs_routing.Routing_function.worst_route;
   u32 b s.Umrs_routing.Routing_function.worst_dist;
-  f64 b s.Umrs_routing.Routing_function.mean_ratio
+  f64 b s.Umrs_routing.Routing_function.mean_ratio;
+  f64 b s.Umrs_routing.Routing_function.p50_ratio;
+  f64 b s.Umrs_routing.Routing_function.p95_ratio
 
 let dec_evaluation rd : Umrs_routing.Scheme.evaluation =
   let scheme_name = rstr rd in
@@ -302,11 +304,13 @@ let dec_evaluation rd : Umrs_routing.Scheme.evaluation =
   let worst_route = r32 rd in
   let worst_dist = r32 rd in
   let mean_ratio = rf64 rd in
+  let p50_ratio = rf64 rd in
+  let p95_ratio = rf64 rd in
   { Umrs_routing.Scheme.scheme_name; graph_name; order; edges;
     mem_local_bits; mem_global_bits;
     stretch =
       { Umrs_routing.Routing_function.max_ratio; worst_pair = (wa, wb);
-        worst_route; worst_dist; mean_ratio } }
+        worst_route; worst_dist; mean_ratio; p50_ratio; p95_ratio } }
 
 (* ---------- shard maps ---------- *)
 
@@ -508,7 +512,7 @@ let magic = "UMRSSRVC"
    R_shard_map response for cluster routing.  The hello version is part
    of the handshake, so mixed-version pairs fail fast instead of
    misparsing a reply. *)
-let protocol_version = 3
+let protocol_version = 4
 let hello_bytes = 10
 
 let hello () =

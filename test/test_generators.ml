@@ -111,6 +111,57 @@ let test_de_bruijn () =
   check_true "degree <= 4" (Graph.max_degree g <= 4);
   check_true "diameter <= dim" (Bfs.diameter g <= 4)
 
+let test_scale_free_deterministic () =
+  (* same seed => byte-identical serialization, independent of how many
+     worker domains the host uses (the generators are sequential) *)
+  let gen seed =
+    let st = Random.State.make [| seed |] in
+    let ba = Generators.barabasi_albert st ~n:120 ~m:2 in
+    let pl = Generators.chung_lu st ~n:120 ~exponent:2.5 in
+    (Graph_io.to_string ba, Graph_io.to_string pl)
+  in
+  let a1, a2 = gen 42 and b1, b2 = gen 42 in
+  check_true "ba replays byte-identically" (a1 = b1);
+  check_true "chung-lu replays byte-identically" (a2 = b2);
+  let c1, _ = gen 43 in
+  check_true "different seed differs" (a1 <> c1)
+
+let test_barabasi_albert_degrees () =
+  let st = Random.State.make [| 0xBA |] in
+  let m = 3 in
+  let g = Generators.barabasi_albert st ~n:256 ~m in
+  check_true "connected" (Graph.is_connected g);
+  check_int "edge count" (((m + 1) * m / 2) + (m * (256 - m - 1)))
+    (Graph.size g);
+  let min_deg = ref max_int in
+  for v = 0 to 255 do
+    min_deg := min !min_deg (Graph.degree g v)
+  done;
+  check_int "min degree is the attachment parameter" m !min_deg;
+  (* preferential attachment concentrates edges on early hubs *)
+  check_true "heavy tail: a hub well above the minimum"
+    (Graph.max_degree g >= 4 * m)
+
+let test_chung_lu_connected () =
+  let st = Random.State.make [| 0xC7 |] in
+  for n = 10 to 15 do
+    let g = Generators.chung_lu st ~n:(n * 13) ~exponent:2.5 in
+    check_true "connected" (Graph.is_connected g);
+    check_int "order" (n * 13) (Graph.order g)
+  done
+
+let test_fixture_round_trip () =
+  List.iter
+    (fun name ->
+      let path = Filename.concat "../examples" name in
+      let g = Graph_io.load ~path in
+      check_true (name ^ " connected") (Graph.is_connected g);
+      check_true (name ^ " non-trivial") (Graph.order g >= 32);
+      let s = Graph_io.to_string g in
+      check_true (name ^ " round-trips exactly")
+        (Graph_io.to_string (Graph_io.of_string s) = s))
+    [ "as_ba64.graph"; "as_ba48_dense.graph"; "as_powerlaw72.graph" ]
+
 let test_corpus () =
   let st = rng () in
   let corpus = Generators.corpus st ~size:16 in
@@ -138,6 +189,11 @@ let suite =
     case "random connected" test_random_connected;
     case "random regular" test_random_regular;
     case "de bruijn" test_de_bruijn;
+    case "scale-free generators are seed-deterministic"
+      test_scale_free_deterministic;
+    case "barabasi-albert degree profile" test_barabasi_albert_degrees;
+    case "chung-lu connectivity" test_chung_lu_connected;
+    case "AS fixtures round-trip" test_fixture_round_trip;
     case "corpus" test_corpus;
     prop "random trees have n-1 edges" arbitrary_tree (fun t ->
         Graph.size t = Graph.order t - 1 && Graph.is_connected t);

@@ -117,7 +117,7 @@ let test_next_hop_goes_closer () =
 
 let test_registry () =
   let names = Registry.names () in
-  check_int "nine universal schemes" 9 (List.length names);
+  check_int "ten universal schemes" 10 (List.length names);
   check_true "unique names"
     (List.length (List.sort_uniq compare names) = List.length names);
   check_true "find hits" (Registry.find "routing-tables" <> None);
@@ -128,10 +128,10 @@ let test_registry_compare_and_csv () =
   let evals =
     Registry.compare_on ~graph_name:"petersen" g (Registry.universal ())
   in
-  check_int "one eval per scheme" 9 (List.length evals);
+  check_int "one eval per scheme" 10 (List.length evals);
   let csv = Registry.to_csv evals in
   let lines = String.split_on_char '\n' csv |> List.filter (( <> ) "") in
-  check_int "header + rows" 10 (List.length lines);
+  check_int "header + rows" 11 (List.length lines);
   check_true "header" (List.hd lines = Registry.csv_header);
   (* header/row arity stays in sync: every row must carry exactly one
      field per header column, or a consumer silently misaligns *)
