@@ -16,7 +16,13 @@
      absorb the load invisibly: any dropped or wrong answer is a
      SILENT-LOSS failure. The run also fails if no failovers were
      recorded (the kills must actually have been felt) or if any
-     worker domain crashed.
+     worker domain crashed;
+
+   - a multi-process membership timeline (cluster/multiproc): a
+     coordinator plus four routing_lab node processes over real TCP,
+     with a SIGKILLed primary, a live shard split and a replica
+     catch-up all under the same verified load - see the level's own
+     header below.
 
    Each level is a bench (cluster/<threads>t) in the umrs/bench/v1
    report written to BENCH_cluster.json (--json PATH overrides) and
@@ -137,6 +143,362 @@ let storm cl bootstrap records ~threads =
   ( Array.fold_left ( + ) 0 ops,
     Array.fold_left ( + ) 0 failovers )
 
+(* ---------- multi-process level ---------- *)
+
+(* The in-process levels prove the data plane; this one proves the
+   membership plane the way it ships: separate OS processes over real
+   TCP, driven through the routing_lab CLI. A coordinator and four
+   nodes form a two-shard cluster under verified load; the bench then
+   SIGKILLs a primary (the detector must promote its replica), splits
+   a shard online (double-serving must hide the handoff), and restarts
+   the corpse in its old data dir (its pre-split piece is now stale,
+   so the join must re-fetch the narrowed range and end up
+   byte-identical with the shard's primary). Any dropped or wrong
+   answer anywhere in that timeline is a silent-loss failure. *)
+
+module Ms = Umrs_cluster.Membership
+
+let mp_threads = 4
+let mp_nodes = 4
+let mp_beat_ms = 100
+
+let routing_lab () =
+  match Sys.getenv_opt "UMRS_ROUTING_LAB" with
+  | Some p -> p
+  | None ->
+    (* bench/cluster_smoke.exe and bin/routing_lab.exe share a build *)
+    let guess =
+      Filename.concat
+        (Filename.concat
+           (Filename.dirname (Filename.dirname Sys.executable_name))
+           "bin")
+        "routing_lab.exe"
+    in
+    if Sys.file_exists guess then guess
+    else die "routing_lab.exe not found; set UMRS_ROUTING_LAB"
+
+let addr_of_string s =
+  match String.split_on_char ':' (String.trim s) with
+  | "unix" :: (_ :: _ as rest) -> Some (Wire.Unix_sock (String.concat ":" rest))
+  | [ "tcp"; host; port ] -> (
+    match int_of_string_opt port with
+    | Some p -> Some (Wire.Tcp (host, p))
+    | None -> None)
+  | _ -> None
+
+let addr_str = Wire.addr_to_string
+
+(* every spawned process dies with the bench, pass or fail *)
+let children = ref []
+
+let () =
+  at_exit (fun () ->
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        !children)
+
+let spawn argv ~log =
+  let fd = Unix.openfile log [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  let pid = Unix.create_process argv.(0) argv Unix.stdin fd fd in
+  Unix.close fd;
+  children := pid :: !children;
+  pid
+
+let forget pid = children := List.filter (fun p -> p <> pid) !children
+
+let reap pid =
+  forget pid;
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let terminate pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let rec drain n =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if n = 0 then begin
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+      end
+      else begin
+        Unix.sleepf 0.1;
+        drain (n - 1)
+      end
+    | _ -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  drain 50;
+  forget pid
+
+let await ?(timeout = 30.0) what f =
+  let t0 = now_s () in
+  let rec go () =
+    match f () with
+    | Some v -> v
+    | None ->
+      if now_s () -. t0 > timeout then die "timed out waiting for %s" what;
+      Unix.sleepf 0.05;
+      go ()
+  in
+  go ()
+
+let await_addr file =
+  await ("address in " ^ file) (fun () ->
+      if not (Sys.file_exists file) then None
+      else begin
+        let ic = open_in file in
+        let line = try input_line ic with End_of_file -> "" in
+        close_in ic;
+        if line = "" then None else addr_of_string line
+      end)
+
+(* one coordinator-status poll: [None] while unreachable or the
+   predicate is unsatisfied *)
+let probe_status co f =
+  match C.connect co with
+  | Error _ -> None
+  | Ok conn ->
+    Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+    (match C.cluster_status conn with
+    | Ok (v, pub, ms) -> f v pub ms
+    | Error _ -> None)
+
+let ready_in_map ms =
+  List.filter (fun m -> m.Wire.mi_state = Wire.Ready && m.Wire.mi_in_map) ms
+
+let live_shards ms =
+  List.sort_uniq compare (List.map (fun m -> m.Wire.mi_shard) (ready_in_map ms))
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let count name v =
+  B.Report.metric ~better:B.Report.Higher name (float_of_int v)
+
+let multiproc ~corpus ~records =
+  let lab = routing_lab () in
+  let dir = Filename.temp_file "umrs_cluster_mp" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let tele_dir = "BENCH_cluster_nodes" in
+  if not (Sys.file_exists tele_dir) then Unix.mkdir tele_dir 0o755;
+  let t0 = now_s () in
+  (* coordinator: fast beats so failure detection fits a bench run *)
+  let co_addr_file = Filename.concat dir "co.addr" in
+  let co_pid =
+    spawn
+      [| lab; "cluster"; "coordinator"; "--corpus"; corpus;
+         "--dir"; Filename.concat dir "co"; "--shards"; "2";
+         "--heartbeat-ms"; string_of_int mp_beat_ms; "--miss"; "5";
+         "--addr-file"; co_addr_file;
+         "--telemetry"; Filename.concat tele_dir "coordinator.jsonl" |]
+      ~log:(Filename.concat dir "co.log")
+  in
+  let co = await_addr co_addr_file in
+  let join_node ?listen k tag =
+    let ndir = Filename.concat dir (Printf.sprintf "n%d" k) in
+    let afile = Filename.concat dir (Printf.sprintf "n%d.%s.addr" k tag) in
+    let argv =
+      [ lab; "cluster"; "join"; "--coordinator"; addr_str co; "--dir"; ndir;
+        "--heartbeat-ms"; string_of_int mp_beat_ms; "--addr-file"; afile;
+        "--telemetry";
+        Filename.concat tele_dir (Printf.sprintf "node%d.%s.jsonl" k tag) ]
+      @ (match listen with Some a -> [ "--listen"; addr_str a ] | None -> [])
+    in
+    let pid =
+      spawn (Array.of_list argv)
+        ~log:(Filename.concat dir (Printf.sprintf "n%d.%s.log" k tag))
+    in
+    let addr = await_addr afile in
+    (pid, ndir, addr)
+  in
+  let nodes = Array.init mp_nodes (fun k -> join_node (k + 1) "a") in
+  ignore
+    (await "cluster formation" (fun () ->
+         probe_status co (fun _ pub ms ->
+             let live = ready_in_map ms in
+             if
+               pub
+               && List.length live = mp_nodes
+               && live_shards ms = [ 0; 1 ]
+               && List.length (List.filter (fun m -> m.Wire.mi_primary) live)
+                  = 2
+             then Some ()
+             else None)));
+  (* verified load for the whole membership timeline *)
+  let stop = Atomic.make false in
+  let ops = Array.make mp_threads 0 in
+  let fails = Array.make mp_threads 0 in
+  let load =
+    List.init mp_threads (fun t ->
+        Thread.create
+          (fun () ->
+            let client =
+              match Cl.fetch co with
+              | Ok c -> c
+              | Error e -> die "multiproc fetch: %s" (C.error_to_string e)
+            in
+            Fun.protect ~finally:(fun () -> Cl.close client) @@ fun () ->
+            let k = ref 0 in
+            while not (Atomic.get stop) do
+              verified_call client records ((t * 104_729) + !k);
+              incr k
+            done;
+            ops.(t) <- !k;
+            fails.(t) <- (Cl.stats client).Cl.s_failovers)
+          ())
+  in
+  Unix.sleepf 0.3;
+  (* phase 1: SIGKILL the primary of shard 1; the detector must declare
+     it dead and promote its replica while the load keeps verifying *)
+  let victim_addr =
+    await "a primary for shard 1" (fun () ->
+        probe_status co (fun _ pub ms ->
+            if not pub then None
+            else
+              Option.map
+                (fun m -> m.Wire.mi_addr)
+                (List.find_opt
+                   (fun m -> m.Wire.mi_shard = 1 && m.Wire.mi_primary)
+                   (ready_in_map ms))))
+  in
+  let victim_ix =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i (_, _, a) -> if addr_str a = addr_str victim_addr then found := i)
+      nodes;
+    if !found < 0 then die "victim %s is not one of ours" (addr_str victim_addr);
+    !found
+  in
+  let victim_pid, _, _ = nodes.(victim_ix) in
+  Unix.kill victim_pid Sys.sigkill;
+  reap victim_pid;
+  ignore
+    (await "failure detection and promotion" (fun () ->
+         probe_status co (fun _ pub ms ->
+             let dead =
+               List.exists
+                 (fun m ->
+                   addr_str m.Wire.mi_addr = addr_str victim_addr
+                   && m.Wire.mi_state = Wire.Dead)
+                 ms
+             in
+             let promoted =
+               List.exists
+                 (fun m ->
+                   m.Wire.mi_shard = 1 && m.Wire.mi_primary
+                   && addr_str m.Wire.mi_addr <> addr_str victim_addr)
+                 (ready_in_map ms)
+             in
+             if pub && dead && promoted then Some () else None)));
+  (* phase 2: split shard 1 online — a node is poached from shard 0,
+     streams the upper half, and the map flips under the load *)
+  (match C.connect co with
+  | Error e -> die "reshard connect: %s" (C.error_to_string e)
+  | Ok conn ->
+    Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+    (match C.reshard conn (Wire.Split 1) with
+    | Ok _ -> ()
+    | Error e -> die "split: %s" (C.error_to_string e)));
+  ignore
+    (await "split flip" (fun () ->
+         probe_status co (fun _ pub ms ->
+             if pub && live_shards ms = [ 0; 1; 2 ] then Some () else None)));
+  (* phase 3: restart the corpse on its old address and data dir. Its
+     piece on disk still spans the pre-split range, so the checksum no
+     longer matches the canonical value — the join must re-fetch the
+     narrowed range for real before the coordinator lets it back in *)
+  let r_pid, r_dir, r_addr = join_node ~listen:victim_addr (victim_ix + 1) "b" in
+  if addr_str r_addr <> addr_str victim_addr then
+    die "restarted node came back as %s, want %s" (addr_str r_addr)
+      (addr_str victim_addr);
+  let r_shard =
+    await "replica catch-up" (fun () ->
+        probe_status co (fun _ pub ms ->
+            match
+              List.find_opt
+                (fun m -> addr_str m.Wire.mi_addr = addr_str r_addr)
+                (ready_in_map ms)
+            with
+            | Some me when pub && me.Wire.mi_checksum <> 0L -> (
+              match
+                List.find_opt
+                  (fun m ->
+                    m.Wire.mi_shard = me.Wire.mi_shard && m.Wire.mi_primary)
+                  (ready_in_map ms)
+              with
+              | Some p
+                when p.Wire.mi_checksum = me.Wire.mi_checksum
+                     && addr_str p.Wire.mi_addr <> addr_str r_addr ->
+                Some (me.Wire.mi_shard, p.Wire.mi_addr)
+              | _ -> None)
+            | _ -> None))
+  in
+  Unix.sleepf 0.3;
+  Atomic.set stop true;
+  List.iter Thread.join load;
+  (* catch-up must be byte-exact, not merely checksum-happy: the
+     returning node's piece file and the primary's must be identical *)
+  let shard_k, primary_addr = r_shard in
+  let lo, hi =
+    match C.connect co with
+    | Error e -> die "map fetch: %s" (C.error_to_string e)
+    | Ok conn ->
+      Fun.protect ~finally:(fun () -> C.close conn) @@ fun () ->
+      (match C.shard_map conn with
+      | Ok sm ->
+        let sh = sm.Wire.sm_shards.(shard_k) in
+        (sh.Wire.sh_lo, sh.Wire.sh_hi)
+      | Error e -> die "map fetch: %s" (C.error_to_string e))
+  in
+  let primary_dir =
+    let found = ref None in
+    Array.iter
+      (fun (_, d, a) ->
+        if addr_str a = addr_str primary_addr then found := Some d)
+      nodes;
+    match !found with
+    | Some d -> d
+    | None -> die "primary %s is not one of ours" (addr_str primary_addr)
+  in
+  let mine = read_file (Ms.piece_path r_dir lo hi) in
+  let theirs = read_file (Ms.piece_path primary_dir lo hi) in
+  if mine <> theirs then
+    die "caught-up piece [%d, %d) differs from the primary's copy" lo hi;
+  (match Unix.waitpid [ Unix.WNOHANG ] co_pid with
+  | 0, _ -> ()
+  | _ -> die "coordinator exited mid-run");
+  (* graceful teardown: nodes leave, the coordinator drains *)
+  Array.iteri
+    (fun i (pid, _, _) -> if i <> victim_ix then terminate pid)
+    nodes;
+  terminate r_pid;
+  terminate co_pid;
+  let seconds = now_s () -. t0 in
+  let mp_ops = Array.fold_left ( + ) 0 ops in
+  let mp_failovers = Array.fold_left ( + ) 0 fails in
+  if mp_failovers = 0 then
+    die "multiproc: no failovers recorded: the kill was never felt";
+  if mp_ops < mp_threads * 10 then
+    die "multiproc: load too small to mean anything (%d ops)" mp_ops;
+  Printf.printf
+    "cluster_smoke: multiproc: %d processes, %d verified requests, 1 \
+     primary killed, %d failovers, 1 split, catch-up byte-identical\n"
+    (mp_nodes + 2) mp_ops mp_failovers;
+  { B.Report.b_name = "cluster/multiproc"; b_iters = mp_ops; b_warmup = 0;
+    b_seconds = seconds;
+    b_metrics =
+      [ count "requests" mp_ops;
+        count "processes" (mp_nodes + 2);
+        count "primaries_killed" 1;
+        count "failovers" mp_failovers;
+        count "reshards" 1;
+        count "catchups" 1;
+        B.Report.metric "silent_losses" 0. ] }
+
 (* ---------- main ---------- *)
 
 let () =
@@ -192,9 +554,6 @@ let () =
   if crashes <> 0 then die "%d worker domains crashed" crashes;
   Cluster.shutdown cl;
   Cluster.wait cl;
-  let count name v =
-    B.Report.metric ~better:B.Report.Higher name (float_of_int v)
-  in
   let storm_bench =
     { B.Report.b_name = "cluster/storm"; b_iters = storm_ops; b_warmup = 0;
       b_seconds = storm_seconds;
@@ -205,6 +564,8 @@ let () =
           B.Report.metric "silent_losses" 0.;
           B.Report.metric "worker_crashes" (float_of_int crashes) ] }
   in
+  (* the in-process cluster is down; the multi-process one gets the box *)
+  let multiproc_bench = multiproc ~corpus ~records in
   let report =
     B.Report.make ~suite:"cluster"
       ~context:
@@ -220,7 +581,7 @@ let () =
                ("replicas", B.Json.Num (float_of_int replicas));
                ("nodes", B.Json.Num (float_of_int nodes));
                ("workers", B.Json.Num (float_of_int workers)) ]) ]
-      (level_benches @ [ storm_bench ])
+      (level_benches @ [ storm_bench; multiproc_bench ])
   in
   List.iter
     (fun (b : B.Report.bench) ->

@@ -1683,12 +1683,253 @@ let cluster_cmd =
       Term.(const run $ addr_arg $ ping $ want_info $ want_map $ nths $ mems
             $ ranks $ prefixes $ cgraphs $ want_stats)
   in
+  (* write the resolved address where scripts (and the bench harness)
+     can find it — port 0 means only the process knows its port *)
+  let write_addr_file path addr =
+    match path with
+    | None -> ()
+    | Some p ->
+      let oc = open_out p in
+      output_string oc (Wire.addr_to_string addr);
+      close_out oc
+  in
+  let addr_file_arg =
+    Arg.(value & opt (some string) None & info [ "addr-file" ] ~docv:"FILE"
+           ~doc:"Write the resolved listening address (unix:PATH or \
+                 tcp:HOST:PORT) to FILE once bound.")
+  in
+  let listen_arg =
+    Arg.(value & opt addr_conv (Umrs_server.Wire.Tcp ("127.0.0.1", 0))
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Listening address (default tcp:127.0.0.1:0 — the kernel \
+                   picks a port; see --addr-file).")
+  in
+  let heartbeat_arg =
+    Arg.(value & opt int 500 & info [ "heartbeat-ms" ] ~docv:"MS"
+           ~doc:"Heartbeat interval in milliseconds.")
+  in
+  let run_until_signal () =
+    let stop = Atomic.make false in
+    let drain _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+    while not (Atomic.get stop) do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  let coordinator_cmd =
+    let module Co = Umrs_cluster.Coordinator in
+    let run corpus dir listen shards heartbeat_ms miss workers addr_file
+        telemetry =
+      with_telemetry telemetry @@ fun () ->
+      let cfg =
+        { (Co.default_config ~dir ~corpus ~listen) with
+          Co.shards; heartbeat = float_of_int heartbeat_ms /. 1000.0;
+          miss_limit = miss; workers }
+      in
+      match Co.start cfg with
+      | Error msg ->
+        Printf.eprintf "routing_lab: cluster coordinator: %s\n" msg;
+        exit 1
+      | Ok co ->
+        write_addr_file addr_file (Co.addr co);
+        pf "coordinator up at %s: %d shard%s, beat %dms, dead after %d \
+            missed (map -> %s)@."
+          (Wire.addr_to_string (Co.addr co))
+          shards
+          (if shards = 1 then "" else "s")
+          heartbeat_ms miss (Co.map_path co);
+        pf "SIGTERM/SIGINT drain and exit@.";
+        run_until_signal ();
+        Co.shutdown co;
+        Co.wait co;
+        pf "coordinator drained: topology v%d, %d death%s, %d promotion%s@."
+          (Co.version co) (Co.deaths co)
+          (if Co.deaths co = 1 then "" else "s")
+          (Co.promotions co)
+          (if Co.promotions co = 1 then "" else "s")
+    in
+    let corpus =
+      Arg.(required & opt (some string) None & info [ "corpus" ] ~docv:"FILE"
+             ~doc:"The full unsharded corpus the cluster serves.")
+    in
+    let dir =
+      Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Directory for the shard-map file (swept of stale \
+                   sockets/tempfiles on start).")
+    in
+    let shards =
+      Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N"
+             ~doc:"Initial shard count when no map file exists; an existing \
+                   map's (possibly resharded) topology is adopted instead.")
+    in
+    let miss =
+      Arg.(value & opt int 4 & info [ "miss" ] ~docv:"N"
+             ~doc:"Heartbeats a node may miss before it is declared dead.")
+    in
+    let workers =
+      Arg.(value & opt int 2 & info [ "workers" ] ~docv:"K"
+             ~doc:"Worker domains for the coordinator's own data plane.")
+    in
+    Cmd.v
+      (Cmd.info "coordinator"
+         ~doc:"Run the cluster coordinator: nodes join it, heartbeat \
+               against it, and receive resharding work from it; it \
+               publishes the versioned shard map and serves the full \
+               corpus as the donor of last resort.")
+      Term.(const run $ corpus $ dir $ listen_arg $ shards $ heartbeat_arg
+            $ miss $ workers $ addr_file_arg $ telemetry_arg)
+  in
+  let join_cmd =
+    let module Ms = Umrs_cluster.Membership in
+    let run coordinator dir listen advertise heartbeat_ms workers addr_file
+        telemetry =
+      with_telemetry telemetry @@ fun () ->
+      let cfg =
+        { (Ms.default_config ~coordinator ~dir ~listen) with
+          Ms.advertise; heartbeat = float_of_int heartbeat_ms /. 1000.0;
+          workers }
+      in
+      match Ms.start cfg with
+      | Error msg ->
+        Printf.eprintf "routing_lab: cluster join: %s\n" msg;
+        exit 1
+      | Ok node ->
+        write_addr_file addr_file (Ms.self_addr node);
+        (match Ms.range node with
+        | Some (lo, hi) ->
+          pf "joined as %s: records [%d, %d), checksum %016Lx, %d catch-up \
+              fetch%s@."
+            (Wire.addr_to_string (Ms.self_addr node))
+            lo hi (Ms.checksum node) (Ms.catchups node)
+            (if Ms.catchups node = 1 then "" else "es")
+        | None ->
+          pf "joined as %s@." (Wire.addr_to_string (Ms.self_addr node)));
+        pf "SIGTERM/SIGINT leave gracefully and exit@.";
+        run_until_signal ();
+        Ms.stop node;
+        Ms.wait node;
+        pf "node left (topology v%d)@." (Ms.version node)
+    in
+    let coordinator =
+      Arg.(required & opt (some addr_conv) None
+           & info [ "coordinator" ] ~docv:"ADDR"
+               ~doc:"The coordinator's address.")
+    in
+    let dir =
+      Arg.(required & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+             ~doc:"This node's data directory: piece files live here, and \
+                   a crashed predecessor's sockets/tempfiles are swept on \
+                   start. A returning node re-uses a piece that still \
+                   matches the canonical checksum and re-fetches only what \
+                   went stale.")
+    in
+    let advertise =
+      Arg.(value & opt (some addr_conv) None
+           & info [ "advertise" ] ~docv:"ADDR"
+               ~doc:"Address to register with the coordinator (what other \
+                     processes connect to); default: the resolved listen \
+                     address.")
+    in
+    let workers =
+      Arg.(value & opt int 2 & info [ "workers" ] ~docv:"K"
+             ~doc:"Worker domains for this node's data plane.")
+    in
+    Cmd.v
+      (Cmd.info "join"
+         ~doc:"Start a node and join it to a running coordinator: it is \
+               assigned a key range, streams (or re-uses) its piece, \
+               enters the map, and heartbeats; killed and restarted with \
+               the same --dir it catches up instead of re-fetching \
+               everything.")
+      Term.(const run $ coordinator $ dir $ listen_arg $ advertise
+            $ heartbeat_arg $ workers $ addr_file_arg $ telemetry_arg)
+  in
+  let with_coordinator ctx addr f =
+    match Umrs_client.connect addr with
+    | Error e ->
+      Printf.eprintf "routing_lab: cluster %s: %s\n" ctx
+        (Umrs_client.error_to_string e);
+      exit 1
+    | Ok c -> Fun.protect ~finally:(fun () -> Umrs_client.close c) (fun () -> f c)
+  in
+  let reshard_cmd =
+    let run addr split merge =
+      let op =
+        match (split, merge) with
+        | Some k, None -> Wire.Split k
+        | None, Some k -> Wire.Merge k
+        | _ ->
+          Printf.eprintf
+            "routing_lab: cluster reshard: exactly one of --split or \
+             --merge\n";
+          exit 2
+      in
+      with_coordinator "reshard" addr @@ fun c ->
+      match Umrs_client.reshard c op with
+      | Ok msg -> pf "%s@." msg
+      | Error e ->
+        Printf.eprintf "routing_lab: cluster reshard: %s\n"
+          (Umrs_client.error_to_string e);
+        exit 1
+    in
+    let split =
+      Arg.(value & opt (some int) None & info [ "split" ] ~docv:"K"
+             ~doc:"Split shard K's key range in half; a poached node \
+                   streams the upper half while the donor double-serves.")
+    in
+    let merge =
+      Arg.(value & opt (some int) None & info [ "merge" ] ~docv:"K"
+             ~doc:"Merge shard K with shard K+1.")
+    in
+    Cmd.v
+      (Cmd.info "reshard"
+         ~doc:"Ask a live coordinator to split or merge a key range online \
+               — no request window is lost during the handoff.")
+      Term.(const run $ addr_arg $ split $ merge)
+  in
+  let status_cmd =
+    let run addr =
+      with_coordinator "status" addr @@ fun c ->
+      match Umrs_client.cluster_status c with
+      | Error e ->
+        Printf.eprintf "routing_lab: cluster status: %s\n"
+          (Umrs_client.error_to_string e);
+        exit 1
+      | Ok (version, published, members) ->
+        pf "topology v%d (%s)@." version
+          (if published then "published" else "NOT published - degraded");
+        List.iter
+          (fun mi ->
+            pf "  %-28s shard %2s  %-7s %s%s beat %.2fs ago  piece %016Lx@."
+              (Wire.addr_to_string mi.Wire.mi_addr)
+              (if mi.Wire.mi_shard < 0 then "-"
+               else string_of_int mi.Wire.mi_shard)
+              (match mi.Wire.mi_state with
+              | Wire.Joining -> "joining"
+              | Wire.Ready -> "ready"
+              | Wire.Dead -> "dead")
+              (if mi.Wire.mi_in_map then "in-map " else "out    ")
+              (if mi.Wire.mi_primary then "primary " else "        ")
+              mi.Wire.mi_beat_age mi.Wire.mi_checksum)
+          (List.sort
+             (fun a b -> compare a.Wire.mi_shard b.Wire.mi_shard)
+             members)
+    in
+    Cmd.v
+      (Cmd.info "status"
+         ~doc:"Print a coordinator's membership table: every node's shard, \
+               state, map presence and heartbeat age.")
+      Term.(const run $ addr_arg)
+  in
   Cmd.group
     (Cmd.info "cluster"
        ~doc:"Multi-node sharded serving: split a corpus across key-range \
-             shards with replicas, serve the topology over the wire, query \
-             through the routing client.")
-    [ serve_cmd; query_cmd ]
+             shards with replicas, or run a real multi-process membership \
+             cluster (coordinator + joining nodes) with heartbeat failure \
+             detection, online resharding and replica catch-up.")
+    [ serve_cmd; query_cmd; coordinator_cmd; join_cmd; reshard_cmd;
+      status_cmd ]
 
 let () =
   let doc =

@@ -248,6 +248,10 @@ let rank t m =
 let range_prefix t prefix =
   match call t (Wire.Range_prefix prefix) with
   | Ok (Wire.R_range (lo, hi)) -> Ok (lo, hi)
+  | Ok (Wire.R_slice { sl_lo; sl_hi; _ }) ->
+    (* a sharded node stamps its slice; a direct single-server caller
+       has no epoch to compare against, so the stamp is dropped *)
+    Ok (sl_lo, sl_hi)
   | Ok _ -> shape "a range"
   | Error _ as e -> e
 
@@ -275,6 +279,19 @@ let shard_map t =
   | Ok _ -> shape "a shard map"
   | Error _ as e -> e
 
+let cluster_status t =
+  match call t Wire.Cluster_status with
+  | Ok (Wire.R_status { cs_version; cs_published; cs_members }) ->
+    Ok (cs_version, cs_published, cs_members)
+  | Ok _ -> shape "a cluster status"
+  | Error _ as e -> e
+
+let reshard t op =
+  match call t (Wire.Reshard op) with
+  | Ok (Wire.R_accepted msg) -> Ok msg
+  | Ok _ -> shape "a reshard acknowledgement"
+  | Error _ as e -> e
+
 (* ---------- resilience ---------- *)
 
 let idempotent = function
@@ -282,7 +299,15 @@ let idempotent = function
   | Wire.Rank _ | Wire.Range_prefix _ | Wire.Cgraph_of _ | Wire.Evaluate _
   | Wire.Get_shard_map ->
     true
-  | Wire.Sleep_ms _ -> false
+  (* The membership control plane is upsert-shaped by design: a Join
+     re-registers the same member, a repeated Heartbeat or
+     Handoff_done only refreshes state the first delivery set, a
+     doubled Leave finds nothing to remove. Reshard is the exception —
+     retrying one could start a second topology change. *)
+  | Wire.Join _ | Wire.Leave _ | Wire.Heartbeat _ | Wire.Handoff_done _
+  | Wire.Cluster_status ->
+    true
+  | Wire.Sleep_ms _ | Wire.Reshard _ -> false
 
 module Robust = struct
   type policy = {

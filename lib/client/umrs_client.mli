@@ -109,6 +109,17 @@ val shard_map : t -> (Umrs_server.Wire.shard_map, error) result
 (** The cluster topology this node serves under; [Refused] when the
     server is not part of a cluster. *)
 
+val cluster_status :
+  t ->
+  (int * bool * Umrs_server.Wire.member_info list, error) result
+(** Coordinator membership snapshot: [(topology version, a map is
+    published, members)]. [Refused] on a non-coordinator. *)
+
+val reshard : t -> Umrs_server.Wire.reshard_op -> (string, error) result
+(** Ask a coordinator to start an online reshard; the returned string
+    describes the operation it began. [Refused] while another reshard
+    is in flight or when no node can take the new range. *)
+
 (** {1 Idempotency}
 
     Every read-only request — [Ping], [Stats], [Corpus_info], [Nth],
@@ -117,9 +128,13 @@ val shard_map : t -> (Umrs_server.Wire.shard_map, error) result
     it is safe to resend when a connection dies mid-call and the
     client cannot know whether the server executed it. [Evaluate] is
     also idempotent (a pure function of its graph, memoized
-    server-side). [Sleep_ms] is {e not}: each execution occupies a
-    worker for the full duration, so a blind resend doubles the
-    resource cost. {!Robust} enforces exactly this split. *)
+    server-side). The membership control plane ([Join], [Leave],
+    [Heartbeat], [Handoff_done], [Cluster_status]) is upsert-shaped
+    and therefore idempotent too. [Sleep_ms] is {e not}: each
+    execution occupies a worker for the full duration, so a blind
+    resend doubles the resource cost; neither is [Reshard], whose
+    blind resend could start a second topology change. {!Robust}
+    enforces exactly this split. *)
 
 val idempotent : Umrs_server.Wire.request -> bool
 

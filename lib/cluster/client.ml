@@ -14,6 +14,19 @@ type group = {
   g_addrs : Wire.addr array;  (* primary first, then replicas *)
   g_conns : C.Robust.conn option array;
   mutable g_active : int;  (* endpoint currently preferred *)
+  g_lock : Mutex.t;  (* serializes use of this group's connections *)
+}
+
+(* A consistent (map, groups) pair. Callers route against one epoch
+   for the whole call; a concurrent refresh installs a fresh epoch and
+   the old one's connections are closed only once its last caller
+   leaves — a thread mid-call can never have its connection closed
+   under it. *)
+type epoch = {
+  e_map : Wire.shard_map;
+  e_groups : group array;
+  mutable e_busy : int;     (* callers inside; under the owner's lock *)
+  mutable e_retired : bool; (* replaced; close when e_busy drains *)
 }
 
 type stats = {
@@ -23,10 +36,12 @@ type stats = {
 }
 
 type t = {
-  mutable map : Wire.shard_map;
   policy : C.Robust.policy;
-  rng : Random.State.t;
-  mutable groups : group array;
+  rng : Random.State.t;  (* seed source only; under [lock] *)
+  lock : Mutex.t;  (* epoch pointer, retired list, counters, rr *)
+  refresh_lock : Mutex.t;  (* single-flight: at most one fetch in flight *)
+  mutable epoch : epoch;
+  mutable retired : epoch list;  (* replaced epochs still busy *)
   mutable rr : int;  (* round-robin cursor for unrouted requests *)
   nonce : int ref;
   mutable k_calls : int;
@@ -34,13 +49,20 @@ type t = {
   mutable k_refreshes : int;
 }
 
+let locked lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let group_of_shard sh =
   let addrs = Array.of_list (sh.Wire.sh_primary :: sh.Wire.sh_replicas) in
   { g_addrs = addrs;
     g_conns = Array.make (Array.length addrs) None;
-    g_active = 0 }
+    g_active = 0;
+    g_lock = Mutex.create () }
 
-let groups_of_map map = Array.map group_of_shard map.Wire.sm_shards
+let epoch_of_map map =
+  { e_map = map; e_groups = Array.map group_of_shard map.Wire.sm_shards;
+    e_busy = 0; e_retired = false }
 
 let of_map ?(policy = default_policy) ?rng map =
   (match Wire.validate_shard_map map with
@@ -49,7 +71,8 @@ let of_map ?(policy = default_policy) ?rng map =
   let rng =
     match rng with Some r -> r | None -> Random.State.make_self_init ()
   in
-  { map; policy; rng; groups = groups_of_map map; rr = 0; nonce = ref 0;
+  { policy; rng; lock = Mutex.create (); refresh_lock = Mutex.create ();
+    epoch = epoch_of_map map; retired = []; rr = 0; nonce = ref 0;
     k_calls = 0; k_failovers = 0; k_refreshes = 0 }
 
 let fetch ?policy ?rng addr =
@@ -65,27 +88,72 @@ let fetch ?policy ?rng addr =
   | Ok _ -> Error (C.Protocol "response is not a shard map")
   | Error _ as e -> e
 
-let map t = t.map
+let map t = locked t.lock (fun () -> t.epoch.e_map)
 
 let stats t =
-  { s_calls = t.k_calls; s_failovers = t.k_failovers;
-    s_refreshes = t.k_refreshes }
+  locked t.lock (fun () ->
+      { s_calls = t.k_calls; s_failovers = t.k_failovers;
+        s_refreshes = t.k_refreshes })
 
-let close_groups groups =
+let close_epoch e =
   Array.iter
     (fun g ->
-      Array.iter
-        (function Some c -> C.Robust.close c | None -> ())
+      Array.iteri
+        (fun i -> function
+          | Some c ->
+            g.g_conns.(i) <- None;
+            C.Robust.close c
+          | None -> ())
         g.g_conns)
-    groups
+    e.e_groups
 
-let close t = close_groups t.groups
+(* ---------- epoch entry/exit ---------- *)
 
+let enter t =
+  locked t.lock (fun () ->
+      let e = t.epoch in
+      e.e_busy <- e.e_busy + 1;
+      e)
+
+let leave t e =
+  let close_now =
+    locked t.lock (fun () ->
+        e.e_busy <- e.e_busy - 1;
+        if e.e_retired && e.e_busy = 0 then begin
+          t.retired <- List.filter (fun r -> r != e) t.retired;
+          true
+        end
+        else false)
+  in
+  if close_now then close_epoch e
+
+let with_epoch t f =
+  let e = enter t in
+  Fun.protect ~finally:(fun () -> leave t e) (fun () -> f e)
+
+let close t =
+  let epochs =
+    locked t.lock (fun () ->
+        let es = t.epoch :: t.retired in
+        t.retired <- [];
+        es)
+  in
+  List.iter close_epoch epochs
+
+(* Connection creation happens under the group's lock; the shared seed
+   source is touched under [t.lock] only, and each connection gets a
+   private stream so backoff jitter never races across groups. *)
 let conn t g i =
   match g.g_conns.(i) with
   | Some c -> c
   | None ->
-    let c = C.Robust.create ~policy:t.policy ~rng:t.rng g.g_addrs.(i) in
+    let rng =
+      locked t.lock (fun () ->
+          Random.State.make
+            [| Random.State.bits t.rng; Random.State.bits t.rng;
+               Random.State.bits t.rng |])
+    in
+    let c = C.Robust.create ~policy:t.policy ~rng g.g_addrs.(i) in
     g.g_conns.(i) <- Some c;
     c
 
@@ -102,80 +170,132 @@ let conn t g i =
    violations return as-is. The preferred index sticks, so once a
    primary dies the group keeps talking to its replica instead of
    re-probing the corpse on every call. *)
-let with_group t k f =
-  let g = t.groups.(k) in
-  let n = Array.length g.g_addrs in
-  let rec go tries =
-    match f (conn t g g.g_active) with
-    | Error (C.Io _ | C.Overloaded) as e ->
-      if tries + 1 >= n then e
-      else begin
-        g.g_active <- (g.g_active + 1) mod n;
-        t.k_failovers <- t.k_failovers + 1;
-        go (tries + 1)
-      end
-    | r -> r
-  in
-  go 0
+let with_group t e k f =
+  let g = e.e_groups.(k) in
+  locked g.g_lock (fun () ->
+      let n = Array.length g.g_addrs in
+      let rec go tries =
+        match f (conn t g g.g_active) with
+        | Error (C.Io _ | C.Overloaded) as err ->
+          if tries + 1 >= n then err
+          else begin
+            g.g_active <- (g.g_active + 1) mod n;
+            locked t.lock (fun () -> t.k_failovers <- t.k_failovers + 1);
+            go (tries + 1)
+          end
+        | r -> r
+      in
+      go 0)
 
 (* Batched transport against one group with the same rotation: slots
    that still carry a transport error or an Overloaded shed after
    {!C.Robust.call_many}'s own retries are re-driven — corpus requests
    are all idempotent, and sheds never executed — against the next
    endpoint; everything already answered stays answered. *)
-let with_group_many t k ?deadline_ms reqs =
-  let g = t.groups.(k) in
-  let n = Array.length g.g_addrs in
-  let arr = Array.of_list reqs in
-  let out = Array.make (Array.length arr) (Error (C.Io "unsent")) in
-  let rec go tries pending =
-    let rs =
-      C.Robust.call_many (conn t g g.g_active) ?deadline_ms
-        (List.map (fun s -> arr.(s)) pending)
-    in
-    List.iter2 (fun s r -> out.(s) <- r) pending rs;
-    let failed =
-      List.filter
-        (fun s ->
-          match out.(s) with
-          | Error (C.Io _ | C.Overloaded) -> true
-          | _ -> false)
-        pending
-    in
-    if failed <> [] && tries + 1 < n then begin
-      g.g_active <- (g.g_active + 1) mod n;
-      t.k_failovers <- t.k_failovers + 1;
-      go (tries + 1) failed
-    end
-  in
-  go 0 (List.init (Array.length arr) Fun.id);
-  Array.to_list out
+let with_group_many t e k ?deadline_ms reqs =
+  let g = e.e_groups.(k) in
+  locked g.g_lock (fun () ->
+      let n = Array.length g.g_addrs in
+      let arr = Array.of_list reqs in
+      let out = Array.make (Array.length arr) (Error (C.Io "unsent")) in
+      let rec go tries pending =
+        let rs =
+          C.Robust.call_many (conn t g g.g_active) ?deadline_ms
+            (List.map (fun s -> arr.(s)) pending)
+        in
+        List.iter2 (fun s r -> out.(s) <- r) pending rs;
+        let failed =
+          List.filter
+            (fun s ->
+              match out.(s) with
+              | Error (C.Io _ | C.Overloaded) -> true
+              | _ -> false)
+            pending
+        in
+        if failed <> [] && tries + 1 < n then begin
+          g.g_active <- (g.g_active + 1) mod n;
+          locked t.lock (fun () -> t.k_failovers <- t.k_failovers + 1);
+          go (tries + 1) failed
+        end
+      in
+      go 0 (List.init (Array.length arr) Fun.id);
+      Array.to_list out)
 
 (* ---------- map refresh ---------- *)
 
 let install_map t sm =
-  close_groups t.groups;
-  t.map <- sm;
-  t.groups <- groups_of_map sm;
-  t.k_refreshes <- t.k_refreshes + 1
-
-let refresh t =
-  (* any live node can serve the map; ask each group in turn *)
-  let n = Array.length t.groups in
-  let rec go k =
-    if k >= n then Error (C.Io "no node answered the shard-map refresh")
-    else
-      match with_group t k (fun c -> C.Robust.call c Wire.Get_shard_map) with
-      | Ok (Wire.R_shard_map sm) -> (
-        match Wire.validate_shard_map sm with
-        | Ok () ->
-          install_map t sm;
-          Ok ()
-        | Error m -> Error (C.Protocol ("refreshed shard map invalid: " ^ m)))
-      | Ok _ -> Error (C.Protocol "response is not a shard map")
-      | Error _ -> go (k + 1)
+  let close_now =
+    locked t.lock (fun () ->
+        let old = t.epoch in
+        old.e_retired <- true;
+        t.epoch <- epoch_of_map sm;
+        t.k_refreshes <- t.k_refreshes + 1;
+        if old.e_busy = 0 then Some old
+        else begin
+          t.retired <- old :: t.retired;
+          None
+        end)
   in
-  go 0
+  Option.iter close_epoch close_now
+
+(* Single-flight: [seen] is the map version the caller routed with,
+   [want] the version the stale verdict named. Whoever takes
+   [refresh_lock] first fetches; everyone else queued behind it finds
+   the version already moved past [seen] and returns without a second
+   [Get_shard_map] — N concurrent stale verdicts cost one fetch, not
+   N. *)
+let refresh t ~seen ~want =
+  (* strictly newer than [seen]: a node one heartbeat behind must not
+     be able to roll the epoch backwards *)
+  let fresh_enough v =
+    v > seen && (match want with None -> true | Some w -> v >= w)
+  in
+  locked t.refresh_lock (fun () ->
+      if fresh_enough (locked t.lock (fun () -> t.epoch.e_map.Wire.sm_version))
+      then Ok ()  (* a concurrent refresh already replaced the map *)
+      else
+        with_epoch t (fun e ->
+            (* Any live node can serve the map — but mid-flip some still
+               hold the previous version (a node adopts a new topology on
+               its next heartbeat). Take the first map as new as the
+               verdict demanded; settle for the newest found when nobody
+               has caught up yet. *)
+            let n = Array.length e.e_groups in
+            let best = ref None in
+            let note sm =
+              match !best with
+              | Some b when b.Wire.sm_version >= sm.Wire.sm_version -> ()
+              | _ -> best := Some sm
+            in
+            let rec go k =
+              if k >= n then
+                match !best with
+                | Some sm when sm.Wire.sm_version > seen ->
+                  install_map t sm;
+                  Ok ()
+                | _ -> Error (C.Io "no node answered the shard-map refresh")
+              else
+                match
+                  with_group t e k (fun c ->
+                      C.Robust.call c Wire.Get_shard_map)
+                with
+                | Ok (Wire.R_shard_map sm) -> (
+                  match Wire.validate_shard_map sm with
+                  | Ok () ->
+                    if fresh_enough sm.Wire.sm_version then begin
+                      install_map t sm;
+                      Ok ()
+                    end
+                    else begin
+                      note sm;
+                      go (k + 1)
+                    end
+                  | Error m ->
+                    Error (C.Protocol ("refreshed shard map invalid: " ^ m)))
+                | Ok _ -> Error (C.Protocol "response is not a shard map")
+                | Error _ -> go (k + 1)
+            in
+            go 0))
 
 (* ---------- routing plans ---------- *)
 
@@ -184,21 +304,24 @@ type plan =
   | Scatter of int * int  (* inclusive shard span; merge the replies *)
   | Anywhere              (* not corpus-routed: any node can serve it *)
 
-let plan_of t req =
+let plan_of map req =
   match req with
-  | Wire.Nth i | Wire.Cgraph_of i -> To (Wire.route_index t.map i)
-  | Wire.Mem m | Wire.Rank m -> To (Wire.route_matrix t.map m)
+  | Wire.Nth i | Wire.Cgraph_of i -> To (Wire.route_index map i)
+  | Wire.Mem m | Wire.Rank m -> To (Wire.route_matrix map m)
   | Wire.Range_prefix prefix ->
-    let a, b = Wire.route_prefix t.map prefix in
+    let a, b = Wire.route_prefix map prefix in
     if a = b then To a else Scatter (a, b)
   | Wire.Ping _ | Wire.Stats | Wire.Corpus_info | Wire.Evaluate _
-  | Wire.Sleep_ms _ | Wire.Get_shard_map ->
+  | Wire.Sleep_ms _ | Wire.Get_shard_map
+  | Wire.Join _ | Wire.Leave _ | Wire.Heartbeat _ | Wire.Reshard _
+  | Wire.Handoff_done _ | Wire.Cluster_status ->
     Anywhere
 
-let next_rr t =
-  let k = t.rr in
-  t.rr <- (t.rr + 1) mod Array.length t.groups;
-  k
+let next_rr t e =
+  locked t.lock (fun () ->
+      let k = t.rr in
+      t.rr <- t.rr + 1;
+      k mod Array.length e.e_groups)
 
 (* Merge scatter replies for a range-prefix, given in shard order over
    the span. Every shard reports its slice of the global range (already
@@ -206,8 +329,30 @@ let next_rr t =
    consecutive shards, so the union is (min lo, max hi). When every
    slice is empty the anchor shard — the last of the span, the one
    whose key range contains the prefix's insertion point — holds the
-   true global (lo, lo). *)
-let merge_ranges results =
+   true global (lo, lo).
+
+   Slices arrive stamped with the map version they were computed
+   under. A stamp NEWER than the epoch this client scattered with
+   means the topology moved mid-flight: the span it chose may miss a
+   shard that now owns part of the answer, so the merge is refused
+   with the same verdict a mis-routed rank gets and the caller
+   refreshes and re-scatters. A stamp at or below [seen] merges as
+   usual — a node still mid-handoff serves a superset of what the
+   newer map expects of it, so its slice can widen the union but
+   never punch a hole in it. *)
+let merge_ranges ~seen results =
+  let ahead = ref 0 in
+  let results =
+    List.map
+      (function
+        | Ok (Wire.R_slice { sl_version; sl_lo; sl_hi }) ->
+          if sl_version > seen then ahead := max !ahead sl_version;
+          Ok (Wire.R_range (sl_lo, sl_hi))
+        | r -> r)
+      results
+  in
+  if !ahead > 0 then Error (C.Refused (Wire.stale_shard_msg ~version:!ahead))
+  else
   match List.find_opt Result.is_error results with
   | Some e -> e
   | None -> (
@@ -234,31 +379,51 @@ let merge_ranges results =
    map: refresh and re-route exactly once — a second stale verdict
    surfaces to the caller, so topology churn can never loop a call. *)
 let rec dispatch t ?deadline_ms ~retried req =
-  match plan_of t req with
-  | exception Invalid_argument m -> Error (C.Refused m)
-  | Anywhere ->
-    with_group t (next_rr t) (fun c -> C.Robust.call c ?deadline_ms req)
-  | To k ->
-    finish t ?deadline_ms ~retried req
-      (with_group t k (fun c -> C.Robust.call c ?deadline_ms req))
-  | Scatter (a, b) ->
-    let results =
-      List.init (b - a + 1) (fun off ->
-          with_group t (a + off) (fun c -> C.Robust.call c ?deadline_ms req))
-    in
-    finish t ?deadline_ms ~retried req (merge_ranges results)
+  let seen, r =
+    with_epoch t (fun e ->
+        let seen = e.e_map.Wire.sm_version in
+        match plan_of e.e_map req with
+        | exception Invalid_argument m -> (seen, Error (C.Refused m))
+        | Anywhere ->
+          ( seen,
+            with_group t e (next_rr t e) (fun c ->
+                C.Robust.call c ?deadline_ms req) )
+        | To k ->
+          ( seen,
+            with_group t e k (fun c -> C.Robust.call c ?deadline_ms req) )
+        | Scatter (a, b) ->
+          let results =
+            List.init (b - a + 1) (fun off ->
+                with_group t e (a + off) (fun c ->
+                    C.Robust.call c ?deadline_ms req))
+          in
+          (seen, merge_ranges ~seen results))
+  in
+  finish t ?deadline_ms ~retried ~seen req r
 
-and finish t ?deadline_ms ~retried req r =
+and finish t ?deadline_ms ~retried ~seen req r =
+  (* a single-shard slice normalizes to a plain range, with the same
+     future-stamp check a scatter merge applies *)
+  let r =
+    match r with
+    | Ok (Wire.R_slice { sl_version; sl_lo; sl_hi }) ->
+      if sl_version > seen then
+        Error (C.Refused (Wire.stale_shard_msg ~version:sl_version))
+      else Ok (Wire.R_range (sl_lo, sl_hi))
+    | r -> r
+  in
   match r with
-  | Error (C.Refused msg)
-    when (not retried) && Wire.stale_shard_version msg <> None -> (
-    match refresh t with
-    | Ok () -> dispatch t ?deadline_ms ~retried:true req
-    | Error _ -> r)
+  | Error (C.Refused msg) when not retried -> (
+    match Wire.stale_shard_version msg with
+    | None -> r
+    | Some want -> (
+      match refresh t ~seen ~want:(Some want) with
+      | Ok () -> dispatch t ?deadline_ms ~retried:true req
+      | Error _ -> r))
   | r -> r
 
 let call t ?deadline_ms req =
-  t.k_calls <- t.k_calls + 1;
+  locked t.lock (fun () -> t.k_calls <- t.k_calls + 1);
   dispatch t ?deadline_ms ~retried:false req
 
 (* ---------- typed wrappers ---------- *)
@@ -267,7 +432,7 @@ let shape what = Error (C.Protocol ("response is not " ^ what))
 
 let corpus_info t =
   (* the map carries the unsharded corpus's identity: answered locally *)
-  Ok (Wire.corpus_header_of_map t.map)
+  Ok (Wire.corpus_header_of_map (map t))
 
 let nth t i =
   match call t (Wire.Nth i) with
@@ -301,19 +466,25 @@ let cgraph t i =
 
 let ping t =
   (* every shard group must answer through some endpoint *)
-  let n = Array.length t.groups in
-  let rec go k =
-    if k >= n then Ok ()
-    else begin
-      incr t.nonce;
-      let nonce = !(t.nonce) land 0xFFFFFFFF in
-      match with_group t k (fun c -> C.Robust.call c (Wire.Ping nonce)) with
-      | Ok (Wire.R_pong m) when m = nonce -> go (k + 1)
-      | Ok _ -> shape "a pong"
-      | Error _ as e -> e
-    end
-  in
-  go 0
+  with_epoch t (fun e ->
+      let n = Array.length e.e_groups in
+      let rec go k =
+        if k >= n then Ok ()
+        else begin
+          let nonce =
+            locked t.lock (fun () ->
+                incr t.nonce;
+                !(t.nonce) land 0xFFFFFFFF)
+          in
+          match
+            with_group t e k (fun c -> C.Robust.call c (Wire.Ping nonce))
+          with
+          | Ok (Wire.R_pong m) when m = nonce -> go (k + 1)
+          | Ok _ -> shape "a pong"
+          | Error _ as err -> err
+        end
+      in
+      go 0)
 
 (* ---------- scatter-gather batches ---------- *)
 
@@ -326,58 +497,58 @@ let ping t =
 let batch t ?deadline_ms reqs =
   let reqs = Array.of_list reqs in
   let n = Array.length reqs in
-  t.k_calls <- t.k_calls + n;
-  let nshards = Array.length t.groups in
-  let buckets = Array.make nshards [] in  (* (slot, req), newest first *)
-  let plans = Array.make n Anywhere in
-  let precomputed = Array.make n None in
-  Array.iteri
-    (fun slot req ->
-      match plan_of t req with
-      | exception Invalid_argument m ->
-        precomputed.(slot) <- Some (Error (C.Refused m))
-      | p ->
-        plans.(slot) <- p;
-        let targets =
-          match p with
-          | To k -> [ k ]
-          | Scatter (a, b) -> List.init (b - a + 1) (fun off -> a + off)
-          | Anywhere -> [ next_rr t ]
-        in
-        List.iter (fun k -> buckets.(k) <- (slot, req) :: buckets.(k)) targets)
-    reqs;
-  let replies = Array.make n [] in  (* (shard, result), newest first *)
-  Array.iteri
-    (fun k bucket ->
-      match List.rev bucket with
-      | [] -> ()
-      | items ->
-        let rs = with_group_many t k ?deadline_ms (List.map snd items) in
-        List.iter2
-          (fun (slot, _) r -> replies.(slot) <- (k, r) :: replies.(slot))
-          items rs)
-    buckets;
-  Array.to_list
-    (Array.mapi
-       (fun slot req ->
-         match precomputed.(slot) with
-         | Some e -> e
-         | None -> (
-           (* ascending shard order — the order merge_ranges expects *)
-           let rs = List.map snd (List.rev replies.(slot)) in
-           let merged =
-             match plans.(slot) with
-             | Scatter _ -> merge_ranges rs
-             | To _ | Anywhere -> (
-               match rs with
-               | [ r ] -> r
-               | _ -> Error (C.Protocol "batch slot lost its reply"))
-           in
-           match merged with
-           | Error (C.Refused msg) when Wire.stale_shard_version msg <> None
-             -> (
-             match refresh t with
-             | Ok () -> dispatch t ?deadline_ms ~retried:true req
-             | Error _ -> merged)
-           | r -> r))
-       reqs)
+  locked t.lock (fun () -> t.k_calls <- t.k_calls + n);
+  with_epoch t (fun e ->
+      let seen = e.e_map.Wire.sm_version in
+      let nshards = Array.length e.e_groups in
+      let buckets = Array.make nshards [] in  (* (slot, req), newest first *)
+      let plans = Array.make n Anywhere in
+      let precomputed = Array.make n None in
+      Array.iteri
+        (fun slot req ->
+          match plan_of e.e_map req with
+          | exception Invalid_argument m ->
+            precomputed.(slot) <- Some (Error (C.Refused m))
+          | p ->
+            plans.(slot) <- p;
+            let targets =
+              match p with
+              | To k -> [ k ]
+              | Scatter (a, b) -> List.init (b - a + 1) (fun off -> a + off)
+              | Anywhere -> [ next_rr t e ]
+            in
+            List.iter
+              (fun k -> buckets.(k) <- (slot, req) :: buckets.(k))
+              targets)
+        reqs;
+      let replies = Array.make n [] in  (* (shard, result), newest first *)
+      Array.iteri
+        (fun k bucket ->
+          match List.rev bucket with
+          | [] -> ()
+          | items ->
+            let rs =
+              with_group_many t e k ?deadline_ms (List.map snd items)
+            in
+            List.iter2
+              (fun (slot, _) r -> replies.(slot) <- (k, r) :: replies.(slot))
+              items rs)
+        buckets;
+      Array.to_list
+        (Array.mapi
+           (fun slot req ->
+             match precomputed.(slot) with
+             | Some err -> err
+             | None -> (
+               (* ascending shard order — the order merge_ranges expects *)
+               let rs = List.map snd (List.rev replies.(slot)) in
+               let merged =
+                 match plans.(slot) with
+                 | Scatter _ -> merge_ranges ~seen rs
+                 | To _ | Anywhere -> (
+                   match rs with
+                   | [ r ] -> r
+                   | _ -> Error (C.Protocol "batch slot lost its reply"))
+               in
+               finish t ?deadline_ms ~retried:false ~seen req merged))
+           reqs))

@@ -21,12 +21,28 @@
        re-probed per request. [Refused] and [Timed_out] verdicts pass
        through: they prove the path works.}
     {- {b Map refresh.} A {!Umrs_server.Wire.stale_shard_reject}
-       verdict triggers one [Get_shard_map] refresh and one re-route;
-       a second stale verdict surfaces, so topology churn can never
-       loop a call.}}
+       verdict triggers one refresh and one re-route; a second stale
+       verdict surfaces, so topology churn can never loop a call. The
+       refresh is {e version-aware}: mid-flip some nodes still answer
+       [Get_shard_map] with the previous topology, so the fetch walks
+       the groups until it finds a map as new as the verdict named.}}
 
-    Like the handles it wraps, a client is not thread-safe: use one per
-    thread. *)
+    {2 Thread safety}
+
+    Unlike the handles it wraps, a client {e is} thread-safe: any
+    number of threads may share one. Internally each topology version
+    is an immutable {e epoch} (map + connection groups); a call routes
+    against the epoch it entered with, and a concurrent refresh
+    installs a fresh epoch while the old one's connections are closed
+    only after its last caller leaves. Per-group locks serialize the
+    underlying robust connections, so two threads targeting the same
+    shard take turns on the wire while threads targeting different
+    shards proceed in parallel.
+
+    Refreshes are {e single-flight}: when N threads hit stale-shard
+    verdicts against the same map version at once, one of them fetches
+    [Get_shard_map] and the rest piggyback on the map it installs —
+    the cluster sees one fetch, not a stampede of N. *)
 
 type t
 
@@ -61,9 +77,9 @@ val call :
   t -> ?deadline_ms:int -> Umrs_server.Wire.request
   -> (Umrs_server.Wire.response, Umrs_client.error) result
 (** Route one request. Unrouted requests ([Ping], [Stats], [Evaluate],
-    [Sleep_ms], ...) go to the shard groups round-robin. A globally
-    out-of-range index comes back [Refused], as a single server would
-    answer. *)
+    [Sleep_ms], the membership control plane, ...) go to the shard
+    groups round-robin. A globally out-of-range index comes back
+    [Refused], as a single server would answer. *)
 
 val batch :
   t -> ?deadline_ms:int -> Umrs_server.Wire.request list

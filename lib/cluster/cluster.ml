@@ -42,6 +42,11 @@ let start ~corpus ~shards ~dir ?(replicas = 0) ?(workers = 1)
   | exception Sys_error m -> Error m
   | exception Invalid_argument m -> Error m
   | source -> (
+    (* a previous cluster killed in this dir leaves socket paths and
+       publication tempfiles behind; sweep them or our own binds fail *)
+    match Membership.clean_dir dir with
+    | Error _ as e -> e
+    | Ok () ->
     match Umrs_store.Shard.split ~corpus ~shards ~out_dir:dir () with
     | Error _ as e -> e
     | Ok pieces ->

@@ -23,9 +23,12 @@ val start :
   (t, string) result
 (** Split [corpus] into [shards] pieces under [dir], write the shard
     map to [dir/cluster.umrsm], and start [shards * (replicas + 1)]
-    servers (default [replicas = 0], 1 worker domain each). On any
-    node-start failure every already-started node is shut down before
-    the error returns. [replicas < 0] raises [Invalid_argument]. *)
+    servers (default [replicas = 0], 1 worker domain each). [dir] is
+    first swept with {!Membership.clean_dir}, so socket paths and
+    publication tempfiles left by a SIGKILLed predecessor never block
+    the restart. On any node-start failure every already-started node
+    is shut down before the error returns. [replicas < 0] raises
+    [Invalid_argument]. *)
 
 val map : t -> Umrs_server.Wire.shard_map
 val map_path : t -> string

@@ -55,34 +55,51 @@ let save ~path sm =
   Io.fsync_dir (Filename.dirname path)
 
 let load ~path =
+  (* Every verdict names the file and the field that failed: a map
+     file surfaces in error reports from nodes that did not write it,
+     so "checksum mismatch" without a path is a dead end for the
+     operator holding three data dirs. *)
+  let err field msg =
+    Error (Printf.sprintf "%s: shard map %s: %s" path field msg)
+  in
   match In_channel.open_bin path with
   | exception Sys_error m -> Error m
   | ic ->
     let b = Bytes.of_string (In_channel.input_all ic) in
     In_channel.close ic;
-    if Bytes.length b < header_bytes then Error "shard map file too short"
+    if Bytes.length b < header_bytes then
+      err "header"
+        (Printf.sprintf "file is %d bytes, header needs %d" (Bytes.length b)
+           header_bytes)
     else if Bytes.sub_string b 0 8 <> magic then
-      Error "not a shard map file (bad magic)"
+      err "magic"
+        (Printf.sprintf "%S is not %S — not a shard map file"
+           (Bytes.sub_string b 0 8) magic)
     else begin
       let sv = Bytes.get_uint16_le b 8 in
       if sv <> schema_version then
-        Error (Printf.sprintf "unsupported shard map schema %d" sv)
+        err "schema"
+          (Printf.sprintf "version %d unsupported (this build reads %d)" sv
+             schema_version)
       else begin
         let len = Int32.to_int (Bytes.get_int32_le b 10) in
         if len < 0 || Bytes.length b <> header_bytes + len then
-          Error "shard map payload length mismatch"
+          err "payload length"
+            (Printf.sprintf "header says %d bytes, file carries %d" len
+               (Bytes.length b - header_bytes))
         else begin
           let payload = Bytes.sub b header_bytes len in
-          if
-            Bytes.get_int64_le b 14
-            <> Corpus.fnv64 Corpus.fnv64_seed payload
-          then Error "shard map checksum mismatch"
+          let got = Corpus.fnv64 Corpus.fnv64_seed payload in
+          let want = Bytes.get_int64_le b 14 in
+          if want <> got then
+            err "checksum"
+              (Printf.sprintf "header %Lx, payload hashes to %Lx" want got)
           else
             match Wire.shard_map_of_bytes payload with
-            | exception Invalid_argument m -> Error m
+            | exception Invalid_argument m -> err "payload" m
             | sm -> (
               match Wire.validate_shard_map sm with
-              | Error m -> Error m
+              | Error m -> err "topology" m
               | Ok () -> Ok sm)
         end
       end

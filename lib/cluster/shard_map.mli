@@ -36,4 +36,7 @@ val save : path:string -> Umrs_server.Wire.shard_map -> unit
 val load : path:string -> (Umrs_server.Wire.shard_map, string) result
 (** Never raises on file content: bad magic, schema, length, checksum,
     undecodable payload and invalid topology all come back as
-    [Error]. *)
+    [Error], and every such message names the file path and the field
+    that failed (["/dir/cluster.umrsm: shard map checksum: header …"])
+    — a map file travels between nodes, so an error that cannot say
+    {e which} file it condemns is useless to the operator. *)

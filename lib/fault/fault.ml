@@ -36,6 +36,8 @@ type point =
   | Sock_accept
   | Sock_connect
   | Worker
+  | Heartbeat_loss
+  | Partition
 
 let point_tag = function
   | File_write -> 0
@@ -48,6 +50,8 @@ let point_tag = function
   | Sock_accept -> 7
   | Sock_connect -> 8
   | Worker -> 9
+  | Heartbeat_loss -> 10
+  | Partition -> 11
 
 let point_name = function
   | File_write -> "file_write"
@@ -60,6 +64,8 @@ let point_name = function
   | Sock_accept -> "sock_accept"
   | Sock_connect -> "sock_connect"
   | Worker -> "worker"
+  | Heartbeat_loss -> "heartbeat_loss"
+  | Partition -> "partition"
 
 type action =
   | Pass
@@ -112,6 +118,10 @@ let seeded ?(torn_align = 512) ~seed ~intensity () =
       | Sock_accept -> Eintr (1 + Random.State.int st 3)
       | Sock_connect -> if Random.State.int st 3 = 0 then Reset else delay ()
       | Worker -> Exn "injected worker fault"
+      (* membership points: a non-Pass action means the beat (or the
+         whole coordinator exchange) is lost — the agent skips it, and
+         enough in a row looks exactly like a dead node *)
+      | Heartbeat_loss | Partition -> Reset
       | File_fsync | Dir_fsync -> Drop_fsync
       | File_write | File_close | File_rename -> Pass
   in

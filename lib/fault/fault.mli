@@ -30,7 +30,13 @@ exception Injected of string
 (** Where a fault can strike. File and directory points are reached
     through {!Io}'s tracked file operations; socket points through its
     syscall wrappers and channel hooks; [Worker] inside the server's
-    request handler. *)
+    request handler. [Heartbeat_loss] fires in a cluster node's
+    membership agent before each heartbeat send (non-[Pass] → that
+    beat is silently dropped); [Partition] fires once per
+    heartbeat-loop iteration (non-[Pass] → the node skips the whole
+    coordinator exchange, as if the link were cut) — enough of either
+    in a row and a perfectly healthy node is declared dead, which is
+    precisely the false-positive path failover tests need to reach. *)
 type point =
   | File_write
   | File_fsync
@@ -42,6 +48,8 @@ type point =
   | Sock_accept
   | Sock_connect
   | Worker
+  | Heartbeat_loss
+  | Partition
 
 val point_tag : point -> int
 val point_name : point -> string
@@ -83,8 +91,10 @@ val seeded : ?torn_align:int -> seed:int -> intensity:float -> unit -> plan
     [intensity] (in [0, 1]); the fault drawn depends on the point kind
     — resets, half-closes and delays on socket reads/writes, [EINTR]
     storms on accept, refusals on connect, {!Injected} in workers,
-    dropped fsyncs on file/directory syncs. Never [Crash]: a seeded
-    storm degrades a live process rather than killing it. *)
+    dropped fsyncs on file/directory syncs, dropped heartbeats and
+    skipped coordinator exchanges at the membership points. Never
+    [Crash]: a seeded storm degrades a live process rather than
+    killing it. *)
 
 val fire : point -> action
 (** Called by instrumented code at each fault point. Returns [Pass]

@@ -17,13 +17,15 @@ type config = {
   mmap : bool;
   wbuf_hwm : int;
   shard : (Wire.shard_map * int) option;
+  membership : (Wire.request -> Wire.outcome) option;
 }
 
 let default_config addr =
   { addr; workers = 2; queue_capacity = 64; cache_capacity = 128;
     corpus = None; index = None; max_frame_bytes = Wire.default_max_frame;
     max_sleep_ms = 60_000; max_conns = 10_240; handshake_timeout = 10.0;
-    backend = Epoll; mmap = true; wbuf_hwm = 256 * 1024; shard = None }
+    backend = Epoll; mmap = true; wbuf_hwm = 256 * 1024; shard = None;
+    membership = None }
 
 (* ---------- telemetry ---------- *)
 
@@ -102,6 +104,27 @@ type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   actual_addr : Wire.addr;
+  (* Both of these are runtime-mutable so a cluster node can adopt a
+     new topology (or a freshly acquired corpus piece) without a
+     restart.  [shard_state] is read once per request; [corpus_gen]
+     tells workers their private Query handle is stale — the pair is
+     published ref-then-generation, so a worker that observes the new
+     generation always observes the new path. *)
+  shard_state : (Wire.shard_map * int) option Atomic.t;
+  (* The map [Get_shard_map] answers with. Usually mirrors
+     [shard_state], but a node mid-handoff serves under a prospective
+     (not yet published) topology — [set_shard ~advertise:false] —
+     and must keep advertising the last published map so a refreshing
+     client can never install a map the coordinator hasn't flipped. *)
+  advert_map : Wire.shard_map option Atomic.t;
+  (* (path, index, piece origin): the third component is the global
+     rank of the piece's first record when the corpus is a shard piece
+     rather than the whole corpus. It travels with the path so a worker
+     snapshotting its Query handle also snapshots the origin that
+     describes it — [exec_sharded] compares it against the shard state
+     to detect a mid-handoff piece/topology mismatch. *)
+  corpus_ref : (string option * string option * int option) Atomic.t;
+  corpus_gen : int Atomic.t;
   queue : job Jobqueue.t;
   stop : bool Atomic.t;
   conns : (int, conn) Hashtbl.t;
@@ -138,6 +161,42 @@ type t = {
 
 let addr t = t.actual_addr
 let worker_crashes t = Atomic.get t.n_worker_crashes
+let shard t = Atomic.get t.shard_state
+
+let set_shard t ?(advertise = true) = function
+  | None ->
+    Atomic.set t.shard_state None;
+    if advertise then Atomic.set t.advert_map None;
+    Ok ()
+  | Some (map, me) ->
+    if me < 0 || me >= Array.length map.Wire.sm_shards then
+      Error "Server: shard index out of range"
+    else (
+      match Wire.validate_shard_map map with
+      | Error e -> Error ("Server: invalid shard map: " ^ e)
+      | Ok () ->
+        Atomic.set t.shard_state (Some (map, me));
+        if advertise then Atomic.set t.advert_map (Some map);
+        Ok ())
+
+let set_corpus t ~corpus ?index ?origin () =
+  match corpus with
+  | None ->
+    Atomic.set t.corpus_ref (None, None, None);
+    Atomic.incr t.corpus_gen;
+    Ok ()
+  | Some path -> (
+    (* validate before publishing, like [start] does: a worker finding
+       the new piece unopenable would silently serve nothing *)
+    match Umrs_store.Query.open_ ~corpus:path ?index ~mmap:t.cfg.mmap () with
+    | Error e -> Error (Umrs_store.Query.error_to_string e)
+    | Ok q ->
+      Umrs_store.Query.close q;
+      (* path first, then generation: a worker that observes the new
+         generation is guaranteed to reopen the new path *)
+      Atomic.set t.corpus_ref (Some path, index, origin);
+      Atomic.incr t.corpus_gen;
+      Ok ())
 
 let stats_of srv =
   let evictions =
@@ -192,7 +251,7 @@ let send_outcome conn ~id outcome =
 let exec_corpus query f =
   match query with
   | None -> Wire.Rejected "no corpus attached to this server"
-  | Some q -> f q
+  | Some (q, _) -> f q
 
 (* A shard node serves *global* indices and ranks: corpus requests are
    validated against the node's slice of the shard map, translated to
@@ -200,57 +259,82 @@ let exec_corpus query f =
    cluster is byte-identical to a single node over the whole corpus. A
    request the map routes elsewhere gets a structured stale-shard
    rejection carrying this node's map version — the client's cue to
-   refresh its map and re-route. *)
+   refresh its map and re-route.
+
+   A node mid-handoff or mid-rejoin can transiently hold a piece from
+   a different epoch than the shard state it serves under (the two are
+   swapped in separate atomic steps). Global↔local translation is only
+   sound when the piece's recorded origin equals the shard's [lo] and
+   the piece is long enough for the answer — so any mismatch is
+   answered as a stale topology, which a client can act on (refresh,
+   re-route), never as a bare library error it cannot, and never as
+   records translated under the wrong origin. A piece that is a
+   *superset* of the claim with the same origin (double-serving during
+   a merge) still serves normally. *)
 let exec_sharded query map me req =
   let sh = map.Wire.sm_shards.(me) in
   let lo = sh.Wire.sh_lo in
+  let claimed = sh.Wire.sh_hi - lo in
   let stale () = Wire.stale_shard_reject ~version:map.Wire.sm_version in
+  let with_piece f =
+    match query with
+    | None -> Wire.Rejected "no corpus attached to this server"
+    | Some (_, Some origin) when origin <> lo -> stale ()
+    | Some (q, _) -> f q (Umrs_store.Query.header q).Umrs_store.Corpus.count
+  in
   match req with
   | Wire.Nth i ->
     if Wire.route_index map i <> me then stale ()
     else
-      exec_corpus query (fun q ->
-          Wire.Reply (Wire.R_matrix (Umrs_store.Query.nth q (i - lo))))
+      with_piece (fun q count ->
+          if i - lo >= count then stale ()
+          else Wire.Reply (Wire.R_matrix (Umrs_store.Query.nth q (i - lo))))
   | Wire.Cgraph_of i ->
     if Wire.route_index map i <> me then stale ()
     else
-      exec_corpus query (fun q ->
-          Wire.Reply (Wire.R_graph (Umrs_store.Query.cgraph q (i - lo))))
+      with_piece (fun q count ->
+          if i - lo >= count then stale ()
+          else Wire.Reply (Wire.R_graph (Umrs_store.Query.cgraph q (i - lo))))
   | Wire.Mem m ->
     if Wire.route_matrix map m <> me then stale ()
     else
-      exec_corpus query (fun q ->
-          Wire.Reply (Wire.R_found (Umrs_store.Query.mem q m)))
+      with_piece (fun q count ->
+          if Umrs_store.Query.mem q m then Wire.Reply (Wire.R_found true)
+          else if count < claimed then
+            (* the piece is short of the claim: the record could live in
+               the part this node doesn't hold yet *)
+            stale ()
+          else Wire.Reply (Wire.R_found false))
   | Wire.Rank m ->
     if Wire.route_matrix map m <> me then stale ()
     else
-      exec_corpus query (fun q ->
-          Wire.Reply (Wire.R_rank (lo + Umrs_store.Query.rank q m)))
+      with_piece (fun q count ->
+          let r = Umrs_store.Query.rank q m in
+          if r >= count && count < claimed then stale ()
+          else Wire.Reply (Wire.R_rank (lo + r)))
   | Wire.Range_prefix prefix ->
     let a, b = Wire.route_prefix map prefix in
     if me < a || me > b then stale ()
     else
-      exec_corpus query (fun q ->
-          let l, h = Umrs_store.Query.range_prefix q prefix in
-          Wire.Reply (Wire.R_range (lo + l, lo + h)))
+      with_piece (fun q count ->
+          if count < claimed then stale ()
+          else
+            let l, h = Umrs_store.Query.range_prefix q prefix in
+            (* clamp to the claimed range: under double-serving the
+               piece extends past [sh_hi], and those records belong to
+               a neighbour's slice in the scatter the client merges *)
+            let l = min l claimed and h = min h claimed in
+            (* version-stamped: a scatter carries no rank to validate,
+               so the stamp is the only evidence a merging client gets
+               that this slice was computed under a different topology *)
+            Wire.Reply
+              (Wire.R_slice
+                 { sl_version = map.Wire.sm_version; sl_lo = lo + l;
+                   sl_hi = lo + h }))
   | _ -> assert false (* only corpus-query requests are dispatched here *)
 
-let exec srv query req =
+let exec_unsharded query req =
   match req with
-  | Wire.Ping nonce -> Wire.Reply (Wire.R_pong nonce)
-  | Wire.Stats -> Wire.Reply (Wire.R_stats (stats_of srv))
-  | Wire.Get_shard_map -> (
-    match srv.cfg.shard with
-    | Some (map, _) -> Wire.Reply (Wire.R_shard_map map)
-    | None -> Wire.Rejected "this server is not part of a cluster")
-  | (Wire.Nth _ | Wire.Mem _ | Wire.Rank _ | Wire.Range_prefix _
-    | Wire.Cgraph_of _)
-    when srv.cfg.shard <> None ->
-    let map, me = Option.get srv.cfg.shard in
-    exec_sharded query map me req
-  | Wire.Corpus_info ->
-    exec_corpus query (fun q ->
-        Wire.Reply (Wire.R_header (Umrs_store.Query.header q)))
   | Wire.Nth i ->
     exec_corpus query (fun q ->
         Wire.Reply (Wire.R_matrix (Umrs_store.Query.nth q i)))
@@ -267,6 +351,37 @@ let exec srv query req =
   | Wire.Cgraph_of i ->
     exec_corpus query (fun q ->
         Wire.Reply (Wire.R_graph (Umrs_store.Query.cgraph q i)))
+  | _ -> assert false (* only corpus-query requests are dispatched here *)
+
+let exec srv query req =
+  match req with
+  | Wire.Ping nonce -> Wire.Reply (Wire.R_pong nonce)
+  | Wire.Stats -> Wire.Reply (Wire.R_stats (stats_of srv))
+  | Wire.Get_shard_map -> (
+    (* a coordinator answers from its membership table; a plain shard
+       node from the map it currently serves under *)
+    match srv.cfg.membership with
+    | Some handle -> handle req
+    | None -> (
+      match Atomic.get srv.advert_map with
+      | Some map -> Wire.Reply (Wire.R_shard_map map)
+      | None -> (
+        match Atomic.get srv.shard_state with
+        | Some (map, _) -> Wire.Reply (Wire.R_shard_map map)
+        | None -> Wire.Rejected "this server is not part of a cluster")))
+  | Wire.Join _ | Wire.Leave _ | Wire.Heartbeat _ | Wire.Reshard _
+  | Wire.Handoff_done _ | Wire.Cluster_status -> (
+    match srv.cfg.membership with
+    | Some handle -> handle req
+    | None -> Wire.Rejected "this server is not a cluster coordinator")
+  | Wire.Nth _ | Wire.Mem _ | Wire.Rank _ | Wire.Range_prefix _
+  | Wire.Cgraph_of _ -> (
+    match Atomic.get srv.shard_state with
+    | Some (map, me) -> exec_sharded query map me req
+    | None -> exec_unsharded query req)
+  | Wire.Corpus_info ->
+    exec_corpus query (fun q ->
+        Wire.Reply (Wire.R_header (Umrs_store.Query.header q)))
   | Wire.Evaluate { scheme; graph_name; graph } -> (
     match Umrs_routing.Registry.find scheme with
     | None -> Wire.Rejected (Printf.sprintf "unknown scheme %S" scheme)
@@ -348,32 +463,40 @@ let handle_job srv query job =
     job.j_respond outcome
   end
 
+let open_worker_query srv =
+  match Atomic.get srv.corpus_ref with
+  | None, _, _ -> None
+  | Some corpus, index, origin -> (
+    match Umrs_store.Query.open_ ~corpus ?index ~mmap:srv.cfg.mmap () with
+    | Ok q -> Some (q, origin)
+    | Error _ -> None (* validated at [start]/[set_corpus]; raced damage *))
+
 let worker_loop srv =
   (* Each worker owns a private Query handle: the point lookups share a
      seekable cursor that is single-threaded by design.  Under [mmap]
      every handle shares one file mapping, so a pool of N workers costs
-     one mapping, not N channel buffers. *)
-  let query =
-    match srv.cfg.corpus with
-    | None -> None
-    | Some corpus -> (
-      match
-        Umrs_store.Query.open_ ~corpus ?index:srv.cfg.index ~mmap:srv.cfg.mmap
-          ()
-      with
-      | Ok q -> Some q
-      | Error _ -> None (* validated at [start]; raced file damage only *))
-  in
+     one mapping, not N channel buffers.  The generation counter is
+     read before the path: a corpus swap publishes path first, so a
+     worker that sees the new generation reopens the new piece. *)
+  let my_gen = ref (Atomic.get srv.corpus_gen) in
+  let query = ref (open_worker_query srv) in
   Fun.protect
-    ~finally:(fun () -> Option.iter Umrs_store.Query.close query)
+    ~finally:(fun () ->
+      Option.iter (fun (q, _) -> Umrs_store.Query.close q) !query)
     (fun () ->
       let rec loop () =
         match Jobqueue.pop srv.queue with
         | None -> ()
         | Some job ->
+          let gen = Atomic.get srv.corpus_gen in
+          if gen <> !my_gen then begin
+            Option.iter (fun (q, _) -> Umrs_store.Query.close q) !query;
+            query := open_worker_query srv;
+            my_gen := gen
+          end;
           Telemetry.set_gauge g_queue_depth
             (float_of_int (Jobqueue.length srv.queue));
-          (match handle_job srv query job with
+          (match handle_job srv !query job with
           | () -> ()
           | exception e ->
             (* An exception escaping the per-request handler is a server
@@ -430,6 +553,15 @@ let supervisor_loop srv =
   loop ()
 
 (* ---------- shared admission ---------- *)
+
+(* Control-plane requests run on the poller/reader thread itself; with
+   a membership hook attached they can raise (bad reshard argument,
+   racing topology), and that must cost the request, not the thread. *)
+let exec_control srv req =
+  try exec srv None req with
+  | Invalid_argument msg | Failure msg -> Wire.Rejected msg
+  | Not_found -> Wire.Rejected "not found"
+  | e -> Wire.Rejected (Printexc.to_string e)
 
 let deadline_of deadline_ms =
   if deadline_ms <= 0 then infinity
@@ -502,10 +634,14 @@ let reader_loop srv conn =
              Atomic.incr srv.n_requests;
              Telemetry.add c_requests 1;
              match req with
-             | Wire.Ping _ | Wire.Stats | Wire.Get_shard_map ->
+             | Wire.Ping _ | Wire.Stats | Wire.Get_shard_map
+             | Wire.Join _ | Wire.Leave _ | Wire.Heartbeat _
+             | Wire.Reshard _ | Wire.Handoff_done _ | Wire.Cluster_status ->
                (* control plane: answered inline so a saturated worker
-                  pool never blinds monitoring or map refresh *)
-               send_outcome conn ~id (exec srv None req)
+                  pool never blinds monitoring, map refresh, or
+                  heartbeats (a busy data plane must not read as a dead
+                  node) *)
+               send_outcome conn ~id (exec_control srv req)
              | _ ->
                admit srv ~id ~deadline_ms req ~respond:(fun outcome ->
                    send_outcome conn ~id outcome)))
@@ -693,10 +829,13 @@ let process_frame srv es ec payload =
     Atomic.incr srv.n_requests;
     Telemetry.add c_requests 1;
     match req with
-    | Wire.Ping _ | Wire.Stats | Wire.Get_shard_map ->
+    | Wire.Ping _ | Wire.Stats | Wire.Get_shard_map
+    | Wire.Join _ | Wire.Leave _ | Wire.Heartbeat _
+    | Wire.Reshard _ | Wire.Handoff_done _ | Wire.Cluster_status ->
       (* control plane: answered inline by the poller so a saturated
-         worker pool never blinds monitoring or map refresh *)
-      append_frame ec (Wire.encode_outcome ~id (exec srv None req))
+         worker pool never blinds monitoring, map refresh, or
+         heartbeats (a busy data plane must not read as a dead node) *)
+      append_frame ec (Wire.encode_outcome ~id (exec_control srv req))
     | _ ->
       let conn_id = ec.ec_id in
       admit srv ~id ~deadline_ms req ~respond:(fun outcome ->
@@ -1033,6 +1172,18 @@ let start cfg =
         in
         let srv =
           { cfg; listen_fd; actual_addr;
+            shard_state = Atomic.make cfg.shard;
+            advert_map = Atomic.make (Option.map fst cfg.shard);
+            (* a server started sharded serves the piece its config
+               pairs with its assignment, so its origin is the slice's
+               own lo; unsharded corpora have no origin to declare *)
+            corpus_ref =
+              Atomic.make
+                ( cfg.corpus, cfg.index,
+                  Option.map
+                    (fun (m, k) -> m.Wire.sm_shards.(k).Wire.sh_lo)
+                    cfg.shard );
+            corpus_gen = Atomic.make 0;
             queue = Jobqueue.create ~capacity:cfg.queue_capacity;
             stop = Atomic.make false;
             conns = Hashtbl.create 16; conns_lock = Mutex.create ();
@@ -1154,6 +1305,10 @@ let wait srv =
     | Wire.Unix_sock path -> (try Sys.remove path with Sys_error _ -> ())
     | Wire.Tcp _ -> ()
   end
+
+(* the probe is also what cluster node startup uses to clean a data
+   directory after a SIGKILL left socket paths behind *)
+let clear_stale_socket = clear_unix_path
 
 let install_signal_handlers srv =
   let stop_now _ = shutdown srv in

@@ -110,7 +110,15 @@ type config = {
           serves {e global} indices and ranks (validated against its key
           range, translated to its local slice), answers
           [Get_shard_map] inline, and rejects mis-routed requests with
-          {!Wire.stale_shard_reject} so stale clients refresh. *)
+          {!Wire.stale_shard_reject} so stale clients refresh. Runtime
+          mutable through {!set_shard}. *)
+  membership : (Wire.request -> Wire.outcome) option;
+      (** a coordinator's handler for the membership control plane
+          ([Join]/[Leave]/[Heartbeat]/[Reshard]/[Handoff_done]/
+          [Cluster_status], and [Get_shard_map] when present). Runs on
+          the poller/reader thread — it must stay fast and must not
+          block on the data plane. Escaped exceptions answer the
+          request [Rejected]. *)
 }
 
 val default_config : Wire.addr -> config
@@ -133,6 +141,52 @@ val addr : t -> Wire.addr
 val worker_crashes : t -> int
 (** Worker domains lost to escaped handler exceptions (each one was
     replaced by the supervisor). *)
+
+(** {2 Runtime topology}
+
+    A cluster node adopts new topology without restarting: when the
+    coordinator bumps the shard map, the membership agent swaps the
+    map (and, after a reshard or catch-up, the corpus piece) into the
+    running server. Requests already in flight finish under whichever
+    state they started with — during a shard split the donor keeps its
+    superset piece until the narrowed map is applied, so both map
+    versions answer correctly and no request window is lost. *)
+
+val shard : t -> (Wire.shard_map * int) option
+(** The shard map and own index this node currently serves under. *)
+
+val set_shard :
+  t -> ?advertise:bool -> (Wire.shard_map * int) option -> (unit, string) result
+(** Replace the shard state. Validates like {!start}; [None] returns
+    the node to unsharded serving. [advertise] (default [true]) also
+    makes the new map the one [Get_shard_map] answers with; pass
+    [false] when adopting a {e prospective} (commanded but not yet
+    published) topology mid-handoff — the node then routes and issues
+    stale verdicts under the new map while still advertising the last
+    published one, so a refreshing client can never install a map the
+    coordinator hasn't actually flipped. *)
+
+val set_corpus : t -> corpus:string option -> ?index:string -> ?origin:int ->
+  unit -> (unit, string) result
+(** Swap the served corpus file. The new piece is validated by opening
+    it before publication; each worker reopens its private
+    {!Umrs_store.Query} handle before its next job, so the swap never
+    interrupts a request in flight.
+
+    [origin] is the global rank of the piece's first record when the
+    corpus is a shard piece. It is snapshotted together with the path:
+    a sharded request whose shard state disagrees with the origin of
+    the piece actually open (a transient mid-handoff or mid-rejoin
+    window — the two are swapped in separate steps) is answered with a
+    stale-shard verdict the client can act on, never translated under
+    the wrong origin and never surfaced as a bare out-of-range error.
+    Omit it for a whole, unsharded corpus. *)
+
+val clear_stale_socket : string -> (unit, string) result
+(** The stale-socket probe [bind_listen] uses, exported for data-dir
+    cleanup after a crash: unlink [path] only if it is a Unix socket no
+    live server answers on. A connectable socket is an
+    address-in-use error; a non-socket path is never deleted. *)
 
 val shutdown : t -> unit
 (** Request graceful drain; returns immediately. Idempotent. *)

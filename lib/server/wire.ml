@@ -32,6 +32,31 @@ type shard_map = {
   sm_shards : shard array;
 }
 
+(* ---------- cluster membership ---------- *)
+
+type member_state =
+  | Joining
+  | Ready
+  | Dead
+
+type member_info = {
+  mi_addr : addr;
+  mi_shard : int;
+  mi_state : member_state;
+  mi_in_map : bool;
+  mi_primary : bool;
+  mi_checksum : int64;
+  mi_beat_age : float;
+}
+
+type node_cmd =
+  | Cmd_acquire of { aq_lo : int; aq_hi : int; aq_donor : addr;
+                     aq_map : shard_map option }
+
+type reshard_op =
+  | Split of int
+  | Merge of int
+
 type request =
   | Ping of int
   | Stats
@@ -44,6 +69,13 @@ type request =
   | Evaluate of { scheme : string; graph_name : string; graph : Graph.t }
   | Sleep_ms of int
   | Get_shard_map
+  | Join of { jn_addr : addr; jn_ready : bool; jn_checksum : int64 }
+  | Leave of addr
+  | Heartbeat of { hb_addr : addr; hb_version : int; hb_checksum : int64 }
+  | Reshard of reshard_op
+  | Handoff_done of { hd_addr : addr; hd_lo : int; hd_hi : int;
+                      hd_key : int array; hd_checksum : int64 }
+  | Cluster_status
 
 let opcode = function
   | Ping _ -> 0
@@ -57,6 +89,12 @@ let opcode = function
   | Evaluate _ -> 8
   | Sleep_ms _ -> 9
   | Get_shard_map -> 10
+  | Join _ -> 11
+  | Leave _ -> 12
+  | Heartbeat _ -> 13
+  | Reshard _ -> 14
+  | Handoff_done _ -> 15
+  | Cluster_status -> 16
 
 let opcode_name = function
   | 0 -> "ping"
@@ -70,6 +108,12 @@ let opcode_name = function
   | 8 -> "evaluate"
   | 9 -> "sleep"
   | 10 -> "shard_map"
+  | 11 -> "join"
+  | 12 -> "leave"
+  | 13 -> "heartbeat"
+  | 14 -> "reshard"
+  | 15 -> "handoff_done"
+  | 16 -> "cluster_status"
   | n -> Printf.sprintf "opcode-%d" n
 
 type server_stats = {
@@ -99,10 +143,19 @@ type response =
   | R_found of bool
   | R_rank of int
   | R_range of int * int
+  | R_slice of { sl_version : int; sl_lo : int; sl_hi : int }
   | R_graph of Cgraph.t
   | R_evaluation of Umrs_routing.Scheme.evaluation
   | R_slept of int
   | R_shard_map of shard_map
+  | R_joined of { jr_shard : int; jr_lo : int; jr_hi : int; jr_donor : addr;
+                  jr_checksum : int64; jr_version : int;
+                  jr_map : shard_map option }
+  | R_heartbeat of { rh_version : int; rh_known : bool;
+                     rh_cmd : node_cmd option }
+  | R_status of { cs_version : int; cs_published : bool;
+                  cs_members : member_info list }
+  | R_accepted of string
 
 type outcome =
   | Reply of response
@@ -427,6 +480,58 @@ let validate_shard_map sm =
     match !err with Some msg -> Error msg | None -> Ok ()
   end
 
+(* ---------- membership codecs ---------- *)
+
+let enc_node_cmd b = function
+  | Cmd_acquire { aq_lo; aq_hi; aq_donor; aq_map } ->
+    u8 b 0;
+    i64 b (int64_of_nonneg "acquire lo" aq_lo);
+    i64 b (int64_of_nonneg "acquire hi" aq_hi);
+    enc_addr b aq_donor;
+    (match aq_map with
+    | None -> wbool b false
+    | Some m ->
+      wbool b true;
+      enc_shard_map b m)
+
+let dec_node_cmd rd =
+  match r8 rd with
+  | 0 ->
+    let aq_lo = rint64 rd "acquire lo" in
+    let aq_hi = rint64 rd "acquire hi" in
+    let aq_donor = dec_addr rd in
+    let aq_map = if rbool rd then Some (dec_shard_map rd) else None in
+    Cmd_acquire { aq_lo; aq_hi; aq_donor; aq_map }
+  | t -> invalid_arg (Printf.sprintf "Wire: unknown node command tag %d" t)
+
+let enc_member_info b mi =
+  enc_addr b mi.mi_addr;
+  (* Shards are u16-sized; -1 (unassigned) travels as 0 with everything
+     else shifted up by one. *)
+  u16 b (mi.mi_shard + 1);
+  u8 b (match mi.mi_state with Joining -> 0 | Ready -> 1 | Dead -> 2);
+  wbool b mi.mi_in_map;
+  wbool b mi.mi_primary;
+  i64 b mi.mi_checksum;
+  f64 b mi.mi_beat_age
+
+let dec_member_info rd =
+  let mi_addr = dec_addr rd in
+  let mi_shard = r16 rd - 1 in
+  let mi_state =
+    match r8 rd with
+    | 0 -> Joining
+    | 1 -> Ready
+    | 2 -> Dead
+    | s -> invalid_arg (Printf.sprintf "Wire: unknown member state %d" s)
+  in
+  let mi_in_map = rbool rd in
+  let mi_primary = rbool rd in
+  let mi_checksum = ri64 rd in
+  let mi_beat_age = rf64 rd in
+  { mi_addr; mi_shard; mi_state; mi_in_map; mi_primary; mi_checksum;
+    mi_beat_age }
+
 let corpus_header_of_map sm : Umrs_store.Corpus.header =
   { Umrs_store.Corpus.version = sm.sm_corpus_version;
     variant = sm.sm_variant; p = sm.sm_p; q = sm.sm_q; d = sm.sm_d;
@@ -493,9 +598,8 @@ let route_prefix sm prefix =
    client holding an outdated map can refresh and re-route instead of
    surfacing a spurious error. *)
 let stale_shard_prefix = "stale shard map: server has version "
-
-let stale_shard_reject ~version =
-  Rejected (stale_shard_prefix ^ string_of_int version)
+let stale_shard_msg ~version = stale_shard_prefix ^ string_of_int version
+let stale_shard_reject ~version = Rejected (stale_shard_msg ~version)
 
 let stale_shard_version msg =
   let n = String.length stale_shard_prefix in
@@ -509,10 +613,12 @@ let magic = "UMRSSRVC"
 
 (* v2: server_stats gained live-connection, cache-eviction and
    event-loop health fields.  v3: the Get_shard_map request and
-   R_shard_map response for cluster routing.  The hello version is part
-   of the handshake, so mixed-version pairs fail fast instead of
-   misparsing a reply. *)
-let protocol_version = 4
+   R_shard_map response for cluster routing.  v4: stretch-distribution
+   fields in evaluations.  v5: cluster membership — Join/Leave/
+   Heartbeat/Reshard/Handoff_done/Cluster_status requests and their
+   responses.  The hello version is part of the handshake, so
+   mixed-version pairs fail fast instead of misparsing a reply. *)
+let protocol_version = 5
 let hello_bytes = 10
 
 let hello () =
@@ -548,7 +654,32 @@ let encode_request ~id ~deadline_ms req =
     str b graph_name;
     enc_graph b graph
   | Sleep_ms ms -> u32 b ms
-  | Get_shard_map -> ());
+  | Get_shard_map -> ()
+  | Join { jn_addr; jn_ready; jn_checksum } ->
+    enc_addr b jn_addr;
+    wbool b jn_ready;
+    i64 b jn_checksum
+  | Leave a -> enc_addr b a
+  | Heartbeat { hb_addr; hb_version; hb_checksum } ->
+    enc_addr b hb_addr;
+    u32 b hb_version;
+    i64 b hb_checksum
+  | Reshard op ->
+    (match op with
+    | Split k ->
+      u8 b 0;
+      u16 b k
+    | Merge k ->
+      u8 b 1;
+      u16 b k)
+  | Handoff_done { hd_addr; hd_lo; hd_hi; hd_key; hd_checksum } ->
+    enc_addr b hd_addr;
+    i64 b (int64_of_nonneg "handoff lo" hd_lo);
+    i64 b (int64_of_nonneg "handoff hi" hd_hi);
+    u16 b (Array.length hd_key);
+    Array.iter (fun x -> u16 b x) hd_key;
+    i64 b hd_checksum
+  | Cluster_status -> ());
   Bitbuf.to_bytes b
 
 let decode_request bytes =
@@ -577,6 +708,33 @@ let decode_request bytes =
       Evaluate { scheme; graph_name; graph }
     | 9 -> Sleep_ms (r32 rd)
     | 10 -> Get_shard_map
+    | 11 ->
+      let jn_addr = dec_addr rd in
+      let jn_ready = rbool rd in
+      let jn_checksum = ri64 rd in
+      Join { jn_addr; jn_ready; jn_checksum }
+    | 12 -> Leave (dec_addr rd)
+    | 13 ->
+      let hb_addr = dec_addr rd in
+      let hb_version = r32 rd in
+      let hb_checksum = ri64 rd in
+      Heartbeat { hb_addr; hb_version; hb_checksum }
+    | 14 ->
+      (match r8 rd with
+      | 0 -> Reshard (Split (r16 rd))
+      | 1 -> Reshard (Merge (r16 rd))
+      | t -> invalid_arg (Printf.sprintf "Wire: unknown reshard op %d" t))
+    | 15 ->
+      let hd_addr = dec_addr rd in
+      let hd_lo = rint64 rd "handoff lo" in
+      let hd_hi = rint64 rd "handoff hi" in
+      let nk = r16 rd in
+      if nk * 16 > Bitbuf.remaining rd then
+        invalid_arg "Wire: truncated handoff key";
+      let hd_key = Array.init nk (fun _ -> r16 rd) in
+      let hd_checksum = ri64 rd in
+      Handoff_done { hd_addr; hd_lo; hd_hi; hd_key; hd_checksum }
+    | 16 -> Cluster_status
     | op -> invalid_arg (Printf.sprintf "Wire: unknown opcode %d" op)
   in
   (id, deadline_ms, req)
@@ -595,6 +753,11 @@ let response_tag = function
   | R_evaluation _ -> 8
   | R_slept _ -> 9
   | R_shard_map _ -> 10
+  | R_joined _ -> 11
+  | R_heartbeat _ -> 12
+  | R_status _ -> 13
+  | R_accepted _ -> 14
+  | R_slice _ -> 15
 
 let encode_outcome ~id outcome =
   let b = Bitbuf.create () in
@@ -613,10 +776,41 @@ let encode_outcome ~id outcome =
     | R_range (lo, hi) ->
       i64 b (int64_of_nonneg "range lo" lo);
       i64 b (int64_of_nonneg "range hi" hi)
+    | R_slice { sl_version; sl_lo; sl_hi } ->
+      u32 b sl_version;
+      i64 b (int64_of_nonneg "slice lo" sl_lo);
+      i64 b (int64_of_nonneg "slice hi" sl_hi)
     | R_graph t -> enc_matrix b t.Cgraph.matrix
     | R_evaluation e -> enc_evaluation b e
     | R_slept ms -> u32 b ms
-    | R_shard_map sm -> enc_shard_map b sm)
+    | R_shard_map sm -> enc_shard_map b sm
+    | R_joined { jr_shard; jr_lo; jr_hi; jr_donor; jr_checksum; jr_version;
+                 jr_map } ->
+      u16 b jr_shard;
+      i64 b (int64_of_nonneg "joined lo" jr_lo);
+      i64 b (int64_of_nonneg "joined hi" jr_hi);
+      enc_addr b jr_donor;
+      i64 b jr_checksum;
+      u32 b jr_version;
+      (match jr_map with
+      | None -> wbool b false
+      | Some m ->
+        wbool b true;
+        enc_shard_map b m)
+    | R_heartbeat { rh_version; rh_known; rh_cmd } ->
+      u32 b rh_version;
+      wbool b rh_known;
+      (match rh_cmd with
+      | None -> wbool b false
+      | Some cmd ->
+        wbool b true;
+        enc_node_cmd b cmd)
+    | R_status { cs_version; cs_published; cs_members } ->
+      u32 b cs_version;
+      wbool b cs_published;
+      u16 b (List.length cs_members);
+      List.iter (enc_member_info b) cs_members
+    | R_accepted msg -> str b msg)
   | Rejected msg ->
     u8 b 1;
     str b msg
@@ -651,6 +845,37 @@ let decode_outcome bytes =
         | 8 -> R_evaluation (dec_evaluation rd)
         | 9 -> R_slept (r32 rd)
         | 10 -> R_shard_map (dec_shard_map rd)
+        | 11 ->
+          let jr_shard = r16 rd in
+          let jr_lo = rint64 rd "joined lo" in
+          let jr_hi = rint64 rd "joined hi" in
+          let jr_donor = dec_addr rd in
+          let jr_checksum = ri64 rd in
+          let jr_version = r32 rd in
+          let jr_map = if rbool rd then Some (dec_shard_map rd) else None in
+          R_joined { jr_shard; jr_lo; jr_hi; jr_donor; jr_checksum;
+                     jr_version; jr_map }
+        | 12 ->
+          let rh_version = r32 rd in
+          let rh_known = rbool rd in
+          let rh_cmd = if rbool rd then Some (dec_node_cmd rd) else None in
+          R_heartbeat { rh_version; rh_known; rh_cmd }
+        | 13 ->
+          let cs_version = r32 rd in
+          let cs_published = rbool rd in
+          let nm = r16 rd in
+          (* A member entry costs at least an address plus two i64s:
+             bound the list allocation before trusting the count. *)
+          if nm * 160 > Bitbuf.remaining rd then
+            invalid_arg "Wire: truncated members";
+          let cs_members = List.init nm (fun _ -> dec_member_info rd) in
+          R_status { cs_version; cs_published; cs_members }
+        | 14 -> R_accepted (rstr rd)
+        | 15 ->
+          let sl_version = r32 rd in
+          let sl_lo = rint64 rd "slice lo" in
+          let sl_hi = rint64 rd "slice hi" in
+          R_slice { sl_version; sl_lo; sl_hi }
         | tag -> invalid_arg (Printf.sprintf "Wire: unknown response tag %d" tag))
     | 1 -> Rejected (rstr rd)
     | 2 -> Overloaded

@@ -81,13 +81,57 @@ type shard_map = {
   sm_shards : shard array;     (** ordered by [sh_lo]; contiguous cover *)
 }
 
+(** {1 Cluster membership}
+
+    Protocol v5: independently started server processes register into a
+    coordinator's versioned shard map over the same wire protocol the
+    data plane uses. A node announces itself with [Join] (first with
+    [jn_ready = false] to learn its assignment, then [jn_ready = true]
+    once its corpus piece matches the coordinator's canonical checksum),
+    beats with [Heartbeat], and receives topology work — a range to
+    acquire from a donor — piggybacked on the heartbeat reply.
+    [Reshard] and [Cluster_status] are operator requests. *)
+
+type member_state =
+  | Joining                    (** announced, piece not yet verified *)
+  | Ready                      (** serving; eligible for the map *)
+  | Dead                       (** missed too many heartbeats *)
+
+type member_info = {
+  mi_addr : addr;
+  mi_shard : int;              (** assigned shard, [-1] when unassigned *)
+  mi_state : member_state;
+  mi_in_map : bool;            (** listed in the published map *)
+  mi_primary : bool;           (** head of its shard's endpoint group *)
+  mi_checksum : int64;         (** piece checksum last reported *)
+  mi_beat_age : float;         (** seconds since the last heartbeat *)
+}
+
+type node_cmd =
+  | Cmd_acquire of { aq_lo : int; aq_hi : int; aq_donor : addr;
+                     aq_map : shard_map option }
+      (** stream global ranks [\[aq_lo, aq_hi)] from [aq_donor] into a
+          local piece, then report [Handoff_done]. [aq_map] is the
+          {e prospective} post-flip topology: the node adopts it the
+          moment the piece is local — {e before} reporting — so a
+          client that reaches it under the flipped map never catches
+          it serving the old one. Its version is a floor (the real
+          flip may land higher); the node syncs the true map after its
+          handoff is accepted. *)
+
+type reshard_op =
+  | Split of int               (** cut shard [k] at its midpoint *)
+  | Merge of int               (** fold shard [k+1] into shard [k] *)
+
 (** {1 Requests}
 
     [Ping] and [Stats] are control-plane: the server answers them from
     the connection reader without queueing, so they respond even when
     the worker pool is saturated. Everything else is data-plane and
     subject to backpressure. [Sleep_ms] occupies a worker for the given
-    time — the controllable-work primitive load tests are built on. *)
+    time — the controllable-work primitive load tests are built on.
+    The membership requests are control-plane too: a saturated data
+    plane must never delay a heartbeat into a false death verdict. *)
 
 type request =
   | Ping of int                (** echo the nonce *)
@@ -103,6 +147,18 @@ type request =
   | Sleep_ms of int            (** hold a worker for this many ms *)
   | Get_shard_map              (** the cluster topology this node belongs
                                    to; control-plane, answered inline *)
+  | Join of { jn_addr : addr; jn_ready : bool; jn_checksum : int64 }
+      (** register [jn_addr]; [jn_checksum] is the local piece checksum
+          (0 when no piece is held yet) *)
+  | Leave of addr              (** graceful departure *)
+  | Heartbeat of { hb_addr : addr; hb_version : int; hb_checksum : int64 }
+      (** liveness beat carrying the map version the node has applied *)
+  | Reshard of reshard_op      (** operator: start an online reshard *)
+  | Handoff_done of { hd_addr : addr; hd_lo : int; hd_hi : int;
+                      hd_key : int array; hd_checksum : int64 }
+      (** a commanded acquire finished; [hd_key] is the boundary key of
+          rank [hd_lo] *)
+  | Cluster_status             (** operator: membership table snapshot *)
 
 val opcode : request -> int
 val opcode_name : int -> string
@@ -141,10 +197,33 @@ type response =
   | R_found of bool
   | R_rank of int
   | R_range of int * int
+  | R_slice of { sl_version : int; sl_lo : int; sl_hi : int }
+      (** a shard's answer to [Range_prefix]: its slice of the global
+          range, stamped with the map version it was computed under.
+          Range scatters have no rank for the server to validate, so
+          the version is the only way a client can tell that a reply
+          was produced under a different topology than the one it
+          scattered with — a slice from the future means the span the
+          client chose may no longer cover every matching record. *)
   | R_graph of Cgraph.t
   | R_evaluation of Umrs_routing.Scheme.evaluation
   | R_slept of int
   | R_shard_map of shard_map
+  | R_joined of { jr_shard : int; jr_lo : int; jr_hi : int; jr_donor : addr;
+                  jr_checksum : int64; jr_version : int;
+                  jr_map : shard_map option }
+      (** assignment for a [Join]: the shard index and global range the
+          node must hold, a donor endpoint that can stream it, the
+          canonical checksum the piece must match, the coordinator's
+          topology version, and the published map when one exists *)
+  | R_heartbeat of { rh_version : int; rh_known : bool;
+                     rh_cmd : node_cmd option }
+      (** [rh_known = false] tells a node the coordinator no longer
+          counts it a member (it was declared dead) — it must re-join *)
+  | R_status of { cs_version : int; cs_published : bool;
+                  cs_members : member_info list }
+  | R_accepted of string       (** generic acknowledgement (leave,
+                                   reshard start, handoff) *)
 
 type outcome =
   | Reply of response
@@ -227,6 +306,7 @@ val route_prefix : shard_map -> int array -> int * int
     ([None] for ordinary rejection messages), refreshes, and re-routes
     once. *)
 
+val stale_shard_msg : version:int -> string
 val stale_shard_reject : version:int -> outcome
 val stale_shard_version : string -> int option
 
